@@ -1,0 +1,60 @@
+"""Extension ablation: one-sided (paper) vs two-sided window check.
+
+The paper's one-step test grounds an aggressor only when it is quiet
+*before* the victim's earliest activity.  The OVERLAP extension also
+grounds aggressors that cannot *start* before the victim's worst-case
+completion.  This bench quantifies the extra tightness and its cost
+(one additional all-active waveform calculation per arc).
+"""
+
+import pytest
+
+from repro.circuit import s35932_like
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode, StaConfig, WindowCheck
+from repro.flow import prepare_design
+
+
+@pytest.fixture(scope="module")
+def window_runs(scale, record_result):
+    design = prepare_design(s35932_like(scale=scale))
+    runs = {}
+    for check in WindowCheck:
+        config = StaConfig(mode=AnalysisMode.ITERATIVE, window_check=check)
+        runs[check] = CrosstalkSTA(design, config).run()
+
+    lines = [
+        f"Window-check ablation (s35932-like at scale {scale}, iterative)",
+        "",
+        f"{'check':<10} {'delay [ns]':>11} {'evals':>9} {'coupled arcs':>13}",
+        "-" * 48,
+    ]
+    for check, result in runs.items():
+        lines.append(
+            f"{check.value:<10} {result.longest_delay_ns:>11.3f} "
+            f"{result.waveform_evaluations:>9d} {result.coupled_arcs:>13d}"
+        )
+    tightening = (
+        runs[WindowCheck.QUIET].longest_delay - runs[WindowCheck.OVERLAP].longest_delay
+    )
+    lines.append("")
+    lines.append(f"tightening from two-sided check: {tightening*1e9:.3f} ns")
+    record_result("ablation_window_check", "\n".join(lines))
+    return runs
+
+
+def test_overlap_no_looser(window_runs, benchmark):
+    assert (
+        window_runs[WindowCheck.OVERLAP].longest_delay
+        <= window_runs[WindowCheck.QUIET].longest_delay + 1e-12
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_overlap_grounds_no_fewer_aggArcs(window_runs, benchmark):
+    """The two-sided check can only reduce the number of coupled arcs."""
+    assert (
+        window_runs[WindowCheck.OVERLAP].coupled_arcs
+        <= window_runs[WindowCheck.QUIET].coupled_arcs
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+"""Extension bench: min-delay (hold) analysis mode comparison.
+
+The dual of the paper's Tables: earliest-arrival bounds under the four
+min-analysis coupling treatments, plus the hold verdicts they imply.
+"""
+
+import pytest
+
+from repro.circuit import s35932_like
+from repro.core.constraints import check_hold
+from repro.core.minpath import MinAnalysisMode, MinPropagator
+from repro.flow import prepare_design
+
+
+@pytest.fixture(scope="module")
+def min_runs(scale, record_result):
+    design = prepare_design(s35932_like(scale=scale))
+    propagator = MinPropagator(design)
+    runs = {mode: propagator.run(mode) for mode in MinAnalysisMode}
+
+    lines = [
+        f"Min-delay (hold) analysis (s35932-like at scale {scale})",
+        "",
+        f"{'mode':<16} {'earliest [ns]':>14} {'CPU [s]':>9} {'evals':>9} {'passes':>7}",
+        "-" * 60,
+    ]
+    for mode, result in runs.items():
+        lines.append(
+            f"{mode.value:<16} {result.shortest_delay_ns:>14.3f} "
+            f"{result.runtime_seconds:>9.2f} {result.waveform_evaluations:>9d} "
+            f"{result.passes:>7d}"
+        )
+    report = check_hold(runs[MinAnalysisMode.ITERATIVE], hold_time=50e-12)
+    lines.append("")
+    lines.append(
+        f"hold 50 ps check: {'MET' if report.met else 'VIOLATED'} "
+        f"(worst slack {report.worst.slack * 1e12:+.1f} ps)"
+    )
+    record_result("extension_minpath", "\n".join(lines))
+    return runs
+
+
+def test_min_mode_ordering(min_runs, benchmark):
+    worst = min_runs[MinAnalysisMode.WORST].shortest_delay
+    one_step = min_runs[MinAnalysisMode.ONE_STEP].shortest_delay
+    iterative = min_runs[MinAnalysisMode.ITERATIVE].shortest_delay
+    no_coupling = min_runs[MinAnalysisMode.NO_COUPLING].shortest_delay
+    assert worst <= one_step + 1e-12
+    assert one_step <= iterative + 1e-12
+    assert iterative <= no_coupling + 1e-12
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_refinement_recovers_pessimism(min_runs, benchmark):
+    """The window-based min analysis tightens the pessimistic all-helping
+    bound upward, mirroring the max side's recovery."""
+    worst = min_runs[MinAnalysisMode.WORST].shortest_delay
+    iterative = min_runs[MinAnalysisMode.ITERATIVE].shortest_delay
+    assert iterative >= worst
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

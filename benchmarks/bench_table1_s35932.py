@@ -1,0 +1,44 @@
+"""Paper Table 1: s35932 (17900 cells at full scale).
+
+Regenerates the table's rows -- longest-path delay and CPU time for the
+five analysis modes -- against a synthetic stand-in of s35932 routed in
+the 0.5 um two-metal flow, plus the longest-path re-simulations.
+Scale via REPRO_SCALE / REPRO_FULL (see conftest).
+"""
+
+import pytest
+
+from repro.circuit import s35932_like
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode
+
+from paper_tables import assert_paper_shape, run_table
+
+
+@pytest.fixture(scope="module")
+def table_run(scale, record_result):
+    run = run_table(s35932_like, "Table 1: s35932", scale)
+    record_result("table1_s35932", run.render())
+    return run
+
+
+def test_table1_rows(table_run, benchmark):
+    """Assert the paper's qualitative shape; benchmark one one-step pass."""
+    assert_paper_shape(table_run)
+    design_delay = table_run.results[AnalysisMode.ONE_STEP]
+    benchmark.pedantic(
+        lambda: design_delay.longest_delay, rounds=1, iterations=1
+    )
+
+
+def test_table1_one_step_runtime(scale, benchmark):
+    """Wall-clock of a full one-step analysis (the paper's CPU column)."""
+    from repro.flow import prepare_design
+
+    design = prepare_design(s35932_like(scale=scale))
+
+    def analysis():
+        return CrosstalkSTA(design).run(AnalysisMode.ONE_STEP).longest_delay
+
+    result = benchmark.pedantic(analysis, rounds=1, iterations=1)
+    assert result > 0

@@ -1,0 +1,34 @@
+"""Paper Table 2: s38417 (23922 cells at full scale).
+
+Same methodology as Table 1 on the deeper s38417-like circuit.
+"""
+
+import pytest
+
+from repro.circuit import s38417_like
+from repro.core.modes import AnalysisMode
+
+from paper_tables import assert_paper_shape, run_table
+
+
+@pytest.fixture(scope="module")
+def table_run(scale, record_result):
+    run = run_table(s38417_like, "Table 2: s38417", scale)
+    record_result("table2_s38417", run.render())
+    return run
+
+
+def test_table2_rows(table_run, benchmark):
+    assert_paper_shape(table_run)
+    benchmark.pedantic(
+        lambda: table_run.results[AnalysisMode.ITERATIVE].longest_delay,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_table2_depth_shows_in_path(table_run, benchmark):
+    """s38417 is the deepest of the three circuits; its critical path has
+    correspondingly many stages."""
+    assert table_run.path_stages >= 8
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,34 @@
+"""Paper Table 3: s38584 (20812 cells at full scale).
+
+Same methodology as Table 1 on the s38584-like circuit.
+"""
+
+import pytest
+
+from repro.circuit import s38584_like
+from repro.core.modes import AnalysisMode
+
+from paper_tables import assert_paper_shape, run_table
+
+
+@pytest.fixture(scope="module")
+def table_run(scale, record_result):
+    run = run_table(s38584_like, "Table 3: s38584", scale)
+    record_result("table3_s38584", run.render())
+    return run
+
+
+def test_table3_rows(table_run, benchmark):
+    assert_paper_shape(table_run)
+    benchmark.pedantic(
+        lambda: table_run.results[AnalysisMode.ITERATIVE].longest_delay,
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_table3_iterative_improves_or_matches_one_step(table_run, benchmark):
+    one_step = table_run.results[AnalysisMode.ONE_STEP].longest_delay
+    iterative = table_run.results[AnalysisMode.ITERATIVE].longest_delay
+    assert iterative <= one_step
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Shared benchmark infrastructure.
+
+Scale control
+-------------
+The paper's circuits have ~18k-24k cells; a full five-mode analysis of all
+three takes tens of minutes in pure Python.  Benchmarks therefore default
+to scaled-down synthetic equivalents and honour two environment variables:
+
+* ``REPRO_SCALE=<float>`` -- explicit circuit scale (1.0 = paper size).
+* ``REPRO_FULL=1``        -- shorthand for scale 1.0.
+
+Results are printed and archived under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def resolve_scale(default: float = 0.05) -> float:
+    if os.environ.get("REPRO_FULL"):
+        return 1.0
+    value = os.environ.get("REPRO_SCALE")
+    if value:
+        return float(value)
+    return default
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_result(results_dir):
+    """Print a result block and archive it under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Characterize the cell library into NLDM tables and export Liberty.
+
+Runs the transistor-level stage solver over a slew x load grid for every
+arc of a library subset, writes the tables as a ``.lib`` file, reads them
+back, and demonstrates why the table model cannot replace the paper's
+active coupling model.
+
+Usage::
+
+    python examples/characterize_library.py [output.lib]
+"""
+
+import sys
+
+from repro.characterize import (
+    NldmDelayCalculator,
+    characterize_library,
+    parse_liberty,
+    write_liberty,
+)
+from repro.circuit import default_library
+from repro.waveform import CouplingLoad, GateDelayCalculator, RISING
+
+CELLS = ["INV_X1", "INV_X4", "NAND2_X1", "NAND3_X1", "NOR2_X1", "AOI21_X1"]
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "repro05.lib"
+    library = default_library()
+
+    print(f"Characterizing {len(CELLS)} cells...")
+    char = characterize_library(library, cells=CELLS)
+    print(f"  {char.arc_count()} arcs over {len(char.slews)}x{len(char.loads)} grids")
+
+    text = write_liberty(char)
+    with open(output, "w") as handle:
+        handle.write(text)
+    print(f"  wrote {len(text.splitlines())} lines of Liberty to {output}")
+
+    restored = parse_liberty(text)
+    assert restored.arc_count() == char.arc_count()
+    print("  round-trip parse OK")
+
+    # Show one table.
+    arc = char.cell("NAND2_X1").arc("A", RISING)
+    print("\nNAND2_X1 A-rise -> Y-fall delay table [ps]:")
+    header = "slew\\load " + " ".join(f"{c*1e15:7.0f}fF" for c in char.loads)
+    print("  " + header)
+    for i, slew in enumerate(char.slews):
+        row = " ".join(f"{arc.delay[i, j]*1e12:9.1f}" for j in range(len(char.loads)))
+        print(f"  {slew*1e12:6.0f}ps  {row}")
+
+    # Why tables are not enough for crosstalk (paper, Sections 2-3).
+    print("\nCoupling situation: C_gnd=20 fF, C_c=25 fF, input ramp 100 ps")
+    load = CouplingLoad(c_ground=20e-15, c_couple_active=25e-15)
+    nldm2x = NldmDelayCalculator(char, coupling_factor=2.0)
+    exact = GateDelayCalculator()
+    inv = library["INV_X1"]
+    table_result = nldm2x.compute_arc_relative(inv, "A", RISING, 100e-12, load)
+    active_result = exact.compute_arc_relative(inv, "A", RISING, 100e-12, load)
+    print(f"  NLDM with doubled cap : t50 = {table_result.t_cross*1e12:6.1f} ps")
+    print(f"  active coupling model : t50 = {active_result.t_cross*1e12:6.1f} ps")
+    print(
+        "  -> the table model underestimates the worst case by "
+        f"{(active_result.t_cross - table_result.t_cross)*1e12:.1f} ps on one stage."
+    )
+
+
+if __name__ == "__main__":
+    main()

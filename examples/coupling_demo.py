@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Figure 1 of the paper, recreated in the transient simulator.
+
+Two inverter-driven wires run in parallel with a coupling capacitance
+between them.  When the aggressor switches opposite to the victim, the
+victim waveform collapses mid-transition and the downstream delay grows.
+The script simulates both situations, prints the delays, compares the
+static models, and renders ASCII waveforms.
+
+Usage::
+
+    python examples/coupling_demo.py
+"""
+
+import numpy as np
+
+from repro.circuit import default_library
+from repro.devices import default_process, nmos, pmos
+from repro.spice import PwlSource, SimCircuit, TransientSimulator, delay_between
+from repro.waveform import CouplingLoad, GateDelayCalculator, RISING, FALLING
+
+PROCESS = default_process()
+VDD = PROCESS.vdd
+
+C_GROUND = 40e-15
+C_COUPLE = 25e-15
+
+
+def build(aggressor_switches: bool) -> tuple[SimCircuit, dict]:
+    """Victim inverter drives a rising output; the aggressor inverter
+    drives the neighbouring wire falling (or stays quiet)."""
+    circuit = SimCircuit("fig1")
+    circuit.add_vdc("vdd", VDD)
+
+    # Victim: input falls at 200 ps -> output rises.
+    circuit.add_source(PwlSource("vin", "0", [(200e-12, VDD), (300e-12, 0.0)]))
+    circuit.add_mosfet("vp", "victim", "vin", "vdd", pmos(4e-6))
+    circuit.add_mosfet("vn", "victim", "vin", "0", nmos(2e-6))
+    circuit.add_capacitor("victim", "0", C_GROUND)
+
+    # Aggressor: input rises mid-victim-transition -> wire falls hard.
+    if aggressor_switches:
+        points = [(320e-12, 0.0), (330e-12, VDD)]
+    else:
+        points = [(0.0, 0.0)]
+    circuit.add_source(PwlSource("ain", "0", points))
+    circuit.add_mosfet("ap", "aggr", "ain", "vdd", pmos(8e-6))
+    circuit.add_mosfet("an", "aggr", "ain", "0", nmos(4e-6))
+    circuit.add_capacitor("aggr", "0", C_GROUND)
+
+    # The coupling capacitance of Fig. 1.
+    circuit.add_capacitor("victim", "aggr", C_COUPLE)
+
+    init = {"vin": VDD, "victim": 0.0, "ain": 0.0, "aggr": VDD, "vdd": VDD}
+    return circuit, init
+
+
+def ascii_plot(times, traces: dict, width: int = 72, height: int = 12) -> str:
+    """Plot named traces against time with one character per trace."""
+    t0, t1 = times[0], times[-1]
+    grid = [[" "] * width for _ in range(height)]
+    for (name, values), mark in zip(traces.items(), "*o+x"):
+        for t, v in zip(times, values):
+            col = int((t - t0) / (t1 - t0) * (width - 1))
+            row = height - 1 - int(max(0.0, min(1.0, v / VDD)) * (height - 1))
+            grid[row][col] = mark
+    legend = "   ".join(f"{mark}={name}" for (name, _), mark in zip(traces.items(), "*o+x"))
+    return "\n".join("".join(row) for row in grid) + f"\n{legend}"
+
+
+def main() -> None:
+    print(f"Two coupled wires: C_gnd={C_GROUND*1e15:.0f} fF, C_c={C_COUPLE*1e15:.0f} fF\n")
+
+    delays = {}
+    for label, switches in (("aggressor quiet", False), ("aggressor switching", True)):
+        circuit, init = build(switches)
+        sim = TransientSimulator(circuit)
+        result = sim.run(t_stop=1.5e-9, dt=1e-12, initial_voltages=init)
+        measured = delay_between(result, "vin", FALLING, "victim", RISING, VDD / 2)
+        delays[label] = measured.delay
+        print(f"{label:>22}: victim 50% delay = {measured.delay*1e12:7.1f} ps")
+        if switches:
+            sample = slice(None, None, max(1, len(result.times) // 400))
+            print(ascii_plot(
+                result.times[sample],
+                {
+                    "victim": result.trace("victim")[sample],
+                    "aggressor": result.trace("aggr")[sample],
+                },
+            ))
+            print()
+
+    penalty = delays["aggressor switching"] - delays["aggressor quiet"]
+    print(f"\nSimulated crosstalk delay penalty: {penalty*1e12:.1f} ps")
+
+    # The same situation through the paper's models (Section 2).
+    print("\nModel comparison (single inverter arc, input ramp 100 ps):")
+    calc = GateDelayCalculator()
+    inv = default_library()["INV_X1"]
+    rows = [
+        ("grounded 1x (best case)", CouplingLoad(C_GROUND + C_COUPLE)),
+        ("grounded 2x (static doubled)", CouplingLoad(C_GROUND + 2 * C_COUPLE)),
+        ("active coupling model", CouplingLoad(C_GROUND, c_couple_active=C_COUPLE)),
+    ]
+    base = None
+    for label, load in rows:
+        arc = calc.compute_arc_relative(inv, "A", FALLING, 100e-12, load)
+        if base is None:
+            base = arc.t_cross
+        print(f"  {label:<30} t50 = {arc.t_cross*1e12:7.1f} ps   (+{(arc.t_cross-base)*1e12:5.1f} ps)")
+    print(
+        "\nThe active model exceeds the doubled-capacitance approximation:"
+        "\npassive modeling underestimates the worst case (paper, Section 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

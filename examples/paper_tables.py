@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Reproduce the shape of the paper's Tables 1-3 at a chosen scale.
+
+Runs the five analysis modes on synthetic stand-ins for s35932, s38417 and
+s38584 (see DESIGN.md for the substitution rationale) and optionally
+re-simulates each longest path.
+
+Usage::
+
+    python examples/paper_tables.py [--scale 0.05] [--simulate]
+    REPRO_FULL=1 python examples/paper_tables.py   # paper-size circuits
+"""
+
+import argparse
+import os
+import time
+
+from repro import CrosstalkSTA, check_mode_ordering, format_table, prepare_design
+from repro.circuit import s35932_like, s38417_like, s38584_like
+from repro.validate import run_table_comparison
+
+CIRCUITS = [
+    ("Table 1: s35932", s35932_like),
+    ("Table 2: s38417", s38417_like),
+    ("Table 3: s38584", s38584_like),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=None, help="circuit scale (1.0 = paper size)")
+    parser.add_argument("--simulate", action="store_true", help="re-simulate the longest paths")
+    args = parser.parse_args()
+
+    scale = args.scale
+    if scale is None:
+        scale = 1.0 if os.environ.get("REPRO_FULL") else 0.05
+
+    for title, factory in CIRCUITS:
+        t0 = time.time()
+        circuit = factory(scale=scale)
+        design = prepare_design(circuit)
+        print(f"\n{'='*60}")
+        print(f"{title} at scale {scale} -> {circuit.cell_count()} cells "
+              f"(prepared in {time.time()-t0:.1f} s)")
+
+        sta = CrosstalkSTA(design)
+        if args.simulate:
+            comparison = run_table_comparison(design, sta=sta)
+            results = comparison.results
+            sim_ns = comparison.sim_windowed_delay * 1e9
+            print(format_table(title, results, simulation_ns=sim_ns,
+                               cell_count=circuit.cell_count()))
+            print(f"  quiet sim:   {comparison.sim_quiet_delay*1e9:.3f} ns")
+            print(f"  worst sim:   {comparison.sim_worst_delay*1e9:.3f} ns")
+            print(f"  coupling impact (worst - best): "
+                  f"{comparison.coupling_impact*1e9:.3f} ns")
+        else:
+            results = sta.run_all_modes()
+            print(format_table(title, results, cell_count=circuit.cell_count()))
+
+        violations = check_mode_ordering(results)
+        print("  ordering:", "OK" if not violations else violations)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Render a routed design as SVG with the critical path highlighted.
+
+Usage::
+
+    python examples/plot_layout.py [output.svg]
+"""
+
+import sys
+
+from repro import AnalysisMode, CrosstalkSTA, prepare_design, s27
+from repro.layout.svgplot import save_layout_svg
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "s27_layout.svg"
+    circuit = s27()
+    design = prepare_design(circuit)
+
+    sta = CrosstalkSTA(design)
+    result = sta.run(AnalysisMode.ITERATIVE)
+    path = sta.critical_path(result)
+    critical_nets = set(path.net_sequence())
+
+    save_layout_svg(
+        output,
+        design.placement,
+        design.routing,
+        highlight_nets=critical_nets,
+        title=f"{circuit.name}: critical path {result.longest_delay*1e9:.3f} ns",
+    )
+    print(f"wrote {output}")
+    print(f"  die {design.placement.die_width:.0f} x {design.placement.die_height:.0f} um")
+    print(f"  highlighted critical path: {' -> '.join(path.net_sequence())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: crosstalk-aware STA on the ISCAS89 s27 benchmark.
+
+Runs the complete flow -- technology mapping, placement, routing,
+parasitic extraction -- and then all five of the paper's analysis modes,
+printing the paper-style result table.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    AnalysisMode,
+    CrosstalkSTA,
+    check_mode_ordering,
+    format_table,
+    prepare_design,
+    s27,
+)
+
+
+def main() -> None:
+    # 1. A gate-level netlist.  s27 ships with the library; any ISCAS89
+    #    .bench file works via repro.load_bench + repro.map_to_circuit.
+    circuit = s27()
+    print(f"Loaded {circuit.stats()}")
+
+    # 2. Physical design: place, route (2-layer 0.5 um), extract R, C and
+    #    the coupling capacitances between adjacent wires.
+    design = prepare_design(circuit)
+    pairs = design.extraction.coupling_pairs()
+    print(
+        f"Routed {len(design.routing.routes)} nets; "
+        f"{len(pairs)} coupling pairs, "
+        f"{design.extraction.total_coupling_cap() * 1e15:.1f} fF total coupling"
+    )
+
+    # 3. Static timing analysis in all five modes of the paper.
+    sta = CrosstalkSTA(design)
+    results = sta.run_all_modes()
+    print()
+    print(format_table("s27", results, cell_count=circuit.cell_count()))
+
+    # 4. The guaranteed ordering of the bounds.
+    violations = check_mode_ordering(results)
+    assert not violations, violations
+    print("\nBound ordering verified: best <= iterative <= one-step <= worst.")
+
+    # 5. The longest path, stage by stage.
+    path = sta.critical_path(results[AnalysisMode.ITERATIVE])
+    print(f"\nCritical path ({len(path)} stages, {path.delay * 1e9:.3f} ns):")
+    for step in path.steps:
+        flag = "  [coupled]" if step.coupled else ""
+        print(
+            f"  {step.cell:>14} ({step.ctype:<9}) {step.in_net} "
+            f"-> {step.out_net} [{step.out_direction}]{flag}"
+        )
+
+
+if __name__ == "__main__":
+    main()

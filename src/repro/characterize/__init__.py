@@ -1,0 +1,34 @@
+"""NLDM-style cell characterization.
+
+Sweeps every library arc over an (input slew x output load) grid with the
+transistor-level stage solver, producing the delay/transition lookup
+tables that conventional gate-level STA consumes -- and a table-lookup
+delay calculator built on them.  Comparing that calculator against the
+transistor-level engine quantifies the paper's Section 3 argument for
+transistor-level timing analysis.
+"""
+
+from repro.characterize.characterize import (
+    ArcTable,
+    CellCharacterization,
+    LibraryCharacterization,
+    characterize_cell,
+    characterize_library,
+    default_load_grid,
+    default_slew_grid,
+)
+from repro.characterize.liberty import parse_liberty, write_liberty
+from repro.characterize.nldm import NldmDelayCalculator
+
+__all__ = [
+    "ArcTable",
+    "CellCharacterization",
+    "LibraryCharacterization",
+    "NldmDelayCalculator",
+    "characterize_cell",
+    "characterize_library",
+    "default_load_grid",
+    "default_slew_grid",
+    "parse_liberty",
+    "write_liberty",
+]

@@ -1,0 +1,170 @@
+"""Arc characterization over a slew x load grid.
+
+For every (cell, input pin, input direction) the stage solver is run at
+each grid point with a purely capacitive load; the resulting 50 %-to-50 %
+delay and output transition time fill two lookup tables -- the classic
+non-linear delay model (NLDM) representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.library import CellType, Library, default_library
+from repro.devices.params import ProcessParams, default_process
+from repro.waveform.coupling import CouplingLoad
+from repro.waveform.gatedelay import GateDelayCalculator
+from repro.waveform.pwl import FALLING, RISING
+
+
+def default_slew_grid() -> list[float]:
+    """Input transition times covering the circuit-typical range (s),
+    including the long wire-degraded slews of big routed designs."""
+    return [20e-12, 50e-12, 100e-12, 200e-12, 400e-12, 800e-12, 1600e-12]
+
+
+def default_load_grid() -> list[float]:
+    """Output loads covering fanout-1 up to heavily loaded long nets (F)."""
+    return [5e-15, 15e-15, 30e-15, 60e-15, 120e-15, 240e-15, 480e-15]
+
+
+@dataclass
+class ArcTable:
+    """Delay and output-transition tables of one timing arc.
+
+    ``delay[i][j]`` is the 50 %-input-to-50 %-output delay at
+    ``slews[i]`` input transition and ``loads[j]`` output load;
+    ``transition`` holds the output transition times.  The arc's output
+    direction is the opposite of ``input_direction`` (negative-unate
+    library).
+    """
+
+    cell: str
+    pin: str
+    input_direction: str
+    slews: list[float]
+    loads: list[float]
+    delay: np.ndarray
+    transition: np.ndarray
+
+    @property
+    def output_direction(self) -> str:
+        return FALLING if self.input_direction == RISING else RISING
+
+    def lookup(self, slew: float, load: float) -> tuple[float, float]:
+        """Bilinear interpolation of (delay, output transition).
+
+        Queries outside the grid clamp to the edge (standard NLDM
+        behaviour; extrapolation is deliberately avoided).
+        """
+        return (
+            _interp2(self.slews, self.loads, self.delay, slew, load),
+            _interp2(self.slews, self.loads, self.transition, slew, load),
+        )
+
+    def monotone_in_load(self) -> bool:
+        """Delay grows with load at every slew (sanity invariant)."""
+        return bool(np.all(np.diff(self.delay, axis=1) >= -1e-15))
+
+
+def _interp2(xs: list[float], ys: list[float], table: np.ndarray, x: float, y: float) -> float:
+    x = min(max(x, xs[0]), xs[-1])
+    y = min(max(y, ys[0]), ys[-1])
+    i = int(np.searchsorted(xs, x, side="right")) - 1
+    j = int(np.searchsorted(ys, y, side="right")) - 1
+    i = min(max(i, 0), len(xs) - 2)
+    j = min(max(j, 0), len(ys) - 2)
+    tx = (x - xs[i]) / (xs[i + 1] - xs[i])
+    ty = (y - ys[j]) / (ys[j + 1] - ys[j])
+    return float(
+        table[i, j] * (1 - tx) * (1 - ty)
+        + table[i + 1, j] * tx * (1 - ty)
+        + table[i, j + 1] * (1 - tx) * ty
+        + table[i + 1, j + 1] * tx * ty
+    )
+
+
+@dataclass
+class CellCharacterization:
+    """All characterized arcs of one cell, keyed by (pin, input dir)."""
+
+    cell: str
+    arcs: dict[tuple[str, str], ArcTable] = field(default_factory=dict)
+
+    def arc(self, pin: str, input_direction: str) -> ArcTable:
+        return self.arcs[(pin, input_direction)]
+
+
+@dataclass
+class LibraryCharacterization:
+    """Characterized arcs for a set of cells."""
+
+    name: str
+    slews: list[float]
+    loads: list[float]
+    cells: dict[str, CellCharacterization] = field(default_factory=dict)
+
+    def cell(self, name: str) -> CellCharacterization:
+        return self.cells[name]
+
+    def arc_count(self) -> int:
+        return sum(len(c.arcs) for c in self.cells.values())
+
+
+def characterize_cell(
+    ctype: CellType,
+    slews: list[float] | None = None,
+    loads: list[float] | None = None,
+    calculator: GateDelayCalculator | None = None,
+) -> CellCharacterization:
+    """Characterize every input arc of one cell."""
+    slews = slews if slews is not None else default_slew_grid()
+    loads = loads if loads is not None else default_load_grid()
+    calc = calculator if calculator is not None else GateDelayCalculator()
+    result = CellCharacterization(cell=ctype.name)
+    pins = ["A"] if ctype.is_sequential else list(ctype.inputs)
+    for pin in pins:
+        for direction in (RISING, FALLING):
+            delay = np.zeros((len(slews), len(loads)))
+            transition = np.zeros_like(delay)
+            for i, slew in enumerate(slews):
+                for j, load in enumerate(loads):
+                    arc = calc.compute_arc_relative(
+                        ctype, pin, direction, slew, CouplingLoad(c_ground=load)
+                    )
+                    delay[i, j] = arc.t_cross - 0.5 * slew
+                    transition[i, j] = arc.transition
+            result.arcs[(pin, direction)] = ArcTable(
+                cell=ctype.name,
+                pin=pin,
+                input_direction=direction,
+                slews=list(slews),
+                loads=list(loads),
+                delay=delay,
+                transition=transition,
+            )
+    return result
+
+
+def characterize_library(
+    library: Library | None = None,
+    cells: list[str] | None = None,
+    slews: list[float] | None = None,
+    loads: list[float] | None = None,
+    process: ProcessParams | None = None,
+) -> LibraryCharacterization:
+    """Characterize a whole library (or the named subset)."""
+    library = library if library is not None else default_library()
+    slews = slews if slews is not None else default_slew_grid()
+    loads = loads if loads is not None else default_load_grid()
+    process = process if process is not None else default_process()
+    calc = GateDelayCalculator(process=process)
+    result = LibraryCharacterization(name=library.name, slews=slews, loads=loads)
+    names = cells if cells is not None else library.names()
+    for name in names:
+        result.cells[name] = characterize_cell(
+            library[name], slews=slews, loads=loads, calculator=calc
+        )
+    return result

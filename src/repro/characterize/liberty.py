@@ -1,0 +1,295 @@
+"""Liberty-subset writer and reader.
+
+Serialises a :class:`LibraryCharacterization` to the industry ``.lib``
+syntax (the subset real tools agree on: ``cell``/``pin``/``timing`` groups
+with ``cell_rise``/``cell_fall``/``rise_transition``/``fall_transition``
+tables) and parses that subset back with a small recursive-descent parser
+over the generic Liberty group grammar.  Round-tripping is tested; the
+interpreter is strict about the pieces it consumes.
+
+Units: time in nanoseconds, capacitance in picofarads (the conventional
+Liberty choice).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.characterize.characterize import (
+    ArcTable,
+    CellCharacterization,
+    LibraryCharacterization,
+)
+from repro.waveform.pwl import FALLING, RISING
+
+_TIME_UNIT = 1e-9  # ns
+_CAP_UNIT = 1e-12  # pF
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+
+def _fmt(values: list[float], scale: float) -> str:
+    return ", ".join(f"{v / scale:.6g}" for v in values)
+
+
+def write_liberty(char: LibraryCharacterization) -> str:
+    """Render the characterization as Liberty text."""
+    lines: list[str] = []
+    lines.append(f"library ({char.name}) {{")
+    lines.append('  time_unit : "1ns";')
+    lines.append("  capacitive_load_unit (1, pf);")
+    lines.append("  lu_table_template (delay_template) {")
+    lines.append("    variable_1 : input_net_transition;")
+    lines.append("    variable_2 : total_output_net_capacitance;")
+    lines.append(f'    index_1 ("{_fmt(char.slews, _TIME_UNIT)}");')
+    lines.append(f'    index_2 ("{_fmt(char.loads, _CAP_UNIT)}");')
+    lines.append("  }")
+    for cell_name in sorted(char.cells):
+        cell = char.cells[cell_name]
+        lines.append(f"  cell ({cell_name}) {{")
+        lines.append("    pin (Y) {")
+        lines.append("      direction : output;")
+        by_pin: dict[str, list[ArcTable]] = {}
+        for arc in cell.arcs.values():
+            by_pin.setdefault(arc.pin, []).append(arc)
+        for pin in sorted(by_pin):
+            lines.append("      timing () {")
+            lines.append(f'        related_pin : "{pin}";')
+            for arc in sorted(by_pin[pin], key=lambda a: a.input_direction):
+                # Liberty names tables by the *output* transition.
+                kind = "rise" if arc.output_direction == RISING else "fall"
+                lines.append(f"        cell_{kind} (delay_template) {{")
+                lines.append(_values_block(arc.delay))
+                lines.append("        }")
+                lines.append(f"        {kind}_transition (delay_template) {{")
+                lines.append(_values_block(arc.transition))
+                lines.append("        }")
+            lines.append("      }")
+        lines.append("    }")
+        lines.append("  }")
+    lines.append("}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _values_block(table: np.ndarray) -> str:
+    rows = ['"' + ", ".join(f"{v / _TIME_UNIT:.6g}" for v in row) + '"' for row in table]
+    return (
+        "          values ( \\\n            "
+        + ", \\\n            ".join(rows)
+        + " \\\n          );"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Generic Liberty group parser
+# ---------------------------------------------------------------------------
+
+
+class LibertyParseError(ValueError):
+    """Raised on input outside the supported Liberty subset."""
+
+
+@dataclass
+class Group:
+    """One Liberty group: ``name (args...) { attrs / children }``."""
+
+    name: str
+    args: list[str]
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["Group"] = field(default_factory=list)
+
+    def find(self, name: str) -> list["Group"]:
+        return [child for child in self.children if child.name == name]
+
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<string>"(?:[^"\\]|\\.)*")
+      | (?P<punct>[{}():;,])
+      | (?P<word>[^\s{}():;,"]+)
+    )""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    text = text.replace("\\\n", " ")
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", " ", text)
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise LibertyParseError(f"cannot tokenize near {remainder[:40]!r}")
+        pos = match.end()
+        token = match.group("string") or match.group("punct") or match.group("word")
+        if token is not None:
+            tokens.append(token)
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, expected: str | None = None) -> str:
+        if self.pos >= len(self.tokens):
+            raise LibertyParseError("unexpected end of input")
+        token = self.tokens[self.pos]
+        self.pos += 1
+        if expected is not None and token != expected:
+            raise LibertyParseError(f"expected {expected!r}, got {token!r}")
+        return token
+
+    def parse_group(self) -> Group:
+        name = self.take()
+        self.take("(")
+        args: list[str] = []
+        while self.peek() != ")":
+            token = self.take()
+            if token != ",":
+                args.append(token.strip('"'))
+        self.take(")")
+        group = Group(name=name, args=args)
+        if self.peek() == ";":
+            self.take(";")
+            return group
+        self.take("{")
+        while self.peek() != "}":
+            self._parse_statement(group)
+        self.take("}")
+        return group
+
+    def _parse_statement(self, parent: Group) -> None:
+        # Lookahead: IDENT ':' -> attribute; IDENT '(' -> child group.
+        after = self.tokens[self.pos + 1] if self.pos + 1 < len(self.tokens) else None
+        if after == ":":
+            name = self.take()
+            self.take(":")
+            value_tokens = []
+            while self.peek() not in (";", None):
+                value_tokens.append(self.take())
+            self.take(";")
+            parent.attrs[name] = " ".join(t.strip('"') for t in value_tokens)
+        elif after == "(":
+            parent.children.append(self.parse_group())
+        else:
+            raise LibertyParseError(
+                f"unexpected token {self.peek()!r} in group {parent.name!r}"
+            )
+
+
+def parse_groups(text: str) -> Group:
+    """Parse Liberty text into its generic group tree."""
+    parser = _Parser(_tokenize(text))
+    group = parser.parse_group()
+    if parser.peek() is not None:
+        raise LibertyParseError(f"trailing content after library: {parser.peek()!r}")
+    return group
+
+
+# ---------------------------------------------------------------------------
+# Interpretation of the subset
+# ---------------------------------------------------------------------------
+
+
+_FLOAT_RE = re.compile(r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?")
+
+
+def _numbers(raw: str) -> list[float]:
+    return [float(tok) for tok in _FLOAT_RE.findall(raw)]
+
+
+def parse_liberty(text: str) -> LibraryCharacterization:
+    """Parse Liberty text produced by :func:`write_liberty` (subset)."""
+    root = parse_groups(text)
+    if root.name != "library":
+        raise LibertyParseError(f"top-level group is {root.name!r}, not library")
+
+    templates = root.find("lu_table_template")
+    if not templates:
+        raise LibertyParseError("missing lu_table_template")
+    template = templates[0]
+    slews = [v * _TIME_UNIT for v in _numbers(template.attrs.get("index_1", ""))]
+    loads = [v * _CAP_UNIT for v in _numbers(template.attrs.get("index_2", ""))]
+    if not slews or not loads:
+        # index_1 may appear as a child group index_1("...").
+        for child in template.children:
+            if child.name == "index_1":
+                slews = [v * _TIME_UNIT for v in _numbers(" ".join(child.args))]
+            if child.name == "index_2":
+                loads = [v * _CAP_UNIT for v in _numbers(" ".join(child.args))]
+    if not slews or not loads:
+        raise LibertyParseError("template lacks index_1/index_2")
+
+    library = LibraryCharacterization(
+        name=root.args[0] if root.args else "library", slews=slews, loads=loads
+    )
+    for cell_group in root.find("cell"):
+        cell = CellCharacterization(cell=cell_group.args[0])
+        library.cells[cell.cell] = cell
+        for pin_group in cell_group.find("pin"):
+            for timing in pin_group.find("timing"):
+                related = timing.attrs.get("related_pin")
+                if related is None:
+                    raise LibertyParseError(
+                        f"timing group without related_pin in {cell.cell}"
+                    )
+                tables: dict[tuple[str, str], np.ndarray] = {}
+                for child in timing.children:
+                    if child.name.startswith("cell_"):
+                        kind = ("delay", "rise" if "rise" in child.name else "fall")
+                    elif child.name.endswith("_transition"):
+                        kind = ("transition", "rise" if "rise" in child.name else "fall")
+                    else:
+                        continue
+                    values: list[float] = []
+                    for sub in child.children:
+                        if sub.name == "values":
+                            values = _numbers(" ".join(sub.args))
+                    if not values:
+                        values = _numbers(child.attrs.get("values", ""))
+                    if len(values) != len(slews) * len(loads):
+                        raise LibertyParseError(
+                            f"{cell.cell}/{related} {child.name}: expected "
+                            f"{len(slews) * len(loads)} values, got {len(values)}"
+                        )
+                    tables[kind] = (
+                        np.array(values).reshape(len(slews), len(loads)) * _TIME_UNIT
+                    )
+                for out_dir_name in ("rise", "fall"):
+                    delay = tables.get(("delay", out_dir_name))
+                    transition = tables.get(("transition", out_dir_name))
+                    if delay is None and transition is None:
+                        continue
+                    if delay is None or transition is None:
+                        raise LibertyParseError(
+                            f"{cell.cell}/{related}: incomplete {out_dir_name} tables"
+                        )
+                    out_dir = RISING if out_dir_name == "rise" else FALLING
+                    in_dir = FALLING if out_dir == RISING else RISING
+                    cell.arcs[(related, in_dir)] = ArcTable(
+                        cell=cell.cell,
+                        pin=related,
+                        input_direction=in_dir,
+                        slews=list(slews),
+                        loads=list(loads),
+                        delay=delay,
+                        transition=transition,
+                    )
+    return library

@@ -1,0 +1,47 @@
+"""Gate-level netlist substrate: data structures, library, benchmarks."""
+
+from repro.circuit.bench import (
+    BenchGate,
+    BenchNetlist,
+    BenchParseError,
+    load_bench,
+    map_to_circuit,
+    parse_bench,
+    write_bench,
+)
+from repro.circuit.benchmarks import s27, s27_bench, s35932_like, s38417_like, s38584_like
+from repro.circuit.generators import GeneratorSpec, add_clock_tree, generate_circuit
+from repro.circuit.library import CellType, Library, build_library, default_library
+from repro.circuit.netlist import Cell, Circuit, CircuitStats, Net, NetlistError, Pin, Port
+from repro.circuit.validate import ValidationReport, validate_circuit
+
+__all__ = [
+    "BenchGate",
+    "BenchNetlist",
+    "BenchParseError",
+    "Cell",
+    "CellType",
+    "Circuit",
+    "CircuitStats",
+    "GeneratorSpec",
+    "Library",
+    "Net",
+    "NetlistError",
+    "Pin",
+    "Port",
+    "ValidationReport",
+    "add_clock_tree",
+    "build_library",
+    "default_library",
+    "generate_circuit",
+    "load_bench",
+    "map_to_circuit",
+    "parse_bench",
+    "s27",
+    "s27_bench",
+    "s35932_like",
+    "s38417_like",
+    "s38584_like",
+    "validate_circuit",
+    "write_bench",
+]

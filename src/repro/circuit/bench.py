@@ -1,0 +1,317 @@
+"""ISCAS89 ``.bench`` format support.
+
+The paper evaluates on "circuits of the ISCAS89 sequential benchmarks".
+This module parses and writes the ``.bench`` netlist format those benchmarks
+are distributed in, and technology-maps the generic gates (AND/OR/XOR/BUFF
+...) onto the static-CMOS library of :mod:`repro.circuit.library`.
+
+Format example::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G14 = NOT(G0)
+    G8 = AND(G14, G6)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.circuit.library import Library, default_library
+from repro.circuit.netlist import Circuit, NetlistError
+
+_KNOWN_GATES = {
+    "AND",
+    "NAND",
+    "OR",
+    "NOR",
+    "NOT",
+    "BUFF",
+    "BUF",
+    "XOR",
+    "XNOR",
+    "DFF",
+}
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[\w.\[\]$]+)\s*=\s*(?P<type>\w+)\s*\(\s*(?P<ins>[^)]*)\)\s*$"
+)
+_PORT_RE = re.compile(r"^\s*(?P<dir>INPUT|OUTPUT)\s*\(\s*(?P<name>[\w.\[\]$]+)\s*\)\s*$")
+
+
+class BenchParseError(ValueError):
+    """Raised on malformed ``.bench`` input."""
+
+
+@dataclass
+class BenchGate:
+    """One gate line: ``output = TYPE(inputs...)``."""
+
+    output: str
+    gtype: str
+    inputs: list[str]
+
+
+@dataclass
+class BenchNetlist:
+    """A parsed ``.bench`` file (logical netlist, pre-mapping)."""
+
+    name: str = "bench"
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    gates: dict[str, BenchGate] = field(default_factory=dict)
+
+    def flip_flop_count(self) -> int:
+        return sum(1 for g in self.gates.values() if g.gtype == "DFF")
+
+    def signal_fanout(self) -> dict[str, int]:
+        """Number of gate inputs / primary outputs each signal feeds."""
+        fanout: dict[str, int] = {}
+        for gate in self.gates.values():
+            for sig in gate.inputs:
+                fanout[sig] = fanout.get(sig, 0) + 1
+        for sig in self.outputs:
+            fanout[sig] = fanout.get(sig, 0) + 1
+        return fanout
+
+
+def parse_bench(text: str, name: str = "bench") -> BenchNetlist:
+    """Parse ``.bench`` source text."""
+    netlist = BenchNetlist(name=name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        port = _PORT_RE.match(line)
+        if port:
+            target = netlist.inputs if port.group("dir") == "INPUT" else netlist.outputs
+            target.append(port.group("name"))
+            continue
+        gate = _LINE_RE.match(line)
+        if not gate:
+            raise BenchParseError(f"line {lineno}: cannot parse {raw!r}")
+        gtype = gate.group("type").upper()
+        if gtype not in _KNOWN_GATES:
+            raise BenchParseError(f"line {lineno}: unknown gate type {gtype!r}")
+        if gtype == "BUF":
+            gtype = "BUFF"
+        inputs = [s.strip() for s in gate.group("ins").split(",") if s.strip()]
+        if not inputs:
+            raise BenchParseError(f"line {lineno}: gate with no inputs: {raw!r}")
+        if gtype in ("NOT", "BUFF", "DFF") and len(inputs) != 1:
+            raise BenchParseError(
+                f"line {lineno}: {gtype} takes exactly one input, got {len(inputs)}"
+            )
+        out = gate.group("out")
+        if out in netlist.gates:
+            raise BenchParseError(f"line {lineno}: signal {out!r} driven twice")
+        netlist.gates[out] = BenchGate(out, gtype, inputs)
+    _check_driven(netlist)
+    return netlist
+
+
+def _check_driven(netlist: BenchNetlist) -> None:
+    driven = set(netlist.inputs) | set(netlist.gates)
+    for gate in netlist.gates.values():
+        for sig in gate.inputs:
+            if sig not in driven:
+                raise BenchParseError(
+                    f"signal {sig!r} used by {gate.output!r} is never driven"
+                )
+    for sig in netlist.outputs:
+        if sig not in driven:
+            raise BenchParseError(f"primary output {sig!r} is never driven")
+
+
+def write_bench(netlist: BenchNetlist) -> str:
+    """Serialise back to ``.bench`` text."""
+    lines = [f"# {netlist.name}"]
+    lines.extend(f"INPUT({sig})" for sig in netlist.inputs)
+    lines.extend(f"OUTPUT({sig})" for sig in netlist.outputs)
+    lines.append("")
+    # DFFs first by ISCAS convention, then combinational gates.
+    seq = [g for g in netlist.gates.values() if g.gtype == "DFF"]
+    comb = [g for g in netlist.gates.values() if g.gtype != "DFF"]
+    for gate in seq + comb:
+        lines.append(f"{gate.output} = {gate.gtype}({', '.join(gate.inputs)})")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def load_bench(path: str, name: str | None = None) -> BenchNetlist:
+    """Parse a ``.bench`` file from disk."""
+    with open(path) as handle:
+        text = handle.read()
+    if name is None:
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return parse_bench(text, name=name)
+
+
+# -- technology mapping ------------------------------------------------------
+
+
+class _Mapper:
+    """Maps a :class:`BenchNetlist` onto library cells.
+
+    Generic gates decompose as follows (all single-stage CMOS in the end):
+
+    ========  =======================================================
+    NOT       INV
+    BUFF      INV + INV
+    NAND/NOR  direct up to 4 inputs, otherwise group-and-combine trees
+    AND/OR    NAND/NOR + INV
+    XOR       four NAND2 (chained for >2 inputs)
+    XNOR      XOR + INV
+    DFF       DFF (clocked by the global clock net)
+    ========  =======================================================
+
+    Drive strengths are assigned by fanout ("the gates are sized" per the
+    paper's experimental setup): fanout >= 6 -> X4, >= 3 -> X2, else X1.
+    """
+
+    def __init__(self, netlist: BenchNetlist, library: Library, clock_name: str):
+        self.netlist = netlist
+        self.library = library
+        self.clock_name = clock_name
+        self.circuit = Circuit(netlist.name, library)
+        self.fanout = netlist.signal_fanout()
+        self._uid = 0
+
+    def _fresh(self, base: str, kind: str) -> str:
+        self._uid += 1
+        return f"{base}__{kind}{self._uid}"
+
+    def _drive_for(self, signal: str) -> str:
+        fanout = self.fanout.get(signal, 1)
+        if fanout >= 6:
+            return "X4"
+        if fanout >= 3:
+            return "X2"
+        return "X1"
+
+    def run(self) -> Circuit:
+        circuit = self.circuit
+        if self.netlist.flip_flop_count() > 0:
+            circuit.add_clock(self.clock_name)
+        for sig in self.netlist.inputs:
+            circuit.add_input(sig)
+        for gate in self.netlist.gates.values():
+            self._map_gate(gate)
+        for sig in self.netlist.outputs:
+            circuit.add_output(f"PO_{sig}", net_name=sig)
+        return circuit
+
+    # Each _emit_* helper drives net ``out`` from nets ``ins``.
+
+    def _map_gate(self, gate: BenchGate) -> None:
+        out, ins = gate.output, gate.inputs
+        gtype = gate.gtype
+        if gtype == "DFF":
+            self._emit_cell("DFF", out, {"D": ins[0], "CLK": self.clock_name}, out)
+        elif gtype == "NOT":
+            self._emit_cell("INV", out, {"A": ins[0]}, out)
+        elif gtype == "BUFF":
+            mid = self._fresh(out, "w")
+            self._emit_cell("INV", mid, {"A": ins[0]}, out, drive="X1")
+            self._emit_cell("INV", out, {"A": mid}, out)
+        elif gtype in ("NAND", "NOR"):
+            self._emit_inverting_tree(gtype, out, ins, invert_total=True)
+        elif gtype in ("AND", "OR"):
+            base = "NAND" if gtype == "AND" else "NOR"
+            mid = self._fresh(out, "w")
+            self._emit_inverting_tree(base, mid, ins, invert_total=True, final_signal=out)
+            self._emit_cell("INV", out, {"A": mid}, out)
+        elif gtype == "XOR":
+            self._emit_xor(out, ins)
+        elif gtype == "XNOR":
+            mid = self._fresh(out, "w")
+            self._emit_xor(mid, ins, final_signal=out)
+            self._emit_cell("INV", out, {"A": mid}, out)
+        else:  # pragma: no cover - parser rejects unknown types
+            raise NetlistError(f"unmappable gate type {gtype!r}")
+
+    def _emit_cell(
+        self,
+        base: str,
+        out_net: str,
+        conns_in: dict[str, str],
+        drive_signal: str,
+        drive: str | None = None,
+    ) -> None:
+        ctype = self.library[
+            f"{base}_{drive if drive is not None else self._drive_for(drive_signal)}"
+        ]
+        conns = dict(conns_in)
+        conns[ctype.output] = out_net
+        self.circuit.add_cell(ctype.name, self._fresh(out_net, "g"), conns)
+
+    def _emit_inverting_tree(
+        self,
+        base: str,
+        out: str,
+        ins: list[str],
+        invert_total: bool,
+        final_signal: str | None = None,
+    ) -> None:
+        """Emit NAND/NOR of arbitrarily many inputs as a tree.
+
+        For <= 4 inputs a single gate suffices.  For more, inputs are
+        grouped, each group is reduced with the *non-inverted* function
+        (gate + INV), and the group outputs feed a final gate.
+        """
+        final_signal = final_signal if final_signal is not None else out
+        if len(ins) == 1:
+            self._emit_cell("INV", out, {"A": ins[0]}, final_signal)
+            return
+        if len(ins) <= 4:
+            pins = {chr(ord("A") + i): sig for i, sig in enumerate(ins)}
+            self._emit_cell(f"{base}{len(ins)}", out, pins, final_signal)
+            return
+        groups: list[str] = []
+        for start in range(0, len(ins), 4):
+            chunk = ins[start : start + 4]
+            if len(chunk) == 1:
+                groups.append(chunk[0])
+                continue
+            inv_out = self._fresh(out, "w")
+            grp_out = self._fresh(out, "w")
+            pins = {chr(ord("A") + i): sig for i, sig in enumerate(chunk)}
+            self._emit_cell(f"{base}{len(chunk)}", inv_out, pins, final_signal, drive="X1")
+            self._emit_cell("INV", grp_out, {"A": inv_out}, final_signal, drive="X1")
+            groups.append(grp_out)
+        self._emit_inverting_tree(base, out, groups, invert_total, final_signal)
+
+    def _emit_xor(self, out: str, ins: list[str], final_signal: str | None = None) -> None:
+        """XOR as four NAND2 gates; wider XORs chain pairwise."""
+        final_signal = final_signal if final_signal is not None else out
+        acc = ins[0]
+        for index, nxt in enumerate(ins[1:]):
+            last = index == len(ins) - 2
+            target = out if last else self._fresh(out, "w")
+            n1 = self._fresh(out, "w")
+            n2 = self._fresh(out, "w")
+            n3 = self._fresh(out, "w")
+            self._emit_cell("NAND2", n1, {"A": acc, "B": nxt}, final_signal, drive="X1")
+            self._emit_cell("NAND2", n2, {"A": acc, "B": n1}, final_signal, drive="X1")
+            self._emit_cell("NAND2", n3, {"A": nxt, "B": n1}, final_signal, drive="X1")
+            self._emit_cell(
+                "NAND2",
+                target,
+                {"A": n2, "B": n3},
+                final_signal,
+                drive=None if last else "X1",
+            )
+            acc = target
+
+
+def map_to_circuit(
+    netlist: BenchNetlist,
+    library: Library | None = None,
+    clock_name: str = "CLK",
+) -> Circuit:
+    """Technology-map a parsed ``.bench`` netlist onto the library."""
+    library = library if library is not None else default_library()
+    return _Mapper(netlist, library, clock_name).run()

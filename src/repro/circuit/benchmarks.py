@@ -1,0 +1,63 @@
+"""Embedded benchmark netlists.
+
+The genuine ISCAS89 s27 netlist (small enough to embed and widely
+published) plus re-exports of the synthetic stand-ins for the paper's three
+evaluation circuits.  See :mod:`repro.circuit.generators` for the
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.bench import BenchNetlist, map_to_circuit, parse_bench
+from repro.circuit.generators import (  # noqa: F401  (re-export)
+    s35932_like,
+    s38417_like,
+    s38584_like,
+)
+from repro.circuit.library import Library
+from repro.circuit.netlist import Circuit
+
+S27_BENCH = """\
+# s27 (ISCAS89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+"""
+
+
+def s27_bench() -> BenchNetlist:
+    """The parsed s27 logical netlist."""
+    return parse_bench(S27_BENCH, name="s27")
+
+
+def s27(library: Library | None = None) -> Circuit:
+    """s27 technology-mapped onto the default library."""
+    return map_to_circuit(s27_bench(), library)
+
+
+PAPER_CIRCUITS = {
+    "s35932": s35932_like,
+    "s38417": s38417_like,
+    "s38584": s38584_like,
+}
+
+PAPER_CELL_COUNTS = {
+    "s35932": 17900,
+    "s38417": 23922,
+    "s38584": 20812,
+}

@@ -1,0 +1,384 @@
+"""Synthetic sequential benchmark circuits.
+
+The paper's evaluation uses routed ISCAS89 netlists (s35932, s38417,
+s38584).  The original netlists are not redistributable here, so this module
+generates *deterministic synthetic equivalents*: levelized random logic
+between flip-flop boundaries with ISCAS89-like gate mix, fanin/fanout
+statistics and logic depth, plus the clock buffer tree the paper adds.
+The crosstalk-STA algorithms only consume netlist topology and extracted
+parasitics, so any synchronous circuit of comparable size and shape
+exercises the identical code paths (see DESIGN.md, substitution table).
+
+Generation goes through a :class:`~repro.circuit.bench.BenchNetlist` so the
+result also exercises the ``.bench`` technology-mapping flow used for real
+ISCAS89 files.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.circuit.bench import BenchGate, BenchNetlist, map_to_circuit
+from repro.circuit.library import Library
+from repro.circuit.netlist import Circuit, NetlistError
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Parameters of a synthetic circuit.
+
+    ``n_gates`` counts pre-mapping logic gates (NOT/NAND/NOR); the mapped
+    cell count matches it closely because these gates map one-to-one.
+    ``depth`` is the target combinational depth in gate levels.
+    ``gate_mix`` gives relative weights of the generated gate types.
+    ``fanout_cap`` bounds how many sinks one signal may feed.
+    """
+
+    name: str
+    seed: int
+    n_inputs: int
+    n_outputs: int
+    n_ff: int
+    n_gates: int
+    depth: int
+    fanout_cap: int = 12
+    locality: float = 0.45
+    cluster_size: int = 120
+    cluster_locality: float = 0.88
+    gate_mix: dict = field(
+        default_factory=lambda: {
+            "NOT": 0.18,
+            "NAND2": 0.30,
+            "NAND3": 0.09,
+            "NAND4": 0.04,
+            "NOR2": 0.26,
+            "NOR3": 0.09,
+            "NOR4": 0.04,
+        }
+    )
+
+    def scaled(self, scale: float) -> "GeneratorSpec":
+        """Shrink (or grow) the circuit, keeping depth and shape."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+
+        def sz(n: int, minimum: int = 1) -> int:
+            return max(minimum, round(n * scale))
+
+        return GeneratorSpec(
+            name=self.name,
+            seed=self.seed,
+            n_inputs=sz(self.n_inputs, 2),
+            n_outputs=sz(self.n_outputs, 2),
+            n_ff=sz(self.n_ff, 4),
+            n_gates=sz(self.n_gates, 16),
+            depth=self.depth,
+            fanout_cap=self.fanout_cap,
+            locality=self.locality,
+            cluster_size=self.cluster_size,
+            cluster_locality=self.cluster_locality,
+            gate_mix=dict(self.gate_mix),
+        )
+
+
+_GATE_FANIN = {
+    "NOT": 1,
+    "NAND2": 2,
+    "NAND3": 3,
+    "NAND4": 4,
+    "NOR2": 2,
+    "NOR3": 3,
+    "NOR4": 4,
+}
+
+
+def generate_bench(spec: GeneratorSpec) -> BenchNetlist:
+    """Generate the logical netlist for a spec (deterministic per seed).
+
+    Gates are organised into *clusters* (Rent's-rule-style locality): each
+    gate draws most of its inputs from its own cluster and only
+    occasionally from a random other cluster.  Real netlists have this
+    structure, and without it placement cannot achieve realistic
+    wirelength or coupling statistics.
+    """
+    rng = random.Random(spec.seed)
+    netlist = BenchNetlist(name=spec.name)
+
+    pi_signals = [f"PI{i}" for i in range(spec.n_inputs)]
+    ff_signals = [f"FFQ{i}" for i in range(spec.n_ff)]
+    netlist.inputs.extend(pi_signals)
+
+    n_clusters = max(1, round(spec.n_gates / spec.cluster_size))
+    sources = pi_signals + ff_signals
+    # Contiguous slices of the sources seed the clusters.
+    cluster_of_src = {
+        sig: (i * n_clusters) // len(sources) for i, sig in enumerate(sources)
+    }
+
+    # level -> cluster -> signals produced there (level 0 = sources).
+    def empty_level() -> list[list[str]]:
+        return [[] for _ in range(n_clusters)]
+
+    level_signals: list[list[list[str]]] = [empty_level()]
+    for sig in sources:
+        level_signals[0][cluster_of_src[sig]].append(sig)
+    budget: dict[str, int] = {s: spec.fanout_cap for s in sources}
+
+    gate_types = list(spec.gate_mix)
+    gate_weights = [spec.gate_mix[t] for t in gate_types]
+    depth = max(2, spec.depth)
+    per_level = _spread(spec.n_gates, depth, rng)
+
+    def pick_inputs(level: int, fanin: int, cluster: int) -> list[str]:
+        """Choose ``fanin`` distinct driver signals from earlier levels:
+        biased toward the previous level (deep paths) and toward the own
+        cluster (locality)."""
+        chosen: list[str] = []
+        guard = 0
+        while len(chosen) < fanin:
+            guard += 1
+            if guard > 300:
+                pool = [
+                    s
+                    for lvl in level_signals[:level]
+                    for cl in lvl
+                    for s in cl
+                    if s not in chosen
+                ]
+                chosen.append(rng.choice(pool))
+                continue
+            src_level = level - 1
+            while src_level > 0 and rng.random() > spec.locality:
+                src_level -= 1
+            if rng.random() < spec.cluster_locality:
+                src_cluster = cluster
+            else:
+                # Cross-cluster references prefer *nearby* clusters
+                # (geometric falloff): real netlists obey Rent's rule and
+                # mostly talk to their neighbourhood, which is what lets a
+                # placer keep wirelength bounded.
+                hop = 1 + int(rng.expovariate(0.9))
+                if rng.random() < 0.5:
+                    hop = -hop
+                src_cluster = max(0, min(n_clusters - 1, cluster + hop))
+            pool = level_signals[src_level][src_cluster]
+            if not pool:
+                continue
+            sig = pool[rng.randrange(len(pool))]
+            if sig in chosen or budget.get(sig, 0) <= 0:
+                continue
+            chosen.append(sig)
+            budget[sig] -= 1
+        return chosen
+
+    gate_id = 0
+
+    def emit_gate(level: int, cluster: int, produced: list[list[str]]) -> None:
+        nonlocal gate_id
+        choice = rng.choices(gate_types, weights=gate_weights, k=1)[0]
+        fanin = _GATE_FANIN[choice]
+        gtype = choice.rstrip("0123456789")  # "NAND2" -> "NAND"
+        ins = pick_inputs(level, fanin, cluster)
+        sig = f"N{gate_id}"
+        gate_id += 1
+        netlist.gates[sig] = BenchGate(sig, gtype, ins)
+        produced[cluster].append(sig)
+        budget[sig] = spec.fanout_cap
+
+    for level in range(1, depth + 1):
+        produced = empty_level()
+        count = per_level[level - 1]
+        for k in range(count):
+            emit_gate(level, k % n_clusters, produced)
+        if not any(produced):
+            emit_gate(level, rng.randrange(n_clusters), produced)
+        level_signals.append(produced)
+
+    # Endpoints: flip-flop D inputs and primary outputs sample the deepest
+    # levels so the longest paths terminate at capture points.  Flip-flops
+    # stay cluster-local most of the time.
+    def cluster_pool(cluster: int, lo_level: int) -> list[str]:
+        return [s for lvl in level_signals[lo_level:] for s in lvl[cluster]]
+
+    all_pool = [s for lvl in level_signals[1:] for cl in lvl for s in cl]
+    deep_pool = [s for lvl in level_signals[max(1, depth - 3) :] for cl in lvl for s in cl]
+    for i, ff_sig in enumerate(ff_signals):
+        cluster = cluster_of_src[ff_sig]
+        if rng.random() < spec.cluster_locality:
+            pool = cluster_pool(cluster, max(1, depth - 3)) or cluster_pool(cluster, 1)
+        else:
+            pool = []
+        if not pool:
+            pool = deep_pool if rng.random() < 0.7 else all_pool
+        netlist.gates[ff_sig] = BenchGate(ff_sig, "DFF", [rng.choice(pool)])
+
+    chosen_outputs: set[str] = set()
+    for _ in range(spec.n_outputs):
+        pool = deep_pool if rng.random() < 0.5 else all_pool
+        candidates = [s for s in pool if s not in chosen_outputs]
+        if not candidates:
+            candidates = [s for s in all_pool if s not in chosen_outputs]
+            if not candidates:
+                break
+        src = rng.choice(candidates)
+        chosen_outputs.add(src)
+        netlist.outputs.append(src)
+
+    return netlist
+
+
+def _spread(total: int, bins: int, rng: random.Random) -> list[int]:
+    """Distribute ``total`` items over ``bins`` with mild randomness and a
+    front-loaded profile (early levels are wider in real netlists)."""
+    weights = [1.0 + 0.5 * (bins - i) / bins + 0.2 * rng.random() for i in range(bins)]
+    norm = sum(weights)
+    counts = [int(total * w / norm) for w in weights]
+    # Distribute the rounding remainder.
+    short = total - sum(counts)
+    for i in range(short):
+        counts[i % bins] += 1
+    return counts
+
+
+def generate_circuit(spec: GeneratorSpec, library: Library | None = None) -> Circuit:
+    """Generate, map and clock-buffer a synthetic circuit."""
+    netlist = generate_bench(spec)
+    circuit = map_to_circuit(netlist, library)
+    add_clock_tree(circuit)
+    return circuit
+
+
+def add_clock_tree(circuit: Circuit, max_fanout: int = 12) -> int:
+    """Insert a buffer tree between the clock root and the flip-flops.
+
+    The paper's setup adds "a clock buffer tree"; its nets matter here
+    because they are coupling aggressors like any other wire.  Buffers are
+    built from inverter pairs so the clock polarity is preserved.  Returns
+    the number of cells added.
+    """
+    clock_net = circuit.clock_net
+    if clock_net is None:
+        return 0
+    ff_clk_pins = [
+        cell.pins["CLK"]
+        for cell in circuit.flip_flops()
+        if cell.pins["CLK"].net is clock_net
+    ]
+    if len(ff_clk_pins) <= max_fanout:
+        return 0
+
+    # Detach the flip-flop clock pins from the root net.
+    clock_net.sinks = [s for s in clock_net.sinks if s not in set(ff_clk_pins)]
+
+    added = 0
+    uid = [0]
+
+    def buffer_group(sinks: list) -> "object":
+        """Create one inverter-pair buffer driving ``sinks``; returns the
+        buffer's input pin (to be attached one level up)."""
+        nonlocal added
+        uid[0] += 1
+        mid = circuit.net(f"clktree_m{uid[0]}")
+        out = circuit.net(f"clktree_o{uid[0]}")
+        out.is_clock = True
+        mid.is_clock = True
+        inv1 = circuit.add_cell(
+            "INV_X4", f"clkbuf_a{uid[0]}", {"A": f"clktree_i{uid[0]}", "Y": mid.name}
+        )
+        circuit.add_cell("INV_X4", f"clkbuf_b{uid[0]}", {"A": mid.name, "Y": out.name})
+        added += 2
+        circuit.net(f"clktree_i{uid[0]}").is_clock = True
+        for sink in sinks:
+            old = sink.net
+            if old is not None:
+                old.sinks = [s for s in old.sinks if s is not sink]
+            out.sinks.append(sink)
+            sink.net = out
+        return inv1.pins["A"]
+
+    level_pins = ff_clk_pins
+    while len(level_pins) > max_fanout:
+        next_pins = []
+        for start in range(0, len(level_pins), max_fanout):
+            group = level_pins[start : start + max_fanout]
+            next_pins.append(buffer_group(group))
+        level_pins = next_pins
+    for pin in level_pins:
+        if pin.net is clock_net:
+            continue
+        # Root-level buffer inputs attach to the clock root net.  A buffer
+        # input pin created by buffer_group is already connected to its
+        # private clktree_i net; move it onto the clock root.
+        old = pin.net
+        if old is not None:
+            old.sinks = [s for s in old.sinks if s is not pin]
+        clock_net.sinks.append(pin)
+        pin.net = clock_net
+    _prune_dangling_nets(circuit)
+    return added
+
+
+def _prune_dangling_nets(circuit: Circuit) -> None:
+    """Drop nets that ended up with no driver and no sinks (bookkeeping
+    leftovers from clock-tree rewiring)."""
+    dead = [
+        name
+        for name, net in circuit.nets.items()
+        if net.driver is None and not net.sinks
+    ]
+    for name in dead:
+        del circuit.nets[name]
+
+
+# -- named paper-equivalent circuits ----------------------------------------
+
+# Parameters approximate the ISCAS89 circuits' published shape: flip-flop
+# count, logic depth and I/O count; gate counts are tuned so the *mapped*
+# cell count (including the clock tree) lands near the paper's numbers
+# (17900 / 23922 / 20812 cells).
+
+S35932_SPEC = GeneratorSpec(
+    name="s35932_like",
+    seed=359320,
+    n_inputs=35,
+    n_outputs=320,
+    n_ff=1728,
+    n_gates=15500,
+    depth=12,
+)
+
+S38417_SPEC = GeneratorSpec(
+    name="s38417_like",
+    seed=384170,
+    n_inputs=28,
+    n_outputs=106,
+    n_ff=1636,
+    n_gates=21800,
+    depth=33,
+)
+
+S38584_SPEC = GeneratorSpec(
+    name="s38584_like",
+    seed=385840,
+    n_inputs=38,
+    n_outputs=304,
+    n_ff=1426,
+    n_gates=18900,
+    depth=24,
+)
+
+
+def s35932_like(scale: float = 1.0, library: Library | None = None) -> Circuit:
+    """Synthetic stand-in for s35932 (paper Table 1; 17900 cells at full scale)."""
+    return generate_circuit(S35932_SPEC.scaled(scale), library)
+
+
+def s38417_like(scale: float = 1.0, library: Library | None = None) -> Circuit:
+    """Synthetic stand-in for s38417 (paper Table 2; 23922 cells at full scale)."""
+    return generate_circuit(S38417_SPEC.scaled(scale), library)
+
+
+def s38584_like(scale: float = 1.0, library: Library | None = None) -> Circuit:
+    """Synthetic stand-in for s38584 (paper Table 3; 20812 cells at full scale)."""
+    return generate_circuit(S38584_SPEC.scaled(scale), library)

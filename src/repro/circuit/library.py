@@ -1,0 +1,230 @@
+"""Standard-cell library.
+
+A small static-CMOS library in the spirit of the paper's 0.5 um flow:
+inverters, NAND/NOR gates (2-4 inputs) in three drive strengths, AOI/OAI
+complex gates, and a D flip-flop.  Gates from richer netlist formats
+(AND/OR/XOR/BUFF in ISCAS89 ``.bench``) are technology-mapped onto this set
+by :mod:`repro.circuit.bench`.
+
+Every combinational cell is single-stage static CMOS and therefore
+*negative unate* in each input: a rising input can only cause a falling
+output and vice versa.  The timing engine relies on this to decide which
+transition an event propagates as.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.circuit import transistors as topo
+from repro.circuit.transistors import CellTopology
+from repro.devices.params import (
+    ProcessParams,
+    SizingRules,
+    default_process,
+    default_sizing,
+)
+
+LogicFn = Callable[[Mapping[str, bool]], bool]
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A library cell definition.
+
+    Attributes
+    ----------
+    name:
+        Library name, e.g. ``"NAND2_X1"``.
+    inputs:
+        Input pin names in canonical order.
+    output:
+        Output pin name (``"Y"`` for gates, ``"Q"`` for the flip-flop).
+    function:
+        Boolean function of the inputs (``None`` for sequential cells).
+    topology:
+        Transistor-level structure (for the DFF this is its Q output
+        driver).
+    is_sequential:
+        True for the flip-flop.
+    clk_to_q:
+        Intrinsic clock-to-output delay in seconds (sequential cells).
+    unate:
+        Map from input pin to +1 (positive unate) or -1 (negative unate).
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    output: str
+    function: LogicFn | None
+    topology: CellTopology
+    is_sequential: bool = False
+    clk_to_q: float = 0.0
+    unate: Mapping[str, int] = field(default_factory=dict)
+
+    def input_cap(self, pin: str, process: ProcessParams | None = None) -> float:
+        """Input capacitance of ``pin`` in farads."""
+        process = process if process is not None else default_process()
+        if self.is_sequential:
+            # The flip-flop presents one transmission-gate + inverter load
+            # on D and a clock load; approximate both with the topology's
+            # A-pin gate cap.
+            return self.topology.input_cap("A", process)
+        return self.topology.input_cap(pin, process)
+
+    def output_parasitic_cap(self, process: ProcessParams | None = None) -> float:
+        process = process if process is not None else default_process()
+        return self.topology.output_parasitic_cap(process)
+
+    def transistor_count(self) -> int:
+        if self.is_sequential:
+            # Classic transmission-gate DFF: ~20 devices besides the
+            # output driver, which is what ``topology`` models.
+            return 20 + self.topology.transistor_count()
+        return self.topology.transistor_count()
+
+    def evaluate(self, values: Mapping[str, bool]) -> bool:
+        if self.function is None:
+            raise ValueError(f"{self.name} is sequential; no combinational function")
+        return self.function(values)
+
+    @property
+    def base_name(self) -> str:
+        """Name without the drive suffix, e.g. ``"NAND2"``."""
+        return self.name.rsplit("_", 1)[0]
+
+    @property
+    def drive(self) -> str:
+        return self.name.rsplit("_", 1)[1]
+
+
+class Library:
+    """A collection of cell types indexed by name."""
+
+    def __init__(self, name: str = "lib"):
+        self.name = name
+        self._cells: dict[str, CellType] = {}
+
+    def add(self, cell: CellType) -> None:
+        if cell.name in self._cells:
+            raise ValueError(f"duplicate cell type {cell.name!r}")
+        self._cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> CellType:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown cell type {name!r}; available: {sorted(self._cells)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def names(self) -> list[str]:
+        return sorted(self._cells)
+
+
+_DRIVES = ("X1", "X2", "X4")
+
+
+def _neg_unate(pins: tuple[str, ...]) -> dict[str, int]:
+    return {pin: -1 for pin in pins}
+
+
+def build_library(
+    process: ProcessParams | None = None,
+    sizing: SizingRules | None = None,
+) -> Library:
+    """Construct the default library for a process/sizing combination."""
+    process = process if process is not None else default_process()
+    sizing = sizing if sizing is not None else default_sizing()
+    lib = Library("repro05")
+
+    def pins(n: int) -> tuple[str, ...]:
+        return tuple(chr(ord("A") + i) for i in range(n))
+
+    for drive in _DRIVES:
+        lib.add(
+            CellType(
+                name=f"INV_{drive}",
+                inputs=("A",),
+                output="Y",
+                function=lambda v: not v["A"],
+                topology=topo.inverter_topology(drive, sizing),
+                unate=_neg_unate(("A",)),
+            )
+        )
+        for n in (2, 3, 4):
+            p = pins(n)
+            lib.add(
+                CellType(
+                    name=f"NAND{n}_{drive}",
+                    inputs=p,
+                    output="Y",
+                    function=lambda v, p=p: not all(v[x] for x in p),
+                    topology=topo.nand_topology(n, drive, sizing),
+                    unate=_neg_unate(p),
+                )
+            )
+            lib.add(
+                CellType(
+                    name=f"NOR{n}_{drive}",
+                    inputs=p,
+                    output="Y",
+                    function=lambda v, p=p: not any(v[x] for x in p),
+                    topology=topo.nor_topology(n, drive, sizing),
+                    unate=_neg_unate(p),
+                )
+            )
+        lib.add(
+            CellType(
+                name=f"AOI21_{drive}",
+                inputs=("A", "B", "C"),
+                output="Y",
+                function=lambda v: not ((v["A"] and v["B"]) or v["C"]),
+                topology=topo.aoi21_topology(drive, sizing),
+                unate=_neg_unate(("A", "B", "C")),
+            )
+        )
+        lib.add(
+            CellType(
+                name=f"OAI21_{drive}",
+                inputs=("A", "B", "C"),
+                output="Y",
+                function=lambda v: not ((v["A"] or v["B"]) and v["C"]),
+                topology=topo.oai21_topology(drive, sizing),
+                unate=_neg_unate(("A", "B", "C")),
+            )
+        )
+        lib.add(
+            CellType(
+                name=f"DFF_{drive}",
+                inputs=("D", "CLK"),
+                output="Q",
+                function=None,
+                topology=topo.inverter_topology(drive, sizing),
+                is_sequential=True,
+                clk_to_q=150e-12,
+                unate={"D": 1, "CLK": 1},
+            )
+        )
+    return lib
+
+
+_DEFAULT_LIBRARY: Library | None = None
+
+
+def default_library() -> Library:
+    """Return the shared default library (built lazily)."""
+    global _DEFAULT_LIBRARY
+    if _DEFAULT_LIBRARY is None:
+        _DEFAULT_LIBRARY = build_library()
+    return _DEFAULT_LIBRARY

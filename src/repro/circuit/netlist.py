@@ -1,0 +1,346 @@
+"""Gate-level netlist data structures.
+
+A :class:`Circuit` is a synchronous gate-level netlist: cells (library
+instances) connected by nets, with primary inputs/outputs and a clock.  The
+static timing analyzer consumes the *combinational view*: a DAG whose
+sources are primary inputs and flip-flop outputs and whose sinks are primary
+outputs and flip-flop data inputs (Section 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.circuit.library import CellType, Library, default_library
+
+
+class NetlistError(ValueError):
+    """Raised for structurally invalid netlist operations."""
+
+
+@dataclass(eq=False)
+class Pin:
+    """One terminal of a cell instance."""
+
+    cell: "Cell"
+    name: str
+    direction: str  # "input" | "output"
+    net: "Net | None" = None
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.cell.name}/{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pin({self.full_name})"
+
+
+@dataclass(eq=False)
+class Port:
+    """A primary input or output of the circuit."""
+
+    name: str
+    direction: str  # "input" | "output"
+    net: "Net | None" = None
+
+    @property
+    def full_name(self) -> str:
+        return self.name
+
+
+class Net:
+    """An electrical node connecting one driver to its fanout."""
+
+    __slots__ = ("name", "driver", "sinks", "is_clock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.driver: Pin | Port | None = None
+        self.sinks: list[Pin | Port] = []
+        self.is_clock = False
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    def sink_cells(self) -> Iterator["Cell"]:
+        for sink in self.sinks:
+            if isinstance(sink, Pin):
+                yield sink.cell
+
+    def driver_cell(self) -> "Cell | None":
+        if isinstance(self.driver, Pin):
+            return self.driver.cell
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Net({self.name}, fanout={self.fanout})"
+
+
+class Cell:
+    """An instance of a library cell."""
+
+    __slots__ = ("name", "ctype", "pins")
+
+    def __init__(self, name: str, ctype: CellType):
+        self.name = name
+        self.ctype = ctype
+        self.pins: dict[str, Pin] = {}
+        for pin_name in ctype.inputs:
+            self.pins[pin_name] = Pin(self, pin_name, "input")
+        self.pins[ctype.output] = Pin(self, ctype.output, "output")
+
+    @property
+    def output_pin(self) -> Pin:
+        return self.pins[self.ctype.output]
+
+    @property
+    def input_pins(self) -> list[Pin]:
+        return [self.pins[name] for name in self.ctype.inputs]
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.ctype.is_sequential
+
+    def input_nets(self) -> list[Net]:
+        nets = []
+        for pin in self.input_pins:
+            if pin.net is None:
+                raise NetlistError(f"unconnected input pin {pin.full_name}")
+            nets.append(pin.net)
+        return nets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell({self.name}:{self.ctype.name})"
+
+
+class Circuit:
+    """A synchronous gate-level netlist."""
+
+    def __init__(self, name: str, library: Library | None = None):
+        self.name = name
+        self.library = library if library is not None else default_library()
+        self.nets: dict[str, Net] = {}
+        self.cells: dict[str, Cell] = {}
+        self.inputs: dict[str, Port] = {}
+        self.outputs: dict[str, Port] = {}
+        self.clock_net_name: str | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def net(self, name: str) -> Net:
+        """Get or create the net with the given name."""
+        existing = self.nets.get(name)
+        if existing is not None:
+            return existing
+        net = Net(name)
+        self.nets[name] = net
+        return net
+
+    def add_input(self, name: str, net_name: str | None = None) -> Port:
+        if name in self.inputs or name in self.outputs:
+            raise NetlistError(f"duplicate port {name!r}")
+        port = Port(name, "input")
+        net = self.net(net_name if net_name is not None else name)
+        if net.driver is not None:
+            raise NetlistError(f"net {net.name!r} already driven")
+        net.driver = port
+        port.net = net
+        self.inputs[name] = port
+        return port
+
+    def add_output(self, name: str, net_name: str | None = None) -> Port:
+        if name in self.inputs or name in self.outputs:
+            raise NetlistError(f"duplicate port {name!r}")
+        port = Port(name, "output")
+        net = self.net(net_name if net_name is not None else name)
+        net.sinks.append(port)
+        port.net = net
+        self.outputs[name] = port
+        return port
+
+    def add_clock(self, name: str = "CLK") -> Port:
+        """Add the clock primary input and mark its net."""
+        port = self.add_input(name)
+        assert port.net is not None
+        port.net.is_clock = True
+        self.clock_net_name = port.net.name
+        return port
+
+    def add_cell(self, ctype_name: str, name: str, connections: dict[str, str]) -> Cell:
+        """Instantiate a library cell.
+
+        ``connections`` maps pin names to net names; nets are created on
+        demand.  Exactly the cell's pins must be connected.
+        """
+        if name in self.cells:
+            raise NetlistError(f"duplicate cell name {name!r}")
+        ctype = self.library[ctype_name]
+        cell = Cell(name, ctype)
+        expected = set(cell.pins)
+        given = set(connections)
+        if expected != given:
+            raise NetlistError(
+                f"cell {name!r} ({ctype_name}): expected pins {sorted(expected)}, "
+                f"got {sorted(given)}"
+            )
+        for pin_name, net_name in connections.items():
+            pin = cell.pins[pin_name]
+            net = self.net(net_name)
+            if pin.direction == "output":
+                if net.driver is not None:
+                    raise NetlistError(
+                        f"net {net_name!r} already driven by "
+                        f"{net.driver.full_name}; cannot add {pin.full_name}"
+                    )
+                net.driver = pin
+            else:
+                net.sinks.append(pin)
+            pin.net = net
+        self.cells[name] = cell
+        return cell
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def clock_net(self) -> Net | None:
+        if self.clock_net_name is None:
+            return None
+        return self.nets[self.clock_net_name]
+
+    def flip_flops(self) -> list[Cell]:
+        return [c for c in self.cells.values() if c.is_sequential]
+
+    def combinational_cells(self) -> list[Cell]:
+        return [c for c in self.cells.values() if not c.is_sequential]
+
+    def cell_count(self) -> int:
+        return len(self.cells)
+
+    # -- combinational DAG -------------------------------------------------
+
+    def timing_sources(self) -> list[Net]:
+        """Nets where combinational propagation starts: primary-input nets
+        and flip-flop output nets.  The clock net is handled separately (it
+        participates as a coupling aggressor but is not a data source)."""
+        sources: list[Net] = []
+        seen: set[str] = set()
+        for port in self.inputs.values():
+            net = port.net
+            assert net is not None
+            if not net.is_clock and net.name not in seen:
+                sources.append(net)
+                seen.add(net.name)
+        for ff in self.flip_flops():
+            net = ff.output_pin.net
+            if net is not None and net.name not in seen:
+                sources.append(net)
+                seen.add(net.name)
+        return sources
+
+    def timing_endpoints(self) -> list[Pin | Port]:
+        """Capture points: primary outputs and flip-flop data inputs."""
+        endpoints: list[Pin | Port] = list(self.outputs.values())
+        for ff in self.flip_flops():
+            for pin in ff.input_pins:
+                if pin.name == "D":
+                    endpoints.append(pin)
+        return endpoints
+
+    def levelize(self) -> list[list[Cell]]:
+        """Topologically level the combinational cells.
+
+        Level of a cell = 1 + max level of its combinational fan-in cells;
+        cells fed only by sources are level 0.  Raises on combinational
+        cycles.
+        """
+        indegree: dict[str, int] = {}
+        ready: deque[Cell] = deque()
+        for cell in self.cells.values():
+            if cell.is_sequential:
+                continue
+            count = 0
+            for net in cell.input_nets():
+                driver = net.driver_cell()
+                if driver is not None and not driver.is_sequential:
+                    count += 1
+            indegree[cell.name] = count
+            if count == 0:
+                ready.append(cell)
+
+        level_of: dict[str, int] = {}
+        levels: list[list[Cell]] = []
+        processed = 0
+        while ready:
+            cell = ready.popleft()
+            processed += 1
+            level = 0
+            for net in cell.input_nets():
+                driver = net.driver_cell()
+                if driver is not None and not driver.is_sequential:
+                    level = max(level, level_of[driver.name] + 1)
+            level_of[cell.name] = level
+            while len(levels) <= level:
+                levels.append([])
+            levels[level].append(cell)
+            out_net = cell.output_pin.net
+            if out_net is None:
+                continue
+            for sink_cell in out_net.sink_cells():
+                if sink_cell.is_sequential:
+                    continue
+                indegree[sink_cell.name] -= 1
+                if indegree[sink_cell.name] == 0:
+                    ready.append(sink_cell)
+
+        total = len(indegree)
+        if processed != total:
+            stuck = [n for n, d in indegree.items() if d > 0]
+            raise NetlistError(
+                f"combinational cycle detected; {total - processed} cells "
+                f"unreachable (e.g. {stuck[:5]})"
+            )
+        return levels
+
+    def depth(self) -> int:
+        """Number of logic levels in the combinational core."""
+        return len(self.levelize())
+
+    def stats(self) -> "CircuitStats":
+        fanouts = [net.fanout for net in self.nets.values() if net.fanout > 0]
+        return CircuitStats(
+            name=self.name,
+            cells=len(self.cells),
+            flip_flops=len(self.flip_flops()),
+            nets=len(self.nets),
+            inputs=len(self.inputs),
+            outputs=len(self.outputs),
+            depth=self.depth(),
+            max_fanout=max(fanouts) if fanouts else 0,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Circuit({self.name}, cells={len(self.cells)}, nets={len(self.nets)})"
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics of a circuit."""
+
+    name: str
+    cells: int
+    flip_flops: int
+    nets: int
+    inputs: int
+    outputs: int
+    depth: int
+    max_fanout: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.cells} cells ({self.flip_flops} FFs), "
+            f"{self.nets} nets, {self.inputs} PIs, {self.outputs} POs, "
+            f"depth {self.depth}, max fanout {self.max_fanout}"
+        )

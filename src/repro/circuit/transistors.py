@@ -1,0 +1,341 @@
+"""Transistor-level topologies of the library cells.
+
+Each static CMOS cell is described by a pull-up and a pull-down
+switch network over its input pins.  The networks serve two consumers:
+
+* the **stage solver** collapses them onto single equivalent devices for a
+  given switching input (series/parallel width reduction), and
+* the **validation simulator** expands them into individual MOSFETs with
+  explicit internal nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.devices.mosfet import (
+    Mosfet,
+    MosfetParams,
+    parallel_equivalent_width,
+    series_equivalent_width,
+)
+from repro.devices.params import ProcessParams, SizingRules, default_process, default_sizing
+
+
+@dataclass(frozen=True)
+class Dev:
+    """A single transistor gated by input pin ``pin``.
+
+    ``width_scale`` multiplies the base width chosen by the sizing rules
+    (used to widen series stacks).
+    """
+
+    pin: str
+    width_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class Series:
+    """Devices in series (a stack)."""
+
+    children: tuple["Network", ...]
+
+
+@dataclass(frozen=True)
+class Parallel:
+    """Devices in parallel."""
+
+    children: tuple["Network", ...]
+
+
+Network = Union[Dev, Series, Parallel]
+
+
+def series(*children: Network) -> Series:
+    return Series(tuple(children))
+
+
+def parallel(*children: Network) -> Parallel:
+    return Parallel(tuple(children))
+
+
+def network_pins(net: Network) -> list[str]:
+    """All input pins appearing in the network, in first-appearance order."""
+    pins: list[str] = []
+
+    def walk(node: Network) -> None:
+        if isinstance(node, Dev):
+            if node.pin not in pins:
+                pins.append(node.pin)
+        else:
+            for child in node.children:
+                walk(child)
+
+    walk(net)
+    return pins
+
+
+def count_devices(net: Network) -> int:
+    """Number of transistors in the network."""
+    if isinstance(net, Dev):
+        return 1
+    return sum(count_devices(child) for child in net.children)
+
+
+def stack_depth(net: Network) -> int:
+    """Longest series chain through the network."""
+    if isinstance(net, Dev):
+        return 1
+    if isinstance(net, Series):
+        return sum(stack_depth(child) for child in net.children)
+    return max(stack_depth(child) for child in net.children)
+
+
+def pin_gate_width(net: Network, pin: str, base_width: float) -> float:
+    """Total gate width connected to ``pin`` (for input capacitance)."""
+    if isinstance(net, Dev):
+        return base_width * net.width_scale if net.pin == pin else 0.0
+    return sum(pin_gate_width(child, pin, base_width) for child in net.children)
+
+
+def collapse_width(
+    net: Network,
+    switching_pin: str,
+    base_width: float,
+) -> float | None:
+    """Equivalent single-device width for a transition on ``switching_pin``.
+
+    The worst case for delay is the *weakest* conducting configuration of
+    the network that still switches: every device not gated by the
+    switching pin is assumed fully on when it lies in series with the
+    switching device (it must conduct for the output to move) and fully
+    off when it lies in parallel (no help from other branches).  Under
+    that assumption:
+
+    * series composition -> reciprocal width sum over all children,
+    * parallel composition -> only the child containing the switching pin
+      conducts.
+
+    Returns ``None`` if the network does not depend on the pin.
+    """
+    if isinstance(net, Dev):
+        if net.pin == switching_pin:
+            return base_width * net.width_scale
+        return None
+    if isinstance(net, Series):
+        widths: list[float] = []
+        found = False
+        for child in net.children:
+            w = collapse_width(child, switching_pin, base_width)
+            if w is None:
+                # Child is a static on-device in the conducting path: its
+                # own worst-case (weakest) width is its full series
+                # resistance with all internal branches on.
+                widths.append(_on_width(child, base_width))
+            else:
+                widths.append(w)
+                found = True
+        if not found:
+            return None
+        return series_equivalent_width(widths)
+    # Parallel: only the branch with the switching input conducts.
+    best: float | None = None
+    for child in net.children:
+        w = collapse_width(child, switching_pin, base_width)
+        if w is not None and (best is None or w < best):
+            # Worst case: the weakest conducting branch.
+            best = w
+    return best
+
+
+def _on_width(net: Network, base_width: float) -> float:
+    """Width of the network with every device on (for static series
+    elements in a conducting path)."""
+    if isinstance(net, Dev):
+        return base_width * net.width_scale
+    if isinstance(net, Series):
+        return series_equivalent_width([_on_width(c, base_width) for c in net.children])
+    return parallel_equivalent_width([_on_width(c, base_width) for c in net.children])
+
+
+@dataclass(frozen=True)
+class FlatDevice:
+    """A MOSFET with explicit terminals, produced by network expansion."""
+
+    gate_pin: str
+    drain: str
+    source: str
+    polarity: int
+    width: float
+
+
+def expand_network(
+    net: Network,
+    polarity: int,
+    base_width: float,
+    top: str,
+    bottom: str,
+    prefix: str,
+) -> list[FlatDevice]:
+    """Flatten a network into individual transistors.
+
+    ``top``/``bottom`` are the node names the network connects (e.g. the
+    cell output and the rail).  Internal series nodes get generated names
+    ``{prefix}.n{i}``.
+    """
+    devices: list[FlatDevice] = []
+    counter = [0]
+
+    def fresh_node() -> str:
+        counter[0] += 1
+        return f"{prefix}.n{counter[0]}"
+
+    def walk(node: Network, a: str, b: str) -> None:
+        if isinstance(node, Dev):
+            devices.append(
+                FlatDevice(
+                    gate_pin=node.pin,
+                    drain=a,
+                    source=b,
+                    polarity=polarity,
+                    width=base_width * node.width_scale,
+                )
+            )
+            return
+        if isinstance(node, Series):
+            nodes = [a] + [fresh_node() for _ in node.children[:-1]] + [b]
+            for child, (na, nb) in zip(node.children, zip(nodes, nodes[1:])):
+                walk(child, na, nb)
+            return
+        for child in node.children:
+            walk(child, a, b)
+
+    walk(net, top, bottom)
+    return devices
+
+
+@dataclass(frozen=True)
+class CellTopology:
+    """Pull-up / pull-down networks plus base widths of one cell type."""
+
+    pull_up: Network
+    pull_down: Network
+    wp_base: float
+    wn_base: float
+
+    def input_cap(self, pin: str, process: ProcessParams) -> float:
+        """Gate capacitance presented by ``pin``."""
+        width = pin_gate_width(self.pull_up, pin, self.wp_base) + pin_gate_width(
+            self.pull_down, pin, self.wn_base
+        )
+        return process.gate_cap(width)
+
+    def output_parasitic_cap(self, process: ProcessParams) -> float:
+        """Junction capacitance charged during an output transition.
+
+        Counts the full network width (internal stack nodes included) --
+        an upper bound on the charge the simulator's distributed junction
+        capacitances actually move, keeping the timing model conservative
+        with respect to the validation simulation.
+        """
+        width = _network_width(self.pull_up, self.wp_base) + _network_width(
+            self.pull_down, self.wn_base
+        )
+        return process.c_junction * width
+
+    def transistor_count(self) -> int:
+        return count_devices(self.pull_up) + count_devices(self.pull_down)
+
+    def equivalent_stage(
+        self,
+        switching_pin: str,
+        process: ProcessParams | None = None,
+    ) -> tuple[Mosfet | None, Mosfet | None]:
+        """Collapse to (pull-up device, pull-down device) for a transition
+        on ``switching_pin``; either may be ``None`` if that network does
+        not depend on the pin."""
+        process = process if process is not None else default_process()
+        wp = collapse_width(self.pull_up, switching_pin, self.wp_base)
+        wn = collapse_width(self.pull_down, switching_pin, self.wn_base)
+        pu = (
+            Mosfet(MosfetParams(polarity=-1, width=wp, length=process.l_min), process)
+            if wp is not None
+            else None
+        )
+        pd = (
+            Mosfet(MosfetParams(polarity=1, width=wn, length=process.l_min), process)
+            if wn is not None
+            else None
+        )
+        return pu, pd
+
+    def flatten(self, output: str, vdd: str, gnd: str, prefix: str) -> list[FlatDevice]:
+        """Expand both networks into individual transistors for simulation."""
+        return expand_network(
+            self.pull_up, -1, self.wp_base, output, vdd, prefix + ".pu"
+        ) + expand_network(self.pull_down, 1, self.wn_base, output, gnd, prefix + ".pd")
+
+
+def _network_width(net: Network, base_width: float) -> float:
+    """Total transistor width in the network (all drain junctions)."""
+    if isinstance(net, Dev):
+        return base_width * net.width_scale
+    return sum(_network_width(c, base_width) for c in net.children)
+
+
+# -- topology builders -----------------------------------------------------
+
+
+def inverter_topology(drive: str = "X1", sizing: SizingRules | None = None) -> CellTopology:
+    sizing = sizing if sizing is not None else default_sizing()
+    return CellTopology(
+        pull_up=Dev("A"),
+        pull_down=Dev("A"),
+        wp_base=sizing.pmos_width(1, drive),
+        wn_base=sizing.nmos_width(1, drive),
+    )
+
+
+def nand_topology(n_inputs: int, drive: str = "X1", sizing: SizingRules | None = None) -> CellTopology:
+    sizing = sizing if sizing is not None else default_sizing()
+    pins = [chr(ord("A") + i) for i in range(n_inputs)]
+    return CellTopology(
+        pull_up=parallel(*[Dev(p) for p in pins]),
+        pull_down=series(*[Dev(p) for p in pins]),
+        wp_base=sizing.pmos_width(1, drive),
+        wn_base=sizing.nmos_width(n_inputs, drive),
+    )
+
+
+def nor_topology(n_inputs: int, drive: str = "X1", sizing: SizingRules | None = None) -> CellTopology:
+    sizing = sizing if sizing is not None else default_sizing()
+    pins = [chr(ord("A") + i) for i in range(n_inputs)]
+    return CellTopology(
+        pull_up=series(*[Dev(p) for p in pins]),
+        pull_down=parallel(*[Dev(p) for p in pins]),
+        wp_base=sizing.pmos_width(n_inputs, drive),
+        wn_base=sizing.nmos_width(1, drive),
+    )
+
+
+def aoi21_topology(drive: str = "X1", sizing: SizingRules | None = None) -> CellTopology:
+    """AOI21: Y = NOT(A*B + C)."""
+    sizing = sizing if sizing is not None else default_sizing()
+    return CellTopology(
+        pull_up=series(parallel(Dev("A"), Dev("B")), Dev("C")),
+        pull_down=parallel(series(Dev("A"), Dev("B")), Dev("C")),
+        wp_base=sizing.pmos_width(2, drive),
+        wn_base=sizing.nmos_width(2, drive),
+    )
+
+
+def oai21_topology(drive: str = "X1", sizing: SizingRules | None = None) -> CellTopology:
+    """OAI21: Y = NOT((A+B) * C)."""
+    sizing = sizing if sizing is not None else default_sizing()
+    return CellTopology(
+        pull_up=parallel(series(Dev("A"), Dev("B")), Dev("C")),
+        pull_down=series(parallel(Dev("A"), Dev("B")), Dev("C")),
+        wp_base=sizing.pmos_width(2, drive),
+        wn_base=sizing.nmos_width(2, drive),
+    )

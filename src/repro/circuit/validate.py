@@ -1,0 +1,97 @@
+"""Structural netlist checks.
+
+Run before physical design and timing: catches undriven nets, floating
+inputs, combinational cycles and other structural problems early, with
+messages that name the offending objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.netlist import Circuit, NetlistError, Pin
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_circuit`."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        if self.errors:
+            summary = "; ".join(self.errors[:10])
+            raise NetlistError(
+                f"netlist validation failed with {len(self.errors)} errors: {summary}"
+            )
+
+
+def validate_circuit(circuit: Circuit, max_fanout: int | None = None) -> ValidationReport:
+    """Check structural well-formedness of a circuit.
+
+    Errors: undriven nets with sinks, unconnected cell pins, combinational
+    cycles, multiply-driven nets (prevented at construction but re-checked),
+    sequential cells without a clock.
+    Warnings: dangling nets (driver but no sinks), unused primary inputs,
+    fanout above ``max_fanout``.
+    """
+    report = ValidationReport()
+
+    for net in circuit.nets.values():
+        if net.driver is None and net.sinks:
+            sink_names = ", ".join(s.full_name for s in net.sinks[:3])
+            report.errors.append(f"net {net.name!r} has sinks ({sink_names}) but no driver")
+        if net.driver is not None and not net.sinks:
+            if not net.is_clock:
+                report.warnings.append(f"net {net.name!r} is dangling (no sinks)")
+        if max_fanout is not None and net.fanout > max_fanout:
+            report.warnings.append(
+                f"net {net.name!r} fanout {net.fanout} exceeds {max_fanout}"
+            )
+
+    for cell in circuit.cells.values():
+        for pin in cell.pins.values():
+            if pin.net is None:
+                report.errors.append(f"pin {pin.full_name} is unconnected")
+        if cell.is_sequential:
+            clk = cell.pins.get("CLK")
+            if clk is None or clk.net is None or not clk.net.is_clock:
+                # The pin may connect to a clock-tree net, which is marked.
+                if clk is not None and clk.net is not None and _traces_to_clock(clk):
+                    continue
+                report.errors.append(
+                    f"flip-flop {cell.name!r} CLK pin is not driven by a clock net"
+                )
+
+    for name, port in circuit.inputs.items():
+        net = port.net
+        if net is not None and not net.sinks and not net.is_clock:
+            report.warnings.append(f"primary input {name!r} is unused")
+
+    try:
+        circuit.levelize()
+    except NetlistError as exc:
+        report.errors.append(str(exc))
+
+    return report
+
+
+def _traces_to_clock(pin: Pin) -> bool:
+    """Walk backwards through buffers to see if the pin's net originates
+    at the clock root."""
+    net = pin.net
+    for _ in range(64):
+        if net is None:
+            return False
+        if net.is_clock:
+            return True
+        driver = net.driver_cell()
+        if driver is None or driver.ctype.base_name != "INV":
+            return False
+        net = driver.pins["A"].net
+    return False

@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro info s27
+    python -m repro analyze s27 --all-modes
+    python -m repro analyze path/to/netlist.bench --mode iterative --report-nets
+    python -m repro analyze gen:s35932 --scale 0.05 --simulate
+    python -m repro generate s38417 --scale 0.1 -o s38417_like.bench
+
+Netlist specifiers:
+
+* ``s27`` -- the embedded genuine ISCAS89 benchmark,
+* ``gen:s35932`` / ``gen:s38417`` / ``gen:s38584`` -- the synthetic
+  paper-circuit stand-ins (sized by ``--scale``),
+* any other value -- a ``.bench`` file path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.circuit import load_bench, map_to_circuit, s27, validate_circuit, write_bench
+from repro.circuit.generators import (
+    S35932_SPEC,
+    S38417_SPEC,
+    S38584_SPEC,
+    generate_bench,
+    generate_circuit,
+)
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode, StaConfig, WindowCheck
+from repro.core.netreport import format_net_report, rank_crosstalk_nets
+from repro.core.report import check_mode_ordering, format_table
+from repro.flow import prepare_design
+
+_GEN_SPECS = {
+    "s35932": S35932_SPEC,
+    "s38417": S38417_SPEC,
+    "s38584": S38584_SPEC,
+}
+
+
+def _resolve_circuit(spec: str, scale: float):
+    if spec == "s27":
+        return s27()
+    if spec.startswith("gen:"):
+        name = spec[4:]
+        if name not in _GEN_SPECS:
+            raise SystemExit(f"unknown generator {name!r}; have {sorted(_GEN_SPECS)}")
+        return generate_circuit(_GEN_SPECS[name].scaled(scale))
+    return map_to_circuit(load_bench(spec))
+
+
+def _add_netlist_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("netlist", help="s27 | gen:<name> | path to a .bench file")
+    parser.add_argument(
+        "--scale", type=float, default=0.05, help="scale for gen: circuits (1.0 = paper size)"
+    )
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.netlist, args.scale)
+    print(circuit.stats())
+    report = validate_circuit(circuit)
+    print(f"validation: {'OK' if report.ok else 'FAILED'}")
+    for error in report.errors[:10]:
+        print(f"  error: {error}")
+    if args.verbose:
+        for warning in report.warnings[:20]:
+            print(f"  warning: {warning}")
+    return 0 if report.ok else 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    circuit = _resolve_circuit(args.netlist, args.scale)
+    print(f"{circuit.stats()}")
+    t0 = time.time()
+    design = prepare_design(circuit)
+    print(
+        f"physical design: {len(design.routing.routes)} nets routed, "
+        f"{len(design.extraction.coupling_pairs())} coupling pairs "
+        f"({time.time() - t0:.1f} s)"
+    )
+
+    config = StaConfig(
+        mode=AnalysisMode(args.mode),
+        window_check=WindowCheck(args.window_check),
+        esperance=args.esperance,
+    )
+    sta = CrosstalkSTA(design, config)
+
+    if args.all_modes:
+        results = sta.run_all_modes()
+        print()
+        print(format_table(design.name, results, cell_count=circuit.cell_count()))
+        violations = check_mode_ordering(results)
+        if violations:
+            print("ORDERING VIOLATIONS:")
+            for violation in violations:
+                print(f"  {violation}")
+            return 1
+        reference = results[AnalysisMode.ITERATIVE]
+    else:
+        reference = sta.run()
+        print(f"\n{reference}")
+
+    path = sta.critical_path(reference)
+    print(f"\ncritical path ({len(path)} stages):")
+    print("  " + " -> ".join(path.net_sequence()))
+
+    if args.report_nets:
+        print("\ncrosstalk-critical nets:")
+        exposures = rank_crosstalk_nets(design, reference.final_pass, top=args.top)
+        print(format_net_report(exposures))
+
+    if args.json:
+        from repro.core.export import path_to_dict, results_to_dict, save_json, sta_result_to_dict
+
+        if args.all_modes:
+            payload = results_to_dict(results)
+        else:
+            payload = {"modes": {reference.mode.value: sta_result_to_dict(reference)}}
+        payload["critical_path"] = path_to_dict(path)
+        save_json(payload, args.json)
+        print(f"\nwrote {args.json}")
+
+    if args.simulate:
+        from repro.validate import align_aggressors, build_path_circuit, quiet_simulation
+
+        state = reference.final_pass.state
+        sim_circuit = build_path_circuit(design, path, state)
+        quiet = quiet_simulation(sim_circuit, steps=1600)
+        windowed = align_aggressors(
+            sim_circuit, steps=1600, windows=state.window_snapshot()
+        )
+        print(f"\nsimulation: quiet {quiet.path_delay*1e9:.3f} ns, "
+              f"windowed worst {windowed.path_delay*1e9:.3f} ns, "
+              f"STA bound {reference.longest_delay*1e9:.3f} ns")
+        if windowed.path_delay > reference.longest_delay:
+            print("BOUND VIOLATION")
+            return 1
+    return 0
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    from repro.flow import repair_crosstalk
+
+    circuit = _resolve_circuit(args.netlist, args.scale)
+    design = prepare_design(circuit)
+    current = design
+    for round_index in range(1, args.rounds + 1):
+        outcome = repair_crosstalk(
+            current, top=args.top, guard_tracks=args.guard_tracks
+        )
+        print(f"round {round_index}: {outcome.summary()}")
+        current = outcome.design
+        if outcome.improvement <= 0:
+            print("no further improvement; stopping")
+            break
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.name not in _GEN_SPECS:
+        raise SystemExit(f"unknown generator {args.name!r}; have {sorted(_GEN_SPECS)}")
+    netlist = generate_bench(_GEN_SPECS[args.name].scaled(args.scale))
+    text = write_bench(netlist)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(netlist.gates)} gates to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Crosstalk-aware static timing analysis (Ringe et al., DATE 2000)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="netlist statistics and validation")
+    _add_netlist_args(info)
+    info.add_argument("-v", "--verbose", action="store_true")
+    info.set_defaults(func=cmd_info)
+
+    analyze = sub.add_parser("analyze", help="run the crosstalk-aware STA")
+    _add_netlist_args(analyze)
+    analyze.add_argument(
+        "--mode",
+        choices=[m.value for m in AnalysisMode],
+        default=AnalysisMode.ITERATIVE.value,
+    )
+    analyze.add_argument("--all-modes", action="store_true", help="run all five modes")
+    analyze.add_argument(
+        "--window-check",
+        choices=[w.value for w in WindowCheck],
+        default=WindowCheck.QUIET.value,
+    )
+    analyze.add_argument("--esperance", action="store_true")
+    analyze.add_argument("--report-nets", action="store_true", help="rank crosstalk-critical nets")
+    analyze.add_argument("--top", type=int, default=15)
+    analyze.add_argument("--simulate", action="store_true", help="validate the longest path")
+    analyze.add_argument("--json", metavar="FILE", help="write results as JSON")
+    analyze.set_defaults(func=cmd_analyze)
+
+    repair = sub.add_parser("repair", help="shield crosstalk-critical nets and re-analyze")
+    _add_netlist_args(repair)
+    repair.add_argument("--top", type=int, default=10, help="victims per round")
+    repair.add_argument("--rounds", type=int, default=1)
+    repair.add_argument("--guard-tracks", type=int, default=1)
+    repair.set_defaults(func=cmd_repair)
+
+    generate = sub.add_parser("generate", help="emit a synthetic .bench netlist")
+    generate.add_argument("name", choices=sorted(_GEN_SPECS))
+    generate.add_argument("--scale", type=float, default=0.05)
+    generate.add_argument("-o", "--output", default="-")
+    generate.set_defaults(func=cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

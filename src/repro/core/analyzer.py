@@ -1,0 +1,130 @@
+"""The crosstalk-aware static timing analyzer facade.
+
+:class:`CrosstalkSTA` runs any of the paper's five analysis modes on a
+prepared design and returns a :class:`StaResult` with the longest-path
+delay bound, per-endpoint arrivals, the critical path and runtime /
+evaluation statistics.  One analyzer instance shares its gate-delay cache
+across modes, mirroring how the paper reports all five rows per circuit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.graph import TimingState
+from repro.core.iterative import IterationRecord, run_iterative
+from repro.core.modes import AnalysisMode, StaConfig
+from repro.core.paths import CriticalPath, extract_critical_path
+from repro.core.propagation import PassResult, Propagator
+from repro.flow.design import Design
+from repro.waveform.gatedelay import GateDelayCalculator
+
+
+@dataclass
+class StaResult:
+    """Outcome of one analysis run."""
+
+    mode: AnalysisMode
+    design_name: str
+    longest_delay: float
+    critical_endpoint: str
+    critical_direction: str
+    runtime_seconds: float
+    waveform_evaluations: int
+    arcs_processed: int
+    coupled_arcs: int
+    passes: int
+    history: list[IterationRecord] = field(default_factory=list)
+    final_pass: PassResult | None = None
+
+    @property
+    def longest_delay_ns(self) -> float:
+        return self.longest_delay * 1e9
+
+    def arrival(self, endpoint: str, direction: str) -> float:
+        """Arrival time at one endpoint (seconds)."""
+        assert self.final_pass is not None
+        for a in self.final_pass.arrivals:
+            if a.endpoint == endpoint and a.direction == direction:
+                return a.event.t_cross
+        raise KeyError(f"no arrival recorded for {endpoint!r} ({direction})")
+
+    def arrival_map(self) -> dict[tuple[str, str], float]:
+        assert self.final_pass is not None
+        return self.final_pass.arrival_map()
+
+    def __str__(self) -> str:
+        return (
+            f"{self.design_name} [{self.mode.value}]: "
+            f"{self.longest_delay_ns:.3f} ns via {self.critical_endpoint} "
+            f"({self.critical_direction}), {self.passes} pass(es), "
+            f"{self.waveform_evaluations} waveform evals, "
+            f"{self.runtime_seconds:.2f} s"
+        )
+
+
+class CrosstalkSTA:
+    """Static timing analysis taking crosstalk into account."""
+
+    def __init__(
+        self,
+        design: Design,
+        config: StaConfig | None = None,
+        calculator: GateDelayCalculator | None = None,
+    ):
+        self.design = design
+        self.config = config if config is not None else StaConfig()
+        self.calculator = (
+            calculator
+            if calculator is not None
+            else GateDelayCalculator(process=design.process)
+        )
+
+    def run(self, mode: AnalysisMode | None = None) -> StaResult:
+        """Run one analysis mode (defaults to the configured one)."""
+        config = self.config if mode is None else self.config.with_mode(mode)
+        propagator = Propagator(self.design, config, self.calculator)
+
+        t0 = time.perf_counter()
+        if config.mode is AnalysisMode.ITERATIVE:
+            iterative = run_iterative(propagator)
+            final = iterative.final
+            history = iterative.history
+        else:
+            final = propagator.run_pass()
+            history = [
+                IterationRecord(
+                    index=1,
+                    longest_delay=final.longest_delay,
+                    waveform_evaluations=final.waveform_evaluations,
+                    seconds=time.perf_counter() - t0,
+                    recalculated_cells=len(propagator.order),
+                    total_cells=len(propagator.order),
+                )
+            ]
+        runtime = time.perf_counter() - t0
+
+        return StaResult(
+            mode=config.mode,
+            design_name=self.design.name,
+            longest_delay=final.longest_delay,
+            critical_endpoint=final.critical_endpoint,
+            critical_direction=final.critical_direction,
+            runtime_seconds=runtime,
+            waveform_evaluations=sum(r.waveform_evaluations for r in history),
+            arcs_processed=final.arcs_processed,
+            coupled_arcs=final.coupled_arcs,
+            passes=len(history),
+            history=history,
+            final_pass=final,
+        )
+
+    def run_all_modes(self) -> dict[AnalysisMode, StaResult]:
+        """Run the paper's five modes (the rows of Tables 1-3)."""
+        return {mode: self.run(mode) for mode in AnalysisMode}
+
+    def critical_path(self, result: StaResult) -> CriticalPath:
+        """Backtrace the longest path of a finished run."""
+        assert result.final_pass is not None
+        return extract_critical_path(self.design.circuit, result.final_pass)

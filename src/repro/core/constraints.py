@@ -1,0 +1,178 @@
+"""Clock-period constraint checking.
+
+The paper computes the longest path; a timing *verifier* additionally
+checks it against a clock period (Section 4's cited verifiers all do).
+This module turns a finished analysis pass into per-endpoint setup slacks
+and a pass/fail verdict for a given clock period, and finds the minimum
+feasible period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analyzer import StaResult
+from repro.core.propagation import PassResult
+
+
+@dataclass(frozen=True)
+class EndpointSlack:
+    """Setup slack of one capture point."""
+
+    endpoint: str
+    direction: str
+    arrival: float
+    required: float
+
+    @property
+    def slack(self) -> float:
+        return self.required - self.arrival
+
+    @property
+    def met(self) -> bool:
+        return self.slack >= 0.0
+
+
+@dataclass
+class ConstraintReport:
+    """Setup check of a whole analysis run at one clock period."""
+
+    clock_period: float
+    setup_time: float
+    slacks: list[EndpointSlack] = field(default_factory=list)
+
+    @property
+    def worst(self) -> EndpointSlack:
+        if not self.slacks:
+            raise ValueError("no endpoints to report")
+        return min(self.slacks, key=lambda s: s.slack)
+
+    @property
+    def met(self) -> bool:
+        return all(s.met for s in self.slacks)
+
+    def failing(self) -> list[EndpointSlack]:
+        return sorted(
+            (s for s in self.slacks if not s.met), key=lambda s: s.slack
+        )
+
+    def summary(self) -> str:
+        worst = self.worst
+        status = "MET" if self.met else f"VIOLATED ({len(self.failing())} endpoints)"
+        return (
+            f"clock {self.clock_period * 1e9:.3f} ns, setup "
+            f"{self.setup_time * 1e12:.0f} ps: {status}; worst slack "
+            f"{worst.slack * 1e12:+.1f} ps at {worst.endpoint} ({worst.direction})"
+        )
+
+
+def check_setup(
+    result: StaResult | PassResult,
+    clock_period: float,
+    setup_time: float = 100e-12,
+) -> ConstraintReport:
+    """Check every capture point against ``clock_period``.
+
+    Flip-flop D inputs must settle a setup time before the next clock
+    edge; primary outputs are required at the period boundary.
+    """
+    if clock_period <= 0:
+        raise ValueError("clock period must be positive")
+    pass_result = result.final_pass if isinstance(result, StaResult) else result
+    assert pass_result is not None
+    report = ConstraintReport(clock_period=clock_period, setup_time=setup_time)
+    for arrival in pass_result.arrivals:
+        is_ff_input = "/" in arrival.endpoint
+        required = clock_period - (setup_time if is_ff_input else 0.0)
+        report.slacks.append(
+            EndpointSlack(
+                endpoint=arrival.endpoint,
+                direction=arrival.direction,
+                arrival=arrival.event.t_cross,
+                required=required,
+            )
+        )
+    return report
+
+
+def minimum_period(
+    result: StaResult | PassResult,
+    setup_time: float = 100e-12,
+) -> float:
+    """Smallest clock period at which every setup check passes."""
+    pass_result = result.final_pass if isinstance(result, StaResult) else result
+    assert pass_result is not None
+    worst = 0.0
+    for arrival in pass_result.arrivals:
+        is_ff_input = "/" in arrival.endpoint
+        needed = arrival.event.t_cross + (setup_time if is_ff_input else 0.0)
+        worst = max(worst, needed)
+    return worst
+
+
+@dataclass(frozen=True)
+class HoldSlack:
+    """Hold slack of one flip-flop data input: positive when the earliest
+    arrival lands after the hold window."""
+
+    endpoint: str
+    direction: str
+    earliest_arrival: float
+    hold_time: float
+
+    @property
+    def slack(self) -> float:
+        return self.earliest_arrival - self.hold_time
+
+    @property
+    def met(self) -> bool:
+        return self.slack >= 0.0
+
+
+@dataclass
+class HoldReport:
+    """Hold check against a min-delay analysis (same-edge capture)."""
+
+    hold_time: float
+    slacks: list[HoldSlack] = field(default_factory=list)
+
+    @property
+    def worst(self) -> HoldSlack:
+        if not self.slacks:
+            raise ValueError("no endpoints to report")
+        return min(self.slacks, key=lambda s: s.slack)
+
+    @property
+    def met(self) -> bool:
+        return all(s.met for s in self.slacks)
+
+    def failing(self) -> list[HoldSlack]:
+        return sorted((s for s in self.slacks if not s.met), key=lambda s: s.slack)
+
+
+def check_hold(min_result, hold_time: float = 50e-12) -> HoldReport:
+    """Check every flip-flop data input against the hold requirement.
+
+    ``min_result`` is a :class:`repro.core.minpath.MinStaResult` (or its
+    final pass): data launched at the clock edge must not reach a capture
+    flip-flop before ``hold_time`` after that same edge.  Only flip-flop
+    inputs are checked (primary outputs have no hold requirement).
+
+    The check assumes a zero-skew capture clock (all edges at t = 0); the
+    launch side does use the earliest clock-tree arrival, so positive
+    insertion skew is covered conservatively on that side.
+    """
+    pass_result = getattr(min_result, "final_pass", min_result)
+    report = HoldReport(hold_time=hold_time)
+    for arrival in pass_result.arrivals:
+        if "/" not in arrival.endpoint:
+            continue
+        report.slacks.append(
+            HoldSlack(
+                endpoint=arrival.endpoint,
+                direction=arrival.direction,
+                earliest_arrival=arrival.event.t_cross,
+                hold_time=hold_time,
+            )
+        )
+    return report

@@ -1,0 +1,103 @@
+"""Machine-readable result export.
+
+Serialises analysis results to plain dictionaries / JSON so downstream
+tooling (regression dashboards, result diffing) can consume them without
+importing the library's classes.  Times are emitted in seconds as floats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.analyzer import StaResult
+from repro.core.modes import AnalysisMode
+from repro.core.paths import CriticalPath
+
+
+def sta_result_to_dict(result: StaResult) -> dict[str, Any]:
+    """One analysis run as a JSON-safe dictionary."""
+    assert result.final_pass is not None
+    return {
+        "design": result.design_name,
+        "mode": result.mode.value,
+        "longest_delay": result.longest_delay,
+        "critical_endpoint": result.critical_endpoint,
+        "critical_direction": result.critical_direction,
+        "runtime_seconds": result.runtime_seconds,
+        "waveform_evaluations": result.waveform_evaluations,
+        "arcs_processed": result.arcs_processed,
+        "coupled_arcs": result.coupled_arcs,
+        "passes": result.passes,
+        "history": [
+            {
+                "index": record.index,
+                "longest_delay": record.longest_delay,
+                "waveform_evaluations": record.waveform_evaluations,
+                "seconds": record.seconds,
+                "recalculated_cells": record.recalculated_cells,
+            }
+            for record in result.history
+        ],
+        "arrivals": [
+            {
+                "endpoint": arrival.endpoint,
+                "direction": arrival.direction,
+                "t_cross": arrival.event.t_cross,
+                "transition": arrival.event.transition,
+                "t_early": arrival.event.t_early,
+                "t_late": arrival.event.t_late,
+            }
+            for arrival in result.final_pass.arrivals
+        ],
+    }
+
+
+def path_to_dict(path: CriticalPath) -> dict[str, Any]:
+    """A critical path as a JSON-safe dictionary."""
+    return {
+        "endpoint": path.endpoint,
+        "direction": path.direction,
+        "delay": path.delay,
+        "steps": [
+            {
+                "cell": step.cell,
+                "ctype": step.ctype,
+                "in_pin": step.in_pin,
+                "in_net": step.in_net,
+                "in_direction": step.in_direction,
+                "out_net": step.out_net,
+                "out_direction": step.out_direction,
+                "t_cross": step.event.t_cross,
+                "transition": step.event.transition,
+                "coupled": step.coupled,
+            }
+            for step in path.steps
+        ],
+    }
+
+
+def results_to_dict(
+    results: dict[AnalysisMode, StaResult],
+    paths: dict[AnalysisMode, CriticalPath] | None = None,
+) -> dict[str, Any]:
+    """A full mode-comparison (one paper table) as a dictionary."""
+    payload: dict[str, Any] = {"modes": {}}
+    for mode, result in results.items():
+        entry = sta_result_to_dict(result)
+        if paths is not None and mode in paths:
+            entry["critical_path"] = path_to_dict(paths[mode])
+        payload["modes"][mode.value] = entry
+    return payload
+
+
+def save_json(payload: dict[str, Any], path: str, indent: int = 2) -> None:
+    """Write a payload produced by the functions above to disk."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)

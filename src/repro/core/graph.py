@@ -1,0 +1,133 @@
+"""Timing graph: evaluation order and per-net state.
+
+The circuit is translated into a DAG (paper, Section 4) whose vertices are
+cell instances.  A combinational cell depends on the drivers of all its
+input nets; a flip-flop depends only on the driver of its clock net (its D
+input is a capture endpoint, not a propagation dependency) -- this makes
+the clock buffer tree evaluate before the flip-flops it clocks, and the
+flip-flops before the logic they launch into.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.circuit.netlist import Cell, Circuit, NetlistError
+from repro.waveform.pwl import FALLING, RISING
+from repro.waveform.ramp import RampEvent
+
+
+def evaluation_order(circuit: Circuit) -> list[Cell]:
+    """Topological order over all cells (clock buffers, flip-flops,
+    combinational logic).  Raises on combinational cycles."""
+    dependencies: dict[str, list[str]] = {}
+    dependents: dict[str, list[str]] = {name: [] for name in circuit.cells}
+
+    for cell in circuit.cells.values():
+        if cell.is_sequential:
+            dep_nets = [cell.pins["CLK"].net] if cell.pins["CLK"].net is not None else []
+        else:
+            dep_nets = cell.input_nets()
+        deps = []
+        for net in dep_nets:
+            driver = net.driver_cell()
+            if driver is not None:
+                deps.append(driver.name)
+        dependencies[cell.name] = deps
+        for dep in deps:
+            dependents[dep].append(cell.name)
+
+    indegree = {name: len(deps) for name, deps in dependencies.items()}
+    ready = deque(sorted(name for name, deg in indegree.items() if deg == 0))
+    order: list[Cell] = []
+    while ready:
+        name = ready.popleft()
+        order.append(circuit.cells[name])
+        for dependent in dependents[name]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                ready.append(dependent)
+    if len(order) != len(circuit.cells):
+        stuck = [n for n, d in indegree.items() if d > 0]
+        raise NetlistError(
+            f"timing graph has a cycle; unresolved cells e.g. {stuck[:5]}"
+        )
+    return order
+
+
+@dataclass
+class Provenance:
+    """Which arc produced a net's worst event (for path backtrace)."""
+
+    cell: str
+    in_pin: str
+    in_net: str
+    in_direction: str
+    coupled: bool
+    c_active: float
+
+
+@dataclass
+class TimingState:
+    """Mutable per-pass timing data.
+
+    ``events`` holds the worst-case ramp event per (net, direction) at the
+    *driver output* (wire delay is added when a sink consumes the event).
+    ``processed`` marks nets whose events are final for this pass --
+    the "calculated" predicate of the one-step pseudo-code.
+    """
+
+    events: dict[str, dict[str, RampEvent | None]] = field(default_factory=dict)
+    processed: set[str] = field(default_factory=set)
+    provenance: dict[tuple[str, str], Provenance] = field(default_factory=dict)
+
+    def ensure_net(self, net_name: str) -> dict[str, RampEvent | None]:
+        slot = self.events.get(net_name)
+        if slot is None:
+            slot = {RISING: None, FALLING: None}
+            self.events[net_name] = slot
+        return slot
+
+    def event(self, net_name: str, direction: str) -> RampEvent | None:
+        slot = self.events.get(net_name)
+        if slot is None:
+            return None
+        return slot.get(direction)
+
+    def quiet_time(self, net_name: str, direction: str) -> float:
+        """Time after which the net is quiet for ``direction`` transitions,
+        assuming the net has been calculated: the merged event's ``t_late``,
+        or minus infinity if the net never transitions that way."""
+        event = self.event(net_name, direction)
+        if event is None:
+            return float("-inf")
+        return event.t_late
+
+    def quiet_snapshot(self) -> dict[tuple[str, str], float]:
+        """Per-(net, direction) quiescent times -- what the iterative
+        algorithm stores between passes ("store quiescent times for each
+        wire")."""
+        snapshot: dict[tuple[str, str], float] = {}
+        for net_name, slot in self.events.items():
+            for direction, event in slot.items():
+                snapshot[(net_name, direction)] = (
+                    event.t_late if event is not None else float("-inf")
+                )
+        return snapshot
+
+    def window_snapshot(self) -> dict[tuple[str, str], tuple[float, float]]:
+        """Per-(net, direction) activity windows ``(t_early, t_late)``.
+
+        A net with no event in a direction can never make that transition:
+        its window is empty (``(+inf, -inf)``).  Used by the two-sided
+        overlap check (an extension of the paper's one-sided comparison).
+        """
+        snapshot: dict[tuple[str, str], tuple[float, float]] = {}
+        for net_name, slot in self.events.items():
+            for direction, event in slot.items():
+                if event is None:
+                    snapshot[(net_name, direction)] = (float("inf"), float("-inf"))
+                else:
+                    snapshot[(net_name, direction)] = (event.t_early, event.t_late)
+        return snapshot

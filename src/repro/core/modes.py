@@ -1,0 +1,128 @@
+"""Analysis modes and configuration of the crosstalk-aware STA.
+
+The five modes are exactly the rows of the paper's result tables
+(Section 6):
+
+1. **BEST_CASE** -- coupling capacitances grounded at their original
+   value: coupling ignored entirely.  A comparison value only.
+2. **STATIC_DOUBLED** -- grounded with doubled value: the classical
+   passive approach.  Assumes permanent coupling but misses the active
+   nature of the effect ("This assumption is wrong!", Section 6).
+3. **WORST_CASE** -- every coupling capacitance couples according to the
+   active model at all times.
+4. **ONE_STEP** -- Section 5.1: couple only where the aggressor's
+   opposite-direction activity window can overlap the victim's earliest
+   activity; one extra best-case waveform calculation per arc; BFS stays
+   linear.
+5. **ITERATIVE** -- Section 5.2: one-step repeated with stored quiescent
+   times until the longest-path delay stops improving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class AnalysisMode(Enum):
+    """The paper's five coupling treatments."""
+
+    BEST_CASE = "best_case"
+    STATIC_DOUBLED = "static_doubled"
+    WORST_CASE = "worst_case"
+    ONE_STEP = "one_step"
+    ITERATIVE = "iterative"
+
+    @property
+    def is_window_based(self) -> bool:
+        """Modes that consult aggressor timing windows."""
+        return self in (AnalysisMode.ONE_STEP, AnalysisMode.ITERATIVE)
+
+
+class WindowCheck(Enum):
+    """Aggressor-activity test of the window-based modes.
+
+    ``QUIET``: the paper's test -- couple unless the aggressor's
+    opposite-direction quiescent time precedes the victim's earliest
+    activity.  ``OVERLAP``: additionally ground aggressors whose activity
+    cannot *start* before the victim's worst-case completion (two-sided
+    window intersection; tighter, one extra calculation per arc).
+    """
+
+    QUIET = "quiet"
+    OVERLAP = "overlap"
+
+
+class ClockAggressorModel(Enum):
+    """How clock-tree nets behave as aggressors.
+
+    ``SETTLED``: the clock nets switch once at the launch edge and are
+    quiet afterwards (single-edge analysis window; the return edge lies
+    outside it).  ``ALWAYS``: clock nets may switch at any time --
+    maximally conservative.
+    """
+
+    SETTLED = "settled"
+    ALWAYS = "always"
+
+
+@dataclass(frozen=True)
+class StaConfig:
+    """Tunable parameters of an analysis run.
+
+    Attributes
+    ----------
+    mode:
+        Coupling treatment (see :class:`AnalysisMode`).
+    input_transition:
+        Ramp time assumed at primary inputs (seconds).
+    guard:
+        Guard band for the window comparison ``t_a > t_bcs`` of the
+        one-step algorithm, absorbing cache-quantization error on the
+        conservative side.
+    max_iterations:
+        Pass budget of the iterative mode (including the first two).
+    convergence_tolerance:
+        Longest-path improvement below which iteration stops (seconds).
+    esperance:
+        Iterative mode only: recompute only nets on long paths
+        (the Esperance speed-up of Benkoski et al. [11]).
+    esperance_slack:
+        Slack threshold (as a fraction of the longest-path delay) below
+        which a net counts as "on a long path".
+    clock_model:
+        Aggressor behaviour of clock nets.
+    slew_degradation_factor:
+        Factor on the Elmore delay added linearly to the transition time
+        at a sink (wire slew degradation; linear addition upper-bounds
+        the RC-filtered sink slew, unlike the quadrature PERI form).
+    window_check:
+        How the one-step/iterative modes decide whether an aggressor can
+        couple.  ``QUIET`` is the paper's one-sided test (aggressor quiet
+        before the victim's earliest activity -> grounded).  ``OVERLAP``
+        is a tighter two-sided extension: an aggressor whose activity can
+        only *begin* after the victim has certainly completed is also
+        grounded.  Costs one extra (all-active) waveform calculation per
+        arc; still a guaranteed upper bound.
+    """
+
+    mode: AnalysisMode = AnalysisMode.ITERATIVE
+    input_transition: float = 100e-12
+    guard: float = 5e-12
+    max_iterations: int = 10
+    convergence_tolerance: float = 1e-12
+    esperance: bool = False
+    esperance_slack: float = 0.15
+    clock_model: ClockAggressorModel = ClockAggressorModel.SETTLED
+
+    slew_degradation_factor: float = 2.2
+    window_check: "WindowCheck" = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.window_check is None:
+            object.__setattr__(self, "window_check", WindowCheck.QUIET)
+
+    def with_mode(self, mode: AnalysisMode) -> "StaConfig":
+        from dataclasses import replace
+
+        return replace(self, mode=mode)

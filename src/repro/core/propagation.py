@@ -1,0 +1,429 @@
+"""Levelized worst-case waveform propagation (one STA pass).
+
+Implements the breadth-first propagation of Section 4 with the per-arc
+coupling decisions of Sections 2 and 5.  One :class:`Propagator` instance
+serves all five analysis modes; the window-based modes (one-step,
+iterative) perform the extra best-case calculation per arc described in
+the paper's pseudo-code and decide each neighbour's coupling treatment by
+comparing the aggressor's quiescent time with the victim's earliest
+possible activity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.circuit.netlist import Cell, Circuit, Pin
+from repro.core.graph import Provenance, TimingState, evaluation_order
+from repro.core.modes import AnalysisMode, ClockAggressorModel, StaConfig, WindowCheck
+from repro.flow.design import Design
+from repro.waveform.coupling import CouplingLoad, CouplingTreatment, aggregate_load
+from repro.waveform.gatedelay import GateDelayCalculator
+from repro.waveform.pwl import FALLING, RISING, opposite
+from repro.waveform.ramp import RampEvent, merge_worst
+
+
+@dataclass
+class EndpointArrival:
+    """Worst arrival of one transition at a capture point."""
+
+    endpoint: str
+    direction: str
+    event: RampEvent
+
+
+@dataclass
+class PassResult:
+    """Outcome of one propagation pass."""
+
+    state: TimingState
+    arrivals: list[EndpointArrival] = field(default_factory=list)
+    longest_delay: float = 0.0
+    critical_endpoint: str = ""
+    critical_direction: str = ""
+    waveform_evaluations: int = 0
+    arcs_processed: int = 0
+    coupled_arcs: int = 0
+
+    def arrival_map(self) -> dict[tuple[str, str], float]:
+        return {(a.endpoint, a.direction): a.event.t_cross for a in self.arrivals}
+
+
+def ideal_ramp_event(
+    direction: str,
+    t_start: float,
+    transition: float,
+    vdd: float,
+    v_th: float,
+) -> RampEvent:
+    """Ramp event of an ideal rail-to-rail ramp starting at ``t_start``.
+
+    By symmetry the threshold crossings land at the same offsets for both
+    directions: the near-start threshold at ``transition * v_th / vdd``
+    and the near-end one at ``transition * (vdd - v_th) / vdd``.
+    """
+    return RampEvent(
+        direction=direction,
+        t_cross=t_start + 0.5 * transition,
+        transition=transition,
+        t_early=t_start + transition * v_th / vdd,
+        t_late=t_start + transition * (vdd - v_th) / vdd,
+    )
+
+
+class Propagator:
+    """Runs single STA passes over a prepared design."""
+
+    def __init__(
+        self,
+        design: Design,
+        config: StaConfig,
+        calculator: GateDelayCalculator | None = None,
+    ):
+        self.design = design
+        self.config = config
+        self.calculator = (
+            calculator
+            if calculator is not None
+            else GateDelayCalculator(process=design.process)
+        )
+        self.order = evaluation_order(design.circuit)
+        self._clock_nets = {
+            name for name, net in design.circuit.nets.items() if net.is_clock
+        }
+
+    # -- pass driver ---------------------------------------------------------
+
+    def run_pass(
+        self,
+        prev_windows: dict[tuple[str, str], tuple[float, float]] | None = None,
+        recalc_cells: set[str] | None = None,
+        prev_state: TimingState | None = None,
+    ) -> PassResult:
+        """One full breadth-first propagation.
+
+        ``prev_windows`` supplies stored per-net activity windows
+        (quiescent times and earliest activities) from the previous
+        iterative pass; ``recalc_cells`` (Esperance) restricts waveform
+        recalculation to the given cells, all others copy their previous
+        events from ``prev_state``.
+        """
+        state = TimingState()
+        result = PassResult(state=state)
+        self._init_sources(state)
+
+        for cell in self.order:
+            out_net = cell.output_pin.net
+            if out_net is None:
+                continue
+            if (
+                recalc_cells is not None
+                and cell.name not in recalc_cells
+                and prev_state is not None
+                and out_net.name in prev_state.processed
+            ):
+                state.events[out_net.name] = dict(prev_state.events[out_net.name])
+                for direction in (RISING, FALLING):
+                    prov = prev_state.provenance.get((out_net.name, direction))
+                    if prov is not None:
+                        state.provenance[(out_net.name, direction)] = prov
+                state.processed.add(out_net.name)
+                continue
+            if cell.is_sequential:
+                self._process_flip_flop(cell, state, prev_windows, result)
+            else:
+                self._process_gate(cell, state, prev_windows, result)
+            state.processed.add(out_net.name)
+
+        self._collect_arrivals(state, result)
+        return result
+
+    # -- sources ---------------------------------------------------------------
+
+    def _init_sources(self, state: TimingState) -> None:
+        process = self.design.process
+        tt = self.config.input_transition
+        circuit = self.design.circuit
+        for port in circuit.inputs.values():
+            net = port.net
+            if net is None:
+                continue
+            slot = state.ensure_net(net.name)
+            if net.is_clock:
+                # Launch edge only: the clock rises at t = 0.
+                slot[RISING] = ideal_ramp_event(
+                    RISING, 0.0, tt, process.vdd, process.v_th_model
+                )
+            else:
+                # Data inputs may make either transition at t = 0.
+                for direction in (RISING, FALLING):
+                    slot[direction] = ideal_ramp_event(
+                        direction, 0.0, tt, process.vdd, process.v_th_model
+                    )
+            state.processed.add(net.name)
+
+    # -- cell processing ---------------------------------------------------------
+
+    def _process_gate(
+        self,
+        cell: Cell,
+        state: TimingState,
+        prev_windows: dict[tuple[str, str], tuple[float, float]] | None,
+        result: PassResult,
+    ) -> None:
+        out_net = cell.output_pin.net
+        out_slot = state.ensure_net(out_net.name)
+        for pin in cell.input_pins:
+            in_net = pin.net
+            if in_net is None:
+                continue
+            for direction in (RISING, FALLING):
+                event = state.event(in_net.name, direction)
+                if event is None:
+                    continue
+                arrival = self._arrival_at_pin(event, in_net.name, pin.full_name)
+                out_event, coupled = self._compute_output_event(
+                    cell, pin.name, arrival, out_net.name, state, prev_windows, result
+                )
+                self._merge_output(
+                    out_slot,
+                    out_event,
+                    state,
+                    out_net.name,
+                    Provenance(
+                        cell=cell.name,
+                        in_pin=pin.name,
+                        in_net=in_net.name,
+                        in_direction=direction,
+                        coupled=coupled,
+                        c_active=0.0,
+                    ),
+                )
+
+    def _process_flip_flop(
+        self,
+        cell: Cell,
+        state: TimingState,
+        prev_windows: dict[tuple[str, str], tuple[float, float]] | None,
+        result: PassResult,
+    ) -> None:
+        """Launch both Q transitions off the clock arrival at this cell."""
+        process = self.design.process
+        out_net = cell.output_pin.net
+        out_slot = state.ensure_net(out_net.name)
+        clk_pin = cell.pins["CLK"]
+        clk_net = clk_pin.net
+
+        clk_event = None
+        if clk_net is not None:
+            clk_event = state.event(clk_net.name, RISING) or state.event(
+                clk_net.name, FALLING
+            )
+        if clk_event is not None and clk_net is not None:
+            clk_arrival = self._arrival_at_pin(
+                clk_event, clk_net.name, clk_pin.full_name
+            )
+        else:
+            clk_arrival = ideal_ramp_event(
+                RISING, 0.0, self.config.input_transition, process.vdd, process.v_th_model
+            )
+
+        launch_cross = clk_arrival.t_cross + cell.ctype.clk_to_q
+        for out_direction in (RISING, FALLING):
+            internal = ideal_ramp_event(
+                opposite(out_direction),
+                launch_cross - 0.5 * clk_arrival.transition,
+                clk_arrival.transition,
+                process.vdd,
+                process.v_th_model,
+            )
+            out_event, coupled = self._compute_output_event(
+                cell, "A", internal, out_net.name, state, prev_windows, result
+            )
+            self._merge_output(
+                out_slot,
+                out_event,
+                state,
+                out_net.name,
+                Provenance(
+                    cell=cell.name,
+                    in_pin="CLK",
+                    in_net=clk_net.name if clk_net is not None else "",
+                    in_direction=clk_arrival.direction,
+                    coupled=coupled,
+                    c_active=0.0,
+                ),
+            )
+
+    # -- the coupling decision (Sections 2 and 5) ---------------------------------
+
+    def _compute_output_event(
+        self,
+        cell: Cell,
+        pin_name: str,
+        arrival: RampEvent,
+        out_net_name: str,
+        state: TimingState,
+        prev_windows: dict[tuple[str, str], tuple[float, float]] | None,
+        result: PassResult,
+    ) -> tuple[RampEvent, bool]:
+        load = self.design.loads[out_net_name]
+        mode = self.config.mode
+        result.arcs_processed += 1
+
+        if not mode.is_window_based or not load.couplings:
+            if mode.is_window_based:
+                # No neighbours: nothing to decide, plain grounded load.
+                coupling_load = CouplingLoad(c_ground=load.c_fixed)
+            else:
+                coupling_load = self._fixed_load(load, mode)
+            result.waveform_evaluations += 1
+            event = self.calculator.compute_arc(cell.ctype, pin_name, arrival, coupling_load)
+            return event, coupling_load.has_active_coupling
+
+        # One-step / iterative: best-case calculation first ("w_bcs :=
+        # calculate waveform for best-case, i.e. all adjacent wires are
+        # quiet; t_bcs := time when w_bcs reaches V_th").
+        best_load = CouplingLoad(
+            c_ground=load.c_fixed + load.c_coupling_total, c_couple_active=0.0
+        )
+        result.waveform_evaluations += 1
+        best_event = self.calculator.compute_arc(cell.ctype, pin_name, arrival, best_load)
+        t_bcs = best_event.t_early
+
+        out_direction = best_event.direction
+        aggressor_direction = opposite(out_direction)
+        guard = self.config.guard
+
+        # OVERLAP extension: bound the victim's latest possible completion
+        # with the all-active calculation (monotone in the active set, so
+        # valid for every subset the decision below may choose).
+        t_victim_late = float("inf")
+        if self.config.window_check is WindowCheck.OVERLAP:
+            worst_load = CouplingLoad(
+                c_ground=load.c_fixed, c_couple_active=load.c_coupling_total
+            )
+            result.waveform_evaluations += 1
+            worst_event = self.calculator.compute_arc(
+                cell.ctype, pin_name, arrival, worst_load
+            )
+            t_victim_late = worst_event.t_late
+
+        treatments: list[tuple[float, CouplingTreatment]] = []
+        any_active = False
+        for other, cap in load.couplings.items():
+            t_agg_early, t_agg_quiet = self._aggressor_window(
+                other, aggressor_direction, state, prev_windows
+            )
+            may_couple = t_agg_quiet > t_bcs - guard
+            if may_couple and t_agg_early >= t_victim_late + guard:
+                # Aggressor can only fire after the victim has certainly
+                # completed: no overlap.
+                may_couple = False
+            if may_couple:
+                treatments.append((cap, CouplingTreatment.ACTIVE))
+                any_active = True
+            else:
+                treatments.append((cap, CouplingTreatment.GROUNDED))
+
+        if not any_active:
+            return best_event, False
+
+        final_load = aggregate_load(load.c_fixed, treatments)
+        result.waveform_evaluations += 1
+        result.coupled_arcs += 1
+        event = self.calculator.compute_arc(cell.ctype, pin_name, arrival, final_load)
+        return event, True
+
+    def _fixed_load(self, load, mode: AnalysisMode) -> CouplingLoad:
+        c_c = load.c_coupling_total
+        if mode is AnalysisMode.BEST_CASE:
+            return CouplingLoad(c_ground=load.c_fixed + c_c)
+        if mode is AnalysisMode.STATIC_DOUBLED:
+            return CouplingLoad(c_ground=load.c_fixed + 2.0 * c_c)
+        if mode is AnalysisMode.WORST_CASE:
+            return CouplingLoad(c_ground=load.c_fixed, c_couple_active=c_c)
+        raise ValueError(f"mode {mode} has no fixed coupling treatment")
+
+    def _aggressor_window(
+        self,
+        net_name: str,
+        direction: str,
+        state: TimingState,
+        prev_windows: dict[tuple[str, str], tuple[float, float]] | None,
+    ) -> tuple[float, float]:
+        """The aggressor's possible activity window ``(t_early, t_quiet)``
+        for ``direction`` transitions.  ``(-inf, +inf)`` means "unknown --
+        must assume coupling"; ``(+inf, -inf)`` is the empty window (the
+        net never makes that transition)."""
+        if (
+            net_name in self._clock_nets
+            and self.config.clock_model is ClockAggressorModel.ALWAYS
+        ):
+            return float("-inf"), float("inf")
+        if net_name in state.processed:
+            event = state.event(net_name, direction)
+            if event is None:
+                return float("inf"), float("-inf")
+            return event.t_early, event.t_late
+        if prev_windows is not None:
+            return prev_windows.get(
+                (net_name, direction), (float("inf"), float("-inf"))
+            )
+        return float("-inf"), float("inf")
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _arrival_at_pin(self, event: RampEvent, net_name: str, terminal: str) -> RampEvent:
+        """Shift a driver-output event to a sink terminal: Elmore wire
+        delay plus slew degradation.
+
+        The transition degrades by linear addition of the wire's own
+        transition scale (``k * T_elmore``), not the popular quadrature
+        (PERI) form: linear addition upper-bounds the RC-filtered sink
+        slew, which the worst-case analysis needs -- quadrature measurably
+        under-estimates the slow exponential tail on long stretched wires
+        and can let the simulation beat the bound.
+        """
+        elmore = self.design.loads[net_name].sink_elmore.get(terminal, 0.0)
+        if elmore <= 0.0:
+            return event
+        shifted = event.shifted(elmore)
+        k = self.config.slew_degradation_factor
+        degraded = event.transition + k * elmore
+        return shifted.with_transition(degraded)
+
+    def _merge_output(
+        self,
+        out_slot: dict[str, RampEvent | None],
+        out_event: RampEvent,
+        state: TimingState,
+        out_net_name: str,
+        provenance: Provenance,
+    ) -> None:
+        direction = out_event.direction
+        current = out_slot[direction]
+        merged = merge_worst(current, out_event)
+        out_slot[direction] = merged
+        if current is None or out_event.t_cross > current.t_cross:
+            state.provenance[(out_net_name, direction)] = provenance
+
+    def _collect_arrivals(self, state: TimingState, result: PassResult) -> None:
+        for endpoint in self.design.circuit.timing_endpoints():
+            net = endpoint.net
+            if net is None:
+                continue
+            terminal = endpoint.full_name if isinstance(endpoint, Pin) else endpoint.name
+            for direction in (RISING, FALLING):
+                event = state.event(net.name, direction)
+                if event is None:
+                    continue
+                arrival = self._arrival_at_pin(event, net.name, terminal)
+                result.arrivals.append(
+                    EndpointArrival(endpoint=terminal, direction=direction, event=arrival)
+                )
+                if arrival.t_cross > result.longest_delay:
+                    result.longest_delay = arrival.t_cross
+                    result.critical_endpoint = terminal
+                    result.critical_direction = direction

@@ -1,0 +1,113 @@
+"""Result tables in the paper's format.
+
+The paper's Tables 1-3 list, per circuit, the longest-path delay and the
+analysis runtime for the five modes, compared against a simulation of the
+longest path.  :func:`format_table` renders the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer import StaResult
+from repro.core.modes import AnalysisMode
+
+MODE_LABELS = {
+    AnalysisMode.BEST_CASE: "Best case",
+    AnalysisMode.STATIC_DOUBLED: "Static doubled",
+    AnalysisMode.WORST_CASE: "Worst case",
+    AnalysisMode.ONE_STEP: "One step",
+    AnalysisMode.ITERATIVE: "Iterative",
+}
+
+MODE_ORDER = [
+    AnalysisMode.BEST_CASE,
+    AnalysisMode.STATIC_DOUBLED,
+    AnalysisMode.WORST_CASE,
+    AnalysisMode.ONE_STEP,
+    AnalysisMode.ITERATIVE,
+]
+
+
+@dataclass(frozen=True)
+class TableRow:
+    label: str
+    delay_ns: float
+    runtime_s: float
+    evaluations: int = 0
+    passes: int = 1
+
+
+def result_rows(results: dict[AnalysisMode, StaResult]) -> list[TableRow]:
+    rows = []
+    for mode in MODE_ORDER:
+        if mode not in results:
+            continue
+        res = results[mode]
+        rows.append(
+            TableRow(
+                label=MODE_LABELS[mode],
+                delay_ns=res.longest_delay_ns,
+                runtime_s=res.runtime_seconds,
+                evaluations=res.waveform_evaluations,
+                passes=res.passes,
+            )
+        )
+    return rows
+
+
+def format_table(
+    title: str,
+    results: dict[AnalysisMode, StaResult],
+    simulation_ns: float | None = None,
+    cell_count: int | None = None,
+) -> str:
+    """Render one paper-style table as text."""
+    header = title if cell_count is None else f"{title} ({cell_count} cells)"
+    lines = [header, "=" * len(header)]
+    lines.append(f"{'Mode':<16} {'Delay [ns]':>11} {'CPU [s]':>9} {'Evals':>9} {'Passes':>7}")
+    lines.append("-" * 56)
+    for row in result_rows(results):
+        lines.append(
+            f"{row.label:<16} {row.delay_ns:>11.3f} {row.runtime_s:>9.2f} "
+            f"{row.evaluations:>9d} {row.passes:>7d}"
+        )
+    if simulation_ns is not None:
+        lines.append("-" * 56)
+        lines.append(f"{'Simulation':<16} {simulation_ns:>11.3f}")
+    return "\n".join(lines)
+
+
+def check_mode_ordering(
+    results: dict[AnalysisMode, StaResult],
+    tolerance: float = 1e-12,
+) -> list[str]:
+    """Verify the invariant ordering of the five bounds; returns a list of
+    violation descriptions (empty when all hold):
+
+    best <= iterative <= one-step <= worst, and best <= static-doubled.
+
+    Note: static-doubled versus worst-case is *not* an invariant -- the
+    whole point of the paper's comparison is that the passive doubled
+    model and the active model rank differently per arc (doubling slows
+    every transition, the active model concentrates its impact in the
+    coupling drop), so neither bounds the other in general.
+    """
+    violations = []
+
+    def delay(mode: AnalysisMode) -> float:
+        return results[mode].longest_delay
+
+    pairs = [
+        (AnalysisMode.BEST_CASE, AnalysisMode.ITERATIVE),
+        (AnalysisMode.ITERATIVE, AnalysisMode.ONE_STEP),
+        (AnalysisMode.ONE_STEP, AnalysisMode.WORST_CASE),
+        (AnalysisMode.BEST_CASE, AnalysisMode.STATIC_DOUBLED),
+    ]
+    for lo, hi in pairs:
+        if lo in results and hi in results and delay(lo) > delay(hi) + tolerance:
+            violations.append(
+                f"{MODE_LABELS[lo]} ({delay(lo) * 1e9:.3f} ns) exceeds "
+                f"{MODE_LABELS[hi]} ({delay(hi) * 1e9:.3f} ns)"
+            )
+    return violations

@@ -1,0 +1,77 @@
+"""Process corners.
+
+Classic three-corner methodology for the 0.5 um process: ``typical``,
+``fast`` (strong devices, high supply, cold) and ``slow`` (weak devices,
+low supply, hot).  Worst-case setup timing is signed off at the slow
+corner; hold at the fast corner; the crosstalk analysis runs unchanged on
+any corner's :class:`~repro.devices.params.ProcessParams`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.devices.params import ProcessParams, default_process
+
+
+@dataclass(frozen=True)
+class Corner:
+    """A named process/voltage/temperature point."""
+
+    name: str
+    process: ProcessParams
+
+    def __str__(self) -> str:
+        p = self.process
+        return (
+            f"{self.name}: VDD={p.vdd:.2f} V, Vtn={p.vtn:.2f} V, "
+            f"kp_n={p.kp_n * 1e6:.0f} uA/V2, T={p.temperature:.0f} K"
+        )
+
+
+def make_corner(
+    name: str,
+    base: ProcessParams | None = None,
+    drive_scale: float = 1.0,
+    vdd_scale: float = 1.0,
+    vt_shift: float = 0.0,
+    temperature: float | None = None,
+) -> Corner:
+    """Derive a corner from a base process.
+
+    ``drive_scale`` multiplies both transconductances; ``vt_shift`` adds
+    to the NMOS threshold and subtracts from the PMOS one (device-strength
+    skew); ``vdd_scale`` scales the supply (the model threshold scales
+    with it so the coupling model keeps its relative position).
+    """
+    base = base if base is not None else default_process()
+    return Corner(
+        name=name,
+        process=dataclasses.replace(
+            base,
+            vdd=base.vdd * vdd_scale,
+            v_th_model=base.v_th_model * vdd_scale,
+            vtn=base.vtn + vt_shift,
+            vtp=base.vtp - vt_shift,
+            kp_n=base.kp_n * drive_scale,
+            kp_p=base.kp_p * drive_scale,
+            temperature=temperature if temperature is not None else base.temperature,
+        ),
+    )
+
+
+def standard_corners(base: ProcessParams | None = None) -> dict[str, Corner]:
+    """The conventional typical/fast/slow triple."""
+    base = base if base is not None else default_process()
+    return {
+        "typical": Corner("typical", base),
+        "fast": make_corner(
+            "fast", base, drive_scale=1.25, vdd_scale=1.10, vt_shift=-0.05,
+            temperature=233.0,
+        ),
+        "slow": make_corner(
+            "slow", base, drive_scale=0.80, vdd_scale=0.90, vt_shift=+0.05,
+            temperature=398.0,
+        ),
+    }

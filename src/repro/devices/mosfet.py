@@ -1,0 +1,201 @@
+"""Smooth analytic MOSFET DC model.
+
+The paper models "the DC behavior of the transistors ... by tables"
+(Section 3).  The tables have to be filled from *some* continuous device
+description; we use a single-piece EKV-flavoured square-law model that is
+
+* continuous and continuously differentiable everywhere (no kink at the
+  threshold or at saturation), which keeps the Newton iteration of the
+  waveform engine well behaved, and
+* monotone in ``|V_GS|`` and in ``|V_DS|``, which the table code and the
+  property tests rely on.
+
+The model blends subthreshold conduction and strong inversion through a
+softplus effective overdrive and blends the linear/saturation regions with a
+smooth-minimum of ``V_DS`` against ``V_dsat``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.params import ProcessParams, default_process
+
+# Sharpness of the smooth linear/saturation blend.  Larger values track the
+# ideal square law more closely at the cost of a stiffer derivative.
+_SAT_SHARPNESS = 4.0
+
+
+def ids_generic(
+    vgs,
+    vds,
+    polarity,
+    beta,
+    vt,
+    lam,
+    n_vt,
+):
+    """Vectorised drain current of the EKV-flavoured square-law model.
+
+    All parameters broadcast; ``polarity`` is +1 (NMOS) / -1 (PMOS),
+    ``beta = kp * W/L``.  Both :class:`Mosfet` (single device) and the
+    simulator's device banks evaluate through this one function, so the
+    timing engine and the validation simulator share identical device
+    physics.
+    """
+    sign = np.asarray(polarity, dtype=float)
+    vgs_n = sign * np.asarray(vgs, dtype=float)
+    vds_n = sign * np.asarray(vds, dtype=float)
+
+    # Channel symmetry: swap drain/source for reverse V_DS.
+    reverse = vds_n < 0.0
+    vgs_eff = np.where(reverse, vgs_n - vds_n, vgs_n)
+    vds_eff = np.abs(vds_n)
+
+    x = (vgs_eff - vt) / n_vt
+    vov = n_vt * np.logaddexp(0.0, x)
+    ratio = np.divide(vds_eff, vov, out=np.zeros_like(vds_eff), where=vov > 0)
+    blend = ratio / np.power(1.0 + np.power(ratio, _SAT_SHARPNESS), 1.0 / _SAT_SHARPNESS)
+    vds_b = vov * blend
+    ids = beta * (vov - 0.5 * vds_b) * vds_b
+    ids = ids * (1.0 + lam * vds_eff)
+    ids = np.where(reverse, -ids, ids)
+    return sign * ids
+
+
+@dataclass(frozen=True)
+class MosfetParams:
+    """Geometry and polarity of one transistor.
+
+    ``polarity`` is ``+1`` for NMOS and ``-1`` for PMOS.  ``width`` and
+    ``length`` are drawn dimensions in metres.
+    """
+
+    polarity: int
+    width: float
+    length: float
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (1, -1):
+            raise ValueError(f"polarity must be +1 or -1, got {self.polarity}")
+        if self.width <= 0 or self.length <= 0:
+            raise ValueError("transistor dimensions must be positive")
+
+    @property
+    def wl(self) -> float:
+        """Aspect ratio W/L."""
+        return self.width / self.length
+
+
+class Mosfet:
+    """Analytic DC model of a single MOSFET in a given process.
+
+    The drain current convention is *drain to source*, positive for an NMOS
+    in normal operation (``V_DS >= 0``) and negative for a PMOS (current
+    flows source to drain when ``V_DS <= 0``).  Voltages are terminal
+    voltages relative to the source.
+    """
+
+    def __init__(self, params: MosfetParams, process: ProcessParams | None = None):
+        self.params = params
+        self.process = process if process is not None else default_process()
+        if params.polarity > 0:
+            self._vt = self.process.vtn
+            self._kp = self.process.kp_n
+            self._lam = self.process.lambda_n
+        else:
+            self._vt = abs(self.process.vtp)
+            self._kp = self.process.kp_p
+            self._lam = self.process.lambda_p
+        self._n_vt = self.process.n_sub * self.process.thermal_voltage
+
+    # -- scalar API --------------------------------------------------------
+
+    def ids(self, vgs: float, vds: float) -> float:
+        """Drain-source current at the given terminal voltages."""
+        return float(self.ids_array(np.asarray(vgs, float), np.asarray(vds, float)))
+
+    def gds(self, vgs: float, vds: float, dv: float = 1e-4) -> float:
+        """Output conductance dI/dV_DS by central difference."""
+        hi = self.ids(vgs, vds + dv)
+        lo = self.ids(vgs, vds - dv)
+        return (hi - lo) / (2.0 * dv)
+
+    def gm(self, vgs: float, vds: float, dv: float = 1e-4) -> float:
+        """Transconductance dI/dV_GS by central difference."""
+        hi = self.ids(vgs + dv, vds)
+        lo = self.ids(vgs - dv, vds)
+        return (hi - lo) / (2.0 * dv)
+
+    # -- vectorised core ---------------------------------------------------
+
+    def ids_array(self, vgs: np.ndarray, vds: np.ndarray) -> np.ndarray:
+        """Vectorised drain current.  Handles both polarities and both
+        signs of ``V_DS`` (the channel is symmetric: drain and source swap
+        roles when the drain falls below the source)."""
+        return ids_generic(
+            vgs,
+            vds,
+            polarity=float(self.params.polarity),
+            beta=self._kp * self.params.wl,
+            vt=self._vt,
+            lam=self._lam,
+            n_vt=self._n_vt,
+        )
+
+    # -- convenience -------------------------------------------------------
+
+    def saturation_current(self) -> float:
+        """On-current at ``V_GS = V_DS = V_DD`` (drive strength figure)."""
+        v = self.process.vdd * self.params.polarity
+        return abs(self.ids(v, v))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "nmos" if self.params.polarity > 0 else "pmos"
+        return (
+            f"Mosfet({kind}, W={self.params.width * 1e6:.2f}u, "
+            f"L={self.params.length * 1e6:.2f}u)"
+        )
+
+
+def nmos(width: float, length: float | None = None, process: ProcessParams | None = None) -> Mosfet:
+    """Build an NMOS device of the given drawn width (metres)."""
+    process = process if process is not None else default_process()
+    if length is None:
+        length = process.l_min
+    return Mosfet(MosfetParams(polarity=1, width=width, length=length), process)
+
+
+def pmos(width: float, length: float | None = None, process: ProcessParams | None = None) -> Mosfet:
+    """Build a PMOS device of the given drawn width (metres)."""
+    process = process if process is not None else default_process()
+    if length is None:
+        length = process.l_min
+    return Mosfet(MosfetParams(polarity=-1, width=width, length=length), process)
+
+
+def series_equivalent_width(widths: list[float]) -> float:
+    """Width of the single transistor equivalent to a series stack.
+
+    Series transistors of widths ``w_i`` (same length) behave, to first
+    order, like one device with ``W/L`` equal to the reciprocal sum --
+    the reduction the stage solver uses to collapse pull-up/pull-down
+    networks onto a single equivalent device.
+    """
+    if not widths:
+        raise ValueError("series stack must contain at least one device")
+    if any(w <= 0 for w in widths):
+        raise ValueError("series stack widths must be positive")
+    return 1.0 / sum(1.0 / w for w in widths)
+
+
+def parallel_equivalent_width(widths: list[float]) -> float:
+    """Width of the single transistor equivalent to parallel devices."""
+    if not widths:
+        raise ValueError("parallel group must contain at least one device")
+    if any(w <= 0 for w in widths):
+        raise ValueError("parallel widths must be positive")
+    return math.fsum(widths)

@@ -1,0 +1,119 @@
+"""Damped scalar Newton iteration.
+
+The waveform engine solves one implicit (backward-Euler) equation per time
+step.  The paper uses "the classical Newton approximation instead of the
+successive chord method proposed in [TETA]" and reports no convergence
+problems thanks to finely discretised tables.  We add light damping and a
+bisection fallback so the solver is robust even on coarse tables, without
+changing behaviour on well-conditioned problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+class NewtonError(RuntimeError):
+    """Raised when the iteration fails to converge."""
+
+
+@dataclass
+class NewtonResult:
+    """Outcome of a Newton solve."""
+
+    root: float
+    iterations: int
+    residual: float
+    used_bisection: bool = False
+
+
+def solve_newton(
+    func: Callable[[float], tuple[float, float]],
+    x0: float,
+    tol: float = 1e-9,
+    max_iter: int = 50,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> NewtonResult:
+    """Solve ``f(x) = 0`` for scalar ``x``.
+
+    Parameters
+    ----------
+    func:
+        Returns ``(f(x), f'(x))``.
+    x0:
+        Initial guess.
+    tol:
+        Convergence tolerance on ``|x_new - x|``.
+    max_iter:
+        Iteration budget before falling back to bisection (which requires
+        ``lo``/``hi`` to bracket a root).
+    lo, hi:
+        Optional clamping interval; iterates are kept inside it.
+    """
+    x = x0
+    f, df = func(x)
+    for iteration in range(1, max_iter + 1):
+        if df == 0.0:
+            break
+        step = f / df
+        # Damping: never move more than half the bracket in one step.
+        if lo is not None and hi is not None:
+            max_step = 0.5 * (hi - lo)
+            if step > max_step:
+                step = max_step
+            elif step < -max_step:
+                step = -max_step
+        x_new = x - step
+        if lo is not None and x_new < lo:
+            x_new = lo
+        if hi is not None and x_new > hi:
+            x_new = hi
+        if abs(x_new - x) <= tol:
+            f_new, _ = func(x_new)
+            return NewtonResult(root=x_new, iterations=iteration, residual=abs(f_new))
+        x = x_new
+        f, df = func(x)
+
+    if lo is None or hi is None:
+        raise NewtonError(
+            f"Newton failed to converge after {max_iter} iterations "
+            f"(last x={x!r}, f={f!r})"
+        )
+    return _bisect(func, lo, hi, tol, max_iter)
+
+
+def _bisect(
+    func: Callable[[float], tuple[float, float]],
+    lo: float,
+    hi: float,
+    tol: float,
+    start_iter: int,
+) -> NewtonResult:
+    f_lo, _ = func(lo)
+    f_hi, _ = func(hi)
+    if f_lo == 0.0:
+        return NewtonResult(root=lo, iterations=start_iter, residual=0.0, used_bisection=True)
+    if f_hi == 0.0:
+        return NewtonResult(root=hi, iterations=start_iter, residual=0.0, used_bisection=True)
+    if f_lo * f_hi > 0.0:
+        raise NewtonError(
+            f"bisection fallback has no bracket: f({lo})={f_lo}, f({hi})={f_hi}"
+        )
+    iterations = start_iter
+    while hi - lo > tol:
+        iterations += 1
+        mid = 0.5 * (lo + hi)
+        f_mid, _ = func(mid)
+        if f_mid == 0.0:
+            return NewtonResult(root=mid, iterations=iterations, residual=0.0, used_bisection=True)
+        if f_lo * f_mid < 0.0:
+            hi = mid
+        else:
+            lo, f_lo = mid, f_mid
+        if iterations > 200:
+            break
+    root = 0.5 * (lo + hi)
+    f_root, _ = func(root)
+    return NewtonResult(root=root, iterations=iterations, residual=abs(f_root), used_bisection=True)

@@ -1,0 +1,122 @@
+"""Process parameters for the 0.5 um, two-metal technology of the paper.
+
+The paper evaluates ISCAS89 circuits "routed in a 0.5 um process technology
+with two metal layers" at a transistor threshold voltage of 0.6 V, and uses a
+*model* threshold of 0.2 V for the coupling model (Section 2).  The constants
+below describe a representative 0.5 um CMOS process of that era (3.3 V
+supply).  Absolute values only set the time scale; the reproduction targets
+the relative behaviour of the five analysis modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ProcessParams:
+    """Electrical constants of the target process.
+
+    Attributes
+    ----------
+    vdd:
+        Supply voltage in volts.
+    vtn, vtp:
+        NMOS / PMOS threshold voltages in volts (``vtp`` is negative).
+    v_th_model:
+        The coupling-model threshold of Section 2 of the paper: the victim
+        waveform restarts from this voltage after the aggressor drop.  The
+        paper chooses 0.2 V against a 0.6 V transistor threshold so the
+        restart value itself has no impact on delay.
+    kp_n, kp_p:
+        Process transconductance ``mu * Cox`` in A/V^2 for NMOS and PMOS.
+    lambda_n, lambda_p:
+        Channel-length modulation in 1/V.
+    n_sub:
+        Subthreshold slope factor (dimensionless).
+    temperature:
+        Junction temperature in kelvin (sets the thermal voltage).
+    l_min:
+        Minimum drawn channel length in metres (0.5 um).
+    cox:
+        Gate-oxide capacitance per area in F/m^2.
+    c_junction:
+        Drain/source junction capacitance per transistor width in F/m.
+    """
+
+    vdd: float = 3.3
+    vtn: float = 0.6
+    vtp: float = -0.6
+    v_th_model: float = 0.2
+    kp_n: float = 120e-6
+    kp_p: float = 40e-6
+    lambda_n: float = 0.06
+    lambda_p: float = 0.08
+    n_sub: float = 1.5
+    temperature: float = 300.0
+    l_min: float = 0.5e-6
+    cox: float = 2.7e-3
+    c_junction: float = 1.0e-9
+
+    @property
+    def thermal_voltage(self) -> float:
+        """kT/q in volts."""
+        boltzmann = 1.380649e-23
+        charge = 1.602176634e-19
+        return boltzmann * self.temperature / charge
+
+    @property
+    def v_half(self) -> float:
+        """The 50 % threshold used for delay measurement."""
+        return 0.5 * self.vdd
+
+    def slew_thresholds(self) -> tuple[float, float]:
+        """Low/high voltages between which transition time (slew) is
+        measured.  We use the conventional 10 %-90 % window."""
+        return 0.1 * self.vdd, 0.9 * self.vdd
+
+    def gate_cap(self, width: float, length: float | None = None) -> float:
+        """Gate capacitance of a transistor of the given drawn ``width``."""
+        if length is None:
+            length = self.l_min
+        return self.cox * width * length
+
+
+_DEFAULT = ProcessParams()
+
+
+def default_process() -> ProcessParams:
+    """Return the shared default 0.5 um process description."""
+    return _DEFAULT
+
+
+@dataclass(frozen=True)
+class SizingRules:
+    """Default transistor sizing used when building library cells.
+
+    Widths are expressed in metres.  ``beta`` is the PMOS/NMOS width ratio
+    compensating for the mobility difference; series stacks are widened by
+    ``stack_factor`` per stacked device, the standard sizing rule for
+    roughly equal rise/fall drive.
+    """
+
+    wn_unit: float = 2.0e-6
+    beta: float = 2.0
+    stack_factor: float = 1.0
+    drive_scale: dict = field(default_factory=lambda: {"X1": 1.0, "X2": 2.0, "X4": 4.0})
+
+    def nmos_width(self, stack_depth: int = 1, drive: str = "X1") -> float:
+        scale = self.drive_scale[drive]
+        return self.wn_unit * scale * (1.0 + self.stack_factor * (stack_depth - 1))
+
+    def pmos_width(self, stack_depth: int = 1, drive: str = "X1") -> float:
+        scale = self.drive_scale[drive]
+        return self.beta * self.wn_unit * scale * (1.0 + self.stack_factor * (stack_depth - 1))
+
+
+_DEFAULT_SIZING = SizingRules()
+
+
+def default_sizing() -> SizingRules:
+    """Return the shared default sizing rules."""
+    return _DEFAULT_SIZING

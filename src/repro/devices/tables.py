@@ -1,0 +1,251 @@
+"""Tabulated DC device models.
+
+Following TETA and the paper (Section 3), the DC behaviour of transistors is
+stored in tables and interpolated during timing analysis.  The paper notes
+that "due to the fine discretization of the tables we do not get convergence
+problems" with classical Newton iteration -- so the tables here default to a
+fine grid and expose both the interpolated current and its partial
+derivative with respect to the output voltage, which is exactly what the
+Newton loop of the waveform engine needs.
+
+Two table flavours are provided:
+
+* :class:`DeviceTable` -- ``I_D(V_GS, V_DS)`` for one transistor.
+* :class:`StageTable` -- the *net* output-node current
+  ``I(V_in, V_out) = I_pullup - I_pulldown`` of a collapsed CMOS stage.
+  Collapsing the stage into one table halves the interpolation work per
+  Newton iteration, the dominant cost of the whole analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.mosfet import Mosfet
+from repro.devices.params import ProcessParams, default_process
+
+
+class _BilinearGrid:
+    """Shared bilinear-interpolation machinery over a regular 2-D grid."""
+
+    def __init__(self, x_axis: np.ndarray, y_axis: np.ndarray, values: np.ndarray):
+        if values.shape != (x_axis.size, y_axis.size):
+            raise ValueError(
+                f"table shape {values.shape} does not match axes "
+                f"({x_axis.size}, {y_axis.size})"
+            )
+        if x_axis.size < 2 or y_axis.size < 2:
+            raise ValueError("table axes need at least two points")
+        self.x_axis = np.asarray(x_axis, dtype=float)
+        self.y_axis = np.asarray(y_axis, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        self._x0 = float(self.x_axis[0])
+        self._y0 = float(self.y_axis[0])
+        self._dx = float(self.x_axis[1] - self.x_axis[0])
+        self._dy = float(self.y_axis[1] - self.y_axis[0])
+        self._nx = self.x_axis.size
+        self._ny = self.y_axis.size
+
+    def lookup(self, x: float, y: float) -> float:
+        """Bilinear interpolation with clamping at the table edges."""
+        fx = (x - self._x0) / self._dx
+        fy = (y - self._y0) / self._dy
+        ix = int(fx)
+        iy = int(fy)
+        if ix < 0:
+            ix = 0
+        elif ix > self._nx - 2:
+            ix = self._nx - 2
+        if iy < 0:
+            iy = 0
+        elif iy > self._ny - 2:
+            iy = self._ny - 2
+        tx = fx - ix
+        ty = fy - iy
+        if tx < 0.0:
+            tx = 0.0
+        elif tx > 1.0:
+            tx = 1.0
+        if ty < 0.0:
+            ty = 0.0
+        elif ty > 1.0:
+            ty = 1.0
+        v = self.values
+        v00 = v[ix, iy]
+        v10 = v[ix + 1, iy]
+        v01 = v[ix, iy + 1]
+        v11 = v[ix + 1, iy + 1]
+        return (
+            v00 * (1.0 - tx) * (1.0 - ty)
+            + v10 * tx * (1.0 - ty)
+            + v01 * (1.0 - tx) * ty
+            + v11 * tx * ty
+        )
+
+    def lookup_with_dy(self, x: float, y: float) -> tuple[float, float]:
+        """Value and partial derivative with respect to ``y``.
+
+        The derivative of the bilinear interpolant is piecewise constant in
+        ``y`` within a cell -- sufficient for Newton on a fine grid.
+        """
+        fx = (x - self._x0) / self._dx
+        fy = (y - self._y0) / self._dy
+        ix = int(fx)
+        iy = int(fy)
+        if ix < 0:
+            ix = 0
+        elif ix > self._nx - 2:
+            ix = self._nx - 2
+        if iy < 0:
+            iy = 0
+        elif iy > self._ny - 2:
+            iy = self._ny - 2
+        tx = fx - ix
+        ty = fy - iy
+        if tx < 0.0:
+            tx = 0.0
+        elif tx > 1.0:
+            tx = 1.0
+        if ty < 0.0:
+            ty = 0.0
+        elif ty > 1.0:
+            ty = 1.0
+        v = self.values
+        v00 = v[ix, iy]
+        v10 = v[ix + 1, iy]
+        v01 = v[ix, iy + 1]
+        v11 = v[ix + 1, iy + 1]
+        lo = v00 * (1.0 - tx) + v10 * tx
+        hi = v01 * (1.0 - tx) + v11 * tx
+        value = lo * (1.0 - ty) + hi * ty
+        dvalue_dy = (hi - lo) / self._dy
+        return value, dvalue_dy
+
+    def lookup_array(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vectorised bilinear interpolation (used by the simulator)."""
+        fx = np.clip((np.asarray(x, float) - self._x0) / self._dx, 0.0, self._nx - 1 - 1e-12)
+        fy = np.clip((np.asarray(y, float) - self._y0) / self._dy, 0.0, self._ny - 1 - 1e-12)
+        ix = fx.astype(int)
+        iy = fy.astype(int)
+        tx = fx - ix
+        ty = fy - iy
+        v = self.values
+        return (
+            v[ix, iy] * (1 - tx) * (1 - ty)
+            + v[ix + 1, iy] * tx * (1 - ty)
+            + v[ix, iy + 1] * (1 - tx) * ty
+            + v[ix + 1, iy + 1] * tx * ty
+        )
+
+
+class DeviceTable:
+    """Tabulated ``I_D(V_GS, V_DS)`` for one MOSFET.
+
+    The grid spans ``[v_min, v_max]`` on both axes, covering the full rail
+    range plus a small margin so that coupling overshoots never leave the
+    table.
+    """
+
+    DEFAULT_POINTS = 121
+
+    def __init__(
+        self,
+        device: Mosfet,
+        points: int = DEFAULT_POINTS,
+        margin: float = 0.3,
+    ):
+        self.device = device
+        process = device.process
+        lo = -margin
+        hi = process.vdd + margin
+        if device.params.polarity < 0:
+            lo, hi = -hi, -lo
+        axis = np.linspace(lo, hi, points)
+        vgs_grid, vds_grid = np.meshgrid(axis, axis, indexing="ij")
+        currents = device.ids_array(vgs_grid, vds_grid)
+        self._grid = _BilinearGrid(axis, axis, currents)
+
+    def ids(self, vgs: float, vds: float) -> float:
+        """Interpolated drain current."""
+        return self._grid.lookup(vgs, vds)
+
+    def ids_with_gds(self, vgs: float, vds: float) -> tuple[float, float]:
+        """Interpolated drain current and output conductance."""
+        return self._grid.lookup_with_dy(vgs, vds)
+
+    def ids_array(self, vgs: np.ndarray, vds: np.ndarray) -> np.ndarray:
+        """Vectorised interpolated drain current."""
+        return self._grid.lookup_array(vgs, vds)
+
+    @property
+    def axis(self) -> np.ndarray:
+        return self._grid.x_axis
+
+    def max_interpolation_error(self, samples: int = 40) -> float:
+        """Worst absolute error against the analytic model on off-grid
+        sample points, normalised by the device on-current."""
+        axis = self._grid.x_axis
+        mid = 0.5 * (axis[:-1] + axis[1:])
+        step = max(1, mid.size // samples)
+        probe = mid[::step]
+        vgs, vds = np.meshgrid(probe, probe, indexing="ij")
+        exact = self.device.ids_array(vgs, vds)
+        approx = self._grid.lookup_array(vgs, vds)
+        scale = max(self.device.saturation_current(), 1e-12)
+        return float(np.max(np.abs(exact - approx)) / scale)
+
+
+class StageTable:
+    """Net output-node current of a collapsed CMOS stage.
+
+    For a stage whose pull-up and pull-down networks have been collapsed to
+    single equivalent PMOS/NMOS devices driven by the same switching input,
+    the output node obeys ``C dV/dt = I(V_in, V_out)`` with
+
+    ``I(V_in, V_out) = -I_P(V_in - V_DD, V_out - V_DD) - I_N(V_in, V_out)``
+
+    where ``I_P``/``I_N`` follow the drain-source convention of
+    :class:`Mosfet` (current *into* the output node is positive here).
+    Tabulating ``I`` directly gives the waveform engine a single lookup per
+    Newton iteration.
+    """
+
+    DEFAULT_POINTS = 121
+
+    def __init__(
+        self,
+        pull_up: Mosfet | None,
+        pull_down: Mosfet | None,
+        process: ProcessParams | None = None,
+        points: int = DEFAULT_POINTS,
+        margin: float = 0.3,
+    ):
+        if pull_up is None and pull_down is None:
+            raise ValueError("stage needs at least one of pull-up / pull-down")
+        self.process = process if process is not None else default_process()
+        vdd = self.process.vdd
+        axis = np.linspace(-margin, vdd + margin, points)
+        vin, vout = np.meshgrid(axis, axis, indexing="ij")
+        current = np.zeros_like(vin)
+        if pull_up is not None:
+            # PMOS source at VDD: V_GS = vin - vdd, V_DS = vout - vdd.
+            # Its (negative) drain current flows out of VDD into the node.
+            current -= pull_up.ids_array(vin - vdd, vout - vdd)
+        if pull_down is not None:
+            # NMOS source at GND: V_GS = vin, V_DS = vout; drains the node.
+            current -= pull_down.ids_array(vin, vout)
+        self.pull_up = pull_up
+        self.pull_down = pull_down
+        self._grid = _BilinearGrid(axis, axis, current)
+
+    def current(self, vin: float, vout: float) -> float:
+        """Net current into the output node."""
+        return self._grid.lookup(vin, vout)
+
+    def current_with_dvout(self, vin: float, vout: float) -> tuple[float, float]:
+        """Net current and its derivative with respect to ``V_out``."""
+        return self._grid.lookup_with_dy(vin, vout)
+
+    def current_array(self, vin: np.ndarray, vout: np.ndarray) -> np.ndarray:
+        """Vectorised net current."""
+        return self._grid.lookup_array(vin, vout)

@@ -1,0 +1,19 @@
+"""End-to-end design preparation (place -> route -> extract -> loads)."""
+
+from repro.flow.design import Design, NetLoad, prepare_design
+from repro.flow.repair import (
+    RepairOutcome,
+    repair_crosstalk,
+    respace_nets,
+    upsize_drivers,
+)
+
+__all__ = [
+    "Design",
+    "NetLoad",
+    "RepairOutcome",
+    "prepare_design",
+    "repair_crosstalk",
+    "respace_nets",
+    "upsize_drivers",
+]

@@ -1,0 +1,190 @@
+"""Crosstalk repair by spacing.
+
+The classic fix for a crosstalk-critical wire is to give it room: route it
+with guard spacing so no neighbour runs on the adjacent tracks.  This
+module re-routes a design with selected victims shielded and rebuilds the
+parasitics, producing a new :class:`~repro.flow.design.Design` whose
+coupling on those nets is (mostly) gone -- at the cost of routing
+resources elsewhere.
+
+Together with :func:`repro.core.netreport.rank_crosstalk_nets` this closes
+the analyze -> rank -> fix -> re-analyze loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+from repro.flow.design import Design, _net_load
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.core imports repro.flow
+    from repro.core.analyzer import StaResult
+    from repro.core.modes import AnalysisMode
+from repro.layout.extraction import extract
+from repro.layout.routing import reroute_nets, route
+
+
+@dataclass
+class RepairOutcome:
+    """Before/after record of one repair round."""
+
+    repaired_nets: list[str]
+    design: Design
+    before_delay: float
+    after_delay: float
+    before_coupling: dict[str, float] = field(default_factory=dict)
+    after_coupling: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        return self.before_delay - self.after_delay
+
+    def summary(self) -> str:
+        lines = [
+            f"repaired {len(self.repaired_nets)} nets: "
+            f"{self.before_delay * 1e9:.3f} -> {self.after_delay * 1e9:.3f} ns "
+            f"({self.improvement * 1e12:+.1f} ps)"
+        ]
+        for net in self.repaired_nets:
+            before = self.before_coupling.get(net, 0.0)
+            after = self.after_coupling.get(net, 0.0)
+            lines.append(
+                f"  {net}: C_c {before * 1e15:.2f} -> {after * 1e15:.2f} fF"
+            )
+        return "\n".join(lines)
+
+
+def respace_nets(
+    design: Design,
+    nets: list[str],
+    guard_tracks: int = 1,
+    rip_up_only: bool = True,
+) -> Design:
+    """Re-route the given nets with shield spacing; placement is kept,
+    extraction and loads are rebuilt.
+
+    With ``rip_up_only`` (default) every other net keeps its geometry
+    (local rip-up-and-reroute); otherwise the whole design is re-routed
+    with the victims shielded first, which can perturb unrelated nets.
+    """
+    if rip_up_only:
+        routing = reroute_nets(
+            design.circuit,
+            design.placement,
+            design.routing,
+            nets,
+            guard_tracks=guard_tracks,
+            technology=design.technology,
+        )
+    else:
+        guard = {net: guard_tracks for net in nets}
+        routing = route(
+            design.circuit, design.placement, design.technology, guard_nets=guard
+        )
+    extraction = extract(routing, design.technology)
+    repaired = Design(
+        circuit=design.circuit,
+        placement=design.placement,
+        routing=routing,
+        extraction=extraction,
+        process=design.process,
+        technology=design.technology,
+    )
+    for net in design.circuit.nets.values():
+        repaired.loads[net.name] = _net_load(net, extraction, design.process)
+    return repaired
+
+
+_DRIVE_ORDER = ["X1", "X2", "X4"]
+
+
+def upsize_drivers(design: Design, nets: list[str], steps: int = 1) -> Design:
+    """Strengthen the drivers of the given nets by ``steps`` drive classes.
+
+    The other classic crosstalk fix: a stronger victim driver recovers
+    from the coupling glitch faster (and is harder to deflect in the
+    first place).  The circuit is cloned with the affected cells swapped
+    to their higher-drive variants and the whole physical flow re-runs
+    (cell footprints change, so placement must be redone).
+    """
+    from repro.flow.design import prepare_design
+
+    source = design.circuit
+    upsized: dict[str, str] = {}
+    for net_name in nets:
+        net = source.nets.get(net_name)
+        if net is None:
+            continue
+        driver = net.driver_cell()
+        if driver is None:
+            continue
+        base, _, drive = driver.ctype.name.rpartition("_")
+        try:
+            index = _DRIVE_ORDER.index(drive)
+        except ValueError:
+            continue
+        new_drive = _DRIVE_ORDER[min(index + steps, len(_DRIVE_ORDER) - 1)]
+        if new_drive != drive:
+            upsized[driver.name] = f"{base}_{new_drive}"
+
+    from repro.circuit.netlist import Circuit
+
+    clone = Circuit(source.name, source.library)
+    for name, port in source.inputs.items():
+        if port.net is not None and port.net.is_clock:
+            clone.add_clock(name)
+        else:
+            clone.add_input(name, net_name=port.net.name if port.net else None)
+    for cell in source.cells.values():
+        ctype_name = upsized.get(cell.name, cell.ctype.name)
+        connections = {
+            pin.name: pin.net.name for pin in cell.pins.values() if pin.net is not None
+        }
+        clone.add_cell(ctype_name, cell.name, connections)
+    for name, port in source.outputs.items():
+        clone.add_output(name, net_name=port.net.name if port.net else None)
+    for name, net in source.nets.items():
+        if net.is_clock and name in clone.nets:
+            clone.nets[name].is_clock = True
+
+    return prepare_design(clone, design.technology, design.process)
+
+
+def repair_crosstalk(
+    design: Design,
+    sta_result: "StaResult | None" = None,
+    top: int = 10,
+    guard_tracks: int = 1,
+    mode: "AnalysisMode | None" = None,
+) -> RepairOutcome:
+    """One analyze -> rank -> respace -> re-analyze round.
+
+    Picks the ``top`` crosstalk-critical nets of the (possibly supplied)
+    analysis, shields them, and re-runs the same analysis on the repaired
+    design.
+    """
+    from repro.core.analyzer import CrosstalkSTA
+    from repro.core.modes import AnalysisMode as _Mode
+    from repro.core.netreport import rank_crosstalk_nets
+
+    if mode is None:
+        mode = _Mode.ITERATIVE
+    if sta_result is None:
+        sta_result = CrosstalkSTA(design).run(mode)
+    assert sta_result.final_pass is not None
+    exposures = rank_crosstalk_nets(design, sta_result.final_pass, top=top)
+    victims = [e.net for e in exposures]
+
+    repaired = respace_nets(design, victims, guard_tracks=guard_tracks)
+    after = CrosstalkSTA(repaired).run(mode)  # noqa: F821 (lazy import above)
+
+    return RepairOutcome(
+        repaired_nets=victims,
+        design=repaired,
+        before_delay=sta_result.longest_delay,
+        after_delay=after.longest_delay,
+        before_coupling={n: design.loads[n].c_coupling_total for n in victims},
+        after_coupling={n: repaired.loads[n].c_coupling_total for n in victims},
+    )

@@ -1,0 +1,18 @@
+"""Interconnect modeling: RC trees and Elmore delay."""
+
+from repro.interconnect.elmore import (
+    effective_load,
+    elmore_delay_to,
+    elmore_delays,
+    sink_delays,
+)
+from repro.interconnect.rctree import RCNode, RCTree
+
+__all__ = [
+    "RCNode",
+    "RCTree",
+    "effective_load",
+    "elmore_delay_to",
+    "elmore_delays",
+    "sink_delays",
+]

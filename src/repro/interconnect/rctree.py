@@ -1,0 +1,99 @@
+"""RC tree representation of a routed net.
+
+The paper models wire delay with "the widely used Elmore model" on lumped
+RC; this module holds the per-net RC tree the router/extractor produce and
+that :mod:`repro.interconnect.elmore` evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RCNode:
+    """One node of an RC tree.
+
+    ``r_to_parent`` is the resistance of the edge into this node from its
+    parent (0 for the root); ``cap`` is the grounded capacitance lumped at
+    this node.  ``name`` is non-empty for terminal nodes (driver/sinks).
+    """
+
+    index: int
+    parent: int  # -1 for the root
+    r_to_parent: float
+    cap: float
+    name: str = ""
+
+
+class RCTree:
+    """A rooted RC tree for one net (root = driver output)."""
+
+    def __init__(self, net: str):
+        self.net = net
+        self.nodes: list[RCNode] = []
+        self._by_name: dict[str, int] = {}
+
+    def add_node(self, parent: int, r: float, cap: float = 0.0, name: str = "") -> int:
+        """Append a node; returns its index.  ``parent`` is -1 for the root."""
+        if parent >= len(self.nodes):
+            raise ValueError(f"parent index {parent} out of range")
+        if parent < 0 and self.nodes:
+            raise ValueError("tree already has a root")
+        if r < 0 or cap < 0:
+            raise ValueError("R and C must be non-negative")
+        index = len(self.nodes)
+        self.nodes.append(RCNode(index=index, parent=parent, r_to_parent=r, cap=cap, name=name))
+        if name:
+            self._by_name[name] = index
+        return index
+
+    def add_cap(self, index: int, cap: float) -> None:
+        """Add lumped capacitance at an existing node."""
+        if cap < 0:
+            raise ValueError("capacitance must be non-negative")
+        self.nodes[index].cap += cap
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    def node_by_name(self, name: str) -> int:
+        return self._by_name[name]
+
+    def terminal_names(self) -> list[str]:
+        return [n.name for n in self.nodes if n.name]
+
+    def total_cap(self) -> float:
+        return sum(node.cap for node in self.nodes)
+
+    def total_resistance(self) -> float:
+        return sum(node.r_to_parent for node in self.nodes)
+
+    def subtree_caps(self) -> list[float]:
+        """Capacitance of the subtree rooted at each node.
+
+        Nodes are appended parent-first, so a single reverse pass
+        accumulates children into parents.
+        """
+        caps = [node.cap for node in self.nodes]
+        for node in reversed(self.nodes):
+            if node.parent >= 0:
+                caps[node.parent] += caps[node.index]
+        return caps
+
+    def path_to_root(self, index: int) -> list[int]:
+        path = []
+        while index >= 0:
+            path.append(index)
+            index = self.nodes[index].parent
+        return path
+
+    @staticmethod
+    def single_lump(net: str, r: float, cap: float, sink_name: str = "sink") -> "RCTree":
+        """Convenience: a driver->sink tree with one R and one C (the
+        textbook single-lump whose Elmore delay is exactly R*C)."""
+        tree = RCTree(net)
+        root = tree.add_node(-1, 0.0, 0.0, name="driver")
+        tree.add_node(root, r, cap, name=sink_name)
+        return tree

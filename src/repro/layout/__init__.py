@@ -1,0 +1,23 @@
+"""Physical design substrate: placement, routing, parasitic extraction."""
+
+from repro.layout.extraction import ExtractionResult, ParasiticNet, extract
+from repro.layout.geometry import Point, TrackOccupancy, TrackSegment
+from repro.layout.placement import Placement, place
+from repro.layout.routing import NetRoute, RoutingResult, route
+from repro.layout.technology import Technology, default_technology
+
+__all__ = [
+    "ExtractionResult",
+    "NetRoute",
+    "ParasiticNet",
+    "Placement",
+    "Point",
+    "RoutingResult",
+    "Technology",
+    "TrackOccupancy",
+    "TrackSegment",
+    "default_technology",
+    "extract",
+    "place",
+    "route",
+]

@@ -1,0 +1,137 @@
+"""SVG rendering of placement and routing.
+
+Produces a self-contained SVG of the die: cell rows, placed cells, metal-1
+(horizontal) and metal-2 (vertical) segments, optionally highlighting a
+set of nets (e.g. the critical path) and the coupling neighbourhoods of a
+victim.  Pure string generation -- no drawing dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from xml.sax.saxutils import escape
+
+from repro.layout.placement import Placement
+from repro.layout.routing import RoutingResult
+
+
+@dataclass(frozen=True)
+class SvgStyle:
+    """Colors and geometry of the rendering."""
+
+    scale: float = 2.0  # SVG pixels per micrometre
+    cell_fill: str = "#d7dde4"
+    cell_stroke: str = "#8b98a5"
+    row_stroke: str = "#eef1f4"
+    m1_color: str = "#4d7fb2"
+    m2_color: str = "#b25d4d"
+    highlight_color: str = "#d4a017"
+    highlight_width: float = 2.4
+    wire_width: float = 0.8
+    background: str = "#ffffff"
+
+
+def render_layout(
+    placement: Placement,
+    routing: RoutingResult | None = None,
+    highlight_nets: set[str] | None = None,
+    style: SvgStyle | None = None,
+    title: str | None = None,
+) -> str:
+    """Render the layout as an SVG document string."""
+    style = style if style is not None else SvgStyle()
+    highlight = highlight_nets if highlight_nets is not None else set()
+    tech = placement.technology
+    s = style.scale
+    width = placement.die_width * s
+    height = placement.die_height * s
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.1f} {height:.1f}">'
+    )
+    parts.append(
+        f'<rect x="0" y="0" width="{width:.1f}" height="{height:.1f}" '
+        f'fill="{style.background}"/>'
+    )
+    if title:
+        parts.append(
+            f'<title>{escape(title)}</title>'
+        )
+
+    # Rows.
+    row_pitch = placement.row_pitch or tech.row_height
+    for row in range(placement.n_rows):
+        y = row * row_pitch * s
+        parts.append(
+            f'<rect x="0" y="{y:.1f}" width="{width:.1f}" '
+            f'height="{row_pitch * s:.1f}" fill="none" '
+            f'stroke="{style.row_stroke}"/>'
+        )
+
+    # Cells.
+    circuit = placement.circuit
+    for name, point in placement.cell_pos.items():
+        cell = circuit.cells[name]
+        cell_width = tech.cell_width(cell.ctype.transistor_count()) * s
+        cell_height = min(tech.row_height, row_pitch) * 0.6 * s
+        x = point.x * s - cell_width / 2
+        y = point.y * s - cell_height / 2
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_width:.1f}" '
+            f'height="{cell_height:.1f}" fill="{style.cell_fill}" '
+            f'stroke="{style.cell_stroke}" stroke-width="0.5">'
+            f'<title>{escape(name)} ({escape(cell.ctype.name)})</title></rect>'
+        )
+
+    # Wires.
+    if routing is not None:
+        pitch = placement.technology.track_pitch
+        for net_name, route in routing.routes.items():
+            emphasized = net_name in highlight
+            color = (
+                style.highlight_color
+                if emphasized
+                else (style.m1_color)
+            )
+            for seg in route.segments():
+                stroke = style.highlight_color if emphasized else (
+                    style.m1_color if seg.layer == 1 else style.m2_color
+                )
+                stroke_width = style.highlight_width if emphasized else style.wire_width
+                if seg.layer == 1:
+                    y = seg.track * pitch * s
+                    x1, x2 = seg.lo * s, seg.hi * s
+                    line = (
+                        f'<line x1="{x1:.1f}" y1="{y:.1f}" x2="{x2:.1f}" '
+                        f'y2="{y:.1f}"'
+                    )
+                else:
+                    x = seg.track * pitch * s
+                    y1, y2 = seg.lo * s, seg.hi * s
+                    line = (
+                        f'<line x1="{x:.1f}" y1="{y1:.1f}" x2="{x:.1f}" '
+                        f'y2="{y2:.1f}"'
+                    )
+                parts.append(
+                    f'{line} stroke="{stroke}" stroke-width="{stroke_width}">'
+                    f'<title>{escape(net_name)}</title></line>'
+                )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_layout_svg(
+    path: str,
+    placement: Placement,
+    routing: RoutingResult | None = None,
+    highlight_nets: set[str] | None = None,
+    style: SvgStyle | None = None,
+    title: str | None = None,
+) -> None:
+    """Render and write the SVG to ``path``."""
+    svg = render_layout(placement, routing, highlight_nets, style, title)
+    with open(path, "w") as handle:
+        handle.write(svg)

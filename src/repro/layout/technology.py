@@ -1,0 +1,82 @@
+"""Physical technology description: 0.5 um, two metal layers.
+
+The paper routes the benchmarks "in a 0.5 um process technology with two
+metal layers".  The constants below describe such a process: metal 1 routes
+horizontally, metal 2 vertically, both on a regular track grid.  Coupling
+capacitance between same-layer neighbours falls off with spacing; the
+values are chosen so that, as in the paper, the coupling impact on path
+delay clearly exceeds the wire-resistance impact (Section 6: 1.4-2.8 ns of
+coupling impact against 0.2-0.5 ns of wire delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Routing-layer electrical and geometric constants.
+
+    Lengths are in micrometres; electrical values per micrometre of wire.
+
+    Attributes
+    ----------
+    track_pitch:
+        Routing track pitch on both metal layers (um).
+    row_height:
+        Standard-cell row height (um).
+    cell_unit_width:
+        Cell width per transistor pair (um).
+    channel_tracks:
+        Horizontal routing tracks available in the channel above each row.
+    r_per_um:
+        Wire resistance per um (ohm/um) -- metal 1; metal 2 is thicker.
+    r_per_um_m2:
+        Metal-2 resistance per um.
+    c_ground_per_um:
+        Area+fringe capacitance to ground per um of wire (farad/um).
+    c_couple_per_um:
+        Coupling capacitance to a neighbour on an *adjacent* track
+        (minimum spacing) per um of parallel run (farad/um).
+    coupling_decay:
+        Coupling falls as ``c_couple_per_um / (track distance)**coupling_decay``;
+        beyond ``max_coupling_tracks`` it is ignored.
+    max_coupling_tracks:
+        Neighbour search radius in tracks.
+    via_resistance:
+        Resistance of one M1-M2 via (ohm).
+    """
+
+    track_pitch: float = 1.5
+    row_height: float = 24.0
+    cell_unit_width: float = 2.0
+    channel_tracks: int = 10
+    r_per_um: float = 0.12
+    r_per_um_m2: float = 0.07
+    c_ground_per_um: float = 0.045e-15
+    c_couple_per_um: float = 0.090e-15
+    coupling_decay: float = 2.0
+    max_coupling_tracks: int = 2
+    via_resistance: float = 1.5
+
+    def coupling_cap_per_um(self, track_distance: int) -> float:
+        """Coupling capacitance per um at the given track separation."""
+        if track_distance < 1:
+            raise ValueError("track distance must be >= 1")
+        if track_distance > self.max_coupling_tracks:
+            return 0.0
+        return self.c_couple_per_um / (track_distance ** self.coupling_decay)
+
+    def cell_width(self, transistor_count: int) -> float:
+        """Footprint width of a cell with the given transistor count."""
+        pairs = max(1, (transistor_count + 1) // 2)
+        return self.cell_unit_width * (pairs + 1)
+
+
+_DEFAULT = Technology()
+
+
+def default_technology() -> Technology:
+    """Return the shared default technology."""
+    return _DEFAULT

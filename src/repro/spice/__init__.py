@@ -1,0 +1,38 @@
+"""MNA transient simulator -- the in-repo stand-in for the paper's SPICE
+validation runs."""
+
+from repro.spice.elements import Capacitor, MosfetElement, PwlSource, Resistor
+from repro.spice.measure import (
+    DelayMeasurement,
+    crossing,
+    delay_between,
+    glitch_amplitude,
+    last_crossing,
+    slew,
+)
+from repro.spice.mna import FetBank, MnaSystem, build_mna
+from repro.spice.netlist import SimCircuit
+from repro.spice.transient import TransientError, TransientResult, TransientSimulator
+from repro.spice.writer import save_spice, write_spice
+
+__all__ = [
+    "Capacitor",
+    "DelayMeasurement",
+    "FetBank",
+    "MnaSystem",
+    "MosfetElement",
+    "PwlSource",
+    "Resistor",
+    "SimCircuit",
+    "TransientError",
+    "TransientResult",
+    "TransientSimulator",
+    "build_mna",
+    "crossing",
+    "delay_between",
+    "glitch_amplitude",
+    "last_crossing",
+    "save_spice",
+    "slew",
+    "write_spice",
+]

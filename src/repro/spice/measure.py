@@ -1,0 +1,103 @@
+"""Measurements on simulation traces: delays, slews, glitch amplitudes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spice.transient import TransientResult
+from repro.waveform.pwl import FALLING, RISING
+
+
+@dataclass(frozen=True)
+class DelayMeasurement:
+    """A 50 %-to-50 % delay between two nodes."""
+
+    from_node: str
+    to_node: str
+    delay: float
+    t_from: float
+    t_to: float
+
+
+def crossing(
+    result: TransientResult, node: str, threshold: float, direction: str
+) -> float:
+    """First crossing of ``threshold`` in ``direction`` on a node trace
+    (raw trace, not monotonised -- glitches count)."""
+    times = result.times
+    values = result.trace(node)
+    if direction == RISING:
+        hits = np.nonzero((values[:-1] < threshold) & (values[1:] >= threshold))[0]
+    else:
+        hits = np.nonzero((values[:-1] > threshold) & (values[1:] <= threshold))[0]
+    if hits.size == 0:
+        raise ValueError(
+            f"node {node!r} never crosses {threshold:.3f} V {direction}"
+        )
+    i = int(hits[0])
+    v0, v1 = values[i], values[i + 1]
+    t0, t1 = times[i], times[i + 1]
+    if v1 == v0:
+        return float(t1)
+    return float(t0 + (threshold - v0) * (t1 - t0) / (v1 - v0))
+
+
+def last_crossing(
+    result: TransientResult, node: str, threshold: float, direction: str
+) -> float:
+    """Last crossing of ``threshold`` in ``direction`` (for waveforms with
+    glitches, the final passage)."""
+    times = result.times
+    values = result.trace(node)
+    if direction == RISING:
+        hits = np.nonzero((values[:-1] < threshold) & (values[1:] >= threshold))[0]
+    else:
+        hits = np.nonzero((values[:-1] > threshold) & (values[1:] <= threshold))[0]
+    if hits.size == 0:
+        raise ValueError(f"node {node!r} never crosses {threshold:.3f} V {direction}")
+    i = int(hits[-1])
+    v0, v1 = values[i], values[i + 1]
+    t0, t1 = times[i], times[i + 1]
+    if v1 == v0:
+        return float(t1)
+    return float(t0 + (threshold - v0) * (t1 - t0) / (v1 - v0))
+
+
+def delay_between(
+    result: TransientResult,
+    from_node: str,
+    from_direction: str,
+    to_node: str,
+    to_direction: str,
+    threshold: float,
+) -> DelayMeasurement:
+    """50 %-style delay between two nodes at a common threshold."""
+    t_from = crossing(result, from_node, threshold, from_direction)
+    t_to = last_crossing(result, to_node, threshold, to_direction)
+    return DelayMeasurement(
+        from_node=from_node,
+        to_node=to_node,
+        delay=t_to - t_from,
+        t_from=t_from,
+        t_to=t_to,
+    )
+
+
+def glitch_amplitude(result: TransientResult, node: str, quiet_value: float) -> float:
+    """Peak excursion of a nominally quiet node from its rest value."""
+    return float(np.max(np.abs(result.trace(node) - quiet_value)))
+
+
+def slew(result: TransientResult, node: str, direction: str, vdd: float) -> float:
+    """10-90 % transition time extrapolated to the full swing."""
+    lo, hi = 0.1 * vdd, 0.9 * vdd
+    if direction == RISING:
+        t_lo = crossing(result, node, lo, RISING)
+        t_hi = crossing(result, node, hi, RISING)
+    else:
+        t_hi = crossing(result, node, hi, FALLING)
+        t_lo = crossing(result, node, lo, FALLING)
+        t_lo, t_hi = t_hi, t_lo
+    return abs(t_hi - t_lo) / 0.8

@@ -1,0 +1,232 @@
+"""Modified nodal analysis assembly.
+
+Builds the constant conductance matrix ``G`` (resistors + source
+branches), the capacitance matrix ``C`` and a vectorised MOSFET bank, and
+provides the per-Newton-iteration assembly of the residual and Jacobian.
+
+The unknown vector is ``x = [node voltages..., source branch currents...]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.mosfet import ids_generic
+from repro.spice.netlist import SimCircuit
+
+_FD_STEP = 1e-5  # finite-difference step for device derivatives (volts)
+
+
+class FetBank:
+    """All MOSFETs of a circuit as parallel parameter arrays.
+
+    One vectorised evaluation yields every device's current and its
+    derivatives, keeping the Newton assembly cost independent of the
+    device count in Python-overhead terms.
+    """
+
+    def __init__(self, circuit: SimCircuit):
+        fets = circuit.mosfets
+        self.count = len(fets)
+        self.d_idx = np.array([circuit.node(f.drain) for f in fets], dtype=int)
+        self.g_idx = np.array([circuit.node(f.gate) for f in fets], dtype=int)
+        self.s_idx = np.array([circuit.node(f.source) for f in fets], dtype=int)
+        self.polarity = np.array([f.device.params.polarity for f in fets], dtype=float)
+        self.beta = np.array(
+            [f.device.process.kp_n if f.device.params.polarity > 0 else f.device.process.kp_p
+             for f in fets],
+            dtype=float,
+        ) * np.array([f.device.params.wl for f in fets], dtype=float)
+        self.vt = np.array(
+            [f.device.process.vtn if f.device.params.polarity > 0 else abs(f.device.process.vtp)
+             for f in fets],
+            dtype=float,
+        )
+        self.lam = np.array(
+            [f.device.process.lambda_n if f.device.params.polarity > 0 else f.device.process.lambda_p
+             for f in fets],
+            dtype=float,
+        )
+        self.n_vt = np.array(
+            [f.device.process.n_sub * f.device.process.thermal_voltage for f in fets],
+            dtype=float,
+        )
+
+        self._build_stamp_pattern()
+
+    def _build_stamp_pattern(self) -> None:
+        """Precompute the COO sparsity pattern of the device Jacobian.
+
+        Six entry kinds per device -- (d,d)+gds, (d,g)+gm, (d,s)-(gm+gds),
+        (s,d)-gds, (s,g)-gm, (s,s)+(gm+gds) -- filtered for grounded
+        terminals.  Each iteration only the values change.
+        """
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        # Value selectors: which device and which coefficient combination.
+        dev: list[np.ndarray] = []
+        kind: list[np.ndarray] = []  # 0:+gds 1:+gm 2:-(gm+gds) 3:-gds 4:-gm 5:+(gm+gds)
+        d, g, s = self.d_idx, self.g_idx, self.s_idx
+        index = np.arange(self.count)
+        for row, col, k in (
+            (d, d, 0),
+            (d, g, 1),
+            (d, s, 2),
+            (s, d, 3),
+            (s, g, 4),
+            (s, s, 5),
+        ):
+            mask = (row >= 0) & (col >= 0)
+            rows.append(row[mask])
+            cols.append(col[mask])
+            dev.append(index[mask])
+            kind.append(np.full(mask.sum(), k, dtype=int))
+        self.stamp_rows = np.concatenate(rows) if rows else np.zeros(0, int)
+        self.stamp_cols = np.concatenate(cols) if cols else np.zeros(0, int)
+        self._stamp_dev = np.concatenate(dev) if dev else np.zeros(0, int)
+        self._stamp_kind = np.concatenate(kind) if kind else np.zeros(0, int)
+
+    def stamp_values(self, gm: np.ndarray, gds: np.ndarray) -> np.ndarray:
+        """Jacobian values matching :attr:`stamp_rows`/:attr:`stamp_cols`."""
+        gs = gm + gds
+        table = np.stack([gds, gm, -gs, -gds, -gm, gs])
+        return table[self._stamp_kind, self._stamp_dev]
+
+    def residual_contribution(self, ids: np.ndarray, n_nodes: int) -> np.ndarray:
+        """KCL residual vector of the device currents."""
+        res = np.zeros(n_nodes)
+        mask_d = self.d_idx >= 0
+        np.add.at(res, self.d_idx[mask_d], ids[mask_d])
+        mask_s = self.s_idx >= 0
+        np.add.at(res, self.s_idx[mask_s], -ids[mask_s])
+        return res
+
+    def _terminal_voltages(self, v_nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        def at(idx: np.ndarray) -> np.ndarray:
+            out = np.zeros(self.count)
+            mask = idx >= 0
+            out[mask] = v_nodes[idx[mask]]
+            return out
+
+        vd, vg, vs = at(self.d_idx), at(self.g_idx), at(self.s_idx)
+        return vg - vs, vd - vs
+
+    def evaluate(self, v_nodes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Currents and derivatives: ``(ids, gm, gds)`` per device."""
+        if self.count == 0:
+            empty = np.zeros(0)
+            return empty, empty, empty
+        vgs, vds = self._terminal_voltages(v_nodes)
+        ids = ids_generic(vgs, vds, self.polarity, self.beta, self.vt, self.lam, self.n_vt)
+        h = _FD_STEP
+        gm = (
+            ids_generic(vgs + h, vds, self.polarity, self.beta, self.vt, self.lam, self.n_vt)
+            - ids_generic(vgs - h, vds, self.polarity, self.beta, self.vt, self.lam, self.n_vt)
+        ) / (2 * h)
+        gds = (
+            ids_generic(vgs, vds + h, self.polarity, self.beta, self.vt, self.lam, self.n_vt)
+            - ids_generic(vgs, vds - h, self.polarity, self.beta, self.vt, self.lam, self.n_vt)
+        ) / (2 * h)
+        return ids, gm, gds
+
+
+@dataclass
+class MnaSystem:
+    """Assembled matrices and stamping helpers for one circuit."""
+
+    circuit: SimCircuit
+    n_nodes: int
+    n_branches: int
+    g_matrix: np.ndarray
+    c_matrix: np.ndarray
+    fets: FetBank
+
+    @property
+    def size(self) -> int:
+        return self.n_nodes + self.n_branches
+
+    def source_vector(self, t: float) -> np.ndarray:
+        """Right-hand side at time ``t`` (source branch rows only)."""
+        b = np.zeros(self.size)
+        for k, source in enumerate(self.circuit.sources):
+            b[self.n_nodes + k] = source.voltage_at(t)
+        return b
+
+    def stamp_nonlinear(
+        self, x: np.ndarray, jacobian: np.ndarray, residual: np.ndarray
+    ) -> None:
+        """Add MOSFET currents and conductances to an in-progress (dense)
+        Newton system (KCL convention: device current leaves the drain row
+        and enters the source row)."""
+        bank = self.fets
+        if bank.count == 0:
+            return
+        ids, gm, gds = bank.evaluate(x[: self.n_nodes])
+        residual[: self.n_nodes] += bank.residual_contribution(ids, self.n_nodes)
+        np.add.at(
+            jacobian,
+            (bank.stamp_rows, bank.stamp_cols),
+            bank.stamp_values(gm, gds),
+        )
+
+
+_GMIN = 1e-9  # siemens; SPICE-style minimum conductance to ground
+
+
+def build_mna(circuit: SimCircuit) -> MnaSystem:
+    """Assemble the constant matrices for a circuit.
+
+    Every node gets a ``gmin`` leak to ground so nodes isolated by cut-off
+    transistors (internal stack nodes at DC) keep a well-conditioned
+    Jacobian -- standard SPICE practice.
+    """
+    n = circuit.node_count
+    m = len(circuit.sources)
+    size = n + m
+    g_matrix = np.zeros((size, size))
+    c_matrix = np.zeros((size, size))
+    for i in range(n):
+        g_matrix[i, i] += _GMIN
+
+    for resistor in circuit.resistors:
+        a, b = circuit.node(resistor.a), circuit.node(resistor.b)
+        g = resistor.conductance
+        if a >= 0:
+            g_matrix[a, a] += g
+        if b >= 0:
+            g_matrix[b, b] += g
+        if a >= 0 and b >= 0:
+            g_matrix[a, b] -= g
+            g_matrix[b, a] -= g
+
+    for capacitor in circuit.capacitors:
+        a, b = circuit.node(capacitor.a), circuit.node(capacitor.b)
+        c = capacitor.capacitance
+        if a >= 0:
+            c_matrix[a, a] += c
+        if b >= 0:
+            c_matrix[b, b] += c
+        if a >= 0 and b >= 0:
+            c_matrix[a, b] -= c
+            c_matrix[b, a] -= c
+
+    for k, source in enumerate(circuit.sources):
+        row = n + k
+        a, b = circuit.node(source.a), circuit.node(source.b)
+        if a >= 0:
+            g_matrix[row, a] += 1.0
+            g_matrix[a, row] += 1.0
+        if b >= 0:
+            g_matrix[row, b] -= 1.0
+            g_matrix[b, row] -= 1.0
+
+    return MnaSystem(
+        circuit=circuit,
+        n_nodes=n,
+        n_branches=m,
+        g_matrix=g_matrix,
+        c_matrix=c_matrix,
+        fets=FetBank(circuit),
+    )

@@ -1,0 +1,99 @@
+"""Simulator circuit container and node registry.
+
+Node ``"0"`` (alias ``"gnd"``) is ground.  All other node names are
+assigned consecutive indices in order of first use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.mosfet import Mosfet
+from repro.spice.elements import Capacitor, MosfetElement, PwlSource, Resistor
+
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+class SimCircuit:
+    """A flat transistor-level circuit for transient simulation."""
+
+    def __init__(self, name: str = "sim"):
+        self.name = name
+        self._node_index: dict[str, int] = {}
+        self.resistors: list[Resistor] = []
+        self.capacitors: list[Capacitor] = []
+        self.sources: list[PwlSource] = []
+        self.mosfets: list[MosfetElement] = []
+
+    # -- node bookkeeping ----------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Index of a node; ground is -1.  Creates the node on first use."""
+        if name in GROUND_NAMES:
+            return -1
+        index = self._node_index.get(name)
+        if index is None:
+            index = len(self._node_index)
+            self._node_index[name] = index
+        return index
+
+    @property
+    def node_count(self) -> int:
+        return len(self._node_index)
+
+    @property
+    def node_names(self) -> list[str]:
+        return list(self._node_index)
+
+    def has_node(self, name: str) -> bool:
+        return name in self._node_index or name in GROUND_NAMES
+
+    # -- element factories -----------------------------------------------------
+
+    def add_resistor(self, a: str, b: str, resistance: float) -> Resistor:
+        element = Resistor(a, b, resistance)
+        self.node(a)
+        self.node(b)
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(self, a: str, b: str, capacitance: float) -> Capacitor:
+        element = Capacitor(a, b, capacitance)
+        self.node(a)
+        self.node(b)
+        self.capacitors.append(element)
+        return element
+
+    def add_source(self, source: PwlSource) -> PwlSource:
+        self.node(source.a)
+        self.node(source.b)
+        self.sources.append(source)
+        return source
+
+    def add_vdc(self, node: str, voltage: float) -> PwlSource:
+        return self.add_source(PwlSource.dc(node, voltage))
+
+    def add_mosfet(
+        self, name: str, drain: str, gate: str, source: str, device: Mosfet
+    ) -> MosfetElement:
+        element = MosfetElement(name, drain, gate, source, device)
+        for terminal in (drain, gate, source):
+            self.node(terminal)
+        self.mosfets.append(element)
+        return element
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "nodes": self.node_count,
+            "resistors": len(self.resistors),
+            "capacitors": len(self.capacitors),
+            "sources": len(self.sources),
+            "mosfets": len(self.mosfets),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"SimCircuit({self.name}: {s['nodes']} nodes, {s['mosfets']} fets, "
+            f"{s['resistors']} R, {s['capacitors']} C, {s['sources']} V)"
+        )

@@ -1,0 +1,88 @@
+"""SPICE deck export.
+
+Writes a :class:`~repro.spice.netlist.SimCircuit` as a standard SPICE
+netlist (``.sp``) so the validation circuits can be re-run in an external
+simulator.  Devices reference LEVEL=1 ``.MODEL`` cards fitted from the
+process constants; the export is an approximation of this repository's
+smooth device model (which has no SPICE-standard equivalent), close enough
+for cross-checking waveforms.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.devices.params import ProcessParams, default_process
+from repro.spice.netlist import GROUND_NAMES, SimCircuit
+
+
+def _node(name: str) -> str:
+    """SPICE-safe node name."""
+    if name in GROUND_NAMES:
+        return "0"
+    return re.sub(r"[^A-Za-z0-9_]", "_", name)
+
+
+def write_spice(
+    circuit: SimCircuit,
+    process: ProcessParams | None = None,
+    t_stop: float = 2e-9,
+    t_step: float = 1e-12,
+    probes: list[str] | None = None,
+) -> str:
+    """Render the circuit as SPICE deck text."""
+    process = process if process is not None else default_process()
+    lines: list[str] = [f"* {circuit.name} -- exported by repro", ""]
+
+    lines.append(
+        f".MODEL NMOS1 NMOS (LEVEL=1 VTO={process.vtn:.3f} "
+        f"KP={process.kp_n:.4g} LAMBDA={process.lambda_n:.3f})"
+    )
+    lines.append(
+        f".MODEL PMOS1 PMOS (LEVEL=1 VTO={process.vtp:.3f} "
+        f"KP={process.kp_p:.4g} LAMBDA={process.lambda_p:.3f})"
+    )
+    lines.append("")
+
+    for index, resistor in enumerate(circuit.resistors):
+        lines.append(
+            f"R{index} {_node(resistor.a)} {_node(resistor.b)} {resistor.resistance:.6g}"
+        )
+    for index, capacitor in enumerate(circuit.capacitors):
+        lines.append(
+            f"C{index} {_node(capacitor.a)} {_node(capacitor.b)} "
+            f"{capacitor.capacitance:.6g}"
+        )
+    for index, source in enumerate(circuit.sources):
+        points = " ".join(f"{t:.6g} {v:.6g}" for t, v in source.points)
+        lines.append(
+            f"V{index} {_node(source.a)} {_node(source.b)} PWL({points})"
+        )
+    for index, fet in enumerate(circuit.mosfets):
+        model = "NMOS1" if fet.device.params.polarity > 0 else "PMOS1"
+        bulk = "0" if fet.device.params.polarity > 0 else _node("vdd")
+        lines.append(
+            f"M{index} {_node(fet.drain)} {_node(fet.gate)} {_node(fet.source)} "
+            f"{bulk} {model} W={fet.device.params.width:.4g} "
+            f"L={fet.device.params.length:.4g}"
+        )
+
+    lines.append("")
+    lines.append(f".TRAN {t_step:.4g} {t_stop:.4g}")
+    if probes:
+        lines.append(".PRINT TRAN " + " ".join(f"V({_node(p)})" for p in probes))
+    lines.append(".END")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def save_spice(
+    path: str,
+    circuit: SimCircuit,
+    process: ProcessParams | None = None,
+    t_stop: float = 2e-9,
+    t_step: float = 1e-12,
+    probes: list[str] | None = None,
+) -> None:
+    with open(path, "w") as handle:
+        handle.write(write_spice(circuit, process, t_stop, t_step, probes))

@@ -1,0 +1,25 @@
+"""Paper-style validation: longest-path simulation with aggressor
+alignment, compared against the STA bounds."""
+
+from repro.validate.align import (
+    AlignmentRecord,
+    SimulationOutcome,
+    align_aggressors,
+    quiet_simulation,
+    simulate_path,
+)
+from repro.validate.compare import TableComparison, run_table_comparison
+from repro.validate.pathsim import AggressorHandle, PathCircuit, build_path_circuit
+
+__all__ = [
+    "AggressorHandle",
+    "AlignmentRecord",
+    "PathCircuit",
+    "SimulationOutcome",
+    "TableComparison",
+    "align_aggressors",
+    "build_path_circuit",
+    "quiet_simulation",
+    "run_table_comparison",
+    "simulate_path",
+]

@@ -1,0 +1,33 @@
+"""Waveform engine: PWL waveforms, ramp events, the coupling model and the
+transistor-level stage solver."""
+
+from repro.waveform.coupling import (
+    CouplingLoad,
+    CouplingTreatment,
+    aggregate_load,
+    model_threshold,
+)
+from repro.waveform.gatedelay import ArcResult, GateDelayCalculator
+from repro.waveform.pwl import FALLING, RISING, Waveform, opposite, ramp_waveform
+from repro.waveform.ramp import RampEvent, merge_worst
+from repro.waveform.stage import InputRamp, StageResult, StageSolver, StageSolverError
+
+__all__ = [
+    "ArcResult",
+    "CouplingLoad",
+    "CouplingTreatment",
+    "FALLING",
+    "GateDelayCalculator",
+    "InputRamp",
+    "RISING",
+    "RampEvent",
+    "StageResult",
+    "StageSolver",
+    "StageSolverError",
+    "Waveform",
+    "aggregate_load",
+    "merge_worst",
+    "model_threshold",
+    "opposite",
+    "ramp_waveform",
+]

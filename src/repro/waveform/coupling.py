@@ -1,0 +1,145 @@
+"""The paper's coupling delay model (Section 2).
+
+Three-step model for a victim transition with active aggressors:
+
+1. While the victim output moves away from its initial rail the coupling
+   capacitance is **passive** (it just adds to the load).
+2. When the victim voltage reaches the **trigger** value
+   (``V_th + dV`` for a rising victim), the aggressors are assumed to drop
+   instantaneously by the full ``V_DD`` in the opposite direction.  The
+   victim node, a capacitive voltage divider, jumps back by
+
+       dV = V_DD * C_c_active / (C_c_total + C_ground)
+
+   landing exactly on ``V_th``.
+3. The coupling capacitance is passive again and the victim completes its
+   transition.  For delay calculation the pre-drop part of the waveform is
+   discarded -- "the waveforms start with the value of V_th" -- which keeps
+   every propagated waveform monotone; the crosstalk shows up purely as
+   extra delay.
+
+The model's key property for *static* analysis: the aggressor waveform is
+never needed, only whether the aggressor **can** be active (the
+instantaneous full-swing drop upper-bounds every real aggressor slope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.devices.params import ProcessParams, default_process
+from repro.waveform.pwl import FALLING, RISING
+
+
+class CouplingTreatment(Enum):
+    """How one coupling capacitance enters a delay calculation.
+
+    The paper's five analysis modes reduce, per capacitance, to one of:
+
+    * ``GROUNDED`` -- passive, original value (best case / proven-quiet
+      neighbour in the one-step and iterative algorithms).
+    * ``GROUNDED_DOUBLED`` -- passive, doubled value (the classical
+      "static doubled" approach).
+    * ``ACTIVE`` -- the three-step model above (worst case / possibly
+      switching neighbour).
+    """
+
+    GROUNDED = "grounded"
+    GROUNDED_DOUBLED = "grounded_doubled"
+    ACTIVE = "active"
+
+
+@dataclass(frozen=True)
+class CouplingLoad:
+    """Aggregate coupling situation at a victim output node.
+
+    ``c_ground`` is everything passive and grounded at the node (wire
+    ground capacitance, pin loads, junction parasitics).  ``c_couple_active``
+    and ``c_couple_passive`` split the coupling capacitances by treatment;
+    doubled passive capacitances must be pre-doubled by the caller.
+    """
+
+    c_ground: float
+    c_couple_active: float = 0.0
+    c_couple_passive: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.c_ground, self.c_couple_active, self.c_couple_passive) < 0:
+            raise ValueError("capacitances must be non-negative")
+
+    @property
+    def c_total(self) -> float:
+        """Total capacitance at the node (the divider denominator and the
+        integration load)."""
+        return self.c_ground + self.c_couple_active + self.c_couple_passive
+
+    def divider_drop(self, process: ProcessParams | None = None) -> float:
+        """The coupling glitch amplitude ``dV``."""
+        process = process if process is not None else default_process()
+        if self.c_total <= 0:
+            return 0.0
+        return process.vdd * self.c_couple_active / self.c_total
+
+    def trigger_voltage(self, direction: str, process: ProcessParams | None = None) -> float:
+        """Victim voltage at which the worst-case aggressor drop fires.
+
+        Rising victim: ``V_th + dV`` (it falls back to ``V_th``).
+        Falling victim: ``V_DD - V_th - dV`` (it bounces up to
+        ``V_DD - V_th``).
+        """
+        process = process if process is not None else default_process()
+        drop = self.divider_drop(process)
+        if direction == RISING:
+            return process.v_th_model + drop
+        if direction == FALLING:
+            return process.vdd - process.v_th_model - drop
+        raise ValueError(f"unknown direction {direction!r}")
+
+    def restart_voltage(self, direction: str, process: ProcessParams | None = None) -> float:
+        """Victim voltage just after the drop (where the reported waveform
+        starts)."""
+        process = process if process is not None else default_process()
+        if direction == RISING:
+            return process.v_th_model
+        if direction == FALLING:
+            return process.vdd - process.v_th_model
+        raise ValueError(f"unknown direction {direction!r}")
+
+    @property
+    def has_active_coupling(self) -> bool:
+        return self.c_couple_active > 0.0
+
+
+def aggregate_load(
+    c_ground: float,
+    couplings: list[tuple[float, CouplingTreatment]],
+) -> CouplingLoad:
+    """Build the node's :class:`CouplingLoad` from per-neighbour decisions."""
+    active = 0.0
+    passive = 0.0
+    for cap, treatment in couplings:
+        if cap < 0:
+            raise ValueError("coupling capacitance must be non-negative")
+        if treatment is CouplingTreatment.ACTIVE:
+            active += cap
+        elif treatment is CouplingTreatment.GROUNDED_DOUBLED:
+            passive += 2.0 * cap
+        else:
+            passive += cap
+    return CouplingLoad(
+        c_ground=c_ground,
+        c_couple_active=active,
+        c_couple_passive=passive,
+    )
+
+
+def model_threshold(direction: str, process: ProcessParams | None = None) -> float:
+    """The activity threshold of the model for a given direction:
+    ``V_th`` (rising) or ``V_DD - V_th`` (falling)."""
+    process = process if process is not None else default_process()
+    if direction == RISING:
+        return process.v_th_model
+    if direction == FALLING:
+        return process.vdd - process.v_th_model
+    raise ValueError(f"unknown direction {direction!r}")

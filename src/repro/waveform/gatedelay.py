@@ -1,0 +1,195 @@
+"""Per-arc gate delay calculation with caching.
+
+Wraps the stage solver into the operation the STA performs on every timing
+arc: given the switching input's ramp event, the cell/pin, and the victim
+output's coupling situation, produce the output ramp event.
+
+Results are cached on a quantized key (cell, pin, input direction, input
+transition, passive load, active coupling); circuits instantiate few cell
+types at many places, so the hit rate is high and the Newton integrations
+are only paid for distinct electrical situations.  Quantization rounds the
+load and slew *up* (slower, later -- conservative for the delay bound);
+the small non-conservative error this leaves on the early-activity marker
+is covered by the STA's comparison guard band (``StaConfig.guard``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.library import CellType
+from repro.devices.params import ProcessParams, default_process
+from repro.devices.tables import StageTable
+from repro.waveform.coupling import CouplingLoad
+from repro.waveform.pwl import opposite
+from repro.waveform.ramp import RampEvent
+from repro.waveform.stage import InputRamp, StageResult, StageSolver
+
+
+@dataclass(frozen=True)
+class ArcResult:
+    """Stage response in the input-ramp-start time frame (t_start = 0)."""
+
+    direction: str
+    t_cross: float
+    transition: float
+    t_early: float
+    t_late: float
+    coupled: bool
+
+    def to_event(self, t_start: float) -> RampEvent:
+        """Materialise as an absolute-time ramp event."""
+        return RampEvent(
+            direction=self.direction,
+            t_cross=t_start + self.t_cross,
+            transition=self.transition,
+            t_early=t_start + self.t_early,
+            t_late=t_start + self.t_late,
+        )
+
+
+class GateDelayCalculator:
+    """Caching transistor-level delay engine for library-cell arcs."""
+
+    def __init__(
+        self,
+        process: ProcessParams | None = None,
+        transition_grid: float = 2e-12,
+        cap_grid: float = 0.2e-15,
+        table_points: int = 121,
+    ):
+        self.process = process if process is not None else default_process()
+        self.transition_grid = transition_grid
+        self.cap_grid = cap_grid
+        self.table_points = table_points
+        self._stage_tables: dict[tuple[str, str], StageTable] = {}
+        self._solvers: dict[tuple[str, str], StageSolver] = {}
+        self._arc_cache: dict[tuple, ArcResult] = {}
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    # -- stage machinery ----------------------------------------------------
+
+    def solver_for(self, ctype: CellType, pin: str) -> StageSolver:
+        key = (ctype.name, pin)
+        solver = self._solvers.get(key)
+        if solver is None:
+            pull_up, pull_down = ctype.topology.equivalent_stage(pin, self.process)
+            if pull_up is None and pull_down is None:
+                raise ValueError(
+                    f"{ctype.name} has no transistor gated by pin {pin!r}"
+                )
+            table = StageTable(
+                pull_up, pull_down, process=self.process, points=self.table_points
+            )
+            self._stage_tables[key] = table
+            solver = StageSolver(table, self.process)
+            self._solvers[key] = solver
+        return solver
+
+    # -- quantization --------------------------------------------------------
+
+    def _q_time(self, value: float, down: bool = False) -> float:
+        rounder = math.floor if down else math.ceil
+        return rounder(max(value, 1e-13) / self.transition_grid) * self.transition_grid
+
+    def _q_cap(self, value: float, down: bool = False) -> float:
+        rounder = math.floor if down else math.ceil
+        return rounder(max(value, 0.0) / self.cap_grid) * self.cap_grid
+
+    # -- the arc operation ----------------------------------------------------
+
+    def compute_arc(
+        self,
+        ctype: CellType,
+        pin: str,
+        input_event: RampEvent,
+        load: CouplingLoad,
+        aiding: bool = False,
+    ) -> RampEvent:
+        """Output ramp event at the cell's output pin (wire delay excluded).
+
+        The cell is negative unate (static single-stage CMOS): the output
+        direction is the opposite of ``input_event.direction``.
+        """
+        result = self.compute_arc_relative(
+            ctype, pin, input_event.direction, input_event.transition, load, aiding
+        )
+        t_start = input_event.t_cross - 0.5 * input_event.transition
+        return result.to_event(t_start)
+
+    def compute_arc_relative(
+        self,
+        ctype: CellType,
+        pin: str,
+        input_direction: str,
+        input_transition: float,
+        load: CouplingLoad,
+        aiding: bool = False,
+        quantize_down: bool = False,
+    ) -> ArcResult:
+        """The cached, time-origin-free arc calculation.
+
+        ``aiding=True`` applies the mirrored same-direction coupling model
+        (helping jump) used by min-delay analysis.  ``quantize_down``
+        rounds the cache key's load and slew *down* instead of up -- the
+        conservative direction for a min-delay (lower) bound, where the
+        modelled arc must never be slower than reality.
+        """
+        tt = self._q_time(input_transition, down=quantize_down)
+        c_passive = self._q_cap(load.c_ground + load.c_couple_passive, down=quantize_down)
+        # Active coupling is a *helping* jump in min-delay contexts: round
+        # it up there (more help -> faster -> safe lower bound).
+        c_active = self._q_cap(load.c_couple_active, down=quantize_down and not aiding)
+        if quantize_down and c_passive + c_active <= 0.0:
+            c_passive = self.cap_grid  # keep the stage integrable
+        key = (ctype.name, pin, input_direction, tt, c_passive, c_active, aiding)
+        cached = self._arc_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+
+        self.evaluations += 1
+        solver = self.solver_for(ctype, pin)
+        stage_result = solver.solve(
+            InputRamp(direction=input_direction, t_start=0.0, transition=tt),
+            CouplingLoad(
+                c_ground=c_passive,
+                c_couple_active=c_active,
+                c_couple_passive=0.0,
+            ),
+            aiding=aiding,
+        )
+        arc = ArcResult(
+            direction=stage_result.direction,
+            t_cross=stage_result.t_cross,
+            transition=stage_result.transition,
+            t_early=stage_result.t_early,
+            t_late=stage_result.t_late,
+            coupled=stage_result.coupled,
+        )
+        self._arc_cache[key] = arc
+        return arc
+
+    def solve_stage_raw(
+        self,
+        ctype: CellType,
+        pin: str,
+        input_ramp: InputRamp,
+        load: CouplingLoad,
+    ) -> StageResult:
+        """Uncached full-waveform stage solve (diagnostics, validation)."""
+        return self.solver_for(ctype, pin).solve(input_ramp, load)
+
+    def cache_stats(self) -> dict[str, int]:
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cached_arcs": len(self._arc_cache),
+            "stage_tables": len(self._stage_tables),
+        }
+
+    def reset_counters(self) -> None:
+        self.evaluations = 0
+        self.cache_hits = 0

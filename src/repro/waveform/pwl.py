@@ -1,0 +1,158 @@
+"""Piecewise-linear waveforms.
+
+The coupling model keeps "all waveforms monotonously rising or falling"
+(paper, Section 2), so a waveform here is a monotone PWL voltage-vs-time
+trace.  Waveforms are produced by the stage solver and by the validation
+simulator; the STA propagates the compact ramp summary of
+:mod:`repro.waveform.ramp` instead, but both support the same threshold
+queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RISING = "rise"
+FALLING = "fall"
+
+
+def opposite(direction: str) -> str:
+    """The opposing transition direction."""
+    if direction == RISING:
+        return FALLING
+    if direction == FALLING:
+        return RISING
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+class Waveform:
+    """A monotone piecewise-linear voltage waveform."""
+
+    __slots__ = ("times", "values", "direction")
+
+    def __init__(self, times, values, direction: str | None = None):
+        self.times = np.asarray(times, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        if self.times.ndim != 1 or self.times.shape != self.values.shape:
+            raise ValueError("times and values must be 1-D arrays of equal length")
+        if self.times.size < 2:
+            raise ValueError("waveform needs at least two points")
+        if np.any(np.diff(self.times) < 0):
+            raise ValueError("times must be non-decreasing")
+        if direction is None:
+            direction = RISING if self.values[-1] >= self.values[0] else FALLING
+        if direction not in (RISING, FALLING):
+            raise ValueError(f"unknown direction {direction!r}")
+        self.direction = direction
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def t_start(self) -> float:
+        return float(self.times[0])
+
+    @property
+    def t_end(self) -> float:
+        return float(self.times[-1])
+
+    @property
+    def v_start(self) -> float:
+        return float(self.values[0])
+
+    @property
+    def v_end(self) -> float:
+        return float(self.values[-1])
+
+    def is_monotone(self, tolerance: float = 1e-9) -> bool:
+        diffs = np.diff(self.values)
+        if self.direction == RISING:
+            return bool(np.all(diffs >= -tolerance))
+        return bool(np.all(diffs <= tolerance))
+
+    def value_at(self, t: float) -> float:
+        """Voltage at time ``t`` (clamped to the end values outside)."""
+        return float(np.interp(t, self.times, self.values))
+
+    def crossing_time(self, threshold: float) -> float:
+        """First time the waveform crosses ``threshold``.
+
+        Raises ``ValueError`` if the waveform never reaches it.
+        """
+        v = self.values
+        if self.direction == RISING:
+            idx = np.nonzero(v >= threshold)[0]
+        else:
+            idx = np.nonzero(v <= threshold)[0]
+        if idx.size == 0:
+            raise ValueError(
+                f"waveform ({self.direction}, {v[0]:.3f}->{v[-1]:.3f} V) "
+                f"never crosses {threshold:.3f} V"
+            )
+        i = int(idx[0])
+        if i == 0:
+            return float(self.times[0])
+        t0, t1 = self.times[i - 1], self.times[i]
+        v0, v1 = v[i - 1], v[i]
+        if v1 == v0:
+            return float(t1)
+        return float(t0 + (threshold - v0) * (t1 - t0) / (v1 - v0))
+
+    def transition_time(self, lo_frac: float = 0.1, hi_frac: float = 0.9) -> float:
+        """Slew between the given swing fractions, extrapolated to the full
+        swing (the convention the ramp model uses)."""
+        v_lo = min(self.v_start, self.v_end)
+        v_hi = max(self.v_start, self.v_end)
+        swing = v_hi - v_lo
+        if swing <= 0:
+            return 0.0
+        a = v_lo + lo_frac * swing
+        b = v_lo + hi_frac * swing
+        if self.direction == RISING:
+            t_a, t_b = self.crossing_time(a), self.crossing_time(b)
+        else:
+            t_a, t_b = self.crossing_time(b), self.crossing_time(a)
+        return (t_b - t_a) / (hi_frac - lo_frac)
+
+    def shifted(self, dt: float) -> "Waveform":
+        """The same waveform translated in time."""
+        return Waveform(self.times + dt, self.values.copy(), self.direction)
+
+    def clipped_from(self, t: float) -> "Waveform":
+        """The waveform from time ``t`` onward (used to discard the
+        pre-coupling glitch: "the waveform before the occurrence of the
+        coupling is completely ignored")."""
+        mask = self.times >= t
+        idx = np.nonzero(mask)[0]
+        if idx.size == 0:
+            raise ValueError(f"cannot clip waveform from t={t}: too few points remain")
+        start = int(idx[0])
+        times = self.times[start:]
+        values = self.values[start:]
+        if start > 0 and self.times[start] > t:
+            v_at = self.value_at(t)
+            times = np.concatenate(([t], times))
+            values = np.concatenate(([v_at], values))
+        if times.size < 2:
+            raise ValueError(f"cannot clip waveform from t={t}: too few points remain")
+        return Waveform(times, values, self.direction)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Waveform({self.direction}, {self.v_start:.2f}->{self.v_end:.2f} V, "
+            f"t=[{self.t_start:.3e}, {self.t_end:.3e}], n={self.times.size})"
+        )
+
+
+def ramp_waveform(
+    t_start: float,
+    transition: float,
+    v_from: float,
+    v_to: float,
+) -> Waveform:
+    """An ideal saturated ramp between two voltages."""
+    if transition <= 0:
+        transition = 1e-15
+    times = [t_start - max(transition, 1e-12), t_start, t_start + transition]
+    values = [v_from, v_from, v_to]
+    direction = RISING if v_to >= v_from else FALLING
+    return Waveform(times, values, direction)

@@ -1,0 +1,91 @@
+"""Compact ramp summary of a waveform, as propagated by the STA.
+
+A :class:`RampEvent` is what travels along timing arcs: direction, the
+50 %-crossing time, the full-swing transition time, and the two
+model-threshold crossings the crosstalk algorithms compare (Section 5 of
+the paper: "thresholds have to be defined.  A safe and conservative choice
+is to take the same threshold voltages as chosen for the coupling model"):
+
+* ``t_early`` -- crossing of the *near-start* threshold (``V_th`` for a
+  rising net, ``V_DD - V_th`` for a falling net).  The earliest possible
+  activity of this transition; the one-step algorithm compares the victim's
+  best-case ``t_early`` against aggressor quiescence.
+* ``t_late`` -- crossing of the *near-end* threshold (``V_DD - V_th`` for
+  rising, ``V_th`` for falling).  After ``t_late`` the transition is
+  complete to within the model threshold: the net is *quiet* for this
+  direction from then on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.waveform.pwl import FALLING, RISING
+
+
+@dataclass(frozen=True)
+class RampEvent:
+    """One propagated transition on a net.
+
+    All times are absolute within the clock cycle (seconds).
+    """
+
+    direction: str
+    t_cross: float
+    transition: float
+    t_early: float
+    t_late: float
+
+    def __post_init__(self) -> None:
+        if self.direction not in (RISING, FALLING):
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.transition < 0:
+            raise ValueError("transition time must be non-negative")
+        if self.t_late < self.t_early - 1e-18:
+            raise ValueError(
+                f"t_late ({self.t_late}) must not precede t_early ({self.t_early})"
+            )
+
+    def shifted(self, dt: float) -> "RampEvent":
+        """The same event translated in time (used to add wire delay)."""
+        return replace(
+            self,
+            t_cross=self.t_cross + dt,
+            t_early=self.t_early + dt,
+            t_late=self.t_late + dt,
+        )
+
+    def with_transition(self, transition: float) -> "RampEvent":
+        return replace(self, transition=transition)
+
+    def dominates(self, other: "RampEvent") -> bool:
+        """True if keeping only ``self`` is conservative: no marker of
+        ``other`` exceeds the corresponding marker of ``self``."""
+        return (
+            self.t_cross >= other.t_cross
+            and self.t_late >= other.t_late
+            and self.t_early <= other.t_early
+            and self.transition >= other.transition
+        )
+
+
+def merge_worst(a: RampEvent | None, b: RampEvent | None) -> RampEvent | None:
+    """Pointwise-worst merge of two events of the same direction.
+
+    Static timing propagates one conservative event per (net, direction):
+    latest 50 % crossing and quiescence, earliest possible activity,
+    slowest transition.  The result upper-bounds both inputs.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.direction != b.direction:
+        raise ValueError(f"cannot merge {a.direction} with {b.direction}")
+    return RampEvent(
+        direction=a.direction,
+        t_cross=max(a.t_cross, b.t_cross),
+        transition=max(a.transition, b.transition),
+        t_early=min(a.t_early, b.t_early),
+        t_late=max(a.t_late, b.t_late),
+    )

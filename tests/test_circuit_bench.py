@@ -1,0 +1,183 @@
+"""Tests for the ISCAS89 .bench parser, writer and technology mapping."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.bench import (
+    BenchParseError,
+    map_to_circuit,
+    parse_bench,
+    write_bench,
+)
+from repro.circuit.benchmarks import S27_BENCH, s27, s27_bench
+
+
+class TestParser:
+    def test_s27_shape(self):
+        netlist = s27_bench()
+        assert len(netlist.inputs) == 4
+        assert netlist.outputs == ["G17"]
+        assert netlist.flip_flop_count() == 3
+        assert len(netlist.gates) == 13
+
+    def test_comments_and_blank_lines_ignored(self):
+        netlist = parse_bench("# hi\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a)  # inline\n")
+        assert netlist.inputs == ["a"]
+        assert "y" in netlist.gates
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(BenchParseError, match="unknown gate"):
+            parse_bench("INPUT(a)\ny = FROB(a)\n")
+
+    def test_double_driver_rejected(self):
+        with pytest.raises(BenchParseError, match="driven twice"):
+            parse_bench("INPUT(a)\ny = NOT(a)\ny = NOT(a)\n")
+
+    def test_undriven_signal_rejected(self):
+        with pytest.raises(BenchParseError, match="never driven"):
+            parse_bench("INPUT(a)\ny = AND(a, ghost)\n")
+
+    def test_not_with_two_inputs_rejected(self):
+        with pytest.raises(BenchParseError, match="exactly one"):
+            parse_bench("INPUT(a)\nINPUT(b)\ny = NOT(a, b)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchParseError, match="cannot parse"):
+            parse_bench("INPUT(a)\nwat\n")
+
+    def test_buf_alias(self):
+        netlist = parse_bench("INPUT(a)\ny = BUF(a)\n")
+        assert netlist.gates["y"].gtype == "BUFF"
+
+    def test_fanout_count(self):
+        netlist = s27_bench()
+        fanout = netlist.signal_fanout()
+        assert fanout["G8"] == 2  # feeds G15 and G16
+        assert fanout["G11"] == 3  # feeds G17, G10 and the DFF G6
+
+
+class TestLoadFromDisk:
+    def test_shipped_s27_file(self):
+        from pathlib import Path
+
+        from repro.circuit.bench import load_bench
+
+        path = Path(__file__).parent.parent / "data" / "s27.bench"
+        netlist = load_bench(str(path))
+        assert netlist.name == "s27"
+        assert netlist.flip_flop_count() == 3
+
+
+class TestRoundTrip:
+    def test_s27_roundtrip(self):
+        first = s27_bench()
+        second = parse_bench(write_bench(first), name="s27")
+        assert set(first.inputs) == set(second.inputs)
+        assert first.outputs == second.outputs
+        assert set(first.gates) == set(second.gates)
+        for name, gate in first.gates.items():
+            assert second.gates[name].gtype == gate.gtype
+            assert second.gates[name].inputs == gate.inputs
+
+
+def _evaluate_bench(netlist, values):
+    """Evaluate the combinational part of a BenchNetlist; DFF outputs are
+    taken from ``values`` (pseudo-inputs)."""
+    ops = {
+        "AND": lambda ins: all(ins),
+        "NAND": lambda ins: not all(ins),
+        "OR": lambda ins: any(ins),
+        "NOR": lambda ins: not any(ins),
+        "NOT": lambda ins: not ins[0],
+        "BUFF": lambda ins: ins[0],
+        "XOR": lambda ins: sum(ins) % 2 == 1,
+        "XNOR": lambda ins: sum(ins) % 2 == 0,
+    }
+    cache = dict(values)
+
+    def value_of(sig):
+        if sig in cache:
+            return cache[sig]
+        gate = netlist.gates[sig]
+        result = ops[gate.gtype]([value_of(i) for i in gate.inputs])
+        cache[sig] = result
+        return result
+
+    return {
+        sig: value_of(sig)
+        for sig, gate in netlist.gates.items()
+        if gate.gtype != "DFF"
+    }
+
+
+def _evaluate_circuit(circuit, values):
+    """Evaluate a mapped Circuit; FF outputs come from ``values``."""
+    net_values = dict(values)
+    for levels in circuit.levelize():
+        for cell in levels:
+            ins = {
+                pin.name: net_values[pin.net.name] for pin in cell.input_pins
+            }
+            net_values[cell.output_pin.net.name] = cell.ctype.evaluate(ins)
+    return net_values
+
+
+class TestMapping:
+    def test_s27_cell_types(self, library):
+        circuit = s27()
+        bases = {cell.ctype.base_name for cell in circuit.cells.values()}
+        assert bases <= {"INV", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "NOR4", "DFF"}
+
+    def test_s27_has_clock(self):
+        circuit = s27()
+        assert circuit.clock_net is not None
+        assert len(circuit.flip_flops()) == 3
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_s27_logic_equivalence(self, seed):
+        """The mapped circuit computes the same booleans as the source
+        netlist on random vectors."""
+        netlist = s27_bench()
+        circuit = s27()
+        rng = random.Random(seed)
+        sources = netlist.inputs + [g.output for g in netlist.gates.values() if g.gtype == "DFF"]
+        values = {sig: rng.random() < 0.5 for sig in sources}
+        expected = _evaluate_bench(netlist, values)
+        actual = _evaluate_circuit(circuit, values)
+        for sig, value in expected.items():
+            assert actual[sig] == value, f"mismatch on {sig}"
+
+    @pytest.mark.parametrize(
+        "expr,n_inputs",
+        [
+            ("y = XOR(a, b)", 2),
+            ("y = XNOR(a, b)", 2),
+            ("y = AND(a, b, c, d, e)", 5),
+            ("y = OR(a, b, c, d, e, f)", 6),
+            ("y = NAND(a, b, c, d, e)", 5),
+            ("y = XOR(a, b, c)", 3),
+            ("y = BUFF(a)", 1),
+        ],
+    )
+    def test_wide_and_exotic_gates_equivalent(self, expr, n_inputs):
+        names = [chr(ord("a") + i) for i in range(n_inputs)]
+        text = "".join(f"INPUT({n})\n" for n in names) + f"OUTPUT(y)\n{expr}\n"
+        netlist = parse_bench(text)
+        circuit = map_to_circuit(netlist)
+        for vector in range(2**n_inputs):
+            values = {n: bool((vector >> i) & 1) for i, n in enumerate(names)}
+            expected = _evaluate_bench(netlist, values)["y"]
+            assert _evaluate_circuit(circuit, values)["y"] == expected, values
+
+    def test_drive_sizing_by_fanout(self):
+        text = (
+            "INPUT(a)\n" + "".join(f"OUTPUT(o{i})\n" for i in range(7))
+            + "h = NOT(a)\n"
+            + "".join(f"o{i} = NOT(h)\n" for i in range(7))
+        )
+        circuit = map_to_circuit(parse_bench(text))
+        hub = circuit.nets["h"].driver_cell()
+        assert hub.ctype.drive == "X4"

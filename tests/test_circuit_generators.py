@@ -1,0 +1,132 @@
+"""Tests for the synthetic benchmark generator and clock tree insertion."""
+
+import pytest
+
+from repro.circuit.bench import map_to_circuit
+from repro.circuit.generators import (
+    S35932_SPEC,
+    GeneratorSpec,
+    add_clock_tree,
+    generate_bench,
+    generate_circuit,
+    s35932_like,
+    s38417_like,
+    s38584_like,
+)
+from repro.circuit.validate import validate_circuit
+
+
+def small_spec(**overrides) -> GeneratorSpec:
+    params = dict(
+        name="gen", seed=7, n_inputs=6, n_outputs=5, n_ff=12, n_gates=150, depth=9
+    )
+    params.update(overrides)
+    return GeneratorSpec(**params)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_bench(small_spec())
+        b = generate_bench(small_spec())
+        assert list(a.gates) == list(b.gates)
+        assert all(a.gates[k].inputs == b.gates[k].inputs for k in a.gates)
+
+    def test_seed_changes_output(self):
+        a = generate_bench(small_spec())
+        b = generate_bench(small_spec(seed=8))
+        assert any(
+            a.gates[k].inputs != b.gates[k].inputs
+            for k in a.gates
+            if k in b.gates and a.gates[k].gtype != "DFF"
+        )
+
+    def test_counts(self):
+        spec = small_spec()
+        netlist = generate_bench(spec)
+        assert len(netlist.inputs) == spec.n_inputs
+        assert netlist.flip_flop_count() == spec.n_ff
+        comb = len(netlist.gates) - spec.n_ff
+        assert comb == pytest.approx(spec.n_gates, abs=spec.depth)
+
+    def test_depth_respected(self):
+        circuit = generate_circuit(small_spec(depth=12))
+        assert 10 <= circuit.depth() <= 16  # mapping adds local stages
+
+    def test_valid_circuit(self):
+        circuit = generate_circuit(small_spec())
+        report = validate_circuit(circuit)
+        assert report.ok, report.errors
+
+    def test_fanout_capped(self):
+        spec = small_spec()
+        netlist = generate_bench(spec)
+        fanout = netlist.signal_fanout()
+        assert max(fanout.values()) <= spec.fanout_cap + 1
+
+    def test_scaled(self):
+        full = small_spec()
+        half = full.scaled(0.5)
+        assert half.n_ff == 6
+        assert half.n_gates == 75
+        assert half.depth == full.depth
+        with pytest.raises(ValueError):
+            full.scaled(0.0)
+
+    def test_outputs_distinct(self):
+        netlist = generate_bench(small_spec(n_outputs=12))
+        assert len(set(netlist.outputs)) == len(netlist.outputs)
+
+
+class TestClockTree:
+    def test_small_circuit_no_tree(self):
+        circuit = map_to_circuit(generate_bench(small_spec(n_ff=4, n_gates=30, depth=4)))
+        assert add_clock_tree(circuit, max_fanout=12) == 0
+
+    def test_tree_inserted(self):
+        circuit = map_to_circuit(generate_bench(small_spec(n_ff=40)))
+        added = add_clock_tree(circuit, max_fanout=8)
+        assert added > 0
+        # Root clock net now drives buffers only, within the fanout cap.
+        assert circuit.clock_net.fanout <= 8
+
+    def test_tree_nets_marked_clock(self):
+        circuit = map_to_circuit(generate_bench(small_spec(n_ff=40)))
+        add_clock_tree(circuit, max_fanout=8)
+        clock_nets = [n for n in circuit.nets.values() if n.is_clock]
+        assert len(clock_nets) > 1
+
+    def test_ffs_still_clocked(self):
+        circuit = map_to_circuit(generate_bench(small_spec(n_ff=40)))
+        add_clock_tree(circuit, max_fanout=8)
+        report = validate_circuit(circuit)
+        assert report.ok, report.errors
+
+    def test_every_ff_reaches_clock_root(self):
+        circuit = map_to_circuit(generate_bench(small_spec(n_ff=40)))
+        add_clock_tree(circuit, max_fanout=8)
+        for ff in circuit.flip_flops():
+            net = ff.pins["CLK"].net
+            hops = 0
+            while not net.is_clock and hops < 50:
+                net = net.driver_cell().pins["A"].net
+                hops += 1
+            assert net.is_clock
+
+
+class TestNamedCircuits:
+    @pytest.mark.parametrize(
+        "factory,target",
+        [(s35932_like, 17900), (s38417_like, 23922), (s38584_like, 20812)],
+    )
+    def test_scaled_instances_valid(self, factory, target):
+        circuit = factory(scale=0.03)
+        report = validate_circuit(circuit)
+        assert report.ok, report.errors[:3]
+        assert circuit.cell_count() == pytest.approx(target * 0.03, rel=0.35)
+
+    def test_full_scale_cell_count_close_to_paper(self):
+        """Only the spec arithmetic, not a full generation: mapped cell
+        count tracks n_gates + FFs + clock tree."""
+        spec = S35932_SPEC
+        rough = spec.n_gates + spec.n_ff + spec.n_ff // 6
+        assert rough == pytest.approx(17900, rel=0.1)

@@ -1,0 +1,103 @@
+"""Tests for the standard-cell library."""
+
+import pytest
+
+from repro.circuit.library import build_library, default_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+class TestContents:
+    def test_expected_cells_present(self, lib):
+        for base in ("INV", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "NOR4",
+                     "AOI21", "OAI21", "DFF"):
+            for drive in ("X1", "X2", "X4"):
+                assert f"{base}_{drive}" in lib
+
+    def test_lookup_error_lists_available(self, lib):
+        with pytest.raises(KeyError, match="available"):
+            lib["XOR9_X1"]
+
+    def test_iteration_and_len(self, lib):
+        assert len(lib) == len(list(lib)) == 30
+
+    def test_duplicate_add_rejected(self, lib):
+        with pytest.raises(ValueError, match="duplicate"):
+            lib.add(lib["INV_X1"])
+
+
+class TestFunctions:
+    def test_inv(self, lib):
+        f = lib["INV_X1"].function
+        assert f({"A": False}) is True
+        assert f({"A": True}) is False
+
+    def test_nand3(self, lib):
+        f = lib["NAND3_X1"].function
+        assert f({"A": True, "B": True, "C": True}) is False
+        assert f({"A": True, "B": False, "C": True}) is True
+
+    def test_nor2(self, lib):
+        f = lib["NOR2_X1"].function
+        assert f({"A": False, "B": False}) is True
+        assert f({"A": True, "B": False}) is False
+
+    def test_aoi21(self, lib):
+        f = lib["AOI21_X1"].function
+        assert f({"A": True, "B": True, "C": False}) is False
+        assert f({"A": True, "B": False, "C": False}) is True
+        assert f({"A": False, "B": False, "C": True}) is False
+
+    def test_oai21(self, lib):
+        f = lib["OAI21_X1"].function
+        assert f({"A": False, "B": False, "C": True}) is True
+        assert f({"A": True, "B": False, "C": True}) is False
+
+    def test_dff_has_no_function(self, lib):
+        assert lib["DFF_X1"].function is None
+        with pytest.raises(ValueError, match="sequential"):
+            lib["DFF_X1"].evaluate({})
+
+
+class TestElectrical:
+    def test_input_caps_positive(self, lib, process):
+        for cell in lib:
+            for pin in cell.inputs:
+                assert cell.input_cap(pin, process) > 0
+
+    def test_higher_drive_means_larger_input_cap(self, lib, process):
+        assert lib["INV_X4"].input_cap("A", process) > lib["INV_X1"].input_cap("A", process)
+
+    def test_nand_input_cap_below_nor(self, lib, process):
+        """NOR gates stack PMOS (wide); their inputs are heavier."""
+        assert lib["NOR2_X1"].input_cap("A", process) > lib["NAND2_X1"].input_cap("A", process)
+
+    def test_output_parasitic_positive(self, lib, process):
+        for cell in lib:
+            assert cell.output_parasitic_cap(process) > 0
+
+    def test_transistor_counts(self, lib):
+        assert lib["INV_X1"].transistor_count() == 2
+        assert lib["NAND2_X1"].transistor_count() == 4
+        assert lib["AOI21_X1"].transistor_count() == 6
+        assert lib["DFF_X1"].transistor_count() > 10
+
+
+class TestMeta:
+    def test_negative_unate_gates(self, lib):
+        for name in ("INV_X1", "NAND2_X1", "NOR3_X1", "AOI21_X1"):
+            assert all(u == -1 for u in lib[name].unate.values())
+
+    def test_base_name_and_drive(self, lib):
+        cell = lib["NAND3_X2"]
+        assert cell.base_name == "NAND3"
+        assert cell.drive == "X2"
+
+    def test_dff_clk_to_q_positive(self, lib):
+        assert lib["DFF_X1"].clk_to_q > 0
+
+    def test_build_library_fresh_instance(self):
+        assert build_library() is not default_library()

@@ -1,0 +1,136 @@
+"""Tests for netlist data structures."""
+
+import pytest
+
+from repro.circuit.netlist import Circuit, NetlistError
+
+
+def inv_chain(n: int) -> Circuit:
+    circuit = Circuit("chain")
+    circuit.add_input("in")
+    prev = "in"
+    for i in range(n):
+        out = f"n{i}"
+        circuit.add_cell("INV_X1", f"inv{i}", {"A": prev, "Y": out})
+        prev = out
+    circuit.add_output("out", net_name=prev)
+    return circuit
+
+
+class TestConstruction:
+    def test_nets_created_on_demand(self):
+        circuit = inv_chain(3)
+        assert "n1" in circuit.nets
+        assert circuit.nets["n1"].driver_cell().name == "inv1"
+
+    def test_duplicate_cell_rejected(self):
+        circuit = Circuit("c")
+        circuit.add_cell("INV_X1", "g", {"A": "a", "Y": "y"})
+        with pytest.raises(NetlistError, match="duplicate cell"):
+            circuit.add_cell("INV_X1", "g", {"A": "a2", "Y": "y2"})
+
+    def test_double_driver_rejected(self):
+        circuit = Circuit("c")
+        circuit.add_cell("INV_X1", "g1", {"A": "a", "Y": "y"})
+        with pytest.raises(NetlistError, match="already driven"):
+            circuit.add_cell("INV_X1", "g2", {"A": "b", "Y": "y"})
+
+    def test_wrong_pins_rejected(self):
+        circuit = Circuit("c")
+        with pytest.raises(NetlistError, match="expected pins"):
+            circuit.add_cell("INV_X1", "g", {"X": "a", "Y": "y"})
+
+    def test_missing_pin_rejected(self):
+        circuit = Circuit("c")
+        with pytest.raises(NetlistError, match="expected pins"):
+            circuit.add_cell("NAND2_X1", "g", {"A": "a", "Y": "y"})
+
+    def test_duplicate_port_rejected(self):
+        circuit = Circuit("c")
+        circuit.add_input("p")
+        with pytest.raises(NetlistError, match="duplicate port"):
+            circuit.add_output("p")
+
+    def test_unknown_cell_type(self):
+        circuit = Circuit("c")
+        with pytest.raises(KeyError, match="unknown cell type"):
+            circuit.add_cell("MAGIC", "g", {})
+
+    def test_clock_marks_net(self):
+        circuit = Circuit("c")
+        circuit.add_clock("CLK")
+        assert circuit.clock_net is not None
+        assert circuit.clock_net.is_clock
+
+
+class TestQueries:
+    def test_fanout(self):
+        circuit = Circuit("c")
+        circuit.add_input("a")
+        circuit.add_cell("INV_X1", "g1", {"A": "a", "Y": "y1"})
+        circuit.add_cell("INV_X1", "g2", {"A": "a", "Y": "y2"})
+        assert circuit.nets["a"].fanout == 2
+
+    def test_flip_flops_listed(self):
+        circuit = Circuit("c")
+        circuit.add_clock()
+        circuit.add_input("d")
+        circuit.add_cell("DFF_X1", "ff", {"D": "d", "CLK": "CLK", "Q": "q"})
+        assert [c.name for c in circuit.flip_flops()] == ["ff"]
+        assert circuit.combinational_cells() == []
+
+    def test_timing_sources_excludes_clock(self):
+        circuit = Circuit("c")
+        circuit.add_clock()
+        circuit.add_input("d")
+        circuit.add_cell("DFF_X1", "ff", {"D": "d", "CLK": "CLK", "Q": "q"})
+        names = {net.name for net in circuit.timing_sources()}
+        assert names == {"d", "q"}
+
+    def test_timing_endpoints(self):
+        circuit = Circuit("c")
+        circuit.add_clock()
+        circuit.add_input("d")
+        circuit.add_cell("DFF_X1", "ff", {"D": "d", "CLK": "CLK", "Q": "q"})
+        circuit.add_output("po", net_name="q")
+        names = {
+            e.full_name if hasattr(e, "cell") else e.name
+            for e in circuit.timing_endpoints()
+        }
+        assert names == {"po", "ff/D"}
+
+
+class TestLevelize:
+    def test_chain_depth(self):
+        assert inv_chain(5).depth() == 5
+
+    def test_level_assignment(self):
+        circuit = Circuit("c")
+        circuit.add_input("a")
+        circuit.add_cell("INV_X1", "g0", {"A": "a", "Y": "y0"})
+        circuit.add_cell("NAND2_X1", "g1", {"A": "a", "B": "y0", "Y": "y1"})
+        levels = circuit.levelize()
+        assert [c.name for c in levels[0]] == ["g0"]
+        assert [c.name for c in levels[1]] == ["g1"]
+
+    def test_cycle_detected(self):
+        circuit = Circuit("c")
+        circuit.add_cell("INV_X1", "g0", {"A": "y1", "Y": "y0"})
+        circuit.add_cell("INV_X1", "g1", {"A": "y0", "Y": "y1"})
+        with pytest.raises(NetlistError, match="cycle"):
+            circuit.levelize()
+
+    def test_ff_breaks_cycle(self):
+        circuit = Circuit("c")
+        circuit.add_clock()
+        circuit.add_cell("DFF_X1", "ff", {"D": "y", "CLK": "CLK", "Q": "q"})
+        circuit.add_cell("INV_X1", "g", {"A": "q", "Y": "y"})
+        assert circuit.depth() == 1
+
+    def test_stats(self):
+        stats = inv_chain(4).stats()
+        assert stats.cells == 4
+        assert stats.depth == 4
+        assert stats.inputs == 1
+        assert stats.outputs == 1
+        assert "chain" in str(stats)

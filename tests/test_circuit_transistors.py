@@ -1,0 +1,127 @@
+"""Tests for transistor-level cell topologies."""
+
+import pytest
+
+from repro.circuit.transistors import (
+    Dev,
+    aoi21_topology,
+    collapse_width,
+    count_devices,
+    expand_network,
+    inverter_topology,
+    nand_topology,
+    network_pins,
+    nor_topology,
+    parallel,
+    series,
+    stack_depth,
+)
+
+
+class TestNetworkQueries:
+    def test_pins_in_order(self):
+        net = series(Dev("B"), parallel(Dev("A"), Dev("C")))
+        assert network_pins(net) == ["B", "A", "C"]
+
+    def test_count_devices(self):
+        assert count_devices(series(Dev("A"), Dev("B"), Dev("C"))) == 3
+        assert count_devices(parallel(series(Dev("A"), Dev("B")), Dev("C"))) == 3
+
+    def test_stack_depth(self):
+        assert stack_depth(Dev("A")) == 1
+        assert stack_depth(series(Dev("A"), Dev("B"))) == 2
+        assert stack_depth(parallel(series(Dev("A"), Dev("B")), Dev("C"))) == 2
+
+
+class TestCollapse:
+    def test_single_device(self):
+        assert collapse_width(Dev("A"), "A", 2e-6) == pytest.approx(2e-6)
+
+    def test_unrelated_pin_returns_none(self):
+        assert collapse_width(Dev("A"), "B", 2e-6) is None
+
+    def test_series_stack_halves(self):
+        net = series(Dev("A"), Dev("B"))
+        assert collapse_width(net, "A", 2e-6) == pytest.approx(1e-6)
+
+    def test_parallel_takes_conducting_branch(self):
+        net = parallel(Dev("A"), Dev("B"))
+        assert collapse_width(net, "A", 2e-6) == pytest.approx(2e-6)
+
+    def test_width_scale_applied(self):
+        net = series(Dev("A", width_scale=2.0), Dev("B"))
+        width = collapse_width(net, "A", 2e-6)
+        # 4u in series with 2u -> 4/3 u
+        assert width == pytest.approx(4e-6 / 3)
+
+    def test_aoi_collapse_through_parallel_branch(self):
+        topo = aoi21_topology()
+        # Pull-down: parallel(series(A,B), C); switching C conducts alone.
+        width = collapse_width(topo.pull_down, "C", topo.wn_base)
+        assert width == pytest.approx(topo.wn_base)
+        # Switching A requires B on in series.
+        width_a = collapse_width(topo.pull_down, "A", topo.wn_base)
+        assert width_a == pytest.approx(topo.wn_base / 2)
+
+
+class TestExpand:
+    def test_series_creates_internal_nodes(self):
+        devices = expand_network(series(Dev("A"), Dev("B")), 1, 2e-6, "out", "gnd", "g")
+        assert len(devices) == 2
+        assert devices[0].drain == "out"
+        assert devices[1].source == "gnd"
+        assert devices[0].source == devices[1].drain
+        assert devices[0].source.startswith("g.")
+
+    def test_parallel_shares_nodes(self):
+        devices = expand_network(parallel(Dev("A"), Dev("B")), 1, 2e-6, "out", "gnd", "g")
+        assert all(d.drain == "out" and d.source == "gnd" for d in devices)
+
+    def test_flatten_counts(self):
+        topo = nand_topology(3)
+        devices = topo.flatten("y", "vdd", "gnd", "g1")
+        assert len(devices) == 6
+        pull_up = [d for d in devices if d.polarity < 0]
+        pull_down = [d for d in devices if d.polarity > 0]
+        assert len(pull_up) == len(pull_down) == 3
+        assert all(d.source == "vdd" for d in pull_up)
+
+
+class TestTopologies:
+    def test_inverter_equivalent_stage(self, process):
+        topo = inverter_topology()
+        pu, pd = topo.equivalent_stage("A", process)
+        assert pu is not None and pd is not None
+        assert pu.params.polarity == -1
+        assert pd.params.polarity == 1
+
+    def test_nand_stage_per_pin(self, process):
+        topo = nand_topology(2)
+        pu_a, pd_a = topo.equivalent_stage("A", process)
+        pu_b, pd_b = topo.equivalent_stage("B", process)
+        assert pd_a.params.width == pytest.approx(pd_b.params.width)
+        # NAND pull-down stack is sized up but still collapses below the
+        # single-device pull-up strength per leg.
+        assert pd_a.params.width < topo.wn_base
+
+    def test_unknown_pin_gives_no_stage(self, process):
+        topo = inverter_topology()
+        pu, pd = topo.equivalent_stage("Z", process)
+        assert pu is None and pd is None
+
+    def test_nor_pmos_stack_wider(self):
+        nor = nor_topology(2)
+        nand = nand_topology(2)
+        assert nor.wp_base > nand.wp_base
+
+    def test_input_cap_counts_both_networks(self, process):
+        topo = inverter_topology()
+        cap = topo.input_cap("A", process)
+        assert cap == pytest.approx(
+            process.gate_cap(topo.wp_base) + process.gate_cap(topo.wn_base)
+        )
+
+    def test_output_parasitic_counts_full_network(self, process):
+        nand3 = nand_topology(3)
+        inv = inverter_topology()
+        assert nand3.output_parasitic_cap(process) > inv.output_parasitic_cap(process)

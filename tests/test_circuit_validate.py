@@ -1,0 +1,88 @@
+"""Direct tests for the structural netlist validator."""
+
+import pytest
+
+from repro.circuit.netlist import Circuit, NetlistError
+from repro.circuit.validate import validate_circuit
+
+
+def valid_circuit() -> Circuit:
+    circuit = Circuit("ok")
+    circuit.add_clock()
+    circuit.add_input("a")
+    circuit.add_cell("INV_X1", "g", {"A": "a", "Y": "y"})
+    circuit.add_cell("DFF_X1", "ff", {"D": "y", "CLK": "CLK", "Q": "q"})
+    circuit.add_output("o", net_name="q")
+    return circuit
+
+
+class TestValidator:
+    def test_valid_circuit_passes(self):
+        report = validate_circuit(valid_circuit())
+        assert report.ok
+        assert report.warnings == []
+
+    def test_undriven_net_with_sinks(self):
+        circuit = Circuit("bad")
+        circuit.add_cell("INV_X1", "g", {"A": "ghost", "Y": "y"})
+        report = validate_circuit(circuit)
+        assert not report.ok
+        assert any("no driver" in e for e in report.errors)
+
+    def test_dangling_net_warns(self):
+        circuit = Circuit("w")
+        circuit.add_input("a")
+        circuit.add_cell("INV_X1", "g", {"A": "a", "Y": "unused"})
+        report = validate_circuit(circuit)
+        assert report.ok
+        assert any("dangling" in w for w in report.warnings)
+
+    def test_unused_input_warns(self):
+        circuit = Circuit("w")
+        circuit.add_input("lonely")
+        report = validate_circuit(circuit)
+        assert any("unused" in w for w in report.warnings)
+
+    def test_fanout_warning(self):
+        circuit = Circuit("w")
+        circuit.add_input("a")
+        for i in range(5):
+            circuit.add_cell("INV_X1", f"g{i}", {"A": "a", "Y": f"y{i}"})
+        report = validate_circuit(circuit, max_fanout=3)
+        assert any("fanout" in w for w in report.warnings)
+
+    def test_unclocked_ff_fails(self):
+        circuit = Circuit("bad")
+        circuit.add_input("d")
+        circuit.add_input("notclk")
+        circuit.add_cell("DFF_X1", "ff", {"D": "d", "CLK": "notclk", "Q": "q"})
+        report = validate_circuit(circuit)
+        assert not report.ok
+        assert any("CLK" in e for e in report.errors)
+
+    def test_buffered_clock_accepted(self):
+        circuit = Circuit("ok")
+        circuit.add_clock()
+        circuit.add_input("d")
+        circuit.add_cell("INV_X4", "b1", {"A": "CLK", "Y": "c1"})
+        circuit.add_cell("INV_X4", "b2", {"A": "c1", "Y": "c2"})
+        circuit.add_cell("DFF_X1", "ff", {"D": "d", "CLK": "c2", "Q": "q"})
+        report = validate_circuit(circuit)
+        assert not any("CLK" in e for e in report.errors)
+
+    def test_cycle_reported(self):
+        circuit = Circuit("bad")
+        circuit.add_cell("INV_X1", "g1", {"A": "y2", "Y": "y1"})
+        circuit.add_cell("INV_X1", "g2", {"A": "y1", "Y": "y2"})
+        report = validate_circuit(circuit)
+        assert any("cycle" in e for e in report.errors)
+
+    def test_raise_on_error(self):
+        circuit = Circuit("bad")
+        circuit.add_cell("INV_X1", "g", {"A": "ghost", "Y": "y"})
+        report = validate_circuit(circuit)
+        with pytest.raises(NetlistError, match="validation failed"):
+            report.raise_on_error()
+
+    def test_clean_report_does_not_raise(self):
+        validate_circuit(valid_circuit()).raise_on_error()

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "s27"])
+        assert args.mode == "iterative"
+        assert not args.all_modes
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "s35932"])
+        assert args.scale == 0.05
+        assert args.output == "-"
+
+
+class TestInfo:
+    def test_info_s27(self, capsys):
+        assert main(["info", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "16 cells" in out
+        assert "OK" in out
+
+    def test_info_generated(self, capsys):
+        assert main(["info", "gen:s35932", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "s35932_like" in out
+
+    def test_unknown_generator(self):
+        with pytest.raises(SystemExit, match="unknown generator"):
+            main(["info", "gen:s99999"])
+
+    def test_bench_file(self, tmp_path, capsys):
+        from repro.circuit.benchmarks import S27_BENCH
+
+        path = tmp_path / "mine.bench"
+        path.write_text(S27_BENCH)
+        assert main(["info", str(path)]) == 0
+        assert "16 cells" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_single_mode(self, capsys):
+        assert main(["analyze", "s27", "--mode", "best_case"]) == 0
+        out = capsys.readouterr().out
+        assert "best_case" in out
+        assert "critical path" in out
+
+    def test_all_modes_with_report(self, capsys):
+        assert main(["analyze", "s27", "--all-modes", "--report-nets", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Best case" in out
+        assert "Iterative" in out
+        assert "crosstalk-critical nets" in out
+
+    def test_overlap_window_check(self, capsys):
+        assert main(["analyze", "s27", "--window-check", "overlap"]) == 0
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "out.json"
+        assert main(["analyze", "s27", "--mode", "best_case", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert "best_case" in payload["modes"]
+        assert payload["critical_path"]["steps"]
+
+
+class TestRepair:
+    def test_repair_runs_one_round(self, capsys):
+        assert main(["repair", "gen:s35932", "--scale", "0.02", "--top", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "round 1" in out
+        assert "repaired 4 nets" in out
+
+
+class TestGenerate:
+    def test_roundtrip_through_file(self, tmp_path, capsys):
+        out_file = tmp_path / "gen.bench"
+        assert main(["generate", "s38584", "--scale", "0.01", "-o", str(out_file)]) == 0
+        assert main(["info", str(out_file)]) == 0
+
+    def test_stdout_output(self, capsys):
+        assert main(["generate", "s35932", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "INPUT(" in out
+        assert "= DFF(" in out

@@ -1,0 +1,83 @@
+"""Tests for the CrosstalkSTA facade."""
+
+import pytest
+
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode, StaConfig
+
+
+class TestRun:
+    def test_default_mode_is_iterative(self, s27_design):
+        result = CrosstalkSTA(s27_design).run()
+        assert result.mode is AnalysisMode.ITERATIVE
+        assert result.passes >= 2
+
+    def test_explicit_mode_overrides(self, s27_design):
+        sta = CrosstalkSTA(s27_design, StaConfig(mode=AnalysisMode.BEST_CASE))
+        result = sta.run(AnalysisMode.WORST_CASE)
+        assert result.mode is AnalysisMode.WORST_CASE
+
+    def test_result_metadata(self, s27_design):
+        result = CrosstalkSTA(s27_design).run(AnalysisMode.ONE_STEP)
+        assert result.design_name == "s27"
+        assert result.longest_delay > 0
+        assert result.longest_delay_ns == pytest.approx(result.longest_delay * 1e9)
+        assert result.runtime_seconds > 0
+        assert result.critical_endpoint
+        assert "s27" in str(result)
+
+    def test_run_all_modes_covers_every_mode(self, s27_design):
+        results = CrosstalkSTA(s27_design).run_all_modes()
+        assert set(results) == set(AnalysisMode)
+
+    def test_arrival_lookup(self, s27_design):
+        result = CrosstalkSTA(s27_design).run(AnalysisMode.BEST_CASE)
+        endpoint = result.critical_endpoint
+        direction = result.critical_direction
+        assert result.arrival(endpoint, direction) == pytest.approx(result.longest_delay)
+        with pytest.raises(KeyError):
+            result.arrival("nonexistent", "rise")
+
+    def test_shared_calculator_reused(self, s27_design):
+        sta = CrosstalkSTA(s27_design)
+        sta.run(AnalysisMode.BEST_CASE)
+        evals_first = sta.calculator.evaluations
+        sta.run(AnalysisMode.BEST_CASE)
+        # Second identical run is served from the arc cache.
+        assert sta.calculator.evaluations == evals_first
+
+    def test_history_recorded_for_iterative(self, s27_design):
+        result = CrosstalkSTA(s27_design).run(AnalysisMode.ITERATIVE)
+        assert len(result.history) == result.passes
+        assert result.history[0].index == 1
+
+    def test_critical_path_available(self, s27_design):
+        sta = CrosstalkSTA(s27_design)
+        result = sta.run(AnalysisMode.ITERATIVE)
+        path = sta.critical_path(result)
+        assert len(path) > 0
+
+
+class TestConfig:
+    def test_with_mode_preserves_other_fields(self):
+        config = StaConfig(guard=7e-12)
+        new = config.with_mode(AnalysisMode.WORST_CASE)
+        assert new.mode is AnalysisMode.WORST_CASE
+        assert new.guard == 7e-12
+
+    def test_window_based_flag(self):
+        assert AnalysisMode.ONE_STEP.is_window_based
+        assert AnalysisMode.ITERATIVE.is_window_based
+        assert not AnalysisMode.WORST_CASE.is_window_based
+        assert not AnalysisMode.BEST_CASE.is_window_based
+        assert not AnalysisMode.STATIC_DOUBLED.is_window_based
+
+    def test_guard_band_tightens_conservatively(self, s27_design):
+        """A larger guard band forces more coupling -> a larger bound."""
+        small = CrosstalkSTA(
+            s27_design, StaConfig(mode=AnalysisMode.ONE_STEP, guard=1e-12)
+        ).run()
+        large = CrosstalkSTA(
+            s27_design, StaConfig(mode=AnalysisMode.ONE_STEP, guard=200e-12)
+        ).run()
+        assert large.longest_delay >= small.longest_delay - 1e-15

@@ -1,0 +1,68 @@
+"""Tests for setup/hold constraint checking."""
+
+import pytest
+
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.constraints import check_setup, minimum_period
+from repro.core.modes import AnalysisMode
+
+
+@pytest.fixture(scope="module")
+def result(s27_design):
+    return CrosstalkSTA(s27_design).run(AnalysisMode.ITERATIVE)
+
+
+class TestSetup:
+    def test_generous_period_met(self, result):
+        report = check_setup(result, clock_period=100e-9)
+        assert report.met
+        assert not report.failing()
+
+    def test_impossible_period_violated(self, result):
+        report = check_setup(result, clock_period=10e-12)
+        assert not report.met
+        assert report.failing()
+        assert report.worst.slack < 0
+
+    def test_slack_arithmetic(self, result):
+        period = 2e-9
+        setup = 120e-12
+        report = check_setup(result, clock_period=period, setup_time=setup)
+        for slack in report.slacks:
+            if "/" in slack.endpoint:
+                assert slack.required == pytest.approx(period - setup)
+            else:
+                assert slack.required == pytest.approx(period)
+            assert slack.slack == pytest.approx(slack.required - slack.arrival)
+
+    def test_worst_is_minimum(self, result):
+        report = check_setup(result, clock_period=2e-9)
+        assert report.worst.slack == min(s.slack for s in report.slacks)
+
+    def test_invalid_period(self, result):
+        with pytest.raises(ValueError):
+            check_setup(result, clock_period=0.0)
+
+    def test_summary_renders(self, result):
+        text = check_setup(result, clock_period=2e-9).summary()
+        assert "clock 2.000 ns" in text
+
+    def test_accepts_pass_result(self, result):
+        report = check_setup(result.final_pass, clock_period=2e-9)
+        assert report.slacks
+
+
+class TestMinimumPeriod:
+    def test_boundary_period_exactly_met(self, result):
+        period = minimum_period(result, setup_time=100e-12)
+        assert check_setup(result, clock_period=period, setup_time=100e-12).met
+        tighter = period * 0.999
+        assert not check_setup(result, clock_period=tighter, setup_time=100e-12).met
+
+    def test_setup_time_pushes_period(self, result):
+        assert minimum_period(result, setup_time=500e-12) > minimum_period(
+            result, setup_time=0.0
+        )
+
+    def test_period_at_least_longest_path(self, result):
+        assert minimum_period(result, setup_time=0.0) >= result.longest_delay - 1e-15

@@ -1,0 +1,64 @@
+"""Tests for JSON result export."""
+
+import json
+
+import pytest
+
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.export import (
+    load_json,
+    path_to_dict,
+    results_to_dict,
+    save_json,
+    sta_result_to_dict,
+)
+from repro.core.modes import AnalysisMode
+
+
+@pytest.fixture(scope="module")
+def analysis(s27_design):
+    sta = CrosstalkSTA(s27_design)
+    results = sta.run_all_modes()
+    path = sta.critical_path(results[AnalysisMode.ITERATIVE])
+    return results, path
+
+
+class TestExport:
+    def test_result_dict_fields(self, analysis):
+        results, _ = analysis
+        payload = sta_result_to_dict(results[AnalysisMode.ITERATIVE])
+        assert payload["mode"] == "iterative"
+        assert payload["longest_delay"] > 0
+        assert payload["passes"] == len(payload["history"])
+        assert payload["arrivals"]
+
+    def test_json_serializable(self, analysis):
+        results, path = analysis
+        payload = results_to_dict(results, {AnalysisMode.ITERATIVE: path})
+        text = json.dumps(payload)
+        assert "iterative" in text
+
+    def test_path_dict(self, analysis):
+        _, path = analysis
+        payload = path_to_dict(path)
+        assert len(payload["steps"]) == len(path)
+        assert payload["delay"] == pytest.approx(path.delay)
+
+    def test_save_and_load_roundtrip(self, analysis, tmp_path):
+        results, _ = analysis
+        payload = results_to_dict(results)
+        target = tmp_path / "out.json"
+        save_json(payload, str(target))
+        restored = load_json(str(target))
+        assert restored == json.loads(json.dumps(payload))
+
+    def test_all_modes_present(self, analysis):
+        results, _ = analysis
+        payload = results_to_dict(results)
+        assert set(payload["modes"]) == {m.value for m in AnalysisMode}
+
+    def test_arrival_markers_ordered(self, analysis):
+        results, _ = analysis
+        payload = sta_result_to_dict(results[AnalysisMode.WORST_CASE])
+        for arrival in payload["arrivals"]:
+            assert arrival["t_early"] <= arrival["t_cross"] <= arrival["t_late"]

@@ -1,0 +1,89 @@
+"""Tests for the iterative refinement algorithm and Esperance."""
+
+import pytest
+
+from repro.core.iterative import esperance_recalc_cells, run_iterative
+from repro.core.modes import AnalysisMode, StaConfig
+from repro.core.propagation import Propagator
+
+
+@pytest.fixture(scope="module")
+def iterative_result(small_design):
+    propagator = Propagator(small_design, StaConfig(mode=AnalysisMode.ITERATIVE))
+    return run_iterative(propagator)
+
+
+class TestConvergence:
+    def test_at_least_two_passes(self, iterative_result):
+        """The do-while runs the one-step STA at least twice (paper 5.2)."""
+        assert iterative_result.passes >= 2
+
+    def test_monotone_non_increasing(self, iterative_result):
+        delays = [r.longest_delay for r in iterative_result.history]
+        for earlier, later in zip(delays, delays[1:]):
+            assert later <= earlier + 1e-12
+
+    def test_final_is_minimum(self, iterative_result):
+        delays = [r.longest_delay for r in iterative_result.history]
+        assert iterative_result.final.longest_delay == pytest.approx(min(delays))
+
+    def test_stops_when_not_improving(self, iterative_result):
+        """The last pass did not improve (that is why the loop ended),
+        unless the pass budget ran out first."""
+        history = iterative_result.history
+        if len(history) < StaConfig().max_iterations:
+            assert history[-1].longest_delay >= history[-2].longest_delay - 1e-12
+
+    def test_iteration_budget_respected(self, small_design):
+        config = StaConfig(mode=AnalysisMode.ITERATIVE, max_iterations=2)
+        result = run_iterative(Propagator(small_design, config))
+        assert result.passes <= 2
+
+    def test_second_pass_not_above_first(self, iterative_result):
+        """Stored quiescent times can only remove coupling assumptions."""
+        first, second = iterative_result.history[0], iterative_result.history[1]
+        assert second.longest_delay <= first.longest_delay + 1e-12
+
+
+class TestEsperance:
+    def test_recalc_set_is_subset_of_cells(self, small_design, iterative_result):
+        propagator = Propagator(small_design, StaConfig(mode=AnalysisMode.ITERATIVE))
+        pass_result = propagator.run_pass()
+        recalc = esperance_recalc_cells(small_design, propagator, pass_result, 0.15)
+        all_cells = set(small_design.circuit.cells)
+        assert recalc <= all_cells
+        assert len(recalc) < len(all_cells)
+
+    def test_critical_driver_always_recalculated(self, small_design):
+        propagator = Propagator(small_design, StaConfig(mode=AnalysisMode.ITERATIVE))
+        pass_result = propagator.run_pass()
+        recalc = esperance_recalc_cells(small_design, propagator, pass_result, 0.10)
+        from repro.core.paths import extract_critical_path
+
+        path = extract_critical_path(small_design.circuit, pass_result)
+        assert path.steps[-1].cell in recalc
+
+    def test_larger_slack_threshold_recalculates_more(self, small_design):
+        propagator = Propagator(small_design, StaConfig(mode=AnalysisMode.ITERATIVE))
+        pass_result = propagator.run_pass()
+        narrow = esperance_recalc_cells(small_design, propagator, pass_result, 0.05)
+        wide = esperance_recalc_cells(small_design, propagator, pass_result, 0.50)
+        assert narrow <= wide
+
+    def test_esperance_result_still_an_upper_bound(self, small_design, iterative_result):
+        """Esperance trades work for (possibly) looser convergence but
+        never reports below a full iterative pass set's floor unsafely:
+        its final delay stays >= the exact iterative final."""
+        config = StaConfig(mode=AnalysisMode.ITERATIVE, esperance=True)
+        esperance = run_iterative(Propagator(small_design, config))
+        exact = iterative_result
+        assert esperance.final.longest_delay >= exact.final.longest_delay - 1e-12
+        # And it still improves on the plain one-step first pass.
+        assert esperance.final.longest_delay <= esperance.history[0].longest_delay + 1e-12
+
+    def test_esperance_recomputes_fewer_cells(self, small_design):
+        config = StaConfig(mode=AnalysisMode.ITERATIVE, esperance=True)
+        result = run_iterative(Propagator(small_design, config))
+        later = [r for r in result.history if r.index >= 2]
+        assert later, "esperance needs at least two passes"
+        assert any(r.recalculated_cells < r.total_cells for r in later)

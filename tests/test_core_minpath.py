@@ -1,0 +1,123 @@
+"""Tests for the min-delay (hold) analysis extension."""
+
+import pytest
+
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.constraints import check_hold
+from repro.core.minpath import MinAnalysisMode, MinPropagator, merge_earliest
+from repro.core.modes import AnalysisMode
+from repro.waveform.pwl import FALLING, RISING
+from repro.waveform.ramp import RampEvent
+
+
+@pytest.fixture(scope="module")
+def min_results(small_design):
+    propagator = MinPropagator(small_design)
+    return {mode: propagator.run(mode) for mode in MinAnalysisMode}
+
+
+@pytest.fixture(scope="module")
+def max_result(small_design):
+    return CrosstalkSTA(small_design).run(AnalysisMode.BEST_CASE)
+
+
+class TestMergeEarliest:
+    def _event(self, t_cross, transition=100e-12, t_early=None, t_late=None):
+        t_early = t_early if t_early is not None else t_cross - 40e-12
+        t_late = t_late if t_late is not None else t_cross + 40e-12
+        return RampEvent(RISING, t_cross, transition, t_early, t_late)
+
+    def test_envelope(self):
+        a = self._event(1e-9, transition=50e-12)
+        b = self._event(2e-9, transition=80e-12)
+        merged = merge_earliest(a, b)
+        assert merged.t_cross == 1e-9
+        assert merged.transition == 50e-12
+        assert merged.t_early == a.t_early
+        assert merged.t_late == b.t_late
+
+    def test_none_handling(self):
+        ev = self._event(1e-9)
+        assert merge_earliest(None, ev) is ev
+        assert merge_earliest(ev, None) is ev
+
+    def test_direction_mismatch(self):
+        with pytest.raises(ValueError):
+            merge_earliest(
+                self._event(1e-9),
+                RampEvent(FALLING, 1e-9, 1e-12, 0.9e-9, 1.1e-9),
+            )
+
+
+class TestModeOrdering:
+    """WORST (all helping) <= ITERATIVE <= ONE_STEP ... wait: more help ->
+    earlier.  The safe bound is the *smallest*; refinement raises it."""
+
+    def test_worst_is_smallest(self, min_results):
+        worst = min_results[MinAnalysisMode.WORST].shortest_delay
+        for mode in (MinAnalysisMode.ONE_STEP, MinAnalysisMode.ITERATIVE):
+            assert worst <= min_results[mode].shortest_delay + 1e-12
+
+    def test_iterative_at_least_one_step(self, min_results):
+        one_step = min_results[MinAnalysisMode.ONE_STEP].shortest_delay
+        iterative = min_results[MinAnalysisMode.ITERATIVE].shortest_delay
+        assert iterative >= one_step - 1e-12
+
+    def test_no_coupling_is_largest(self, min_results):
+        """Helping can only make arrivals earlier than the grounded case."""
+        no_coupling = min_results[MinAnalysisMode.NO_COUPLING].shortest_delay
+        for mode in MinAnalysisMode:
+            assert min_results[mode].shortest_delay <= no_coupling + 1e-12
+
+    def test_per_endpoint_ordering(self, min_results):
+        worst = min_results[MinAnalysisMode.WORST].arrival_map()
+        iterative = min_results[MinAnalysisMode.ITERATIVE].arrival_map()
+        for key, value in worst.items():
+            assert value <= iterative[key] + 1e-12, key
+
+
+class TestAgainstMaxAnalysis:
+    def test_min_below_max_everywhere(self, min_results, max_result):
+        """Every guaranteed-earliest arrival precedes the corresponding
+        guaranteed-latest arrival."""
+        min_map = min_results[MinAnalysisMode.WORST].arrival_map()
+        max_map = max_result.arrival_map()
+        for key in min_map:
+            if key in max_map:
+                assert min_map[key] <= max_map[key] + 1e-12, key
+
+    def test_min_delays_positive(self, min_results):
+        for result in min_results.values():
+            assert result.shortest_delay > 0
+
+
+class TestIterativeBehaviour:
+    def test_refinement_is_monotone_upward(self, small_design):
+        propagator = MinPropagator(small_design)
+        first = propagator.run_pass(MinAnalysisMode.ITERATIVE)
+        second = propagator.run_pass(
+            MinAnalysisMode.ITERATIVE, prev_windows=first.state.window_snapshot()
+        )
+        assert second.shortest_delay >= first.shortest_delay - 1e-12
+
+    def test_run_reports_passes(self, min_results):
+        assert min_results[MinAnalysisMode.ITERATIVE].passes >= 2
+        assert min_results[MinAnalysisMode.WORST].passes == 1
+
+
+class TestHoldCheck:
+    def test_hold_report(self, min_results):
+        report = check_hold(min_results[MinAnalysisMode.WORST], hold_time=50e-12)
+        assert report.slacks
+        # Only flip-flop D inputs are checked.
+        assert all("/" in s.endpoint for s in report.slacks)
+        worst = report.worst
+        assert worst.slack == pytest.approx(worst.earliest_arrival - 50e-12)
+
+    def test_hold_met_flag(self, min_results):
+        result = min_results[MinAnalysisMode.WORST]
+        generous = check_hold(result, hold_time=1e-15)
+        assert generous.met
+        brutal = check_hold(result, hold_time=1.0)
+        assert not brutal.met
+        assert brutal.failing()

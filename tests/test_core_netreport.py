@@ -1,0 +1,55 @@
+"""Tests for the crosstalk net ranking."""
+
+import pytest
+
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode
+from repro.core.netreport import format_net_report, rank_crosstalk_nets
+
+
+@pytest.fixture(scope="module")
+def ranked(small_design):
+    result = CrosstalkSTA(small_design).run(AnalysisMode.ITERATIVE)
+    return small_design, result, rank_crosstalk_nets(small_design, result.final_pass, top=None)
+
+
+class TestRanking:
+    def test_only_coupled_nets_listed(self, ranked):
+        design, _, exposures = ranked
+        for exposure in exposures:
+            assert design.loads[exposure.net].couplings
+
+    def test_sorted_by_score(self, ranked):
+        _, _, exposures = ranked
+        scores = [e.score for e in exposures]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_limits(self, ranked):
+        design, result, _ = ranked
+        top5 = rank_crosstalk_nets(design, result.final_pass, top=5)
+        assert len(top5) == 5
+
+    def test_slack_consistent_with_horizon(self, ranked):
+        _, result, exposures = ranked
+        for e in exposures:
+            assert e.slack == pytest.approx(result.longest_delay - e.worst_arrival)
+
+    def test_divider_fraction_in_unit_interval(self, ranked):
+        _, _, exposures = ranked
+        for e in exposures:
+            assert 0.0 < e.divider_fraction < 1.0
+
+    def test_score_bounded_by_divider_fraction(self, ranked):
+        """Weighting only attenuates: divider_fraction/4 <= score <=
+        divider_fraction, with the upper end reached at zero slack."""
+        _, _, exposures = ranked
+        for e in exposures:
+            assert 0.25 * e.divider_fraction - 1e-12 <= e.score <= e.divider_fraction + 1e-12
+
+
+class TestFormatting:
+    def test_report_renders(self, ranked):
+        _, _, exposures = ranked
+        text = format_net_report(exposures[:6])
+        assert "C_c [fF]" in text
+        assert len(text.splitlines()) == 2 + min(6, len(exposures))

@@ -1,0 +1,82 @@
+"""Tests for critical-path extraction."""
+
+import pytest
+
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode
+from repro.core.paths import endpoint_net_name, extract_critical_path
+
+
+@pytest.fixture(scope="module")
+def sta_and_result(small_design):
+    sta = CrosstalkSTA(small_design)
+    result = sta.run(AnalysisMode.ITERATIVE)
+    return sta, result
+
+
+class TestBacktrace:
+    def test_path_nonempty(self, sta_and_result):
+        sta, result = sta_and_result
+        path = sta.critical_path(result)
+        assert len(path) >= 1
+
+    def test_steps_connect(self, small_design, sta_and_result):
+        """Each step's input net is the previous step's output net."""
+        sta, result = sta_and_result
+        path = sta.critical_path(result)
+        for prev, step in zip(path.steps, path.steps[1:]):
+            assert step.in_net == prev.out_net
+
+    def test_directions_alternate_through_inverting_gates(self, small_design, sta_and_result):
+        sta, result = sta_and_result
+        path = sta.critical_path(result)
+        circuit = small_design.circuit
+        for step in path.steps:
+            cell = circuit.cells[step.cell]
+            if not cell.is_sequential:
+                assert step.out_direction != step.in_direction
+
+    def test_path_delay_matches_result(self, small_design, sta_and_result):
+        sta, result = sta_and_result
+        path = sta.critical_path(result)
+        # The last step's event is at the driver; the endpoint arrival adds
+        # wire delay, so path delay <= longest <= path delay + a wire hop.
+        assert path.delay <= result.longest_delay + 1e-12
+        assert result.longest_delay <= path.delay + 1e-9
+
+    def test_arrival_times_increase_along_path(self, sta_and_result):
+        sta, result = sta_and_result
+        path = sta.critical_path(result)
+        times = [step.event.t_cross for step in path.steps]
+        for earlier, later in zip(times, times[1:]):
+            assert later > earlier
+
+    def test_path_ends_at_critical_endpoint_net(self, small_design, sta_and_result):
+        sta, result = sta_and_result
+        path = sta.critical_path(result)
+        net = endpoint_net_name(small_design.circuit, result.critical_endpoint)
+        assert path.steps[-1].out_net == net
+
+    def test_path_begins_at_source_or_ff(self, small_design, sta_and_result):
+        sta, result = sta_and_result
+        path = sta.critical_path(result)
+        first = path.steps[0]
+        circuit = small_design.circuit
+        cell = circuit.cells[first.cell]
+        if cell.is_sequential:
+            return  # launched by a flip-flop: valid origin
+        in_net = circuit.nets[first.in_net]
+        driver_cell = in_net.driver_cell()
+        assert driver_cell is None or driver_cell.is_sequential
+
+    def test_net_sequence_consistent(self, sta_and_result):
+        sta, result = sta_and_result
+        path = sta.critical_path(result)
+        nets = path.net_sequence()
+        assert len(nets) == len(path) + 1
+        assert nets[0] == path.source_net
+
+    def test_unknown_endpoint_rejected(self, small_design, sta_and_result):
+        _, result = sta_and_result
+        with pytest.raises(KeyError):
+            endpoint_net_name(small_design.circuit, "no/such/pin")

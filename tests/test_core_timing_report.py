@@ -1,0 +1,66 @@
+"""Tests for K-worst-path extraction and the timing report."""
+
+import pytest
+
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode
+from repro.core.paths import k_worst_paths, report_timing
+
+
+@pytest.fixture(scope="module")
+def analysis(small_design):
+    result = CrosstalkSTA(small_design).run(AnalysisMode.ITERATIVE)
+    return small_design, result
+
+
+class TestKWorstPaths:
+    def test_count_and_order(self, analysis):
+        design, result = analysis
+        paths = k_worst_paths(design.circuit, result.final_pass, k=5)
+        assert len(paths) == 5
+        delays = [p.steps[-1].event.t_cross for p in paths]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_first_is_the_critical_path(self, analysis):
+        design, result = analysis
+        paths = k_worst_paths(design.circuit, result.final_pass, k=1)
+        assert paths[0].endpoint == result.critical_endpoint
+        assert paths[0].direction == result.critical_direction
+
+    def test_k_larger_than_endpoints(self, analysis):
+        design, result = analysis
+        total = len(result.final_pass.arrivals)
+        paths = k_worst_paths(design.circuit, result.final_pass, k=total + 50)
+        assert len(paths) == total
+
+
+class TestReportTiming:
+    def test_report_structure(self, analysis):
+        design, result = analysis
+        text = report_timing(design.circuit, result.final_pass, k=2)
+        assert text.count("Path to") == 2
+        assert "incr [ps]" in text
+
+    def test_increments_sum_to_arrival(self, analysis):
+        design, result = analysis
+        text = report_timing(design.circuit, result.final_pass, k=1)
+        lines = [
+            line
+            for line in text.splitlines()
+            if line and not line.startswith(("Path", "stage", "-"))
+        ]
+        incr_total = sum(float(line.split()[-3 if "*" in line else -2]) for line in lines if "wire" not in line)
+        header = text.splitlines()[0]
+        arrival = float(header.rsplit("arrival", 1)[1].split()[0])
+        # Wire residue line (if present) also counts.
+        wire_lines = [l for l in lines if "wire" in l]
+        if wire_lines:
+            incr_total += float(wire_lines[0].split()[-1])
+        assert incr_total == pytest.approx(arrival, abs=0.5)
+
+    def test_si_flag_marks_coupled_stages(self, analysis):
+        design, result = analysis
+        paths = k_worst_paths(design.circuit, result.final_pass, k=1)
+        text = report_timing(design.circuit, result.final_pass, k=1)
+        coupled_stages = sum(1 for s in paths[0].steps if s.coupled)
+        assert text.count("*") == coupled_stages

@@ -1,0 +1,86 @@
+"""Cross-validation: the collapsed stage solver against full transistor
+simulation, gate by gate.
+
+The timing engine's core approximation is the collapse of each cell onto
+one equivalent device pair.  These tests simulate the *full* transistor
+network of representative cells (stacks included, side inputs at their
+sensitizing rails) and check that the stage solver tracks the simulated
+delay closely and never below it by more than a small tolerance.
+"""
+
+import pytest
+
+from repro.circuit import default_library
+from repro.devices import default_process
+from repro.devices.mosfet import Mosfet, MosfetParams
+from repro.spice import PwlSource, SimCircuit, TransientSimulator, delay_between
+from repro.validate.pathsim import _sensitizing_side_inputs
+from repro.waveform import CouplingLoad, GateDelayCalculator
+from repro.waveform.pwl import FALLING, RISING
+
+PROCESS = default_process()
+VDD = PROCESS.vdd
+RAMP = 150e-12
+
+
+def simulate_gate(ctype, pin: str, input_direction: str, load: float) -> float:
+    """Full-transistor simulation of one arc; returns 50%-50% delay."""
+    circuit = SimCircuit(f"xv::{ctype.name}")
+    circuit.add_vdc("vdd", VDD)
+    v0 = 0.0 if input_direction == RISING else VDD
+    circuit.add_source(
+        PwlSource("in", "0", [(0.2e-9, v0), (0.2e-9 + RAMP, VDD - v0)])
+    )
+    side = _sensitizing_side_inputs(ctype, pin)
+    devices = ctype.topology.flatten("out", "vdd", "0", "g")
+    init = {"vdd": VDD, "in": v0}
+    out_rising = input_direction == FALLING
+    init["out"] = 0.0 if out_rising else VDD
+    for index, flat in enumerate(devices):
+        gate_node = "in" if flat.gate_pin == pin else (
+            "vdd" if side[flat.gate_pin] else "0"
+        )
+        device = Mosfet(
+            MosfetParams(polarity=flat.polarity, width=flat.width, length=PROCESS.l_min),
+            PROCESS,
+        )
+        circuit.add_mosfet(f"m{index}", flat.drain, gate_node, flat.source, device)
+        circuit.add_capacitor(flat.drain, "0", PROCESS.c_junction * flat.width)
+        for terminal in (flat.drain, flat.source):
+            if terminal.startswith("g."):
+                init.setdefault(terminal, 0.0 if flat.polarity > 0 else VDD)
+    circuit.add_capacitor("out", "0", load)
+    sim = TransientSimulator(circuit)
+    result = sim.run(t_stop=3e-9, dt=2e-12, initial_voltages=init)
+    out_dir = RISING if out_rising else FALLING
+    return delay_between(result, "in", input_direction, "out", out_dir, VDD / 2).delay
+
+
+CASES = [
+    ("INV_X1", "A", RISING, 30e-15),
+    ("INV_X1", "A", FALLING, 60e-15),
+    ("NAND2_X1", "A", RISING, 30e-15),
+    ("NAND3_X1", "C", RISING, 40e-15),
+    ("NOR2_X1", "B", FALLING, 30e-15),
+    ("AOI21_X1", "C", RISING, 30e-15),
+]
+
+
+@pytest.mark.parametrize("cell,pin,direction,load", CASES)
+def test_stage_solver_tracks_full_simulation(cell, pin, direction, load):
+    library = default_library()
+    ctype = library[cell]
+    calc = GateDelayCalculator()
+
+    arc = calc.compute_arc_relative(
+        ctype, pin, direction, RAMP,
+        # The model load includes the junction cap the flat netlist has.
+        CouplingLoad(load + ctype.output_parasitic_cap()),
+    )
+    model_delay = arc.t_cross - 0.5 * RAMP
+    sim_delay = simulate_gate(ctype, pin, direction, load)
+
+    # Close agreement, and the model must not be optimistic by more than
+    # a sliver (it feeds an upper-bound analysis).
+    assert model_delay == pytest.approx(sim_delay, rel=0.30)
+    assert model_delay >= sim_delay * 0.85

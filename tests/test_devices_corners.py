@@ -1,0 +1,57 @@
+"""Tests for process corners."""
+
+import pytest
+
+from repro.devices.corners import make_corner, standard_corners
+from repro.devices.mosfet import Mosfet, MosfetParams
+
+
+def on_current(process) -> float:
+    device = Mosfet(MosfetParams(polarity=1, width=2e-6, length=0.5e-6), process)
+    return abs(device.ids(process.vdd, process.vdd))
+
+
+class TestCorners:
+    def test_standard_triple(self):
+        corners = standard_corners()
+        assert set(corners) == {"typical", "fast", "slow"}
+
+    def test_drive_ordering(self):
+        corners = standard_corners()
+        fast = on_current(corners["fast"].process)
+        typical = on_current(corners["typical"].process)
+        slow = on_current(corners["slow"].process)
+        assert fast > typical > slow
+
+    def test_model_threshold_tracks_supply(self):
+        corners = standard_corners()
+        for corner in corners.values():
+            p = corner.process
+            assert p.v_th_model / p.vdd == pytest.approx(0.2 / 3.3, rel=1e-6)
+
+    def test_vt_shift_symmetric(self):
+        corner = make_corner("x", vt_shift=0.05)
+        base = standard_corners()["typical"].process
+        assert corner.process.vtn == pytest.approx(base.vtn + 0.05)
+        assert corner.process.vtp == pytest.approx(base.vtp - 0.05)
+
+    def test_str_mentions_vdd(self):
+        assert "VDD" in str(standard_corners()["fast"])
+
+
+class TestCornersThroughTiming:
+    def test_slow_corner_slower_gate(self):
+        """A single inverter arc orders fast < typical < slow."""
+        from repro.circuit.library import build_library
+        from repro.waveform import CouplingLoad, GateDelayCalculator
+        from repro.waveform.pwl import RISING
+
+        delays = {}
+        for name, corner in standard_corners().items():
+            lib = build_library(process=corner.process)
+            calc = GateDelayCalculator(process=corner.process)
+            arc = calc.compute_arc_relative(
+                lib["INV_X1"], "A", RISING, 100e-12, CouplingLoad(40e-15)
+            )
+            delays[name] = arc.t_cross
+        assert delays["fast"] < delays["typical"] < delays["slow"]

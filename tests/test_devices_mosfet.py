@@ -1,0 +1,155 @@
+"""Tests for the analytic MOSFET model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.mosfet import (
+    Mosfet,
+    MosfetParams,
+    ids_generic,
+    nmos,
+    parallel_equivalent_width,
+    pmos,
+    series_equivalent_width,
+)
+from repro.devices.params import default_process
+
+VDD = default_process().vdd
+
+voltages = st.floats(min_value=-0.3, max_value=VDD + 0.3)
+
+
+class TestPolarity:
+    def test_nmos_on_current_positive(self):
+        assert nmos(2e-6).ids(VDD, VDD) > 0
+
+    def test_pmos_on_current_negative(self):
+        assert pmos(4e-6).ids(-VDD, -VDD) < 0
+
+    def test_nmos_off_current_negligible(self):
+        device = nmos(2e-6)
+        assert abs(device.ids(0.0, VDD)) < 1e-9 * device.saturation_current()
+
+    def test_pmos_off_current_negligible(self):
+        device = pmos(4e-6)
+        assert abs(device.ids(0.0, -VDD)) < 1e-9 * device.saturation_current()
+
+    def test_invalid_polarity_rejected(self):
+        with pytest.raises(ValueError, match="polarity"):
+            MosfetParams(polarity=0, width=1e-6, length=0.5e-6)
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            MosfetParams(polarity=1, width=0.0, length=0.5e-6)
+
+
+class TestScaling:
+    def test_current_scales_with_width(self):
+        narrow = nmos(1e-6)
+        wide = nmos(4e-6)
+        ratio = wide.saturation_current() / narrow.saturation_current()
+        assert ratio == pytest.approx(4.0, rel=1e-6)
+
+    def test_pmos_weaker_than_nmos_at_equal_width(self):
+        assert pmos(2e-6).saturation_current() < nmos(2e-6).saturation_current()
+
+    def test_zero_vds_zero_current(self):
+        assert nmos(2e-6).ids(VDD, 0.0) == pytest.approx(0.0, abs=1e-15)
+
+
+class TestMonotonicity:
+    @given(vgs=voltages, vds=st.floats(min_value=0.0, max_value=VDD), dv=st.floats(min_value=1e-3, max_value=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_nmos_monotone_in_vgs(self, vgs, vds, dv):
+        device = nmos(2e-6)
+        assert device.ids(vgs + dv, vds) >= device.ids(vgs, vds) - 1e-15
+
+    @given(vgs=voltages, vds=st.floats(min_value=0.0, max_value=VDD - 0.5), dv=st.floats(min_value=1e-3, max_value=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_nmos_monotone_in_vds(self, vgs, vds, dv):
+        device = nmos(2e-6)
+        assert device.ids(vgs, vds + dv) >= device.ids(vgs, vds) - 1e-15
+
+    @given(vgs=voltages, vds=voltages)
+    @settings(max_examples=60, deadline=None)
+    def test_channel_symmetry(self, vgs, vds):
+        """Swapping drain and source negates the current: I(vgs, vds) =
+        -I(vgs - vds, -vds)."""
+        device = nmos(2e-6)
+        forward = device.ids(vgs, vds)
+        swapped = device.ids(vgs - vds, -vds)
+        scale = max(abs(forward), device.saturation_current() * 1e-6)
+        assert forward == pytest.approx(-swapped, rel=1e-9, abs=scale * 1e-9)
+
+
+class TestDerivatives:
+    def test_gm_positive_in_strong_inversion(self):
+        assert nmos(2e-6).gm(2.0, 2.0) > 0
+
+    def test_gds_positive(self):
+        assert nmos(2e-6).gds(2.0, 1.0) > 0
+
+    def test_derivatives_continuous_near_threshold(self):
+        """The smooth model has no kink at V_t: gm changes gradually
+        (bounded ratio per millivolt) across the threshold."""
+        device = nmos(2e-6)
+        vt = default_process().vtn
+        previous = device.gm(vt - 0.02, 1.0)
+        for step in range(1, 41):
+            current = device.gm(vt - 0.02 + step * 1e-3, 1.0)
+            assert current / previous < 1.05
+            previous = current
+
+
+class TestGeneric:
+    def test_vectorised_matches_scalar(self):
+        device = nmos(2e-6)
+        vgs = np.linspace(-0.2, VDD, 23)
+        vds = np.linspace(-0.2, VDD, 23)
+        grid_g, grid_d = np.meshgrid(vgs, vds)
+        vec = device.ids_array(grid_g, grid_d)
+        for i in range(0, 23, 7):
+            for j in range(0, 23, 7):
+                assert vec[i, j] == pytest.approx(
+                    device.ids(grid_g[i, j], grid_d[i, j]), rel=1e-12, abs=1e-18
+                )
+
+    def test_ids_generic_broadcasts(self):
+        out = ids_generic(
+            np.array([0.0, VDD]),
+            np.array([VDD, VDD]),
+            polarity=1.0,
+            beta=1e-4,
+            vt=0.6,
+            lam=0.06,
+            n_vt=0.04,
+        )
+        assert out.shape == (2,)
+        assert out[1] > out[0]
+
+
+class TestEquivalentWidths:
+    def test_series_two_equal(self):
+        assert series_equivalent_width([2e-6, 2e-6]) == pytest.approx(1e-6)
+
+    def test_series_reduces_below_minimum(self):
+        width = series_equivalent_width([2e-6, 4e-6])
+        assert width < 2e-6
+
+    def test_parallel_sums(self):
+        assert parallel_equivalent_width([2e-6, 3e-6]) == pytest.approx(5e-6)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            series_equivalent_width([])
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_equivalent_width([1e-6, -1e-6])
+
+    @given(widths=st.lists(st.floats(min_value=1e-7, max_value=1e-5), min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_series_not_exceeding_smallest(self, widths):
+        assert series_equivalent_width(widths) <= min(widths) + 1e-18

@@ -1,0 +1,69 @@
+"""Tests for the scalar Newton solver."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.newton import NewtonError, solve_newton
+
+
+def quadratic(root: float):
+    def f(x: float):
+        return (x - root) * (x + root + 10.0), 2 * x + 10.0
+
+    return f
+
+
+class TestNewton:
+    def test_finds_linear_root(self):
+        result = solve_newton(lambda x: (2 * x - 3, 2.0), x0=0.0)
+        assert result.root == pytest.approx(1.5)
+        assert not result.used_bisection
+
+    def test_finds_quadratic_root(self):
+        result = solve_newton(quadratic(2.0), x0=1.0, lo=0.0, hi=5.0)
+        assert result.root == pytest.approx(2.0, abs=1e-6)
+
+    def test_respects_bounds(self):
+        result = solve_newton(quadratic(2.0), x0=4.9, lo=0.0, hi=5.0)
+        assert 0.0 <= result.root <= 5.0
+
+    def test_transcendental(self):
+        result = solve_newton(
+            lambda x: (math.cos(x) - x, -math.sin(x) - 1.0), x0=0.5
+        )
+        assert result.root == pytest.approx(0.7390851332, abs=1e-6)
+
+    def test_zero_derivative_falls_back_to_bisection(self):
+        def flat_then_slope(x: float):
+            return (x - 1.0, 0.0)  # lies about its derivative
+
+        result = solve_newton(flat_then_slope, x0=0.0, lo=0.0, hi=2.0)
+        assert result.root == pytest.approx(1.0, abs=1e-6)
+        assert result.used_bisection
+
+    def test_zero_derivative_without_bracket_raises(self):
+        with pytest.raises(NewtonError):
+            solve_newton(lambda x: (x - 1.0, 0.0), x0=0.0)
+
+    def test_no_bracket_raises(self):
+        with pytest.raises(NewtonError, match="bracket"):
+            solve_newton(lambda x: (1.0, 0.0), x0=0.5, lo=0.0, hi=1.0)
+
+    def test_root_at_boundary(self):
+        result = solve_newton(lambda x: (x, 0.0), x0=0.5, lo=0.0, hi=1.0)
+        assert result.root == pytest.approx(0.0, abs=1e-9)
+
+    @given(root=st.floats(min_value=-5.0, max_value=5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_quadratic_roots_found(self, root):
+        result = solve_newton(
+            lambda x: ((x - root), 1.0), x0=root + 3.0, lo=root - 10, hi=root + 10
+        )
+        assert result.root == pytest.approx(root, abs=1e-6)
+
+    def test_iteration_count_reported(self):
+        result = solve_newton(lambda x: (2 * x - 3, 2.0), x0=0.0)
+        assert result.iterations >= 1

@@ -1,0 +1,55 @@
+"""Tests for process parameters and sizing rules."""
+
+import pytest
+
+from repro.devices.params import ProcessParams, SizingRules, default_process, default_sizing
+
+
+class TestProcessParams:
+    def test_paper_thresholds(self):
+        """The paper's 0.5 um setup: 0.6 V transistor threshold, 0.2 V
+        coupling-model threshold."""
+        process = default_process()
+        assert process.vtn == pytest.approx(0.6)
+        assert process.v_th_model == pytest.approx(0.2)
+        assert process.v_th_model < process.vtn
+
+    def test_half_supply(self):
+        process = default_process()
+        assert process.v_half == pytest.approx(process.vdd / 2)
+
+    def test_thermal_voltage_room_temperature(self):
+        assert default_process().thermal_voltage == pytest.approx(0.02585, rel=0.01)
+
+    def test_slew_thresholds_ordered(self):
+        lo, hi = default_process().slew_thresholds()
+        assert 0 < lo < hi < default_process().vdd
+
+    def test_gate_cap_scales_with_width(self):
+        process = default_process()
+        assert process.gate_cap(4e-6) == pytest.approx(2 * process.gate_cap(2e-6))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            default_process().vdd = 5.0
+
+    def test_default_is_shared(self):
+        assert default_process() is default_process()
+
+
+class TestSizingRules:
+    def test_pmos_wider_than_nmos(self):
+        sizing = default_sizing()
+        assert sizing.pmos_width() > sizing.nmos_width()
+
+    def test_stacks_widened(self):
+        sizing = default_sizing()
+        assert sizing.nmos_width(stack_depth=3) > sizing.nmos_width(stack_depth=1)
+
+    def test_drive_scaling(self):
+        sizing = default_sizing()
+        assert sizing.nmos_width(drive="X4") == pytest.approx(4 * sizing.nmos_width(drive="X1"))
+
+    def test_unknown_drive_rejected(self):
+        with pytest.raises(KeyError):
+            default_sizing().nmos_width(drive="X3")

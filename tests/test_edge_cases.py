@@ -1,0 +1,104 @@
+"""Edge-case tests across modules: empty inputs, degenerate circuits,
+boundary parameters."""
+
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode
+from repro.core.netreport import format_net_report
+from repro.flow import prepare_design
+from repro.spice.netlist import SimCircuit
+from repro.spice.writer import write_spice
+
+
+class TestDegenerateCircuits:
+    def test_single_inverter_circuit(self):
+        circuit = Circuit("one")
+        circuit.add_input("a")
+        circuit.add_cell("INV_X1", "g", {"A": "a", "Y": "y"})
+        circuit.add_output("o", net_name="y")
+        design = prepare_design(circuit)
+        result = CrosstalkSTA(design).run(AnalysisMode.ITERATIVE)
+        assert result.longest_delay > 0
+        assert result.critical_endpoint == "o"
+
+    def test_combinational_only_circuit(self):
+        """No flip-flops, no clock: PI-to-PO paths only."""
+        circuit = Circuit("comb")
+        for name in ("a", "b"):
+            circuit.add_input(name)
+        circuit.add_cell("NAND2_X1", "g1", {"A": "a", "B": "b", "Y": "n1"})
+        circuit.add_cell("INV_X1", "g2", {"A": "n1", "Y": "n2"})
+        circuit.add_output("o", net_name="n2")
+        design = prepare_design(circuit)
+        results = CrosstalkSTA(design).run_all_modes()
+        from repro.core.report import check_mode_ordering
+
+        assert not check_mode_ordering(results)
+
+    def test_ff_to_ff_direct(self):
+        """Shortest possible sequential path: Q wired straight to D."""
+        circuit = Circuit("q2d")
+        circuit.add_clock()
+        circuit.add_input("d")
+        circuit.add_cell("DFF_X1", "ff1", {"D": "d", "CLK": "CLK", "Q": "q1"})
+        circuit.add_cell("DFF_X1", "ff2", {"D": "q1", "CLK": "CLK", "Q": "q2"})
+        circuit.add_output("o", net_name="q2")
+        design = prepare_design(circuit)
+        result = CrosstalkSTA(design).run(AnalysisMode.BEST_CASE)
+        assert result.arrival("ff2/D", "rise") > 0
+
+    def test_fanout_free_net_still_analyzed(self):
+        circuit = Circuit("dangle")
+        circuit.add_input("a")
+        circuit.add_cell("INV_X1", "g1", {"A": "a", "Y": "used"})
+        circuit.add_cell("INV_X1", "g2", {"A": "a", "Y": "unused"})
+        circuit.add_output("o", net_name="used")
+        design = prepare_design(circuit)
+        result = CrosstalkSTA(design).run(AnalysisMode.WORST_CASE)
+        # The dangling net gets events (it could be someone's aggressor).
+        assert result.final_pass.state.event("unused", "rise") is not None
+
+
+class TestEmptyInputs:
+    def test_empty_net_report(self):
+        text = format_net_report([])
+        assert "C_c" in text  # header only
+
+    def test_empty_spice_deck(self):
+        deck = write_spice(SimCircuit("empty"))
+        assert ".END" in deck
+
+    def test_run_all_modes_on_tiny_design(self):
+        circuit = Circuit("tiny")
+        circuit.add_input("a")
+        circuit.add_cell("INV_X1", "g", {"A": "a", "Y": "y"})
+        circuit.add_output("o", net_name="y")
+        design = prepare_design(circuit)
+        results = CrosstalkSTA(design).run_all_modes()
+        assert len(results) == 5
+
+
+class TestBoundaryParameters:
+    def test_zero_guard_band(self, s27_design):
+        from repro.core.modes import StaConfig
+
+        config = StaConfig(mode=AnalysisMode.ONE_STEP, guard=0.0)
+        result = CrosstalkSTA(s27_design, config).run()
+        assert result.longest_delay > 0
+
+    def test_single_iteration_budget(self, s27_design):
+        from repro.core.modes import StaConfig
+
+        config = StaConfig(mode=AnalysisMode.ITERATIVE, max_iterations=1)
+        result = CrosstalkSTA(s27_design, config).run()
+        assert result.passes == 1
+
+    def test_very_slow_input_transition(self, s27_design):
+        from repro.core.modes import StaConfig
+
+        config = StaConfig(mode=AnalysisMode.BEST_CASE, input_transition=2e-9)
+        slow = CrosstalkSTA(s27_design, config).run()
+        fast = CrosstalkSTA(s27_design).run(AnalysisMode.BEST_CASE)
+        assert slow.longest_delay > fast.longest_delay

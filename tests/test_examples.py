@@ -1,0 +1,45 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The examples double as integration tests of the public API; the two
+quickest run here in full (each carries internal assertions).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "Bound ordering verified" in out
+        assert "Critical path" in out
+
+    def test_coupling_demo(self, capsys):
+        run_example("coupling_demo")
+        out = capsys.readouterr().out
+        assert "crosstalk delay penalty" in out
+        assert "active coupling model" in out
+
+    def test_plot_layout(self, tmp_path, capsys):
+        target = tmp_path / "layout.svg"
+        run_example("plot_layout", [str(target)])
+        assert target.exists()
+        assert "<svg" in target.read_text()

@@ -1,0 +1,59 @@
+"""Tests for design preparation (flow)."""
+
+import pytest
+
+from repro.flow import prepare_design
+from repro.circuit.netlist import Circuit
+
+
+class TestLoads:
+    def test_every_net_has_a_load(self, s27_design):
+        assert set(s27_design.loads) == set(s27_design.circuit.nets)
+
+    def test_fixed_load_includes_pin_caps(self, s27_design):
+        process = s27_design.process
+        for name, net in s27_design.circuit.nets.items():
+            load = s27_design.loads[name]
+            pin_caps = sum(
+                sink.cell.ctype.input_cap(sink.name, process)
+                for sink in net.sinks
+                if hasattr(sink, "cell")
+            )
+            assert load.c_fixed >= pin_caps - 1e-21
+
+    def test_couplings_reference_known_nets(self, s27_design):
+        for load in s27_design.loads.values():
+            for other in load.couplings:
+                assert other in s27_design.circuit.nets
+
+    def test_sink_elmore_keys_are_terminals(self, s27_design):
+        for name, net in s27_design.circuit.nets.items():
+            load = s27_design.loads[name]
+            sink_names = {
+                s.full_name if hasattr(s, "cell") else s.name for s in net.sinks
+            }
+            assert set(load.sink_elmore) <= sink_names
+
+    def test_elmore_nonnegative(self, s27_design):
+        for load in s27_design.loads.values():
+            assert all(d >= 0 for d in load.sink_elmore.values())
+
+    def test_coupling_total_halved_consistently(self, s27_design):
+        total = s27_design.coupling_cap_total()
+        assert total == pytest.approx(s27_design.extraction.total_coupling_cap(), rel=1e-9)
+
+
+class TestPrepare:
+    def test_unconnected_net_gets_zero_load(self):
+        circuit = Circuit("bare")
+        circuit.add_input("a")
+        circuit.add_cell("INV_X1", "g", {"A": "a", "Y": "y"})
+        design = prepare_design(circuit)
+        # Dangling output net: no sinks, no routing, only driver parasitics.
+        load = design.loads["y"]
+        assert load.couplings == {}
+        assert load.sink_elmore == {}
+        assert load.c_fixed > 0  # driver junction cap
+
+    def test_design_name_follows_circuit(self, s27_design):
+        assert s27_design.name == "s27"

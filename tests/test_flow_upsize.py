@@ -1,0 +1,72 @@
+"""Tests for the driver-upsizing repair move."""
+
+import pytest
+
+from repro.circuit.validate import validate_circuit
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode
+from repro.core.netreport import rank_crosstalk_nets
+from repro.flow import upsize_drivers
+
+
+@pytest.fixture(scope="module")
+def upsized(s27_design):
+    result = CrosstalkSTA(s27_design).run(AnalysisMode.ITERATIVE)
+    victims = [e.net for e in rank_crosstalk_nets(s27_design, result.final_pass, top=4)]
+    return s27_design, victims, upsize_drivers(s27_design, victims)
+
+
+class TestUpsize:
+    def test_drivers_strengthened(self, upsized):
+        original, victims, design = upsized
+        strengthened = 0
+        for net_name in victims:
+            before = original.circuit.nets[net_name].driver_cell()
+            after = design.circuit.nets[net_name].driver_cell()
+            if before is None or after is None:
+                continue
+            order = {"X1": 0, "X2": 1, "X4": 2}
+            assert order[after.ctype.drive] >= order[before.ctype.drive]
+            if after.ctype.drive != before.ctype.drive:
+                strengthened += 1
+        assert strengthened > 0
+
+    def test_other_cells_untouched(self, upsized):
+        original, victims, design = upsized
+        victim_drivers = {
+            original.circuit.nets[n].driver_cell().name
+            for n in victims
+            if original.circuit.nets[n].driver_cell() is not None
+        }
+        for name, cell in original.circuit.cells.items():
+            if name in victim_drivers:
+                continue
+            assert design.circuit.cells[name].ctype.name == cell.ctype.name
+
+    def test_clone_structurally_valid(self, upsized):
+        _, _, design = upsized
+        report = validate_circuit(design.circuit)
+        assert report.ok, report.errors[:3]
+
+    def test_connectivity_preserved(self, upsized):
+        original, _, design = upsized
+        assert set(design.circuit.nets) == set(original.circuit.nets)
+        for name, net in original.circuit.nets.items():
+            assert design.circuit.nets[name].fanout == net.fanout
+
+    def test_clock_marking_preserved(self, upsized):
+        original, _, design = upsized
+        for name, net in original.circuit.nets.items():
+            assert design.circuit.nets[name].is_clock == net.is_clock
+
+    def test_x4_saturates(self, s27_design):
+        """Upsizing an already-maximal driver is a no-op, not an error."""
+        all_nets = list(s27_design.circuit.nets)
+        design = upsize_drivers(s27_design, all_nets, steps=5)
+        for cell in design.circuit.cells.values():
+            assert cell.ctype.drive in ("X1", "X2", "X4")
+
+    def test_analysis_still_runs(self, upsized):
+        _, _, design = upsized
+        result = CrosstalkSTA(design).run(AnalysisMode.ONE_STEP)
+        assert result.longest_delay > 0

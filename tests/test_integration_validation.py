@@ -1,0 +1,71 @@
+"""Integration: full STA-versus-simulation validation on s27.
+
+These are the repository's strongest claims (the paper's Section 6):
+every analysis mode upper-bounds the simulated delay of its scenario, and
+the crosstalk-aware bounds are tight.
+"""
+
+import pytest
+
+from repro.core.modes import AnalysisMode
+from repro.validate import run_table_comparison
+
+
+@pytest.fixture(scope="module")
+def comparison(s27_design):
+    return run_table_comparison(s27_design, sim_steps=1600)
+
+
+class TestBounds:
+    def test_quiet_simulation_below_best_case(self, comparison):
+        best = comparison.results[AnalysisMode.BEST_CASE].longest_delay
+        assert comparison.sim_quiet_delay <= best
+
+    def test_windowed_simulation_below_iterative(self, comparison):
+        bound = comparison.results[AnalysisMode.ITERATIVE].longest_delay
+        assert comparison.sim_windowed_delay <= bound
+
+    def test_windowed_simulation_below_one_step(self, comparison):
+        bound = comparison.results[AnalysisMode.ONE_STEP].longest_delay
+        assert comparison.sim_windowed_delay <= bound
+
+    def test_worst_simulation_below_worst_case(self, comparison):
+        bound = comparison.results[AnalysisMode.WORST_CASE].longest_delay
+        assert comparison.sim_worst_delay <= bound
+
+    def test_simulations_ordered(self, comparison):
+        assert comparison.sim_quiet_delay <= comparison.sim_windowed_delay + 1e-12
+        assert comparison.sim_windowed_delay <= comparison.sim_worst_delay + 1e-12
+
+
+class TestTightness:
+    def test_iterative_bound_tight(self, comparison):
+        """The paper stresses "the accuracy of the estimated delay values
+        in comparison to the simulations": the bound should be within a
+        modest factor of the achievable delay."""
+        bound = comparison.results[AnalysisMode.ITERATIVE].longest_delay
+        assert bound <= comparison.sim_windowed_delay * 1.25
+
+    def test_best_case_bound_tight(self, comparison):
+        bound = comparison.results[AnalysisMode.BEST_CASE].longest_delay
+        assert bound <= comparison.sim_quiet_delay * 1.25
+
+    def test_coupling_visible_in_simulation(self, comparison):
+        """Aligned aggressors measurably slow the real (simulated) path."""
+        assert comparison.sim_worst_delay > comparison.sim_quiet_delay * 1.005
+
+
+class TestRecord:
+    def test_delays_ns_complete(self, comparison):
+        table = comparison.delays_ns()
+        for mode in AnalysisMode:
+            assert mode.value in table
+        assert "simulation_quiet" in table
+        assert "simulation_windowed" in table
+        assert "simulation_worst" in table
+
+    def test_coupling_impact_positive(self, comparison):
+        assert comparison.coupling_impact > 0
+
+    def test_alignment_ran(self, comparison):
+        assert comparison.alignment_iterations >= 1

@@ -1,0 +1,116 @@
+"""Tests for RC trees and Elmore delay."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.elmore import (
+    effective_load,
+    elmore_delay_to,
+    elmore_delays,
+    sink_delays,
+)
+from repro.interconnect.rctree import RCTree
+
+
+def ladder(n: int, r: float, c: float) -> RCTree:
+    tree = RCTree("ladder")
+    node = tree.add_node(-1, 0.0, 0.0, name="driver")
+    for i in range(n):
+        node = tree.add_node(node, r, c, name=f"n{i}")
+    return tree
+
+
+class TestRCTree:
+    def test_single_lump(self):
+        tree = RCTree.single_lump("net", 100.0, 50e-15)
+        assert tree.total_cap() == pytest.approx(50e-15)
+        assert tree.total_resistance() == pytest.approx(100.0)
+
+    def test_root_must_come_first(self):
+        tree = RCTree("t")
+        tree.add_node(-1, 0.0)
+        with pytest.raises(ValueError, match="root"):
+            tree.add_node(-1, 0.0)
+
+    def test_parent_must_exist(self):
+        tree = RCTree("t")
+        with pytest.raises(ValueError, match="out of range"):
+            tree.add_node(5, 1.0)
+
+    def test_negative_values_rejected(self):
+        tree = RCTree("t")
+        root = tree.add_node(-1, 0.0)
+        with pytest.raises(ValueError):
+            tree.add_node(root, -1.0)
+        with pytest.raises(ValueError):
+            tree.add_cap(root, -1e-15)
+
+    def test_subtree_caps(self):
+        tree = RCTree("t")
+        root = tree.add_node(-1, 0.0, 1e-15)
+        a = tree.add_node(root, 1.0, 2e-15)
+        tree.add_node(a, 1.0, 3e-15)
+        tree.add_node(root, 1.0, 4e-15)
+        caps = tree.subtree_caps()
+        assert caps[0] == pytest.approx(10e-15)
+        assert caps[a] == pytest.approx(5e-15)
+
+    def test_path_to_root(self):
+        tree = ladder(3, 1.0, 1e-15)
+        path = tree.path_to_root(tree.node_by_name("n2"))
+        assert path == [3, 2, 1, 0]
+
+
+class TestElmore:
+    def test_single_lump_is_rc(self):
+        tree = RCTree.single_lump("net", 200.0, 10e-15)
+        assert elmore_delay_to(tree, "sink") == pytest.approx(200.0 * 10e-15)
+
+    def test_ladder_formula(self):
+        """Uniform ladder: T_n = sum_{k=1..n} k * R * C (reversed)."""
+        n, r, c = 4, 100.0, 10e-15
+        tree = ladder(n, r, c)
+        expected = r * c * sum(n - k + 1 for k in range(1, n + 1))
+        # T = R*(4C) + R*(3C) + R*(2C) + R*C
+        assert elmore_delay_to(tree, f"n{n-1}") == pytest.approx(expected)
+
+    def test_delays_monotone_along_path(self):
+        tree = ladder(5, 50.0, 5e-15)
+        delays = elmore_delays(tree)
+        for node in tree.nodes[1:]:
+            assert delays[node.index] >= delays[node.parent]
+
+    def test_branch_sees_siblings_cap_at_shared_resistance(self):
+        tree = RCTree("t")
+        root = tree.add_node(-1, 0.0, 0.0, name="driver")
+        stem = tree.add_node(root, 100.0, 0.0)
+        tree.add_node(stem, 100.0, 10e-15, name="a")
+        tree.add_node(stem, 100.0, 20e-15, name="b")
+        delays = sink_delays(tree)
+        # Shared stem charges both caps; each branch only its own.
+        assert delays["a"] == pytest.approx(100.0 * 30e-15 + 100.0 * 10e-15)
+        assert delays["b"] == pytest.approx(100.0 * 30e-15 + 100.0 * 20e-15)
+
+    def test_effective_load_is_total_cap(self):
+        tree = ladder(3, 10.0, 7e-15)
+        assert effective_load(tree) == pytest.approx(21e-15)
+
+    @given(
+        r=st.floats(min_value=1.0, max_value=1e3),
+        c=st.floats(min_value=1e-15, max_value=1e-12),
+        extra_r=st.floats(min_value=1.0, max_value=1e3),
+        extra_c=st.floats(min_value=1e-15, max_value=1e-12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_elmore_monotone_in_r_and_c(self, r, c, extra_r, extra_c):
+        base = RCTree.single_lump("n", r, c)
+        more_r = RCTree.single_lump("n", r + extra_r, c)
+        more_c = RCTree.single_lump("n", r, c + extra_c)
+        t0 = elmore_delay_to(base, "sink")
+        assert elmore_delay_to(more_r, "sink") >= t0
+        assert elmore_delay_to(more_c, "sink") >= t0
+
+    def test_delays_nonnegative(self):
+        tree = ladder(6, 1.0, 1e-15)
+        assert all(d >= 0 for d in elmore_delays(tree))

@@ -1,0 +1,141 @@
+"""Tests for parasitic extraction."""
+
+import pytest
+
+from repro.circuit import s27
+from repro.circuit.generators import GeneratorSpec, generate_circuit
+from repro.layout.extraction import extract
+from repro.layout.placement import place
+from repro.layout.routing import NetRoute, RoutingResult, route
+from repro.layout.geometry import TrackSegment
+from repro.layout.technology import Technology, default_technology
+
+
+@pytest.fixture(scope="module")
+def extracted():
+    spec = GeneratorSpec(
+        name="ex", seed=3, n_inputs=5, n_outputs=5, n_ff=10, n_gates=120, depth=8
+    )
+    circuit = generate_circuit(spec)
+    placement = place(circuit)
+    routing = route(circuit, placement)
+    return circuit, routing, extract(routing)
+
+
+def hand_routing(segments_by_net):
+    """Build a RoutingResult with explicit trunk segments only."""
+    result = RoutingResult()
+    for net, seg in segments_by_net.items():
+        result.routes[net] = NetRoute(
+            net=net,
+            trunk=seg,
+            trunk_y=seg.track * 1.5,
+            driver_tap=(f"{net}_drv", seg.lo, None),
+            sink_taps=[(f"{net}_snk", seg.hi, None)],
+        )
+    return result
+
+
+class TestCouplingExtraction:
+    def test_adjacent_track_coupling_value(self):
+        """Two parallel 100 um runs on adjacent tracks couple with
+        exactly c_couple_per_um * overlap."""
+        tech = default_technology()
+        routing = hand_routing({
+            "a": TrackSegment("a", 1, 10, 0.0, 100.0),
+            "b": TrackSegment("b", 1, 11, 20.0, 80.0),
+        })
+        result = extract(routing, tech)
+        expected = 60.0 * tech.coupling_cap_per_um(1)
+        assert result.nets["a"].couplings["b"] == pytest.approx(expected)
+
+    def test_coupling_symmetric(self):
+        routing = hand_routing({
+            "a": TrackSegment("a", 1, 10, 0.0, 100.0),
+            "b": TrackSegment("b", 1, 11, 0.0, 100.0),
+        })
+        result = extract(routing)
+        assert result.nets["a"].couplings["b"] == pytest.approx(
+            result.nets["b"].couplings["a"]
+        )
+
+    def test_second_neighbour_weaker(self):
+        tech = default_technology()
+        routing = hand_routing({
+            "a": TrackSegment("a", 1, 10, 0.0, 100.0),
+            "b": TrackSegment("b", 1, 11, 0.0, 100.0),
+            "c": TrackSegment("c", 1, 12, 0.0, 100.0),
+        })
+        result = extract(routing, tech)
+        near = result.nets["a"].couplings["b"]
+        far = result.nets["a"].couplings["c"]
+        assert far < near
+
+    def test_different_layers_do_not_couple(self):
+        routing = hand_routing({
+            "a": TrackSegment("a", 1, 10, 0.0, 100.0),
+            "b": TrackSegment("b", 2, 11, 0.0, 100.0),
+        })
+        result = extract(routing)
+        assert result.nets["a"].couplings == {}
+
+    def test_disjoint_spans_do_not_couple(self):
+        routing = hand_routing({
+            "a": TrackSegment("a", 1, 10, 0.0, 40.0),
+            "b": TrackSegment("b", 1, 11, 50.0, 90.0),
+        })
+        result = extract(routing)
+        assert result.nets["a"].couplings == {}
+
+    def test_full_design_symmetry_and_positivity(self, extracted):
+        _, _, result = extracted
+        for name, pnet in result.nets.items():
+            for other, cap in pnet.couplings.items():
+                assert cap > 0
+                assert result.nets[other].couplings[name] == pytest.approx(cap)
+                assert other != name
+
+
+class TestRcTrees:
+    def test_tree_terminals_cover_sinks(self, extracted):
+        circuit, routing, result = extracted
+        for net_name, pnet in result.nets.items():
+            route_obj = routing.routes[net_name]
+            terminals = set(pnet.rc_tree.terminal_names())
+            for sink_name, _, _ in route_obj.sink_taps:
+                assert sink_name in terminals
+
+    def test_tree_cap_covers_wirelength(self, extracted):
+        """The tree accounts for at least the drawn metal (residual lumped
+        at the root; tap-span excess kept, conservatively)."""
+        _, routing, result = extracted
+        tech = default_technology()
+        for net_name, pnet in result.nets.items():
+            wl = routing.routes[net_name].wirelength()
+            assert pnet.rc_tree.total_cap() >= wl * tech.c_ground_per_um * (1 - 1e-9)
+            assert pnet.rc_tree.total_cap() <= wl * tech.c_ground_per_um * 1.25 + 1e-18
+
+    def test_wire_ground_cap_equals_tree_cap(self, extracted):
+        _, _, result = extracted
+        for pnet in result.nets.values():
+            assert pnet.c_wire_ground == pytest.approx(pnet.rc_tree.total_cap(), rel=1e-6, abs=1e-21)
+
+    def test_resistance_nonnegative(self, extracted):
+        _, _, result = extracted
+        for pnet in result.nets.values():
+            assert pnet.r_total >= 0
+
+    def test_longer_wire_more_resistance(self):
+        tech = default_technology()
+        short = hand_routing({"a": TrackSegment("a", 1, 0, 0.0, 10.0)})
+        long = hand_routing({"a": TrackSegment("a", 1, 0, 0.0, 1000.0)})
+        r_short = extract(short, tech).nets["a"].r_total
+        r_long = extract(long, tech).nets["a"].r_total
+        assert r_long > r_short
+
+    def test_coupling_pairs_deduplicated(self, extracted):
+        _, _, result = extracted
+        pairs = result.coupling_pairs()
+        keys = [(a, b) for a, b, _ in pairs]
+        assert len(keys) == len(set(keys))
+        assert all(a < b for a, b in keys)

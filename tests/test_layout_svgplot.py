@@ -1,0 +1,66 @@
+"""Tests for the SVG layout renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.circuit import s27
+from repro.layout.placement import place
+from repro.layout.routing import route
+from repro.layout.svgplot import SvgStyle, render_layout, save_layout_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture(scope="module")
+def layout():
+    circuit = s27()
+    placement = place(circuit)
+    routing = route(circuit, placement)
+    return circuit, placement, routing
+
+
+class TestRendering:
+    def test_well_formed_xml(self, layout):
+        _, placement, routing = layout
+        svg = render_layout(placement, routing, title="s27")
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_rect_per_cell(self, layout):
+        circuit, placement, routing = layout
+        root = ET.fromstring(render_layout(placement, routing))
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + rows + cells
+        expected = 1 + placement.n_rows + len(circuit.cells)
+        assert len(rects) == expected
+
+    def test_one_line_per_segment(self, layout):
+        _, placement, routing = layout
+        root = ET.fromstring(render_layout(placement, routing))
+        lines = root.findall(f"{SVG_NS}line")
+        assert len(lines) == len(routing.all_segments())
+
+    def test_highlight_changes_stroke(self, layout):
+        _, placement, routing = layout
+        net = next(iter(routing.routes))
+        style = SvgStyle()
+        svg = render_layout(placement, routing, highlight_nets={net}, style=style)
+        assert style.highlight_color in svg
+
+    def test_placement_only(self, layout):
+        _, placement, _ = layout
+        root = ET.fromstring(render_layout(placement))
+        assert not root.findall(f"{SVG_NS}line")
+
+    def test_save_to_file(self, layout, tmp_path):
+        _, placement, routing = layout
+        target = tmp_path / "layout.svg"
+        save_layout_svg(str(target), placement, routing)
+        assert target.exists()
+        ET.parse(target)  # parses cleanly
+
+    def test_titles_escaped(self, layout):
+        _, placement, routing = layout
+        svg = render_layout(placement, routing, title="a <b> & c")
+        assert "a &lt;b&gt; &amp; c" in svg

@@ -1,0 +1,116 @@
+"""Property tests for serialisation round-trips (Liberty, .bench)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.characterize.characterize import (
+    ArcTable,
+    CellCharacterization,
+    LibraryCharacterization,
+)
+from repro.characterize.liberty import parse_liberty, write_liberty
+from repro.circuit.bench import parse_bench, write_bench
+from repro.circuit.generators import GeneratorSpec, generate_bench
+from repro.waveform.pwl import FALLING, RISING
+
+_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+positive_times = st.floats(min_value=1e-12, max_value=1e-9)
+
+
+@st.composite
+def characterizations(draw):
+    n_slews = draw(st.integers(min_value=2, max_value=4))
+    n_loads = draw(st.integers(min_value=2, max_value=4))
+    slews = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=1e-11, max_value=1e-9),
+                min_size=n_slews,
+                max_size=n_slews,
+                unique=True,
+            )
+        )
+    )
+    loads = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=1e-15, max_value=1e-12),
+                min_size=n_loads,
+                max_size=n_loads,
+                unique=True,
+            )
+        )
+    )
+    char = LibraryCharacterization(name="prop", slews=slews, loads=loads)
+    n_cells = draw(st.integers(min_value=1, max_value=3))
+    for c in range(n_cells):
+        cell = CellCharacterization(cell=f"CELL{c}_X1")
+        pins = draw(st.integers(min_value=1, max_value=2))
+        for p in range(pins):
+            pin = chr(ord("A") + p)
+            for direction in (RISING, FALLING):
+                delay = np.array(
+                    draw(
+                        st.lists(
+                            st.lists(positive_times, min_size=n_loads, max_size=n_loads),
+                            min_size=n_slews,
+                            max_size=n_slews,
+                        )
+                    )
+                )
+                transition = delay * draw(st.floats(min_value=0.5, max_value=2.0))
+                cell.arcs[(pin, direction)] = ArcTable(
+                    cell=cell.cell,
+                    pin=pin,
+                    input_direction=direction,
+                    slews=slews,
+                    loads=loads,
+                    delay=delay,
+                    transition=transition,
+                )
+        char.cells[cell.cell] = cell
+    return char
+
+
+class TestLibertyRoundtrip:
+    @given(char=characterizations())
+    @_settings
+    def test_roundtrip(self, char):
+        restored = parse_liberty(write_liberty(char))
+        assert sorted(restored.cells) == sorted(char.cells)
+        assert np.allclose(restored.slews, char.slews, rtol=1e-5)
+        assert np.allclose(restored.loads, char.loads, rtol=1e-5)
+        for name, cell in char.cells.items():
+            for key, arc in cell.arcs.items():
+                other = restored.cells[name].arcs[key]
+                assert np.allclose(other.delay, arc.delay, rtol=1e-4)
+                assert np.allclose(other.transition, arc.transition, rtol=1e-4)
+
+
+class TestBenchRoundtrip:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_gates=st.integers(min_value=10, max_value=60),
+        depth=st.integers(min_value=2, max_value=6),
+    )
+    @_settings
+    def test_generated_netlists_roundtrip(self, seed, n_gates, depth):
+        spec = GeneratorSpec(
+            name="rt", seed=seed, n_inputs=3, n_outputs=3, n_ff=4,
+            n_gates=n_gates, depth=depth,
+        )
+        first = generate_bench(spec)
+        second = parse_bench(write_bench(first), name="rt")
+        assert set(first.inputs) == set(second.inputs)
+        assert first.outputs == second.outputs
+        assert set(first.gates) == set(second.gates)
+        for name, gate in first.gates.items():
+            assert second.gates[name].gtype == gate.gtype
+            assert second.gates[name].inputs == gate.inputs

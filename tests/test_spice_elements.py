@@ -1,0 +1,79 @@
+"""Tests for simulator elements and the circuit container."""
+
+import pytest
+
+from repro.devices.mosfet import nmos
+from repro.spice.elements import Capacitor, PwlSource, Resistor
+from repro.spice.netlist import SimCircuit
+
+
+class TestElements:
+    def test_resistor_conductance(self):
+        assert Resistor("a", "b", 100.0).conductance == pytest.approx(0.01)
+
+    def test_resistor_positive(self):
+        with pytest.raises(ValueError):
+            Resistor("a", "b", 0.0)
+
+    def test_capacitor_nonnegative(self):
+        with pytest.raises(ValueError):
+            Capacitor("a", "b", -1e-15)
+
+
+class TestPwlSource:
+    def test_interpolation(self):
+        src = PwlSource("a", "0", [(1.0, 0.0), (2.0, 3.3)])
+        assert src.voltage_at(0.0) == 0.0
+        assert src.voltage_at(1.5) == pytest.approx(1.65)
+        assert src.voltage_at(5.0) == pytest.approx(3.3)
+
+    def test_times_must_not_decrease(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            PwlSource("a", "0", [(2.0, 0.0), (1.0, 1.0)])
+
+    def test_needs_points(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PwlSource("a", "0", [])
+
+    def test_step_factory(self):
+        src = PwlSource.step("a", 0.0, 3.3, 1e-9, 100e-12)
+        assert src.voltage_at(0.0) == 0.0
+        assert src.voltage_at(1.05e-9) == pytest.approx(1.65)
+        assert src.voltage_at(2e-9) == pytest.approx(3.3)
+
+    def test_dc_factory(self):
+        src = PwlSource.dc("a", 2.5)
+        assert src.voltage_at(0.0) == 2.5
+        assert src.voltage_at(1.0) == 2.5
+
+    def test_vertical_step(self):
+        src = PwlSource("a", "0", [(1.0, 0.0), (1.0, 3.3)])
+        assert src.voltage_at(0.999999) == 0.0
+        assert src.voltage_at(1.000001) == pytest.approx(3.3)
+
+
+class TestSimCircuit:
+    def test_ground_aliases(self):
+        circuit = SimCircuit()
+        assert circuit.node("0") == -1
+        assert circuit.node("gnd") == -1
+        assert circuit.node("GND") == -1
+
+    def test_node_indices_stable(self):
+        circuit = SimCircuit()
+        a = circuit.node("a")
+        b = circuit.node("b")
+        assert circuit.node("a") == a
+        assert a != b
+        assert circuit.node_count == 2
+
+    def test_element_factories_register_nodes(self):
+        circuit = SimCircuit()
+        circuit.add_resistor("x", "y", 10.0)
+        circuit.add_capacitor("y", "0", 1e-15)
+        circuit.add_mosfet("m1", "d", "g", "0", nmos(2e-6))
+        assert set(circuit.node_names) == {"x", "y", "d", "g"}
+        stats = circuit.stats()
+        assert stats["resistors"] == 1
+        assert stats["capacitors"] == 1
+        assert stats["mosfets"] == 1

@@ -1,0 +1,84 @@
+"""Tests for trace measurements."""
+
+import numpy as np
+import pytest
+
+from repro.spice.measure import (
+    crossing,
+    delay_between,
+    glitch_amplitude,
+    last_crossing,
+    slew,
+)
+from repro.spice.transient import TransientResult
+from repro.waveform.pwl import FALLING, RISING
+
+
+def make_result(times, traces: dict) -> TransientResult:
+    names = list(traces)
+    voltages = np.column_stack([traces[n] for n in names])
+    return TransientResult(
+        times=np.asarray(times, float),
+        voltages=voltages,
+        node_index={n: i for i, n in enumerate(names)},
+    )
+
+
+class TestCrossing:
+    def test_linear_interpolation(self):
+        result = make_result([0, 1, 2], {"a": [0.0, 2.0, 2.0]})
+        assert crossing(result, "a", 1.0, RISING) == pytest.approx(0.5)
+
+    def test_falling(self):
+        result = make_result([0, 1, 2], {"a": [2.0, 0.0, 0.0]})
+        assert crossing(result, "a", 1.0, FALLING) == pytest.approx(0.5)
+
+    def test_first_vs_last_crossing_with_glitch(self):
+        values = [0.0, 2.0, 0.5, 2.0, 2.0]
+        result = make_result([0, 1, 2, 3, 4], {"a": values})
+        first = crossing(result, "a", 1.0, RISING)
+        last = last_crossing(result, "a", 1.0, RISING)
+        assert first < last
+        assert last == pytest.approx(2.0 + 0.5 / 1.5)
+
+    def test_missing_crossing_raises(self):
+        result = make_result([0, 1], {"a": [0.0, 0.5]})
+        with pytest.raises(ValueError, match="never crosses"):
+            crossing(result, "a", 1.0, RISING)
+
+    def test_ground_trace(self):
+        result = make_result([0, 1], {"a": [0.0, 1.0]})
+        assert np.all(result.trace("0") == 0.0)
+
+
+class TestDelay:
+    def test_delay_between_uses_last_crossing(self):
+        result = make_result(
+            [0, 1, 2, 3, 4],
+            {
+                "in": [0.0, 2.0, 2.0, 2.0, 2.0],
+                "out": [2.0, 2.0, 0.5, 2.0, 0.0],  # glitch then final fall
+            },
+        )
+        d = delay_between(result, "in", RISING, "out", FALLING, 1.0)
+        assert d.t_from == pytest.approx(0.5)
+        assert d.t_to > 3.0
+        assert d.delay == pytest.approx(d.t_to - d.t_from)
+
+
+class TestAmplitudes:
+    def test_glitch_amplitude(self):
+        result = make_result([0, 1, 2], {"a": [0.0, 0.7, 0.1]})
+        assert glitch_amplitude(result, "a", 0.0) == pytest.approx(0.7)
+
+    def test_slew_of_linear_ramp(self):
+        times = np.linspace(0, 1, 101)
+        values = times * 3.3
+        result = make_result(times, {"a": values})
+        assert slew(result, "a", RISING, 3.3) == pytest.approx(1.0, rel=0.02)
+
+    def test_slew_falling(self):
+        times = np.linspace(0, 2, 201)
+        values = 3.3 * (1 - times / 2)
+        result = make_result(times, {"a": values})
+        assert slew(result, "a", FALLING, 3.3) == pytest.approx(2.0, rel=0.02)

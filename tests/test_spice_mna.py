@@ -1,0 +1,116 @@
+"""Tests for MNA assembly and the vectorised device bank."""
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import nmos, pmos
+from repro.spice.mna import FetBank, build_mna
+from repro.spice.netlist import SimCircuit
+
+
+class TestStamps:
+    def test_resistor_stamp(self):
+        circuit = SimCircuit()
+        circuit.add_resistor("a", "b", 100.0)
+        system = build_mna(circuit)
+        g = system.g_matrix
+        a, b = circuit.node("a"), circuit.node("b")
+        assert g[a, a] == pytest.approx(0.01, rel=1e-6)
+        assert g[a, b] == pytest.approx(-0.01)
+        assert g[b, a] == pytest.approx(-0.01)
+
+    def test_grounded_resistor_stamp(self):
+        circuit = SimCircuit()
+        circuit.add_resistor("a", "0", 50.0)
+        system = build_mna(circuit)
+        a = circuit.node("a")
+        assert system.g_matrix[a, a] == pytest.approx(0.02, rel=1e-6)
+
+    def test_capacitor_stamp_symmetric(self):
+        circuit = SimCircuit()
+        circuit.add_capacitor("a", "b", 1e-15)
+        system = build_mna(circuit)
+        a, b = circuit.node("a"), circuit.node("b")
+        c = system.c_matrix
+        assert c[a, a] == pytest.approx(1e-15)
+        assert c[a, b] == pytest.approx(-1e-15)
+        assert np.allclose(c, c.T)
+
+    def test_source_branch_rows(self):
+        circuit = SimCircuit()
+        circuit.add_vdc("a", 2.5)
+        system = build_mna(circuit)
+        a = circuit.node("a")
+        row = system.n_nodes
+        assert system.g_matrix[row, a] == 1.0
+        assert system.g_matrix[a, row] == 1.0
+        assert system.source_vector(0.0)[row] == pytest.approx(2.5)
+
+    def test_gmin_on_diagonal(self):
+        circuit = SimCircuit()
+        circuit.node("floating")
+        system = build_mna(circuit)
+        assert system.g_matrix[0, 0] > 0
+
+
+class TestFetBank:
+    def _bank(self):
+        circuit = SimCircuit()
+        circuit.add_mosfet("mn", "out", "in", "0", nmos(2e-6))
+        circuit.add_mosfet("mp", "out", "in", "vdd", pmos(4e-6))
+        return circuit, FetBank(circuit)
+
+    def test_matches_single_device_model(self):
+        circuit, bank = self._bank()
+        v = np.zeros(circuit.node_count)
+        v[circuit.node("in")] = 2.0
+        v[circuit.node("out")] = 1.0
+        v[circuit.node("vdd")] = 3.3
+        ids, gm, gds = bank.evaluate(v)
+        expected_n = nmos(2e-6).ids(2.0, 1.0)
+        expected_p = pmos(4e-6).ids(2.0 - 3.3, 1.0 - 3.3)
+        assert ids[0] == pytest.approx(expected_n, rel=1e-9)
+        assert ids[1] == pytest.approx(expected_p, rel=1e-9)
+
+    def test_derivative_signs(self):
+        circuit, bank = self._bank()
+        v = np.zeros(circuit.node_count)
+        v[circuit.node("in")] = 2.0
+        v[circuit.node("out")] = 1.0
+        v[circuit.node("vdd")] = 3.3
+        _, gm, gds = bank.evaluate(v)
+        assert gm[0] > 0  # NMOS transconductance
+        assert gds[0] > 0
+
+    def test_empty_bank(self):
+        circuit = SimCircuit()
+        bank = FetBank(circuit)
+        ids, gm, gds = bank.evaluate(np.zeros(0))
+        assert ids.size == 0
+
+    def test_ground_terminals_handled(self):
+        circuit = SimCircuit()
+        circuit.add_mosfet("m", "d", "g", "0", nmos(2e-6))
+        bank = FetBank(circuit)
+        v = np.zeros(circuit.node_count)
+        v[circuit.node("g")] = 3.3
+        v[circuit.node("d")] = 1.0
+        ids, _, _ = bank.evaluate(v)
+        assert ids[0] == pytest.approx(nmos(2e-6).ids(3.3, 1.0), rel=1e-9)
+
+
+class TestNonlinearStamping:
+    def test_kcl_sign_convention(self):
+        """The NMOS pulls current out of its drain node."""
+        circuit = SimCircuit()
+        circuit.add_vdc("g", 3.3)
+        circuit.add_vdc("d", 1.0)
+        circuit.add_mosfet("m", "d", "g", "0", nmos(2e-6))
+        system = build_mna(circuit)
+        x = np.zeros(system.size)
+        x[circuit.node("g")] = 3.3
+        x[circuit.node("d")] = 1.0
+        jacobian = system.g_matrix.copy()
+        residual = np.zeros(system.size)
+        system.stamp_nonlinear(x, jacobian, residual)
+        assert residual[circuit.node("d")] > 0  # current leaving the node

@@ -1,0 +1,189 @@
+"""Tests for the MNA transient engine against analytic references."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices.mosfet import nmos, pmos
+from repro.devices.params import default_process
+from repro.spice.elements import PwlSource
+from repro.spice.measure import crossing, delay_between, glitch_amplitude, slew
+from repro.spice.netlist import SimCircuit
+from repro.spice.transient import TransientSimulator
+from repro.waveform.pwl import FALLING, RISING
+
+PROCESS = default_process()
+VDD = PROCESS.vdd
+
+
+class TestLinearCircuits:
+    def test_resistive_divider_dc(self):
+        circuit = SimCircuit()
+        circuit.add_vdc("vin", 2.0)
+        circuit.add_resistor("vin", "mid", 100.0)
+        circuit.add_resistor("mid", "0", 300.0)
+        sim = TransientSimulator(circuit)
+        x = sim.dc_operating_point()
+        assert x[circuit.node("mid")] == pytest.approx(1.5, rel=1e-6)
+
+    def test_rc_step_response_matches_exponential(self):
+        r, c = 1000.0, 1e-12  # tau = 1 ns
+        circuit = SimCircuit()
+        circuit.add_source(PwlSource("vin", "0", [(0.0, 0.0), (1e-15, 1.0)]))
+        circuit.add_resistor("vin", "out", r)
+        circuit.add_capacitor("out", "0", c)
+        sim = TransientSimulator(circuit)
+        result = sim.run(t_stop=5e-9, dt=5e-12, initial_voltages={"out": 0.0})
+        tau = r * c
+        for t_probe in (0.5e-9, 1e-9, 2e-9, 4e-9):
+            expected = 1.0 - math.exp(-t_probe / tau)
+            idx = np.searchsorted(result.times, t_probe)
+            assert result.trace("out")[idx] == pytest.approx(expected, abs=0.01)
+
+    def test_floating_capacitor_divider(self):
+        """A fast step through a capacitive divider produces the
+        dV = V * Cc/(Cc+Cg) bump -- the coupling model's physics."""
+        cc, cg = 10e-15, 30e-15
+        circuit = SimCircuit()
+        circuit.add_source(PwlSource("aggr", "0", [(1e-9, 0.0), (1.001e-9, VDD)]))
+        circuit.add_capacitor("aggr", "victim", cc)
+        circuit.add_capacitor("victim", "0", cg)
+        # Weak holder keeps the victim biased at 0 before the event.
+        circuit.add_resistor("victim", "0", 1e9)
+        sim = TransientSimulator(circuit)
+        result = sim.run(t_stop=1.01e-9, dt=0.2e-12, initial_voltages={"victim": 0.0})
+        expected = VDD * cc / (cc + cg)
+        assert glitch_amplitude(result, "victim", 0.0) == pytest.approx(expected, rel=0.03)
+
+
+class TestInverter:
+    def _inverter(self, load=30e-15):
+        circuit = SimCircuit()
+        circuit.add_vdc("vdd", VDD)
+        circuit.add_source(PwlSource("in", "0", [(0.2e-9, 0.0), (0.3e-9, VDD)]))
+        circuit.add_mosfet("mp", "out", "in", "vdd", pmos(4e-6))
+        circuit.add_mosfet("mn", "out", "in", "0", nmos(2e-6))
+        circuit.add_capacitor("out", "0", load)
+        return circuit
+
+    def test_inverter_switches(self):
+        circuit = self._inverter()
+        sim = TransientSimulator(circuit)
+        result = sim.run(
+            t_stop=2e-9, dt=2e-12, initial_voltages={"out": VDD, "in": 0.0}
+        )
+        assert result.trace("out")[0] == pytest.approx(VDD, abs=0.1)
+        assert result.trace("out")[-1] == pytest.approx(0.0, abs=0.1)
+
+    def test_heavier_load_slower(self):
+        def delay(load):
+            sim = TransientSimulator(self._inverter(load))
+            result = sim.run(
+                t_stop=3e-9, dt=2e-12, initial_voltages={"out": VDD, "in": 0.0}
+            )
+            return delay_between(result, "in", RISING, "out", FALLING, VDD / 2).delay
+
+        assert delay(80e-15) > delay(20e-15)
+
+    def test_slew_measurement(self):
+        sim = TransientSimulator(self._inverter())
+        result = sim.run(
+            t_stop=2e-9, dt=2e-12, initial_voltages={"out": VDD, "in": 0.0}
+        )
+        assert 10e-12 < slew(result, "out", FALLING, VDD) < 1e-9
+
+    def test_dc_operating_point_rails(self):
+        circuit = self._inverter()
+        sim = TransientSimulator(circuit)
+        x = sim.dc_operating_point({"out": VDD, "in": 0.0})
+        assert x[circuit.node("out")] == pytest.approx(VDD, abs=0.05)
+
+
+class TestTrapezoidal:
+    @staticmethod
+    def _rc_ramp(method, dt):
+        """RC driven by a PWL ramp aligned to step boundaries."""
+        circuit = SimCircuit()
+        circuit.add_source(
+            PwlSource("vin", "0", [(0.0, 1.0), (0.1e-9, 1.0), (0.3e-9, 0.0)])
+        )
+        circuit.add_resistor("vin", "out", 1000.0)
+        circuit.add_capacitor("out", "0", 1e-12)
+        sim = TransientSimulator(circuit, method=method)
+        result = sim.run(
+            t_stop=1.5e-9, dt=dt, initial_voltages={"out": 1.0, "vin": 1.0}
+        )
+        idx = np.searchsorted(result.times, 1.2e-9)
+        return float(result.trace("out")[idx])
+
+    def test_trap_beats_backward_euler(self):
+        """Trapezoidal is exact for PWL sources on a linear RC; BE shows
+        its first-order truncation error."""
+        dt = 50e-12
+        be = self._rc_ramp("be", dt)
+        trap = self._rc_ramp("trap", dt)
+        fine = self._rc_ramp("trap", 5e-12)  # reference
+        assert abs(trap - fine) < abs(be - fine) / 10
+
+    def test_trap_handles_nonlinear_circuit(self):
+        circuit = SimCircuit()
+        circuit.add_vdc("vdd", VDD)
+        circuit.add_source(PwlSource("in", "0", [(0.2e-9, 0.0), (0.3e-9, VDD)]))
+        circuit.add_mosfet("mp", "out", "in", "vdd", pmos(4e-6))
+        circuit.add_mosfet("mn", "out", "in", "0", nmos(2e-6))
+        circuit.add_capacitor("out", "0", 30e-15)
+        for method in ("be", "trap"):
+            sim = TransientSimulator(circuit, method=method)
+            result = sim.run(
+                t_stop=2e-9, dt=2e-12, initial_voltages={"out": VDD, "in": 0.0}
+            )
+            assert result.trace("out")[-1] == pytest.approx(0.0, abs=0.1)
+
+    def test_methods_agree_at_fine_step(self):
+        be = self._rc_ramp("be", 2e-12)
+        trap = self._rc_ramp("trap", 2e-12)
+        assert be == pytest.approx(trap, abs=1e-3)
+
+    def test_unknown_method_rejected(self):
+        circuit = SimCircuit()
+        circuit.add_vdc("a", 1.0)
+        with pytest.raises(ValueError, match="method"):
+            TransientSimulator(circuit, method="rk4")
+
+
+class TestCsvDump:
+    def test_csv_shape_and_roundtrip(self, tmp_path):
+        circuit = SimCircuit()
+        circuit.add_source(PwlSource("vin", "0", [(0.0, 0.0), (1e-10, 1.0)]))
+        circuit.add_resistor("vin", "out", 100.0)
+        circuit.add_capacitor("out", "0", 1e-13)
+        sim = TransientSimulator(circuit)
+        result = sim.run(t_stop=1e-10, dt=1e-12)
+        text = result.to_csv(["out"])
+        lines = text.strip().splitlines()
+        assert lines[0] == "time,out"
+        assert len(lines) == len(result.times) + 1
+        target = tmp_path / "trace.csv"
+        result.save_csv(str(target), ["vin", "out"])
+        assert target.read_text().startswith("time,vin,out")
+
+
+class TestRobustness:
+    def test_invalid_run_arguments(self):
+        circuit = SimCircuit()
+        circuit.add_vdc("a", 1.0)
+        sim = TransientSimulator(circuit)
+        with pytest.raises(ValueError):
+            sim.run(t_stop=0.0, dt=1e-12)
+        with pytest.raises(ValueError):
+            sim.run(t_stop=1e-9, dt=-1e-12)
+
+    def test_crossing_never_reached_raises(self):
+        circuit = SimCircuit()
+        circuit.add_vdc("a", 1.0)
+        circuit.add_resistor("a", "b", 10.0)
+        sim = TransientSimulator(circuit)
+        result = sim.run(t_stop=1e-10, dt=1e-12)
+        with pytest.raises(ValueError, match="never crosses"):
+            crossing(result, "b", 5.0, RISING)

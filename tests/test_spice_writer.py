@@ -1,0 +1,68 @@
+"""Tests for the SPICE deck exporter."""
+
+import pytest
+
+from repro.devices.mosfet import nmos, pmos
+from repro.spice.elements import PwlSource
+from repro.spice.netlist import SimCircuit
+from repro.spice.writer import write_spice
+
+
+@pytest.fixture()
+def inverter_deck():
+    circuit = SimCircuit("inv")
+    circuit.add_vdc("vdd", 3.3)
+    circuit.add_source(PwlSource("in", "0", [(0.1e-9, 0.0), (0.2e-9, 3.3)]))
+    circuit.add_mosfet("mp", "out", "in", "vdd", pmos(4e-6))
+    circuit.add_mosfet("mn", "out", "in", "0", nmos(2e-6))
+    circuit.add_capacitor("out", "0", 30e-15)
+    circuit.add_resistor("out", "load", 100.0)
+    return circuit, write_spice(circuit, probes=["out"])
+
+
+class TestWriter:
+    def test_model_cards_present(self, inverter_deck):
+        _, deck = inverter_deck
+        assert ".MODEL NMOS1 NMOS" in deck
+        assert ".MODEL PMOS1 PMOS" in deck
+        assert "VTO=0.600" in deck
+
+    def test_element_counts(self, inverter_deck):
+        circuit, deck = inverter_deck
+        lines = deck.splitlines()
+        assert sum(1 for l in lines if l.startswith("M")) == len(circuit.mosfets)
+        assert sum(1 for l in lines if l.startswith("C")) == len(circuit.capacitors)
+        assert sum(1 for l in lines if l.startswith("R")) == len(circuit.resistors)
+        assert sum(1 for l in lines if l.startswith("V")) == len(circuit.sources)
+
+    def test_pwl_points_serialised(self, inverter_deck):
+        _, deck = inverter_deck
+        assert "PWL(" in deck
+        assert "1e-10 0" in deck.replace(".1e-09", "1e-10") or "1e-10" in deck
+
+    def test_tran_and_probe(self, inverter_deck):
+        _, deck = inverter_deck
+        assert ".TRAN" in deck
+        assert ".PRINT TRAN V(out)" in deck
+        assert deck.rstrip().endswith(".END")
+
+    def test_node_sanitisation(self):
+        circuit = SimCircuit("weird")
+        circuit.add_capacitor("a/b::c", "0", 1e-15)
+        deck = write_spice(circuit)
+        assert "a_b__c" in deck
+        assert "a/b" not in deck
+
+    def test_path_circuit_exports(self, s27_design):
+        """The real validation circuits serialise cleanly."""
+        from repro.core.analyzer import CrosstalkSTA
+        from repro.core.modes import AnalysisMode
+        from repro.validate import build_path_circuit
+
+        sta = CrosstalkSTA(s27_design)
+        result = sta.run(AnalysisMode.ITERATIVE)
+        path = sta.critical_path(result)
+        circuit = build_path_circuit(s27_design, path, result.final_pass.state)
+        deck = write_spice(circuit.sim, probes=[circuit.endpoint_node])
+        assert deck.count("\nM") == len(circuit.sim.mosfets)
+        assert ".END" in deck

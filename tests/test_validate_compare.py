@@ -1,0 +1,37 @@
+"""Tests for the table-comparison harness."""
+
+import pytest
+
+from repro.core.modes import AnalysisMode
+from repro.validate.compare import run_table_comparison
+
+
+class TestRunTableComparison:
+    def test_without_simulation(self, small_design):
+        comparison = run_table_comparison(small_design, simulate=False)
+        assert comparison.sim_quiet_delay is None
+        assert comparison.sim_worst_delay is None
+        assert set(comparison.results) == set(AnalysisMode)
+        assert comparison.cell_count == small_design.circuit.cell_count()
+
+    def test_mode_subset(self, small_design):
+        modes = [AnalysisMode.BEST_CASE, AnalysisMode.ITERATIVE]
+        comparison = run_table_comparison(
+            small_design, simulate=False, modes=modes,
+            reference_mode=AnalysisMode.ITERATIVE,
+        )
+        assert set(comparison.results) == set(modes)
+        assert comparison.path.steps
+
+    def test_coupling_impact_requires_both_extremes(self, small_design):
+        comparison = run_table_comparison(small_design, simulate=False)
+        assert comparison.coupling_impact == pytest.approx(
+            comparison.results[AnalysisMode.WORST_CASE].longest_delay
+            - comparison.results[AnalysisMode.BEST_CASE].longest_delay
+        )
+
+    def test_delays_ns_excludes_missing_sims(self, small_design):
+        comparison = run_table_comparison(small_design, simulate=False)
+        table = comparison.delays_ns()
+        assert "simulation_quiet" not in table
+        assert "iterative" in table

@@ -1,0 +1,122 @@
+"""Simulator validation of the same-direction (aiding) coupling model.
+
+The min-delay analysis assumes an aggressor switching in the victim's own
+direction can only speed the victim up, and models the extreme case as an
+instantaneous helping jump.  These tests confirm against the transistor-
+level simulator that (a) a same-direction aggressor really accelerates the
+victim and (b) the aiding model is a lower bound on the simulated delay.
+"""
+
+import pytest
+
+from repro.circuit import default_library
+from repro.devices import default_process, nmos, pmos
+from repro.spice import PwlSource, SimCircuit, TransientSimulator, delay_between
+from repro.waveform import CouplingLoad, GateDelayCalculator
+from repro.waveform.pwl import FALLING, RISING
+
+PROCESS = default_process()
+VDD = PROCESS.vdd
+C_GROUND = 40e-15
+C_COUPLE = 25e-15
+RAMP = 100e-12
+
+
+def simulate_victim(aggressor: str) -> float:
+    """Victim inverter output rises; aggressor is quiet, rising (same
+    direction) or handled per ``aggressor``.  Returns the victim delay
+    from the input's 50 % crossing."""
+    circuit = SimCircuit("aid")
+    circuit.add_vdc("vdd", VDD)
+    circuit.add_source(PwlSource("vin", "0", [(0.2e-9, VDD), (0.2e-9 + RAMP, 0.0)]))
+    circuit.add_mosfet("vp", "victim", "vin", "vdd", pmos(4e-6))
+    circuit.add_mosfet("vn", "victim", "vin", "0", nmos(2e-6))
+    circuit.add_capacitor("victim", "0", C_GROUND)
+    if aggressor == "same":
+        circuit.add_source(PwlSource("aggr", "0", [(0.27e-9, 0.0), (0.28e-9, VDD)]))
+        init_aggr = 0.0
+    else:
+        circuit.add_source(PwlSource.dc("aggr", 0.0))
+        init_aggr = 0.0
+    circuit.add_capacitor("victim", "aggr", C_COUPLE)
+    sim = TransientSimulator(circuit)
+    result = sim.run(
+        t_stop=1.5e-9, dt=1e-12,
+        initial_voltages={"vin": VDD, "victim": 0.0, "aggr": init_aggr, "vdd": VDD},
+    )
+    return delay_between(result, "vin", FALLING, "victim", RISING, VDD / 2).delay
+
+
+@pytest.fixture(scope="module")
+def delays():
+    return {
+        "quiet": simulate_victim("quiet"),
+        "same": simulate_victim("same"),
+    }
+
+
+class TestAidingPhysics:
+    def test_same_direction_aggressor_speeds_victim(self, delays):
+        assert delays["same"] < delays["quiet"]
+
+    def test_aiding_model_is_lower_bound(self, delays):
+        calc = GateDelayCalculator()
+        inv = default_library()["INV_X1"]
+        aided = calc.compute_arc_relative(
+            inv, "A", FALLING, RAMP,
+            CouplingLoad(C_GROUND, c_couple_active=C_COUPLE),
+            aiding=True,
+        )
+        model_delay = aided.t_cross - 0.5 * RAMP
+        assert model_delay <= delays["same"]
+
+    def test_grounded_model_between(self, delays):
+        """The grounded (no-help) model over-estimates the helped case and
+        under-estimates nothing it shouldn't."""
+        calc = GateDelayCalculator()
+        inv = default_library()["INV_X1"]
+        grounded = calc.compute_arc_relative(
+            inv, "A", FALLING, RAMP, CouplingLoad(C_GROUND + C_COUPLE)
+        )
+        model_delay = grounded.t_cross - 0.5 * RAMP
+        assert model_delay >= delays["same"]
+
+
+class TestAidingStageProperties:
+    @pytest.mark.parametrize("c_active", [5e-15, 20e-15, 40e-15])
+    def test_more_help_is_faster(self, c_active):
+        calc = GateDelayCalculator()
+        inv = default_library()["INV_X1"]
+        helped = calc.compute_arc_relative(
+            inv, "A", FALLING, RAMP,
+            CouplingLoad(C_GROUND, c_couple_active=c_active),
+            aiding=True,
+        )
+        grounded = calc.compute_arc_relative(
+            inv, "A", FALLING, RAMP, CouplingLoad(C_GROUND + c_active)
+        )
+        assert helped.t_cross < grounded.t_cross
+
+    def test_aiding_waveform_monotone(self):
+        calc = GateDelayCalculator()
+        inv = default_library()["INV_X1"]
+        from repro.waveform.stage import InputRamp
+
+        result = calc.solver_for(inv, "A").solve(
+            InputRamp(FALLING, 0.0, RAMP),
+            CouplingLoad(C_GROUND, c_couple_active=C_COUPLE),
+            aiding=True,
+        )
+        assert result.coupled
+        assert result.waveform.is_monotone()
+
+    def test_aiding_and_opposing_bracket_grounded(self):
+        calc = GateDelayCalculator()
+        inv = default_library()["INV_X1"]
+        load = CouplingLoad(C_GROUND, c_couple_active=C_COUPLE)
+        aided = calc.compute_arc_relative(inv, "A", FALLING, RAMP, load, aiding=True)
+        opposed = calc.compute_arc_relative(inv, "A", FALLING, RAMP, load)
+        grounded = calc.compute_arc_relative(
+            inv, "A", FALLING, RAMP, CouplingLoad(C_GROUND + C_COUPLE)
+        )
+        assert aided.t_cross < grounded.t_cross < opposed.t_cross

@@ -1,0 +1,101 @@
+"""Tests for the path-simulation harness."""
+
+import pytest
+
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode
+from repro.validate.pathsim import _sensitizing_side_inputs, build_path_circuit
+
+
+@pytest.fixture(scope="module")
+def path_setup(s27_design):
+    sta = CrosstalkSTA(s27_design)
+    result = sta.run(AnalysisMode.ITERATIVE)
+    path = sta.critical_path(result)
+    circuit = build_path_circuit(s27_design, path, result.final_pass.state)
+    return s27_design, result, path, circuit
+
+
+class TestSensitization:
+    def test_inverter_trivial(self, library):
+        assert _sensitizing_side_inputs(library["INV_X1"], "A") == {}
+
+    def test_nand_side_inputs_high(self, library):
+        values = _sensitizing_side_inputs(library["NAND3_X1"], "B")
+        assert values == {"A": True, "C": True}
+
+    def test_nor_side_inputs_low(self, library):
+        values = _sensitizing_side_inputs(library["NOR2_X1"], "A")
+        assert values == {"B": False}
+
+    def test_aoi21_sensitizable_through_each_pin(self, library):
+        ctype = library["AOI21_X1"]
+        for pin in ctype.inputs:
+            values = _sensitizing_side_inputs(ctype, pin)
+            lo = dict(values, **{pin: False})
+            hi = dict(values, **{pin: True})
+            assert ctype.evaluate(lo) != ctype.evaluate(hi)
+
+
+class TestPathCircuit:
+    def test_has_transistors_for_each_stage(self, path_setup):
+        design, _, path, circuit = path_setup
+        comb_steps = [
+            s for s in path.steps if not design.circuit.cells[s.cell].is_sequential
+        ]
+        assert len(circuit.sim.mosfets) >= 2 * len(comb_steps)
+
+    def test_probe_nodes_exist(self, path_setup):
+        _, _, path, circuit = path_setup
+        for net in circuit.net_direction:
+            assert circuit.sim.has_node(circuit.net_probe[net])
+
+    def test_stimulus_matches_sta_event(self, path_setup):
+        _, result, path, circuit = path_setup
+        state = result.final_pass.state
+        source_event = state.event(
+            circuit.path.steps[0].out_net
+            if circuit.stimulus_node.startswith(path.steps[0].out_net)
+            else path.steps[0].in_net,
+            circuit.stimulus_direction,
+        )
+        assert source_event is not None
+        assert circuit.stimulus_t_start == pytest.approx(
+            source_event.t_cross - 0.5 * source_event.transition
+        )
+
+    def test_aggressors_cover_offpath_couplings(self, path_setup):
+        design, _, _, circuit = path_setup
+        for net in circuit.net_direction:
+            load = design.loads[net]
+            expected = {
+                other for other in load.couplings if other not in circuit.net_direction
+            }
+            have = {
+                h.aggressor_net for h in circuit.aggressors if h.victim_net == net
+            }
+            assert have == expected
+
+    def test_aggressors_switch_opposite_to_victims(self, path_setup):
+        _, _, _, circuit = path_setup
+        from repro.waveform.pwl import opposite
+
+        for handle in circuit.aggressors:
+            assert handle.direction == opposite(circuit.net_direction[handle.victim_net])
+
+    def test_initial_voltages_at_rails(self, path_setup):
+        design, _, _, circuit = path_setup
+        vdd = design.process.vdd
+        for node, voltage in circuit.initial_voltages.items():
+            assert voltage == pytest.approx(0.0) or voltage == pytest.approx(vdd)
+
+    def test_horizon_beyond_sta_bound(self, path_setup):
+        _, result, _, circuit = path_setup
+        assert circuit.t_horizon > result.longest_delay
+
+    def test_empty_path_rejected(self, path_setup):
+        design, result, path, _ = path_setup
+        from repro.core.paths import CriticalPath
+
+        with pytest.raises(ValueError, match="empty"):
+            build_path_circuit(design, CriticalPath("x", "rise"), result.final_pass.state)

@@ -1,0 +1,116 @@
+"""Tests for the coupling delay model (paper, Section 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.params import default_process
+from repro.waveform.coupling import (
+    CouplingLoad,
+    CouplingTreatment,
+    aggregate_load,
+    model_threshold,
+)
+from repro.waveform.pwl import FALLING, RISING
+
+PROCESS = default_process()
+caps = st.floats(min_value=0.0, max_value=1e-12)
+
+
+class TestDividerDrop:
+    def test_capacitive_divider_formula(self):
+        """dV = V_DD * C_c / (C_c + C_gnd) -- the model's core equation."""
+        load = CouplingLoad(c_ground=30e-15, c_couple_active=10e-15)
+        assert load.divider_drop() == pytest.approx(PROCESS.vdd * 10.0 / 40.0)
+
+    def test_no_active_coupling_no_drop(self):
+        load = CouplingLoad(c_ground=30e-15, c_couple_passive=20e-15)
+        assert load.divider_drop() == 0.0
+        assert not load.has_active_coupling
+
+    def test_passive_caps_absorb_the_drop(self):
+        """More passive capacitance at the node -> smaller glitch."""
+        bare = CouplingLoad(c_ground=30e-15, c_couple_active=10e-15)
+        padded = CouplingLoad(
+            c_ground=30e-15, c_couple_active=10e-15, c_couple_passive=40e-15
+        )
+        assert padded.divider_drop() < bare.divider_drop()
+
+    @given(c_gnd=caps, c_act=caps, c_pas=caps)
+    @settings(max_examples=60, deadline=None)
+    def test_drop_bounded_by_vdd(self, c_gnd, c_act, c_pas):
+        if c_gnd + c_act + c_pas == 0:
+            return
+        load = CouplingLoad(c_gnd, c_act, c_pas)
+        assert 0.0 <= load.divider_drop() <= PROCESS.vdd
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingLoad(c_ground=-1e-15)
+
+
+class TestTriggerAndRestart:
+    def test_rising_trigger_above_restart_by_drop(self):
+        load = CouplingLoad(c_ground=30e-15, c_couple_active=10e-15)
+        trigger = load.trigger_voltage(RISING)
+        restart = load.restart_voltage(RISING)
+        assert restart == pytest.approx(PROCESS.v_th_model)
+        assert trigger == pytest.approx(restart + load.divider_drop())
+
+    def test_falling_symmetric(self):
+        load = CouplingLoad(c_ground=30e-15, c_couple_active=10e-15)
+        trigger = load.trigger_voltage(FALLING)
+        restart = load.restart_voltage(FALLING)
+        assert restart == pytest.approx(PROCESS.vdd - PROCESS.v_th_model)
+        assert trigger == pytest.approx(restart - load.divider_drop())
+
+    def test_invalid_direction(self):
+        load = CouplingLoad(c_ground=1e-15)
+        with pytest.raises(ValueError):
+            load.trigger_voltage("up")
+
+    @given(c_gnd=st.floats(min_value=1e-16, max_value=1e-12), c_act=caps)
+    @settings(max_examples=40, deadline=None)
+    def test_rise_fall_mirror_symmetry(self, c_gnd, c_act):
+        load = CouplingLoad(c_gnd, c_act)
+        rise_trig = load.trigger_voltage(RISING)
+        fall_trig = load.trigger_voltage(FALLING)
+        assert rise_trig + fall_trig == pytest.approx(PROCESS.vdd)
+
+
+class TestAggregate:
+    def test_treatment_buckets(self):
+        load = aggregate_load(
+            10e-15,
+            [
+                (5e-15, CouplingTreatment.ACTIVE),
+                (3e-15, CouplingTreatment.GROUNDED),
+                (2e-15, CouplingTreatment.GROUNDED_DOUBLED),
+            ],
+        )
+        assert load.c_ground == pytest.approx(10e-15)
+        assert load.c_couple_active == pytest.approx(5e-15)
+        assert load.c_couple_passive == pytest.approx(3e-15 + 4e-15)
+
+    def test_c_total_includes_everything(self):
+        load = aggregate_load(10e-15, [(5e-15, CouplingTreatment.ACTIVE)])
+        assert load.c_total == pytest.approx(15e-15)
+
+    def test_negative_coupling_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_load(1e-15, [(-1e-15, CouplingTreatment.ACTIVE)])
+
+    def test_empty_couplings(self):
+        load = aggregate_load(7e-15, [])
+        assert load.c_total == pytest.approx(7e-15)
+        assert not load.has_active_coupling
+
+
+class TestModelThreshold:
+    def test_paper_values(self):
+        assert model_threshold(RISING) == pytest.approx(0.2)
+        assert model_threshold(FALLING) == pytest.approx(PROCESS.vdd - 0.2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            model_threshold("nope")

@@ -1,0 +1,102 @@
+"""Tests for PWL waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.waveform.pwl import FALLING, RISING, Waveform, opposite, ramp_waveform
+
+
+class TestConstruction:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match="two points"):
+            Waveform([0.0], [0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Waveform([0.0, 1.0], [0.0])
+
+    def test_times_must_not_decrease(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Waveform([1.0, 0.0], [0.0, 1.0])
+
+    def test_direction_inferred(self):
+        assert Waveform([0, 1], [0.0, 3.3]).direction == RISING
+        assert Waveform([0, 1], [3.3, 0.0]).direction == FALLING
+
+    def test_opposite(self):
+        assert opposite(RISING) == FALLING
+        assert opposite(FALLING) == RISING
+        with pytest.raises(ValueError):
+            opposite("sideways")
+
+
+class TestQueries:
+    def test_value_interpolation(self):
+        wave = Waveform([0.0, 1.0], [0.0, 2.0])
+        assert wave.value_at(0.5) == pytest.approx(1.0)
+        assert wave.value_at(-1.0) == pytest.approx(0.0)
+        assert wave.value_at(2.0) == pytest.approx(2.0)
+
+    def test_crossing_time_rising(self):
+        wave = Waveform([0.0, 2.0], [0.0, 3.3])
+        assert wave.crossing_time(1.65) == pytest.approx(1.0)
+
+    def test_crossing_time_falling(self):
+        wave = Waveform([0.0, 2.0], [3.3, 0.0], FALLING)
+        assert wave.crossing_time(1.65) == pytest.approx(1.0)
+
+    def test_crossing_unreachable(self):
+        wave = Waveform([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError, match="never crosses"):
+            wave.crossing_time(2.0)
+
+    def test_transition_time_linear_ramp(self):
+        wave = Waveform([0.0, 1.0], [0.0, 3.3])
+        assert wave.transition_time() == pytest.approx(1.0)
+
+    def test_monotone_check(self):
+        good = Waveform([0, 1, 2], [0.0, 1.0, 2.0])
+        assert good.is_monotone()
+        bumpy = Waveform([0, 1, 2], [0.0, 2.0, 1.0], RISING)
+        assert not bumpy.is_monotone()
+
+    def test_shifted(self):
+        wave = Waveform([0.0, 1.0], [0.0, 3.3])
+        assert wave.crossing_time(1.65) == pytest.approx(0.5)
+        assert wave.shifted(2.0).crossing_time(1.65) == pytest.approx(2.5)
+
+
+class TestClipping:
+    def test_clipped_from_discards_glitch(self):
+        """Clipping from the drop time models the paper's 'the waveform
+        before the occurrence of the coupling is completely ignored'."""
+        wave = Waveform(
+            [0.0, 1.0, 2.0, 3.0], [0.0, 0.5, 0.2, 3.3], RISING
+        )
+        clipped = wave.clipped_from(2.0)
+        assert clipped.t_start == pytest.approx(2.0)
+        assert clipped.v_start == pytest.approx(0.2)
+        assert clipped.is_monotone()
+
+    def test_clipped_interpolates_at_cut(self):
+        wave = Waveform([0.0, 2.0], [0.0, 2.0])
+        clipped = wave.clipped_from(1.0)
+        assert clipped.v_start == pytest.approx(1.0)
+
+    def test_clip_beyond_end_rejected(self):
+        wave = Waveform([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError, match="too few points"):
+            wave.clipped_from(5.0)
+
+
+class TestRampFactory:
+    def test_ramp_waveform(self):
+        wave = ramp_waveform(1.0, 2.0, 0.0, 3.3)
+        assert wave.direction == RISING
+        assert wave.value_at(1.0) == pytest.approx(0.0)
+        assert wave.value_at(3.0) == pytest.approx(3.3)
+        assert wave.crossing_time(1.65) == pytest.approx(2.0)
+
+    def test_falling_ramp(self):
+        wave = ramp_waveform(0.0, 1.0, 3.3, 0.0)
+        assert wave.direction == FALLING

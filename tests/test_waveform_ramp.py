@@ -1,0 +1,107 @@
+"""Tests for ramp events and worst-case merging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.waveform.pwl import FALLING, RISING
+from repro.waveform.ramp import RampEvent, merge_worst
+
+
+def event(direction=RISING, t_cross=1e-9, transition=100e-12, t_early=None, t_late=None):
+    if t_early is None:
+        t_early = t_cross - 40e-12
+    if t_late is None:
+        t_late = t_cross + 40e-12
+    return RampEvent(direction, t_cross, transition, t_early, t_late)
+
+
+times = st.floats(min_value=0.0, max_value=1e-8)
+spans = st.floats(min_value=1e-12, max_value=1e-9)
+
+
+def random_event(t0, span, tt):
+    return RampEvent(RISING, t0 + span / 2, tt, t0, t0 + span)
+
+
+class TestValidation:
+    def test_direction_checked(self):
+        with pytest.raises(ValueError, match="direction"):
+            RampEvent("diagonal", 0, 1e-12, 0, 0)
+
+    def test_negative_transition_rejected(self):
+        with pytest.raises(ValueError, match="transition"):
+            RampEvent(RISING, 0, -1e-12, 0, 0)
+
+    def test_late_before_early_rejected(self):
+        with pytest.raises(ValueError, match="t_late"):
+            RampEvent(RISING, 0, 1e-12, 1e-9, 0.0)
+
+
+class TestShifting:
+    def test_shift_moves_all_markers(self):
+        ev = event()
+        shifted = ev.shifted(1e-9)
+        assert shifted.t_cross == pytest.approx(ev.t_cross + 1e-9)
+        assert shifted.t_early == pytest.approx(ev.t_early + 1e-9)
+        assert shifted.t_late == pytest.approx(ev.t_late + 1e-9)
+        assert shifted.transition == ev.transition
+
+    def test_with_transition(self):
+        assert event().with_transition(5e-12).transition == 5e-12
+
+
+class TestMerge:
+    def test_merge_with_none(self):
+        ev = event()
+        assert merge_worst(None, ev) is ev
+        assert merge_worst(ev, None) is ev
+        assert merge_worst(None, None) is None
+
+    def test_direction_mismatch(self):
+        with pytest.raises(ValueError, match="merge"):
+            merge_worst(event(RISING), event(FALLING))
+
+    def test_merge_is_pointwise_worst(self):
+        a = event(t_cross=1e-9, transition=100e-12, t_early=0.9e-9, t_late=1.1e-9)
+        b = event(t_cross=2e-9, transition=50e-12, t_early=0.5e-9, t_late=2.2e-9)
+        merged = merge_worst(a, b)
+        assert merged.t_cross == 2e-9
+        assert merged.transition == 100e-12
+        assert merged.t_early == 0.5e-9
+        assert merged.t_late == 2.2e-9
+
+    @given(t0=times, s0=spans, tt0=spans, t1=times, s1=spans, tt1=spans)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_dominates_both(self, t0, s0, tt0, t1, s1, tt1):
+        a = random_event(t0, s0, tt0)
+        b = random_event(t1, s1, tt1)
+        merged = merge_worst(a, b)
+        assert merged.dominates(a)
+        assert merged.dominates(b)
+
+    @given(t0=times, s0=spans, tt0=spans)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_idempotent(self, t0, s0, tt0):
+        a = random_event(t0, s0, tt0)
+        merged = merge_worst(a, a)
+        assert merged == a
+
+    @given(t0=times, s0=spans, tt0=spans, t1=times, s1=spans, tt1=spans)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_commutative(self, t0, s0, tt0, t1, s1, tt1):
+        a = random_event(t0, s0, tt0)
+        b = random_event(t1, s1, tt1)
+        assert merge_worst(a, b) == merge_worst(b, a)
+
+
+class TestDominates:
+    def test_self_domination(self):
+        ev = event()
+        assert ev.dominates(ev)
+
+    def test_later_slower_event_dominates(self):
+        early = event(t_cross=1e-9)
+        late = RampEvent(RISING, 2e-9, 200e-12, early.t_early, 2.2e-9)
+        assert late.dominates(early)
+        assert not early.dominates(late)

@@ -1,0 +1,164 @@
+"""Tests for the transistor-level stage solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.mosfet import nmos, pmos
+from repro.devices.params import default_process
+from repro.devices.tables import StageTable
+from repro.waveform.coupling import CouplingLoad
+from repro.waveform.pwl import FALLING, RISING
+from repro.waveform.stage import InputRamp, StageSolver, StageSolverError
+
+PROCESS = default_process()
+VDD = PROCESS.vdd
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return StageSolver(StageTable(pmos(4e-6), nmos(2e-6)))
+
+
+def rising_input(transition=100e-12):
+    return InputRamp(direction=RISING, t_start=0.0, transition=transition)
+
+
+def falling_input(transition=100e-12):
+    return InputRamp(direction=FALLING, t_start=0.0, transition=transition)
+
+
+class TestInputRamp:
+    def test_voltage_profile(self):
+        ramp = rising_input(100e-12)
+        assert ramp.voltage_at(-1e-12, VDD) == 0.0
+        assert ramp.voltage_at(50e-12, VDD) == pytest.approx(VDD / 2)
+        assert ramp.voltage_at(200e-12, VDD) == VDD
+
+    def test_falling_profile(self):
+        ramp = falling_input(100e-12)
+        assert ramp.voltage_at(0.0, VDD) == VDD
+        assert ramp.voltage_at(100e-12, VDD) == 0.0
+
+    def test_zero_transition_is_step(self):
+        ramp = InputRamp(RISING, 1e-9, 0.0)
+        assert ramp.voltage_at(1e-9 - 1e-15, VDD) == 0.0
+        assert ramp.voltage_at(1e-9, VDD) == VDD
+
+
+class TestUncoupled:
+    def test_inverter_output_falls_for_rising_input(self, solver):
+        result = solver.solve(rising_input(), CouplingLoad(c_ground=30e-15))
+        assert result.direction == FALLING
+        assert not result.coupled
+        assert result.waveform.is_monotone()
+
+    def test_markers_ordered(self, solver):
+        result = solver.solve(rising_input(), CouplingLoad(c_ground=30e-15))
+        assert result.t_early < result.t_cross < result.t_late
+
+    def test_more_load_more_delay(self, solver):
+        light = solver.solve(rising_input(), CouplingLoad(c_ground=20e-15))
+        heavy = solver.solve(rising_input(), CouplingLoad(c_ground=80e-15))
+        assert heavy.t_cross > light.t_cross
+        assert heavy.transition > light.transition
+
+    def test_slower_input_slower_output(self, solver):
+        fast = solver.solve(rising_input(50e-12), CouplingLoad(c_ground=30e-15))
+        slow = solver.solve(rising_input(400e-12), CouplingLoad(c_ground=30e-15))
+        assert slow.t_cross > fast.t_cross
+
+    def test_positive_load_required(self, solver):
+        with pytest.raises(StageSolverError, match="positive"):
+            solver.solve(rising_input(), CouplingLoad(c_ground=0.0))
+
+    def test_rise_and_fall_both_work(self, solver):
+        fall_out = solver.solve(rising_input(), CouplingLoad(c_ground=30e-15))
+        rise_out = solver.solve(falling_input(), CouplingLoad(c_ground=30e-15))
+        assert fall_out.direction == FALLING
+        assert rise_out.direction == RISING
+        # PMOS is sized 2x for symmetric-ish drive; delays comparable.
+        assert rise_out.t_cross == pytest.approx(fall_out.t_cross, rel=0.5)
+
+
+class TestCoupled:
+    def test_coupling_fires_and_delays(self, solver):
+        base = solver.solve(rising_input(), CouplingLoad(c_ground=40e-15))
+        coupled = solver.solve(
+            rising_input(),
+            CouplingLoad(c_ground=40e-15, c_couple_active=20e-15),
+        )
+        assert coupled.coupled
+        assert coupled.t_drop is not None
+        assert coupled.t_cross > base.t_cross
+
+    def test_reported_waveform_starts_at_restart_voltage(self, solver):
+        load = CouplingLoad(c_ground=40e-15, c_couple_active=20e-15)
+        result = solver.solve(rising_input(), load)
+        assert result.waveform.v_start == pytest.approx(
+            load.restart_voltage(FALLING, PROCESS), abs=1e-9
+        )
+        assert result.waveform.t_start == pytest.approx(result.t_drop)
+
+    def test_waveform_monotone_after_drop(self, solver):
+        result = solver.solve(
+            rising_input(), CouplingLoad(c_ground=40e-15, c_couple_active=20e-15)
+        )
+        assert result.waveform.is_monotone()
+
+    def test_active_worse_than_same_passive(self, solver):
+        """The active model must delay at least as much as treating the
+        same capacitance as grounded (the coupling drop only adds)."""
+        passive = solver.solve(
+            rising_input(), CouplingLoad(c_ground=60e-15)
+        )
+        active = solver.solve(
+            rising_input(), CouplingLoad(c_ground=40e-15, c_couple_active=20e-15)
+        )
+        assert active.t_cross >= passive.t_cross - 1e-15
+
+    def test_bigger_coupling_bigger_penalty(self, solver):
+        small = solver.solve(
+            rising_input(), CouplingLoad(c_ground=40e-15, c_couple_active=5e-15)
+        )
+        large = solver.solve(
+            rising_input(), CouplingLoad(c_ground=40e-15, c_couple_active=30e-15)
+        )
+        assert large.t_cross > small.t_cross
+
+    def test_rising_victim_coupling(self, solver):
+        """Falling input -> rising victim; the restart value is V_th."""
+        base = solver.solve(falling_input(), CouplingLoad(c_ground=40e-15))
+        coupled = solver.solve(
+            falling_input(), CouplingLoad(c_ground=40e-15, c_couple_active=20e-15)
+        )
+        assert coupled.coupled
+        assert coupled.direction == RISING
+        assert coupled.t_cross > base.t_cross
+        assert coupled.waveform.v_start == pytest.approx(PROCESS.v_th_model, abs=1e-9)
+
+    def test_overwhelming_coupling_still_completes(self, solver):
+        """Trigger clamping keeps the solver finishing even when coupling
+        dominates the node."""
+        result = solver.solve(
+            falling_input(), CouplingLoad(c_ground=5e-15, c_couple_active=100e-15)
+        )
+        assert result.coupled
+        assert result.direction == RISING
+        assert result.waveform.v_end > 0.9 * VDD
+
+    @given(
+        c_gnd=st.floats(min_value=10e-15, max_value=100e-15),
+        c_act=st.floats(min_value=1e-15, max_value=50e-15),
+        tt=st.floats(min_value=20e-12, max_value=500e-12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_coupling_never_speeds_up(self, solver, c_gnd, c_act, tt):
+        base = solver.solve(
+            InputRamp(RISING, 0.0, tt), CouplingLoad(c_ground=c_gnd + c_act)
+        )
+        active = solver.solve(
+            InputRamp(RISING, 0.0, tt),
+            CouplingLoad(c_ground=c_gnd, c_couple_active=c_act),
+        )
+        assert active.t_cross >= base.t_cross - 1e-14
