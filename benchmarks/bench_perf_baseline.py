@@ -1,0 +1,122 @@
+"""Scalar-vs-batch engine performance baseline.
+
+Runs every analysis mode on the s35932-like circuit with both
+waveform-evaluation engines and records wall-clock, arcs/second and the
+speedup, plus the engine-agreement check (longest-path delays must match
+within the quantization guard band -- in practice they agree bitwise).
+
+Besides the human-readable results block, the numbers are written
+machine-readable to ``BENCH_sta_runtime.json`` at the repo root so CI and
+future sessions can track regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import s35932_like
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode, Engine, StaConfig
+from repro.flow import prepare_design
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_sta_runtime.json"
+
+
+@pytest.fixture(scope="module")
+def engine_comparison(scale, record_result):
+    design = prepare_design(s35932_like(scale=scale))
+    guard = StaConfig().guard
+    rows = []
+    for mode in AnalysisMode:
+        per_engine = {}
+        for engine in (Engine.SCALAR, Engine.BATCH):
+            # A fresh analyzer per run: no cross-engine cache sharing.
+            sta = CrosstalkSTA(design, StaConfig(mode=mode, engine=engine))
+            t0 = time.perf_counter()
+            result = sta.run()
+            seconds = time.perf_counter() - t0
+            per_engine[engine.value] = {
+                "seconds": seconds,
+                "longest_delay": result.longest_delay,
+                "arcs_processed": result.arcs_processed,
+                "waveform_evaluations": result.waveform_evaluations,
+                "arcs_per_second": result.arcs_processed / seconds,
+                "passes": result.passes,
+            }
+        scalar = per_engine["scalar"]
+        batch = per_engine["batch"]
+        rows.append(
+            {
+                "mode": mode.value,
+                "engines": per_engine,
+                "speedup": scalar["seconds"] / batch["seconds"],
+                "delay_diff": abs(scalar["longest_delay"] - batch["longest_delay"]),
+            }
+        )
+
+    lines = [
+        f"Scalar vs batch engine (s35932-like at scale {scale})",
+        "",
+        f"{'mode':<16} {'scalar s':>9} {'batch s':>9} {'speedup':>8} "
+        f"{'arcs/s (batch)':>15} {'delay diff':>11}",
+        "-" * 74,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['mode']:<16} {row['engines']['scalar']['seconds']:>9.2f} "
+            f"{row['engines']['batch']['seconds']:>9.2f} {row['speedup']:>7.2f}x "
+            f"{row['engines']['batch']['arcs_per_second']:>15.0f} "
+            f"{row['delay_diff']:>11.2e}"
+        )
+    record_result("perf_baseline", "\n".join(lines))
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "benchmark": "sta_runtime",
+                "circuit": "s35932_like",
+                "scale": scale,
+                "guard": guard,
+                "python": platform.python_version(),
+                "modes": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return {"rows": rows, "guard": guard}
+
+
+def test_engines_agree_within_guard_band(engine_comparison, benchmark):
+    for row in engine_comparison["rows"]:
+        assert row["delay_diff"] <= engine_comparison["guard"], row["mode"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_batch_speedup_on_one_step(engine_comparison, benchmark):
+    """The headline claim: the batch engine accelerates the paper's
+    one-step analysis by at least 3x at the default benchmark scale."""
+    row = next(
+        r for r in engine_comparison["rows"] if r["mode"] == AnalysisMode.ONE_STEP.value
+    )
+    assert row["speedup"] >= 3.0, f"one-step speedup only {row['speedup']:.2f}x"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_batch_never_changes_the_bound_semantics(engine_comparison, benchmark):
+    """Mode ordering (best <= one-step <= worst) holds for the batch
+    engine's reported delays just as for the scalar reference."""
+    delays = {
+        row["mode"]: row["engines"]["batch"]["longest_delay"]
+        for row in engine_comparison["rows"]
+    }
+    guard = engine_comparison["guard"]
+    assert delays["best_case"] <= delays["one_step"] + guard
+    assert delays["one_step"] <= delays["worst_case"] + guard
+    assert delays["iterative"] <= delays["one_step"] + guard
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

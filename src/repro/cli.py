@@ -30,8 +30,8 @@ from repro.circuit.generators import (
     generate_bench,
     generate_circuit,
 )
-from repro.core.analyzer import CrosstalkSTA
-from repro.core.modes import AnalysisMode, StaConfig, WindowCheck
+from repro.core.analyzer import CrosstalkSTA, StaResult
+from repro.core.modes import AnalysisMode, Engine, StaConfig, WindowCheck
 from repro.core.netreport import format_net_report, rank_crosstalk_nets
 from repro.core.report import check_mode_ordering, format_table
 from repro.flow import prepare_design
@@ -89,6 +89,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         mode=AnalysisMode(args.mode),
         window_check=WindowCheck(args.window_check),
         esperance=args.esperance,
+        engine=Engine(args.engine),
+        workers=args.workers,
+        arc_cache=args.arc_cache,
     )
     sta = CrosstalkSTA(design, config)
 
@@ -106,6 +109,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     else:
         reference = sta.run()
         print(f"\n{reference}")
+
+    if args.timing_report:
+        print()
+        print(_format_timing_report(reference))
 
     path = sta.critical_path(reference)
     print(f"\ncritical path ({len(path)} stages):")
@@ -143,6 +150,45 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             print("BOUND VIOLATION")
             return 1
     return 0
+
+
+def _format_timing_report(result: StaResult) -> str:
+    """Per-phase wall-clock and arc-cache statistics of a finished run."""
+    lines = [f"timing report [{result.mode.value}, engine stats]"]
+    total = sum(result.phase_seconds.values())
+    for phase, seconds in sorted(
+        result.phase_seconds.items(), key=lambda kv: kv[1], reverse=True
+    ):
+        share = seconds / total if total else 0.0
+        lines.append(f"  {phase:20s} {seconds:8.3f} s  ({share:5.1%})")
+    stats = result.cache_stats
+    if stats:
+        lines.append(
+            f"  arc cache: {stats['evaluations']} solved, "
+            f"{stats['cache_hits']} hits ({stats['hit_rate']:.1%} hit rate), "
+            f"{stats['cached_arcs']} cached"
+        )
+        if stats.get("batched_solves"):
+            lines.append(
+                f"  batch engine: {stats['batched_solves']} vectorized solves"
+                + (
+                    f", {stats['pool_solves']} via worker pool"
+                    if stats.get("pool_solves")
+                    else ""
+                )
+            )
+        if stats.get("persisted_loads"):
+            lines.append(
+                f"  persistent cache: {stats['persisted_loads']} arcs loaded from disk"
+            )
+    for record in result.history:
+        lines.append(
+            f"  pass {record.index}: {record.seconds:.3f} s, "
+            f"{record.waveform_evaluations} evals, "
+            f"{record.cache_evaluations} solved / {record.cache_hits} hits "
+            f"({record.cache_hit_rate:.1%})"
+        )
+    return "\n".join(lines)
 
 
 def cmd_repair(args: argparse.Namespace) -> int:
@@ -203,6 +249,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=WindowCheck.QUIET.value,
     )
     analyze.add_argument("--esperance", action="store_true")
+    analyze.add_argument(
+        "--engine",
+        choices=[e.value for e in Engine],
+        default=Engine.SCALAR.value,
+        help="waveform-evaluation backend (batch = vectorized level solver)",
+    )
+    analyze.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the batch engine (0/1 = in-process)",
+    )
+    analyze.add_argument(
+        "--arc-cache",
+        metavar="FILE",
+        help="persistent arc-cache file reused across runs",
+    )
+    analyze.add_argument(
+        "--timing-report",
+        action="store_true",
+        help="print per-phase wall-clock and arc-cache statistics",
+    )
     analyze.add_argument("--report-nets", action="store_true", help="rank crosstalk-critical nets")
     analyze.add_argument("--top", type=int, default=15)
     analyze.add_argument("--simulate", action="store_true", help="validate the longest path")

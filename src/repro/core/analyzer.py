@@ -37,6 +37,8 @@ class StaResult:
     passes: int
     history: list[IterationRecord] = field(default_factory=list)
     final_pass: PassResult | None = None
+    cache_stats: dict = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def longest_delay_ns(self) -> float:
@@ -78,8 +80,17 @@ class CrosstalkSTA:
         self.calculator = (
             calculator
             if calculator is not None
-            else GateDelayCalculator(process=design.process)
+            else GateDelayCalculator(
+                process=design.process,
+                engine=self.config.engine.value,
+                workers=self.config.workers,
+            )
         )
+        if self.config.arc_cache:
+            self.calculator.load_cache_file(self.config.arc_cache, self._cell_types())
+
+    def _cell_types(self):
+        return {cell.ctype.name: cell.ctype for cell in self.design.circuit.cells.values()}.values()
 
     def run(self, mode: AnalysisMode | None = None) -> StaResult:
         """Run one analysis mode (defaults to the configured one)."""
@@ -101,9 +112,20 @@ class CrosstalkSTA:
                     seconds=time.perf_counter() - t0,
                     recalculated_cells=len(propagator.order),
                     total_cells=len(propagator.order),
+                    cache_evaluations=final.cache_evaluations,
+                    cache_hits=final.cache_hits,
+                    phase_seconds=dict(final.phase_seconds),
                 )
             ]
         runtime = time.perf_counter() - t0
+
+        if config.arc_cache:
+            self.calculator.save_cache_file(config.arc_cache, self._cell_types())
+
+        phase_totals: dict[str, float] = {}
+        for record in history:
+            for phase, seconds in record.phase_seconds.items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
 
         return StaResult(
             mode=config.mode,
@@ -118,6 +140,8 @@ class CrosstalkSTA:
             passes=len(history),
             history=history,
             final_pass=final,
+            cache_stats=self.calculator.cache_stats(),
+            phase_seconds=phase_totals,
         )
 
     def run_all_modes(self) -> dict[AnalysisMode, StaResult]:

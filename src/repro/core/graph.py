@@ -18,9 +18,10 @@ from repro.waveform.pwl import FALLING, RISING
 from repro.waveform.ramp import RampEvent
 
 
-def evaluation_order(circuit: Circuit) -> list[Cell]:
-    """Topological order over all cells (clock buffers, flip-flops,
-    combinational logic).  Raises on combinational cycles."""
+def _dependency_graph(
+    circuit: Circuit,
+) -> tuple[dict[str, list[str]], dict[str, list[str]]]:
+    """Per-cell dependency lists (and the reverse map) of the timing DAG."""
     dependencies: dict[str, list[str]] = {}
     dependents: dict[str, list[str]] = {name: [] for name in circuit.cells}
 
@@ -37,7 +38,13 @@ def evaluation_order(circuit: Circuit) -> list[Cell]:
         dependencies[cell.name] = deps
         for dep in deps:
             dependents[dep].append(cell.name)
+    return dependencies, dependents
 
+
+def evaluation_order(circuit: Circuit) -> list[Cell]:
+    """Topological order over all cells (clock buffers, flip-flops,
+    combinational logic).  Raises on combinational cycles."""
+    dependencies, dependents = _dependency_graph(circuit)
     indegree = {name: len(deps) for name, deps in dependencies.items()}
     ready = deque(sorted(name for name, deg in indegree.items() if deg == 0))
     order: list[Cell] = []
@@ -54,6 +61,38 @@ def evaluation_order(circuit: Circuit) -> list[Cell]:
             f"timing graph has a cycle; unresolved cells e.g. {stuck[:5]}"
         )
     return order
+
+
+def evaluation_levels(circuit: Circuit) -> list[list[Cell]]:
+    """ASAP topological levels of the timing DAG.
+
+    Level ``L`` holds every cell whose dependencies all sit in levels
+    ``< L``; the cells of one level are electrically independent along
+    timing arcs and can be solved as one batch.  Cells within a level are
+    sorted by name for determinism.  Flattening the levels yields a valid
+    topological order.  Raises on combinational cycles.
+    """
+    dependencies, dependents = _dependency_graph(circuit)
+    indegree = {name: len(deps) for name, deps in dependencies.items()}
+    frontier = sorted(name for name, deg in indegree.items() if deg == 0)
+    levels: list[list[Cell]] = []
+    seen = 0
+    while frontier:
+        levels.append([circuit.cells[name] for name in frontier])
+        seen += len(frontier)
+        next_frontier: list[str] = []
+        for name in frontier:
+            for dependent in dependents[name]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    next_frontier.append(dependent)
+        frontier = sorted(next_frontier)
+    if seen != len(circuit.cells):
+        stuck = [n for n, d in indegree.items() if d > 0]
+        raise NetlistError(
+            f"timing graph has a cycle; unresolved cells e.g. {stuck[:5]}"
+        )
+    return levels
 
 
 @dataclass

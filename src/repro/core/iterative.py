@@ -40,12 +40,20 @@ class IterationRecord:
     seconds: float
     recalculated_cells: int
     total_cells: int
+    cache_evaluations: int = 0
+    cache_hits: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def recalc_fraction(self) -> float:
         if self.total_cells == 0:
             return 0.0
         return self.recalculated_cells / self.total_cells
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_evaluations + self.cache_hits
+        return self.cache_hits / lookups if lookups else 0.0
 
 
 @dataclass
@@ -76,6 +84,9 @@ def run_iterative(propagator: Propagator) -> IterativeResult:
             seconds=time.perf_counter() - t0,
             recalculated_cells=total_cells,
             total_cells=total_cells,
+            cache_evaluations=current.cache_evaluations,
+            cache_hits=current.cache_hits,
+            phase_seconds=dict(current.phase_seconds),
         )
     )
 
@@ -101,6 +112,9 @@ def run_iterative(propagator: Propagator) -> IterativeResult:
                 seconds=time.perf_counter() - t0,
                 recalculated_cells=len(recalc) if recalc is not None else total_cells,
                 total_cells=total_cells,
+                cache_evaluations=next_pass.cache_evaluations,
+                cache_hits=next_pass.cache_hits,
+                phase_seconds=dict(next_pass.phase_seconds),
             )
         )
         improved = next_pass.longest_delay < best.longest_delay - config.convergence_tolerance

@@ -53,6 +53,22 @@ class WindowCheck(Enum):
     OVERLAP = "overlap"
 
 
+class Engine(Enum):
+    """Waveform-evaluation backend.
+
+    ``SCALAR``: the reference implementation -- one arc at a time,
+    per-time-step scalar Newton.  ``BATCH``: the vectorized engine --
+    all distinct electrical situations of a topological level are
+    integrated simultaneously by the batch stage solver.  Both produce
+    the same delays to within the cache-quantization guard band (the
+    property suite pins the agreement); ``BATCH`` is strictly a
+    performance feature.
+    """
+
+    SCALAR = "scalar"
+    BATCH = "batch"
+
+
 class ClockAggressorModel(Enum):
     """How clock-tree nets behave as aggressors.
 
@@ -104,6 +120,19 @@ class StaConfig:
         only *begin* after the victim has certainly completed is also
         grounded.  Costs one extra (all-active) waveform calculation per
         arc; still a guaranteed upper bound.
+    engine:
+        Waveform-evaluation backend (see :class:`Engine`).  ``BATCH``
+        solves the distinct electrical situations of each topological
+        level in one vectorized integration.
+    workers:
+        Opt-in multi-core fan-out of the batch engine: ``>= 2`` spreads
+        each level's distinct solves over that many worker processes.
+        ``0``/``1`` keeps everything in-process.
+    arc_cache:
+        Optional path of a persistent arc-cache file (JSON).  Loaded
+        before the first pass when it exists and matches the design's
+        process/cell-library fingerprint; rewritten after each run so
+        repeated invocations skip the Newton integrations entirely.
     """
 
     mode: AnalysisMode = AnalysisMode.ITERATIVE
@@ -117,10 +146,17 @@ class StaConfig:
 
     slew_degradation_factor: float = 2.2
     window_check: "WindowCheck" = None  # type: ignore[assignment]
+    engine: Engine = Engine.SCALAR
+    workers: int = 0
+    arc_cache: str | None = None
 
     def __post_init__(self) -> None:
         if self.window_check is None:
             object.__setattr__(self, "window_check", WindowCheck.QUIET)
+        if isinstance(self.engine, str):
+            object.__setattr__(self, "engine", Engine(self.engine))
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
 
     def with_mode(self, mode: AnalysisMode) -> "StaConfig":
         from dataclasses import replace

@@ -7,19 +7,44 @@ iterative) perform the extra best-case calculation per arc described in
 the paper's pseudo-code and decide each neighbour's coupling treatment by
 comparing the aggressor's quiescent time with the victim's earliest
 possible activity.
+
+The pass is *level-batched*: cells are processed one topological level
+at a time (:func:`repro.core.graph.evaluation_levels`).  All waveform
+calculations that do not depend on other nets' timing (the fixed loads
+of the non-window modes; the best-case and, under OVERLAP, the
+all-active calculation of the window-based modes) are gathered for the
+whole level up front; the window-based coupling decisions then run in
+*coupling waves* -- cells of a level only wait on earlier-ordered cells
+of the same level whose output nets couple to theirs, so a net's window
+is exactly as "calculated" as it was under the sequential walk, and
+mutually coupled neighbours keep their asymmetric one-sees-the-other
+treatment.  This makes the per-level arc work almost embarrassingly
+parallel, which the batch engine (``StaConfig.engine = Engine.BATCH``)
+exploits: each phase's distinct electrical situations are primed into
+the arc cache by one vectorized integration
+(:meth:`GateDelayCalculator.prime_arcs`) before the per-arc bookkeeping
+runs against a hot cache.  Both engines share every line of decision
+logic -- the scalar engine simply skips the priming -- so their delays
+agree to floating-point noise.
 """
 
 from __future__ import annotations
 
-import math
+import time
 from dataclasses import dataclass, field
 
 from repro.circuit.netlist import Cell, Circuit, Pin
-from repro.core.graph import Provenance, TimingState, evaluation_order
-from repro.core.modes import AnalysisMode, ClockAggressorModel, StaConfig, WindowCheck
+from repro.core.graph import Provenance, TimingState, evaluation_levels
+from repro.core.modes import (
+    AnalysisMode,
+    ClockAggressorModel,
+    Engine,
+    StaConfig,
+    WindowCheck,
+)
 from repro.flow.design import Design
 from repro.waveform.coupling import CouplingLoad, CouplingTreatment, aggregate_load
-from repro.waveform.gatedelay import GateDelayCalculator
+from repro.waveform.gatedelay import ArcRequest, GateDelayCalculator
 from repro.waveform.pwl import FALLING, RISING, opposite
 from repro.waveform.ramp import RampEvent, merge_worst
 
@@ -45,6 +70,9 @@ class PassResult:
     waveform_evaluations: int = 0
     arcs_processed: int = 0
     coupled_arcs: int = 0
+    cache_evaluations: int = 0
+    cache_hits: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def arrival_map(self) -> dict[tuple[str, str], float]:
         return {(a.endpoint, a.direction): a.event.t_cross for a in self.arrivals}
@@ -72,6 +100,26 @@ def ideal_ramp_event(
     )
 
 
+@dataclass
+class _ArcTask:
+    """One timing arc of the current level, carried through the phases."""
+
+    cell: Cell
+    pin_name: str
+    arrival: RampEvent
+    out_net_name: str
+    prov_pin: str
+    prov_net: str
+    prov_direction: str
+    windowed: bool = False
+    plain_load: CouplingLoad | None = None
+    best_event: RampEvent | None = None
+    worst_event: RampEvent | None = None
+    final_load: CouplingLoad | None = None
+    final_event: RampEvent | None = None
+    coupled: bool = False
+
+
 class Propagator:
     """Runs single STA passes over a prepared design."""
 
@@ -86,9 +134,14 @@ class Propagator:
         self.calculator = (
             calculator
             if calculator is not None
-            else GateDelayCalculator(process=design.process)
+            else GateDelayCalculator(
+                process=design.process,
+                engine=config.engine.value,
+                workers=config.workers,
+            )
         )
-        self.order = evaluation_order(design.circuit)
+        self.levels = evaluation_levels(design.circuit)
+        self.order = [cell for level in self.levels for cell in level]
         self._clock_nets = {
             name for name, net in design.circuit.nets.items() if net.is_clock
         }
@@ -101,7 +154,7 @@ class Propagator:
         recalc_cells: set[str] | None = None,
         prev_state: TimingState | None = None,
     ) -> PassResult:
-        """One full breadth-first propagation.
+        """One full level-synchronous propagation.
 
         ``prev_windows`` supplies stored per-net activity windows
         (quiescent times and earliest activities) from the previous
@@ -111,32 +164,97 @@ class Propagator:
         """
         state = TimingState()
         result = PassResult(state=state)
+        eval_before = self.calculator.evaluations
+        hits_before = self.calculator.cache_hits
+        timers = {
+            "gather": 0.0,
+            "base_waveforms": 0.0,
+            "coupling_decisions": 0.0,
+            "final_waveforms": 0.0,
+            "merge": 0.0,
+        }
         self._init_sources(state)
 
-        for cell in self.order:
-            out_net = cell.output_pin.net
-            if out_net is None:
-                continue
-            if (
-                recalc_cells is not None
-                and cell.name not in recalc_cells
-                and prev_state is not None
-                and out_net.name in prev_state.processed
-            ):
-                state.events[out_net.name] = dict(prev_state.events[out_net.name])
-                for direction in (RISING, FALLING):
-                    prov = prev_state.provenance.get((out_net.name, direction))
-                    if prov is not None:
-                        state.provenance[(out_net.name, direction)] = prov
-                state.processed.add(out_net.name)
-                continue
-            if cell.is_sequential:
-                self._process_flip_flop(cell, state, prev_windows, result)
-            else:
-                self._process_gate(cell, state, prev_windows, result)
-            state.processed.add(out_net.name)
+        for level in self.levels:
+            t0 = time.perf_counter()
+            tasks: list[_ArcTask] = []
+            tasks_of: dict[str, list[_ArcTask]] = {}
+            computed_cells: list[Cell] = []
+            for cell in level:
+                out_net = cell.output_pin.net
+                if out_net is None:
+                    continue
+                if (
+                    recalc_cells is not None
+                    and cell.name not in recalc_cells
+                    and prev_state is not None
+                    and out_net.name in prev_state.processed
+                ):
+                    state.events[out_net.name] = dict(prev_state.events[out_net.name])
+                    for direction in (RISING, FALLING):
+                        prov = prev_state.provenance.get((out_net.name, direction))
+                        if prov is not None:
+                            state.provenance[(out_net.name, direction)] = prov
+                    state.processed.add(out_net.name)
+                    continue
+                state.ensure_net(out_net.name)
+                if cell.is_sequential:
+                    cell_tasks = self._flip_flop_tasks(cell, state)
+                else:
+                    cell_tasks = self._gate_tasks(cell, state)
+                if not cell_tasks:
+                    # No launch events reach this cell: its output stays
+                    # quiet this pass, which downstream decisions may use.
+                    state.processed.add(out_net.name)
+                    continue
+                computed_cells.append(cell)
+                tasks_of[cell.name] = cell_tasks
+                tasks.extend(cell_tasks)
+            timers["gather"] += time.perf_counter() - t0
+
+            if tasks:
+                t0 = time.perf_counter()
+                self._phase_base_waveforms(tasks, result)
+                timers["base_waveforms"] += time.perf_counter() - t0
+
+                for wave in self._coupling_waves(computed_cells):
+                    wave_tasks = [
+                        task for cell in wave for task in tasks_of[cell.name]
+                    ]
+                    t0 = time.perf_counter()
+                    self._phase_decide_coupling(wave_tasks, state, prev_windows, result)
+                    timers["coupling_decisions"] += time.perf_counter() - t0
+
+                    t0 = time.perf_counter()
+                    self._phase_final_waveforms(wave_tasks, result)
+                    timers["final_waveforms"] += time.perf_counter() - t0
+
+                    t0 = time.perf_counter()
+                    for task in wave_tasks:
+                        self._merge_output(
+                            state.events[task.out_net_name],
+                            task.final_event,
+                            state,
+                            task.out_net_name,
+                            Provenance(
+                                cell=task.cell.name,
+                                in_pin=task.prov_pin,
+                                in_net=task.prov_net,
+                                in_direction=task.prov_direction,
+                                coupled=task.coupled,
+                                c_active=0.0,
+                            ),
+                        )
+                    # Wave barrier: these events now count as calculated
+                    # for the later waves' and levels' decisions.
+                    for cell in wave:
+                        state.processed.add(cell.output_pin.net.name)
+                    timers["merge"] += time.perf_counter() - t0
 
         self._collect_arrivals(state, result)
+        result.cache_evaluations = self.calculator.evaluations - eval_before
+        result.cache_hits = self.calculator.cache_hits - hits_before
+        result.phase_seconds = timers
         return result
 
     # -- sources ---------------------------------------------------------------
@@ -163,17 +281,44 @@ class Propagator:
                     )
             state.processed.add(net.name)
 
-    # -- cell processing ---------------------------------------------------------
+    # -- coupling waves ----------------------------------------------------------
 
-    def _process_gate(
-        self,
-        cell: Cell,
-        state: TimingState,
-        prev_windows: dict[tuple[str, str], tuple[float, float]] | None,
-        result: PassResult,
-    ) -> None:
+    def _coupling_waves(self, cells: list[Cell]) -> list[list[Cell]]:
+        """Split one level's cells into decision waves.
+
+        A cell must wait for an earlier-ordered cell of the same level
+        only when that cell drives a net coupled to its own output --
+        otherwise the two share no timing information at all and can be
+        decided together.  Processing the waves in order reproduces the
+        sequential walk's asymmetric visibility (for every coupled pair
+        driven in one level, exactly one side sees the other's freshly
+        calculated window) while keeping each wave batchable.  The
+        non-window modes never read windows: everything is one wave.
+        """
+        if not self.config.mode.is_window_based or len(cells) <= 1:
+            return [cells] if cells else []
+        driver_wave: dict[str, int] = {}
+        waves: list[list[Cell]] = []
+        for cell in cells:
+            out_net = cell.output_pin.net
+            load = self.design.loads.get(out_net.name)
+            wave = 0
+            if load is not None:
+                for other in load.couplings:
+                    earlier = driver_wave.get(other)
+                    if earlier is not None:
+                        wave = max(wave, earlier + 1)
+            driver_wave[out_net.name] = wave
+            if wave == len(waves):
+                waves.append([])
+            waves[wave].append(cell)
+        return waves
+
+    # -- task gathering ---------------------------------------------------------
+
+    def _gate_tasks(self, cell: Cell, state: TimingState) -> list[_ArcTask]:
         out_net = cell.output_pin.net
-        out_slot = state.ensure_net(out_net.name)
+        tasks: list[_ArcTask] = []
         for pin in cell.input_pins:
             in_net = pin.net
             if in_net is None:
@@ -183,35 +328,23 @@ class Propagator:
                 if event is None:
                     continue
                 arrival = self._arrival_at_pin(event, in_net.name, pin.full_name)
-                out_event, coupled = self._compute_output_event(
-                    cell, pin.name, arrival, out_net.name, state, prev_windows, result
+                tasks.append(
+                    _ArcTask(
+                        cell=cell,
+                        pin_name=pin.name,
+                        arrival=arrival,
+                        out_net_name=out_net.name,
+                        prov_pin=pin.name,
+                        prov_net=in_net.name,
+                        prov_direction=direction,
+                    )
                 )
-                self._merge_output(
-                    out_slot,
-                    out_event,
-                    state,
-                    out_net.name,
-                    Provenance(
-                        cell=cell.name,
-                        in_pin=pin.name,
-                        in_net=in_net.name,
-                        in_direction=direction,
-                        coupled=coupled,
-                        c_active=0.0,
-                    ),
-                )
+        return tasks
 
-    def _process_flip_flop(
-        self,
-        cell: Cell,
-        state: TimingState,
-        prev_windows: dict[tuple[str, str], tuple[float, float]] | None,
-        result: PassResult,
-    ) -> None:
+    def _flip_flop_tasks(self, cell: Cell, state: TimingState) -> list[_ArcTask]:
         """Launch both Q transitions off the clock arrival at this cell."""
         process = self.design.process
         out_net = cell.output_pin.net
-        out_slot = state.ensure_net(out_net.name)
         clk_pin = cell.pins["CLK"]
         clk_net = clk_pin.net
 
@@ -230,6 +363,7 @@ class Propagator:
             )
 
         launch_cross = clk_arrival.t_cross + cell.ctype.clk_to_q
+        tasks: list[_ArcTask] = []
         for out_direction in (RISING, FALLING):
             internal = ideal_ramp_event(
                 opposite(out_direction),
@@ -238,103 +372,165 @@ class Propagator:
                 process.vdd,
                 process.v_th_model,
             )
-            out_event, coupled = self._compute_output_event(
-                cell, "A", internal, out_net.name, state, prev_windows, result
+            tasks.append(
+                _ArcTask(
+                    cell=cell,
+                    pin_name="A",
+                    arrival=internal,
+                    out_net_name=out_net.name,
+                    prov_pin="CLK",
+                    prov_net=clk_net.name if clk_net is not None else "",
+                    prov_direction=clk_arrival.direction,
+                )
             )
-            self._merge_output(
-                out_slot,
-                out_event,
-                state,
-                out_net.name,
-                Provenance(
-                    cell=cell.name,
-                    in_pin="CLK",
-                    in_net=clk_net.name if clk_net is not None else "",
-                    in_direction=clk_arrival.direction,
-                    coupled=coupled,
-                    c_active=0.0,
-                ),
+        return tasks
+
+    # -- phase A: state-independent base waveforms ------------------------------
+
+    def _phase_base_waveforms(self, tasks: list[_ArcTask], result: PassResult) -> None:
+        """Compute every event that does not depend on other nets' timing:
+        the fixed-treatment loads of the non-window modes, and the
+        best-case (plus, under OVERLAP, the all-active) calculation of the
+        window-based modes.  With the batch engine all distinct situations
+        are primed in one vectorized solve first."""
+        mode = self.config.mode
+        overlap = self.config.window_check is WindowCheck.OVERLAP
+        requests: list[ArcRequest] = []
+        for task in tasks:
+            result.arcs_processed += 1
+            load = self.design.loads[task.out_net_name]
+            if not mode.is_window_based or not load.couplings:
+                if mode.is_window_based:
+                    # No neighbours: nothing to decide, plain grounded load.
+                    task.plain_load = CouplingLoad(c_ground=load.c_fixed)
+                else:
+                    task.plain_load = self._fixed_load(load, mode)
+                requests.append(self._request(task, task.plain_load))
+                continue
+            task.windowed = True
+            # One-step / iterative: best-case calculation first ("w_bcs :=
+            # calculate waveform for best-case, i.e. all adjacent wires
+            # are quiet; t_bcs := time when w_bcs reaches V_th").
+            requests.append(
+                self._request(
+                    task,
+                    CouplingLoad(
+                        c_ground=load.c_fixed + load.c_coupling_total,
+                        c_couple_active=0.0,
+                    ),
+                )
             )
+            if overlap:
+                requests.append(
+                    self._request(
+                        task,
+                        CouplingLoad(
+                            c_ground=load.c_fixed,
+                            c_couple_active=load.c_coupling_total,
+                        ),
+                    )
+                )
+        self._prime(requests)
+        for task in tasks:
+            load = self.design.loads[task.out_net_name]
+            if not task.windowed:
+                result.waveform_evaluations += 1
+                task.final_event = self._compute(task, task.plain_load)
+                task.coupled = task.plain_load.has_active_coupling
+                continue
+            best_load = CouplingLoad(
+                c_ground=load.c_fixed + load.c_coupling_total, c_couple_active=0.0
+            )
+            result.waveform_evaluations += 1
+            task.best_event = self._compute(task, best_load)
+            if overlap:
+                worst_load = CouplingLoad(
+                    c_ground=load.c_fixed, c_couple_active=load.c_coupling_total
+                )
+                result.waveform_evaluations += 1
+                task.worst_event = self._compute(task, worst_load)
 
-    # -- the coupling decision (Sections 2 and 5) ---------------------------------
+    # -- phase B: the coupling decision (Sections 2 and 5) ----------------------
 
-    def _compute_output_event(
+    def _phase_decide_coupling(
         self,
-        cell: Cell,
-        pin_name: str,
-        arrival: RampEvent,
-        out_net_name: str,
+        tasks: list[_ArcTask],
         state: TimingState,
         prev_windows: dict[tuple[str, str], tuple[float, float]] | None,
         result: PassResult,
-    ) -> tuple[RampEvent, bool]:
-        load = self.design.loads[out_net_name]
-        mode = self.config.mode
-        result.arcs_processed += 1
-
-        if not mode.is_window_based or not load.couplings:
-            if mode.is_window_based:
-                # No neighbours: nothing to decide, plain grounded load.
-                coupling_load = CouplingLoad(c_ground=load.c_fixed)
-            else:
-                coupling_load = self._fixed_load(load, mode)
-            result.waveform_evaluations += 1
-            event = self.calculator.compute_arc(cell.ctype, pin_name, arrival, coupling_load)
-            return event, coupling_load.has_active_coupling
-
-        # One-step / iterative: best-case calculation first ("w_bcs :=
-        # calculate waveform for best-case, i.e. all adjacent wires are
-        # quiet; t_bcs := time when w_bcs reaches V_th").
-        best_load = CouplingLoad(
-            c_ground=load.c_fixed + load.c_coupling_total, c_couple_active=0.0
-        )
-        result.waveform_evaluations += 1
-        best_event = self.calculator.compute_arc(cell.ctype, pin_name, arrival, best_load)
-        t_bcs = best_event.t_early
-
-        out_direction = best_event.direction
-        aggressor_direction = opposite(out_direction)
+    ) -> None:
+        """Per arc, decide each neighbour's treatment by comparing its
+        activity window against the victim's best-case earliest activity
+        (and, under OVERLAP, its all-active latest completion)."""
         guard = self.config.guard
-
-        # OVERLAP extension: bound the victim's latest possible completion
-        # with the all-active calculation (monotone in the active set, so
-        # valid for every subset the decision below may choose).
-        t_victim_late = float("inf")
-        if self.config.window_check is WindowCheck.OVERLAP:
-            worst_load = CouplingLoad(
-                c_ground=load.c_fixed, c_couple_active=load.c_coupling_total
+        for task in tasks:
+            if not task.windowed:
+                continue
+            load = self.design.loads[task.out_net_name]
+            t_bcs = task.best_event.t_early
+            aggressor_direction = opposite(task.best_event.direction)
+            # OVERLAP extension: bound the victim's latest possible
+            # completion with the all-active calculation (monotone in the
+            # active set, so valid for every subset chosen below).
+            t_victim_late = (
+                task.worst_event.t_late if task.worst_event is not None else float("inf")
             )
-            result.waveform_evaluations += 1
-            worst_event = self.calculator.compute_arc(
-                cell.ctype, pin_name, arrival, worst_load
-            )
-            t_victim_late = worst_event.t_late
-
-        treatments: list[tuple[float, CouplingTreatment]] = []
-        any_active = False
-        for other, cap in load.couplings.items():
-            t_agg_early, t_agg_quiet = self._aggressor_window(
-                other, aggressor_direction, state, prev_windows
-            )
-            may_couple = t_agg_quiet > t_bcs - guard
-            if may_couple and t_agg_early >= t_victim_late + guard:
-                # Aggressor can only fire after the victim has certainly
-                # completed: no overlap.
-                may_couple = False
-            if may_couple:
-                treatments.append((cap, CouplingTreatment.ACTIVE))
-                any_active = True
+            treatments: list[tuple[float, CouplingTreatment]] = []
+            any_active = False
+            for other, cap in load.couplings.items():
+                t_agg_early, t_agg_quiet = self._aggressor_window(
+                    other, aggressor_direction, state, prev_windows
+                )
+                may_couple = t_agg_quiet > t_bcs - guard
+                if may_couple and t_agg_early >= t_victim_late + guard:
+                    # Aggressor can only fire after the victim has
+                    # certainly completed: no overlap.
+                    may_couple = False
+                if may_couple:
+                    treatments.append((cap, CouplingTreatment.ACTIVE))
+                    any_active = True
+                else:
+                    treatments.append((cap, CouplingTreatment.GROUNDED))
+            if any_active:
+                task.final_load = aggregate_load(load.c_fixed, treatments)
             else:
-                treatments.append((cap, CouplingTreatment.GROUNDED))
+                task.final_event = task.best_event
+                task.coupled = False
 
-        if not any_active:
-            return best_event, False
+    # -- phase C: decided final waveforms ---------------------------------------
 
-        final_load = aggregate_load(load.c_fixed, treatments)
-        result.waveform_evaluations += 1
-        result.coupled_arcs += 1
-        event = self.calculator.compute_arc(cell.ctype, pin_name, arrival, final_load)
-        return event, True
+    def _phase_final_waveforms(self, tasks: list[_ArcTask], result: PassResult) -> None:
+        pending = [task for task in tasks if task.final_load is not None]
+        if not pending:
+            return
+        self._prime([self._request(task, task.final_load) for task in pending])
+        for task in pending:
+            result.waveform_evaluations += 1
+            result.coupled_arcs += 1
+            task.final_event = self._compute(task, task.final_load)
+            task.coupled = True
+
+    # -- arc-engine helpers ------------------------------------------------------
+
+    def _request(self, task: _ArcTask, load: CouplingLoad) -> ArcRequest:
+        return ArcRequest(
+            ctype=task.cell.ctype,
+            pin=task.pin_name,
+            input_direction=task.arrival.direction,
+            input_transition=task.arrival.transition,
+            load=load,
+        )
+
+    def _prime(self, requests: list[ArcRequest]) -> None:
+        """Charge the arc cache for the upcoming lookups (a no-op for the
+        scalar engine, which solves lazily inside :meth:`_compute`)."""
+        if self.config.engine is Engine.BATCH:
+            self.calculator.prime_arcs(requests)
+
+    def _compute(self, task: _ArcTask, load: CouplingLoad) -> RampEvent:
+        return self.calculator.compute_arc(
+            task.cell.ctype, task.pin_name, task.arrival, load
+        )
 
     def _fixed_load(self, load, mode: AnalysisMode) -> CouplingLoad:
         c_c = load.c_coupling_total

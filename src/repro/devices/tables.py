@@ -25,6 +25,38 @@ from repro.devices.mosfet import Mosfet
 from repro.devices.params import ProcessParams, default_process
 
 
+def _cell_locate(f, n: int):
+    """Clamped cell index and in-cell fraction for a fractional grid
+    coordinate ``f`` on an axis of ``n`` points.
+
+    This is the *single* place the edge handling of every lookup flavour
+    (scalar, scalar-with-gradient, vectorized, banked) is defined, so the
+    scalar reference path and the batched path cannot drift apart: the
+    cell index is the truncation of ``f`` clamped to ``[0, n - 2]`` and
+    the fraction is ``f - index`` clamped to ``[0, 1]``.
+
+    Accepts a python float (returns ``(int, float)``) or a numpy array
+    (returns ``(int array, float array)``); the scalar branch stays pure
+    python because it sits inside the per-time-step Newton loop of the
+    reference solver.
+    """
+    if isinstance(f, np.ndarray):
+        i = np.clip(f.astype(int), 0, n - 2)
+        t = np.clip(f - i, 0.0, 1.0)
+        return i, t
+    i = int(f)
+    if i < 0:
+        i = 0
+    elif i > n - 2:
+        i = n - 2
+    t = f - i
+    if t < 0.0:
+        t = 0.0
+    elif t > 1.0:
+        t = 1.0
+    return i, t
+
+
 class _BilinearGrid:
     """Shared bilinear-interpolation machinery over a regular 2-D grid."""
 
@@ -48,28 +80,8 @@ class _BilinearGrid:
 
     def lookup(self, x: float, y: float) -> float:
         """Bilinear interpolation with clamping at the table edges."""
-        fx = (x - self._x0) / self._dx
-        fy = (y - self._y0) / self._dy
-        ix = int(fx)
-        iy = int(fy)
-        if ix < 0:
-            ix = 0
-        elif ix > self._nx - 2:
-            ix = self._nx - 2
-        if iy < 0:
-            iy = 0
-        elif iy > self._ny - 2:
-            iy = self._ny - 2
-        tx = fx - ix
-        ty = fy - iy
-        if tx < 0.0:
-            tx = 0.0
-        elif tx > 1.0:
-            tx = 1.0
-        if ty < 0.0:
-            ty = 0.0
-        elif ty > 1.0:
-            ty = 1.0
+        ix, tx = _cell_locate((x - self._x0) / self._dx, self._nx)
+        iy, ty = _cell_locate((y - self._y0) / self._dy, self._ny)
         v = self.values
         v00 = v[ix, iy]
         v10 = v[ix + 1, iy]
@@ -88,28 +100,39 @@ class _BilinearGrid:
         The derivative of the bilinear interpolant is piecewise constant in
         ``y`` within a cell -- sufficient for Newton on a fine grid.
         """
-        fx = (x - self._x0) / self._dx
-        fy = (y - self._y0) / self._dy
-        ix = int(fx)
-        iy = int(fy)
-        if ix < 0:
-            ix = 0
-        elif ix > self._nx - 2:
-            ix = self._nx - 2
-        if iy < 0:
-            iy = 0
-        elif iy > self._ny - 2:
-            iy = self._ny - 2
-        tx = fx - ix
-        ty = fy - iy
-        if tx < 0.0:
-            tx = 0.0
-        elif tx > 1.0:
-            tx = 1.0
-        if ty < 0.0:
-            ty = 0.0
-        elif ty > 1.0:
-            ty = 1.0
+        ix, tx = _cell_locate((x - self._x0) / self._dx, self._nx)
+        iy, ty = _cell_locate((y - self._y0) / self._dy, self._ny)
+        v = self.values
+        v00 = v[ix, iy]
+        v10 = v[ix + 1, iy]
+        v01 = v[ix, iy + 1]
+        v11 = v[ix + 1, iy + 1]
+        lo = v00 * (1.0 - tx) + v10 * tx
+        hi = v01 * (1.0 - tx) + v11 * tx
+        value = lo * (1.0 - ty) + hi * ty
+        dvalue_dy = (hi - lo) / self._dy
+        return value, dvalue_dy
+
+    def lookup_many(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vectorised bilinear interpolation, edge handling identical to
+        the scalar :meth:`lookup` (shared :func:`_cell_locate`)."""
+        ix, tx = _cell_locate((np.asarray(x, float) - self._x0) / self._dx, self._nx)
+        iy, ty = _cell_locate((np.asarray(y, float) - self._y0) / self._dy, self._ny)
+        v = self.values
+        return (
+            v[ix, iy] * (1.0 - tx) * (1.0 - ty)
+            + v[ix + 1, iy] * tx * (1.0 - ty)
+            + v[ix, iy + 1] * (1.0 - tx) * ty
+            + v[ix + 1, iy + 1] * tx * ty
+        )
+
+    def gradient_many(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised value and partial derivative with respect to ``y``,
+        term-for-term the same arithmetic as :meth:`lookup_with_dy`."""
+        ix, tx = _cell_locate((np.asarray(x, float) - self._x0) / self._dx, self._nx)
+        iy, ty = _cell_locate((np.asarray(y, float) - self._y0) / self._dy, self._ny)
         v = self.values
         v00 = v[ix, iy]
         v10 = v[ix + 1, iy]
@@ -123,19 +146,71 @@ class _BilinearGrid:
 
     def lookup_array(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         """Vectorised bilinear interpolation (used by the simulator)."""
-        fx = np.clip((np.asarray(x, float) - self._x0) / self._dx, 0.0, self._nx - 1 - 1e-12)
-        fy = np.clip((np.asarray(y, float) - self._y0) / self._dy, 0.0, self._ny - 1 - 1e-12)
-        ix = fx.astype(int)
-        iy = fy.astype(int)
-        tx = fx - ix
-        ty = fy - iy
+        return self.lookup_many(x, y)
+
+
+class GridBank:
+    """A stack of congruent :class:`_BilinearGrid` tables for per-element
+    batched lookup.
+
+    The batch stage solver integrates arcs of *different* cells in one
+    array-shaped loop; each element carries an index ``k`` selecting its
+    table.  All grids must share the same axes (stage tables built from
+    one process with the same point count do), so one fancy-indexed read
+    ``values[k, ix, iy]`` serves the whole batch.
+    """
+
+    def __init__(self, grids: list[_BilinearGrid]):
+        if not grids:
+            raise ValueError("grid bank needs at least one grid")
+        base = grids[0]
+        for grid in grids[1:]:
+            if not (
+                np.array_equal(grid.x_axis, base.x_axis)
+                and np.array_equal(grid.y_axis, base.y_axis)
+            ):
+                raise ValueError("grid bank requires congruent grid axes")
+        self._x0 = base._x0
+        self._y0 = base._y0
+        self._dx = base._dx
+        self._dy = base._dy
+        self._nx = base._nx
+        self._ny = base._ny
+        self.values = np.stack([grid.values for grid in grids])
+
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    def lookup_many(self, k: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Per-element bilinear interpolation: element ``i`` reads table
+        ``k[i]`` at ``(x[i], y[i])``."""
+        ix, tx = _cell_locate((np.asarray(x, float) - self._x0) / self._dx, self._nx)
+        iy, ty = _cell_locate((np.asarray(y, float) - self._y0) / self._dy, self._ny)
         v = self.values
         return (
-            v[ix, iy] * (1 - tx) * (1 - ty)
-            + v[ix + 1, iy] * tx * (1 - ty)
-            + v[ix, iy + 1] * (1 - tx) * ty
-            + v[ix + 1, iy + 1] * tx * ty
+            v[k, ix, iy] * (1.0 - tx) * (1.0 - ty)
+            + v[k, ix + 1, iy] * tx * (1.0 - ty)
+            + v[k, ix, iy + 1] * (1.0 - tx) * ty
+            + v[k, ix + 1, iy + 1] * tx * ty
         )
+
+    def gradient_many(
+        self, k: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-element value and d/dy, matching
+        :meth:`_BilinearGrid.lookup_with_dy` arithmetic exactly."""
+        ix, tx = _cell_locate((np.asarray(x, float) - self._x0) / self._dx, self._nx)
+        iy, ty = _cell_locate((np.asarray(y, float) - self._y0) / self._dy, self._ny)
+        v = self.values
+        v00 = v[k, ix, iy]
+        v10 = v[k, ix + 1, iy]
+        v01 = v[k, ix, iy + 1]
+        v11 = v[k, ix + 1, iy + 1]
+        lo = v00 * (1.0 - tx) + v10 * tx
+        hi = v01 * (1.0 - tx) + v11 * tx
+        value = lo * (1.0 - ty) + hi * ty
+        dvalue_dy = (hi - lo) / self._dy
+        return value, dvalue_dy
 
 
 class DeviceTable:
@@ -249,3 +324,18 @@ class StageTable:
     def current_array(self, vin: np.ndarray, vout: np.ndarray) -> np.ndarray:
         """Vectorised net current."""
         return self._grid.lookup_array(vin, vout)
+
+    def current_many(self, vin: np.ndarray, vout: np.ndarray) -> np.ndarray:
+        """Vectorised net current with scalar-identical edge handling."""
+        return self._grid.lookup_many(vin, vout)
+
+    def current_with_dvout_many(
+        self, vin: np.ndarray, vout: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised net current and d/dV_out."""
+        return self._grid.gradient_many(vin, vout)
+
+    @property
+    def grid(self) -> _BilinearGrid:
+        """The underlying interpolation grid (for :class:`GridBank`)."""
+        return self._grid

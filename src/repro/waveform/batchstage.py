@@ -1,0 +1,294 @@
+"""Batched stage solver: N independent stage outputs in one integration.
+
+The scalar :class:`repro.waveform.stage.StageSolver` integrates one arc at
+a time; the dominant cost of the whole analysis is its per-time-step
+Newton iteration over tabulated stage currents, paid arc by arc in pure
+python.  This module generalizes the same algorithm over a *batch axis*:
+one backward-Euler loop advances all arcs of a topological level at once,
+with per-element time steps, per-element Newton convergence masks
+(:func:`repro.devices.newton.solve_newton_many`), and per-element handling
+of the coupling drop event and the extension phases via masking.  Tables
+of different cells are served by a :class:`repro.devices.tables.GridBank`
+so a single fancy-indexed lookup covers the whole batch.
+
+The numerics mirror the scalar solver step for step -- same time-step
+formula, same damped Newton update, same drop/restart logic, same
+measurement (:func:`repro.waveform.stage.measure_stage_waveform`) -- so a
+batch of size one reproduces the scalar result to floating-point noise;
+the property tests pin the agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.newton import solve_newton_many
+from repro.devices.params import ProcessParams, default_process
+from repro.devices.tables import GridBank, StageTable
+from repro.waveform.coupling import CouplingLoad
+from repro.waveform.pwl import RISING, Waveform, opposite
+from repro.waveform import stage as stage_defaults
+from repro.waveform.stage import (
+    StageResult,
+    StageSolverError,
+    _monotone_clean,
+    measure_stage_waveform,
+)
+
+
+@dataclass(frozen=True)
+class BatchArcSpec:
+    """One element of a batched stage solve.
+
+    ``table_index`` selects the stage table inside the solver's bank;
+    the remaining fields mirror the scalar solver's arguments.
+    """
+
+    table_index: int
+    input_direction: str
+    transition: float
+    load: CouplingLoad
+    t_start: float = 0.0
+    out_direction: str | None = None
+    aiding: bool = False
+
+
+class BatchStageSolver:
+    """Integrates many stage outputs simultaneously.
+
+    Construct with the list of distinct :class:`StageTable` objects the
+    batch may reference (all built from the same process and point count,
+    hence congruent grids), then call :meth:`solve_many` with specs whose
+    ``table_index`` points into that list.
+    """
+
+    def __init__(
+        self,
+        tables: list[StageTable],
+        process: ProcessParams | None = None,
+        steps_per_phase: int = stage_defaults.STEPS_PER_PHASE,
+        settle_fraction: float = stage_defaults.SETTLE_FRACTION,
+        max_extensions: int = stage_defaults.MAX_EXTENSIONS,
+    ):
+        self.tables = tables
+        self.bank = GridBank([table.grid for table in tables])
+        self.process = process if process is not None else default_process()
+        self.steps_per_phase = steps_per_phase
+        self.settle_fraction = settle_fraction
+        self.max_extensions = max_extensions
+
+    # -- drive-strength estimate (same formula as the scalar solver) -------
+
+    def _drive_current(self, table: StageTable, out_direction: str) -> float:
+        vdd = self.process.vdd
+        if out_direction == RISING:
+            current = table.current(0.0, 0.5 * vdd)
+        else:
+            current = -table.current(vdd, 0.5 * vdd)
+        return max(abs(current), 1e-9)
+
+    def solve_many(self, specs: list[BatchArcSpec]) -> list[StageResult]:
+        """Solve all specs and return per-spec :class:`StageResult`."""
+        if not specs:
+            return []
+        process = self.process
+        vdd = process.vdd
+        settle_band = self.settle_fraction * vdd
+        max_steps = 2 * self.steps_per_phase
+        n = len(specs)
+
+        # -- per-element setup (cheap python loop) -------------------------
+        k = np.empty(n, dtype=int)
+        in_rising = np.empty(n, dtype=bool)
+        out_rising = np.empty(n, dtype=bool)
+        t_start = np.empty(n)
+        tt = np.empty(n)
+        c_total = np.empty(n)
+        v_from = np.empty(n)
+        v_to = np.empty(n)
+        dt = np.empty(n)
+        trigger = np.full(n, np.nan)
+        restart = np.empty(n)
+        has_trigger = np.zeros(n, dtype=bool)
+        out_directions: list[str] = []
+
+        for i, spec in enumerate(specs):
+            load = spec.load
+            if load.c_total <= 0:
+                raise StageSolverError("stage load must have positive capacitance")
+            out_direction = (
+                spec.out_direction
+                if spec.out_direction is not None
+                else opposite(spec.input_direction)
+            )
+            out_directions.append(out_direction)
+            rising = out_direction == RISING
+            table = self.tables[spec.table_index]
+            k[i] = spec.table_index
+            in_rising[i] = spec.input_direction == RISING
+            out_rising[i] = rising
+            t_start[i] = spec.t_start
+            tt[i] = spec.transition
+            c_total[i] = load.c_total
+            v_from[i] = 0.0 if rising else vdd
+            v_to[i] = vdd if rising else 0.0
+            tau = load.c_total * vdd / self._drive_current(table, out_direction)
+            dt[i] = max((spec.transition + 4.0 * tau) / (2.0 * self.steps_per_phase), 1e-15)
+
+            if load.has_active_coupling:
+                if spec.aiding:
+                    trig = load.restart_voltage(out_direction, process)
+                else:
+                    trig = load.trigger_voltage(out_direction, process)
+                if rising:
+                    trig = min(trig, vdd - 2.0 * settle_band)
+                else:
+                    trig = max(trig, 2.0 * settle_band)
+                trigger[i] = trig
+                has_trigger[i] = True
+            if spec.aiding and load.has_active_coupling:
+                drop = load.divider_drop(process)
+                if rising:
+                    restart[i] = min(trigger[i] + drop, vdd)
+                else:
+                    restart[i] = max(trigger[i] - drop, 0.0)
+            else:
+                restart[i] = load.restart_voltage(out_direction, process)
+
+        # -- lockstep state ------------------------------------------------
+        t = t_start.copy()
+        v = v_from.copy()
+        step = np.zeros(n, dtype=int)
+        extensions = np.zeros(n, dtype=int)
+        fired = np.zeros(n, dtype=bool)
+        done = np.zeros(n, dtype=bool)
+        t_drop = np.full(n, np.nan)
+        newton_total = np.zeros(n, dtype=int)
+        t_input_end = t_start + tt
+
+        # Recorded waveforms: one snapshot per lockstep iteration, plus a
+        # per-element start point that the drop event can reset.
+        start_t = t_start.copy()
+        start_v = v_from.copy()
+        reset_snap = np.zeros(n, dtype=int)
+        rec_t: list[np.ndarray] = []
+        rec_v: list[np.ndarray] = []
+        rec_m: list[np.ndarray] = []
+
+        lo, hi = -0.4, vdd + 0.4
+        while not done.all():
+            active = ~done
+            step[active] += 1
+
+            # Extension phase: elements that exhausted their step budget
+            # double dt and skip this iteration (scalar `continue`).
+            over = active & (step > max_steps)
+            if over.any():
+                exhausted = over & (extensions >= self.max_extensions)
+                if exhausted.any():
+                    i = int(np.nonzero(exhausted)[0][0])
+                    raise StageSolverError(
+                        f"output failed to settle after {extensions[i]} extensions "
+                        f"(element {i}, t={t[i]:.3e}, v={v[i]:.3f}, "
+                        f"target={v_to[i]:.3f})"
+                    )
+                extensions[over] += 1
+                dt[over] *= 2.0
+                step[over] = 0
+
+            integ = active & ~over
+            advanced = np.zeros(n, dtype=bool)
+            if integ.any():
+                idx = np.nonzero(integ)[0]
+                dt_i = dt[idx]
+                t_next = t[idx] + dt_i
+                # Input ramp voltage at t_next (saturated rail-to-rail).
+                tt_i = tt[idx]
+                frac = np.where(
+                    tt_i > 0.0,
+                    np.clip((t_next - t_start[idx]) / np.where(tt_i > 0.0, tt_i, 1.0), 0.0, 1.0),
+                    (t_next >= t_start[idx]).astype(float),
+                )
+                vin_next = np.where(in_rising[idx], vdd * frac, vdd * (1.0 - frac))
+                coeff = dt_i / c_total[idx]
+                v_prev = v[idx]
+                k_i = k[idx]
+
+                def residual(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+                    current, dcurrent = self.bank.gradient_many(k_i, vin_next, x)
+                    return x - v_prev - coeff * current, 1.0 - coeff * dcurrent
+
+                solved = solve_newton_many(
+                    residual, x0=v_prev, tol=1e-7, lo=lo, hi=hi
+                )
+                newton_total[idx] += solved.iterations
+                v_next = solved.roots
+
+                # Coupling drop event: detect the trigger crossing inside
+                # this step, fire, and restart the reported waveform.
+                trig_i = trigger[idx]
+                may_fire = has_trigger[idx] & ~fired[idx]
+                rising_i = out_rising[idx]
+                crossed = may_fire & np.where(
+                    rising_i,
+                    (v_prev < trig_i) & (trig_i <= v_next),
+                    (v_prev > trig_i) & (trig_i >= v_next),
+                )
+                if crossed.any():
+                    cidx = idx[crossed]
+                    dv = v_next[crossed] - v_prev[crossed]
+                    frac_c = np.where(
+                        dv != 0.0,
+                        (trig_i[crossed] - v_prev[crossed]) / np.where(dv != 0.0, dv, 1.0),
+                        1.0,
+                    )
+                    t_fire = t[cidx] + frac_c * dt[cidx]
+                    t_drop[cidx] = t_fire
+                    fired[cidx] = True
+                    t[cidx] = t_fire
+                    v[cidx] = restart[cidx]
+                    start_t[cidx] = t_fire
+                    start_v[cidx] = restart[cidx]
+                    reset_snap[cidx] = len(rec_t)
+
+                adv = ~crossed
+                aidx = idx[adv]
+                t[aidx] = t_next[adv]
+                v[aidx] = v_next[adv]
+                advanced[aidx] = True
+
+                done_voltage = np.abs(v[aidx] - v_to[aidx]) <= settle_band
+                input_done = t[aidx] >= t_input_end[aidx]
+                done[aidx[done_voltage & input_done]] = True
+
+            rec_t.append(t.copy())
+            rec_v.append(v.copy())
+            rec_m.append(advanced)
+
+        # -- reconstruct, clean and measure per element --------------------
+        times_mat = np.array(rec_t)
+        values_mat = np.array(rec_v)
+        mask_mat = np.array(rec_m)
+        results: list[StageResult] = []
+        for i in range(n):
+            sel = mask_mat[reset_snap[i]:, i]
+            times = np.concatenate(
+                ([start_t[i]], times_mat[reset_snap[i]:, i][sel])
+            )
+            values = np.concatenate(
+                ([start_v[i]], values_mat[reset_snap[i]:, i][sel])
+            )
+            waveform = _monotone_clean(Waveform(times, values, out_directions[i]))
+            results.append(
+                measure_stage_waveform(
+                    self.process,
+                    waveform,
+                    out_directions[i],
+                    bool(fired[i]),
+                    float(t_drop[i]) if fired[i] else None,
+                    int(newton_total[i]),
+                )
+            )
+        return results

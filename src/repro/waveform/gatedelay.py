@@ -1,30 +1,63 @@
 """Per-arc gate delay calculation with caching.
 
-Wraps the stage solver into the operation the STA performs on every timing
-arc: given the switching input's ramp event, the cell/pin, and the victim
-output's coupling situation, produce the output ramp event.
+Wraps the stage solvers into the operation the STA performs on every
+timing arc: given the switching input's ramp event, the cell/pin, and the
+victim output's coupling situation, produce the output ramp event.
 
 Results are cached on a quantized key (cell, pin, input direction, input
 transition, passive load, active coupling); circuits instantiate few cell
-types at many places, so the hit rate is high and the Newton integrations
-are only paid for distinct electrical situations.  Quantization rounds the
-load and slew *up* (slower, later -- conservative for the delay bound);
-the small non-conservative error this leaves on the early-activity marker
-is covered by the STA's comparison guard band (``StaConfig.guard``).
+types at many places, so the Newton integrations are only paid for
+distinct electrical situations.  Quantization rounds the load and slew
+*up* (slower, later -- conservative for the delay bound); the small
+non-conservative error this leaves on the early-activity marker is
+covered by the STA's comparison guard band (``StaConfig.guard``).
+
+Two evaluation backends fill the cache:
+
+* the scalar :class:`~repro.waveform.stage.StageSolver` (reference), one
+  arc at a time, and
+* the vectorized :class:`~repro.waveform.batchstage.BatchStageSolver`,
+  used by :meth:`GateDelayCalculator.prime_arcs` to integrate all distinct
+  situations of a batch simultaneously -- optionally fanned out over a
+  ``ProcessPoolExecutor`` for multi-core scaling.
+
+The cache can persist across runs (:meth:`save_cache_file` /
+:meth:`load_cache_file`): a JSON file keyed by a fingerprint of the
+process, the cell library's collapsed stage devices and the solver
+settings, so the iterative mode's repeat passes and repeated benchmark
+invocations skip Newton entirely.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import math
+import os
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.circuit.library import CellType
 from repro.devices.params import ProcessParams, default_process
 from repro.devices.tables import StageTable
+from repro.waveform.batchstage import BatchArcSpec, BatchStageSolver
 from repro.waveform.coupling import CouplingLoad
-from repro.waveform.pwl import opposite
 from repro.waveform.ramp import RampEvent
-from repro.waveform.stage import InputRamp, StageResult, StageSolver
+from repro.waveform.stage import (
+    MAX_EXTENSIONS,
+    SETTLE_FRACTION,
+    STEPS_PER_PHASE,
+    InputRamp,
+    StageResult,
+    StageSolver,
+)
+
+CACHE_FORMAT = 1
+
+# Below this many distinct situations a batched solve does not amortize
+# its setup; fall through to the scalar reference path.
+MIN_BATCH = 4
 
 
 @dataclass(frozen=True)
@@ -49,6 +82,113 @@ class ArcResult:
         )
 
 
+@dataclass(frozen=True)
+class ArcRequest:
+    """One arc situation for batched priming (pre-quantization values)."""
+
+    ctype: CellType
+    pin: str
+    input_direction: str
+    input_transition: float
+    load: CouplingLoad
+    aiding: bool = False
+    quantize_down: bool = False
+
+
+def _stage_params(ctype: CellType, pin: str, process: ProcessParams):
+    """Collapsed (pull-up, pull-down) device parameter tuples for an arc,
+    or ``None`` per side -- the electrical identity of a stage table."""
+    pull_up, pull_down = ctype.topology.equivalent_stage(pin, process)
+    pu = dataclasses.astuple(pull_up.params) if pull_up is not None else None
+    pd = dataclasses.astuple(pull_down.params) if pull_down is not None else None
+    return pu, pd
+
+
+def library_fingerprint(
+    process: ProcessParams,
+    cell_types: Iterable[CellType],
+    transition_grid: float,
+    cap_grid: float,
+    table_points: int,
+) -> str:
+    """Hash of everything that determines an arc result.
+
+    Two runs with equal fingerprints may share cached arcs: the process
+    constants, the collapsed stage devices of every (cell, pin), the
+    quantization grids, the table resolution and the solver settings.
+    """
+    cells = {}
+    for ctype in sorted({c.name: c for c in cell_types}.values(), key=lambda c: c.name):
+        pins = {}
+        for pin in dict.fromkeys(list(ctype.inputs) + ["A"]):
+            try:
+                pu, pd = _stage_params(ctype, pin, process)
+            except (KeyError, ValueError):
+                continue
+            if pu is None and pd is None:
+                continue
+            pins[pin] = [pu, pd]
+        cells[ctype.name] = pins
+    payload = {
+        "process": dataclasses.asdict(process),
+        "transition_grid": transition_grid,
+        "cap_grid": cap_grid,
+        "table_points": table_points,
+        "solver": {
+            "steps_per_phase": STEPS_PER_PHASE,
+            "settle_fraction": SETTLE_FRACTION,
+            "max_extensions": MAX_EXTENSIONS,
+        },
+        "cells": cells,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -- worker-process machinery for the opt-in multi-core fan-out ------------
+
+_WORKER_TABLES: dict = {}
+
+
+def _pool_solve_chunk(payload):
+    """Solve one chunk of distinct arc situations in a worker process.
+
+    ``payload``: (process, table_points, table_specs, items) where
+    ``table_specs`` maps local table index -> (pu_params, pd_params) and
+    each item is ``(table_idx, direction, tt, c_passive, c_active,
+    aiding)``.  Tables are cached per worker process across chunks.
+    Returns one result tuple per item.
+    """
+    from repro.devices.mosfet import Mosfet, MosfetParams
+
+    process, table_points, table_specs, items = payload
+    tables = []
+    for pu, pd in table_specs:
+        cache_key = (pu, pd, table_points)
+        table = _WORKER_TABLES.get(cache_key)
+        if table is None:
+            pull_up = Mosfet(MosfetParams(*pu), process) if pu is not None else None
+            pull_down = Mosfet(MosfetParams(*pd), process) if pd is not None else None
+            table = StageTable(pull_up, pull_down, process=process, points=table_points)
+            _WORKER_TABLES[cache_key] = table
+        tables.append(table)
+    solver = BatchStageSolver(tables, process)
+    specs = [
+        BatchArcSpec(
+            table_index=ti,
+            input_direction=direction,
+            transition=tt,
+            load=CouplingLoad(c_ground=cp, c_couple_active=ca),
+            aiding=aiding,
+        )
+        for ti, direction, tt, cp, ca, aiding in items
+    ]
+    return [
+        (r.direction, r.t_cross, r.transition, r.t_early, r.t_late, r.coupled)
+        for r in solver.solve_many(specs)
+    ]
+
+
 class GateDelayCalculator:
     """Caching transistor-level delay engine for library-cell arcs."""
 
@@ -58,16 +198,26 @@ class GateDelayCalculator:
         transition_grid: float = 2e-12,
         cap_grid: float = 0.2e-15,
         table_points: int = 121,
+        engine: str = "scalar",
+        workers: int = 0,
     ):
         self.process = process if process is not None else default_process()
         self.transition_grid = transition_grid
         self.cap_grid = cap_grid
         self.table_points = table_points
+        self.engine = engine
+        self.workers = workers
         self._stage_tables: dict[tuple[str, str], StageTable] = {}
         self._solvers: dict[tuple[str, str], StageSolver] = {}
         self._arc_cache: dict[tuple, ArcResult] = {}
+        self._batch_solver: BatchStageSolver | None = None
+        self._table_order: list[tuple[str, str]] = []
+        self._executor = None
         self.evaluations = 0
         self.cache_hits = 0
+        self.batched_solves = 0
+        self.pool_solves = 0
+        self.persisted_loads = 0
 
     # -- stage machinery ----------------------------------------------------
 
@@ -84,9 +234,22 @@ class GateDelayCalculator:
                 pull_up, pull_down, process=self.process, points=self.table_points
             )
             self._stage_tables[key] = table
+            self._table_order.append(key)
             solver = StageSolver(table, self.process)
             self._solvers[key] = solver
         return solver
+
+    def _batch_solver_current(self) -> BatchStageSolver:
+        """The batch solver over all known stage tables, rebuilt when new
+        tables appeared since the last build."""
+        if self._batch_solver is None or len(self._batch_solver.tables) != len(
+            self._table_order
+        ):
+            self._batch_solver = BatchStageSolver(
+                [self._stage_tables[key] for key in self._table_order],
+                self.process,
+            )
+        return self._batch_solver
 
     # -- quantization --------------------------------------------------------
 
@@ -97,6 +260,34 @@ class GateDelayCalculator:
     def _q_cap(self, value: float, down: bool = False) -> float:
         rounder = math.floor if down else math.ceil
         return rounder(max(value, 0.0) / self.cap_grid) * self.cap_grid
+
+    def _quantized_key(self, request: ArcRequest) -> tuple:
+        """The cache key of a request: quantized slew and loads.
+
+        This is the single place quantization happens, shared by the
+        scalar per-arc path and the batched priming path.
+        """
+        down = request.quantize_down
+        tt = self._q_time(request.input_transition, down=down)
+        c_passive = self._q_cap(
+            request.load.c_ground + request.load.c_couple_passive, down=down
+        )
+        # Active coupling is a *helping* jump in min-delay contexts: round
+        # it up there (more help -> faster -> safe lower bound).
+        c_active = self._q_cap(
+            request.load.c_couple_active, down=down and not request.aiding
+        )
+        if down and c_passive + c_active <= 0.0:
+            c_passive = self.cap_grid  # keep the stage integrable
+        return (
+            request.ctype.name,
+            request.pin,
+            request.input_direction,
+            tt,
+            c_passive,
+            c_active,
+            request.aiding,
+        )
 
     # -- the arc operation ----------------------------------------------------
 
@@ -137,19 +328,21 @@ class GateDelayCalculator:
         conservative direction for a min-delay (lower) bound, where the
         modelled arc must never be slower than reality.
         """
-        tt = self._q_time(input_transition, down=quantize_down)
-        c_passive = self._q_cap(load.c_ground + load.c_couple_passive, down=quantize_down)
-        # Active coupling is a *helping* jump in min-delay contexts: round
-        # it up there (more help -> faster -> safe lower bound).
-        c_active = self._q_cap(load.c_couple_active, down=quantize_down and not aiding)
-        if quantize_down and c_passive + c_active <= 0.0:
-            c_passive = self.cap_grid  # keep the stage integrable
-        key = (ctype.name, pin, input_direction, tt, c_passive, c_active, aiding)
+        request = ArcRequest(
+            ctype, pin, input_direction, input_transition, load, aiding, quantize_down
+        )
+        key = self._quantized_key(request)
         cached = self._arc_cache.get(key)
         if cached is not None:
             self.cache_hits += 1
             return cached
+        arc = self._solve_key(ctype, key)
+        self._arc_cache[key] = arc
+        return arc
 
+    def _solve_key(self, ctype: CellType, key: tuple) -> ArcResult:
+        """Scalar (reference) solve of one quantized arc situation."""
+        _, pin, input_direction, tt, c_passive, c_active, aiding = key
         self.evaluations += 1
         solver = self.solver_for(ctype, pin)
         stage_result = solver.solve(
@@ -161,7 +354,11 @@ class GateDelayCalculator:
             ),
             aiding=aiding,
         )
-        arc = ArcResult(
+        return self._to_arc(stage_result)
+
+    @staticmethod
+    def _to_arc(stage_result: StageResult) -> ArcResult:
+        return ArcResult(
             direction=stage_result.direction,
             t_cross=stage_result.t_cross,
             transition=stage_result.transition,
@@ -169,8 +366,106 @@ class GateDelayCalculator:
             t_late=stage_result.t_late,
             coupled=stage_result.coupled,
         )
-        self._arc_cache[key] = arc
-        return arc
+
+    # -- batched priming ------------------------------------------------------
+
+    def prime_arcs(self, requests: Sequence[ArcRequest]) -> int:
+        """Ensure every request's quantized situation is cached.
+
+        Deduplicates the requests through the quantized arc key, then
+        solves the distinct misses -- with the batch engine in one
+        vectorized call (optionally fanned out over worker processes)
+        when configured, falling back to the scalar reference solver for
+        tiny batches or ``engine="scalar"``.  Returns the number of
+        situations actually solved.
+        """
+        misses: dict[tuple, CellType] = {}
+        for request in requests:
+            key = self._quantized_key(request)
+            if key not in self._arc_cache and key not in misses:
+                misses[key] = request.ctype
+        if not misses:
+            return 0
+
+        if self.engine != "batch" or len(misses) < MIN_BATCH:
+            for key, ctype in misses.items():
+                self._arc_cache[key] = self._solve_key(ctype, key)
+            return len(misses)
+
+        if self.workers >= 2 and len(misses) >= 2 * MIN_BATCH:
+            self._solve_keys_pooled(misses)
+        else:
+            self._solve_keys_batched(misses)
+        return len(misses)
+
+    def _solve_keys_batched(self, misses: dict[tuple, CellType]) -> None:
+        """One vectorized integration over all missing situations."""
+        # Materialise tables first so the bank covers every (cell, pin).
+        for key, ctype in misses.items():
+            self.solver_for(ctype, key[1])
+        solver = self._batch_solver_current()
+        index_of = {table_key: i for i, table_key in enumerate(self._table_order)}
+        keys = list(misses)
+        specs = [
+            BatchArcSpec(
+                table_index=index_of[(name, pin)],
+                input_direction=direction,
+                transition=tt,
+                load=CouplingLoad(c_ground=c_passive, c_couple_active=c_active),
+                aiding=aiding,
+            )
+            for (name, pin, direction, tt, c_passive, c_active, aiding) in keys
+        ]
+        results = solver.solve_many(specs)
+        for key, stage_result in zip(keys, results):
+            self._arc_cache[key] = self._to_arc(stage_result)
+        self.evaluations += len(keys)
+        self.batched_solves += len(keys)
+
+    def _solve_keys_pooled(self, misses: dict[tuple, CellType]) -> None:
+        """Fan the distinct solves out over worker processes."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+
+        keys = list(misses)
+        table_specs: list = []
+        spec_index: dict = {}
+        items = []
+        for key in keys:
+            name, pin, direction, tt, c_passive, c_active, aiding = key
+            params = _stage_params(misses[key], pin, self.process)
+            ti = spec_index.get(params)
+            if ti is None:
+                ti = len(table_specs)
+                spec_index[params] = ti
+                table_specs.append(params)
+            items.append((ti, direction, tt, c_passive, c_active, aiding))
+
+        chunks = max(1, self.workers)
+        chunk_size = (len(items) + chunks - 1) // chunks
+        payloads = [
+            (self.process, self.table_points, table_specs, items[i : i + chunk_size])
+            for i in range(0, len(items), chunk_size)
+        ]
+        flat: list = []
+        for chunk_result in self._executor.map(_pool_solve_chunk, payloads):
+            flat.extend(chunk_result)
+        for key, fields in zip(keys, flat):
+            direction, t_cross, transition, t_early, t_late, coupled = fields
+            self._arc_cache[key] = ArcResult(
+                direction, t_cross, transition, t_early, t_late, coupled
+            )
+        self.evaluations += len(keys)
+        self.batched_solves += len(keys)
+        self.pool_solves += len(keys)
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
 
     def solve_stage_raw(
         self,
@@ -182,14 +477,85 @@ class GateDelayCalculator:
         """Uncached full-waveform stage solve (diagnostics, validation)."""
         return self.solver_for(ctype, pin).solve(input_ramp, load)
 
-    def cache_stats(self) -> dict[str, int]:
+    # -- persistence ----------------------------------------------------------
+
+    def fingerprint(self, cell_types: Iterable[CellType]) -> str:
+        """The compatibility fingerprint of this calculator's results."""
+        return library_fingerprint(
+            self.process,
+            cell_types,
+            self.transition_grid,
+            self.cap_grid,
+            self.table_points,
+        )
+
+    def save_cache_file(self, path: str, cell_types: Iterable[CellType]) -> int:
+        """Write the arc cache as JSON keyed by the library fingerprint.
+
+        Returns the number of entries written.  The write is atomic
+        (temp file + rename) so concurrent runs never read a torn file.
+        """
+        payload = {
+            "format": CACHE_FORMAT,
+            "fingerprint": self.fingerprint(cell_types),
+            "arcs": [
+                [list(key), [r.direction, r.t_cross, r.transition, r.t_early, r.t_late, r.coupled]]
+                for key, r in self._arc_cache.items()
+            ],
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+        return len(self._arc_cache)
+
+    def load_cache_file(self, path: str, cell_types: Iterable[CellType]) -> int:
+        """Load a persistent arc cache if it matches this configuration.
+
+        Silently ignores missing, unreadable, wrong-format or
+        stale-fingerprint files (a cold start is always safe).  Returns
+        the number of entries adopted.
+        """
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        if payload.get("format") != CACHE_FORMAT:
+            return 0
+        if payload.get("fingerprint") != self.fingerprint(cell_types):
+            return 0
+        loaded = 0
+        for raw_key, fields in payload.get("arcs", []):
+            name, pin, direction, tt, c_passive, c_active, aiding = raw_key
+            key = (name, pin, direction, tt, c_passive, c_active, bool(aiding))
+            if key in self._arc_cache:
+                continue
+            out_direction, t_cross, transition, t_early, t_late, coupled = fields
+            self._arc_cache[key] = ArcResult(
+                out_direction, t_cross, transition, t_early, t_late, bool(coupled)
+            )
+            loaded += 1
+        self.persisted_loads += loaded
+        return loaded
+
+    # -- statistics -----------------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        lookups = self.evaluations + self.cache_hits
         return {
             "evaluations": self.evaluations,
             "cache_hits": self.cache_hits,
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
             "cached_arcs": len(self._arc_cache),
             "stage_tables": len(self._stage_tables),
+            "batched_solves": self.batched_solves,
+            "pool_solves": self.pool_solves,
+            "persisted_loads": self.persisted_loads,
         }
 
     def reset_counters(self) -> None:
         self.evaluations = 0
         self.cache_hits = 0
+        self.batched_solves = 0
+        self.pool_solves = 0

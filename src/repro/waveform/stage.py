@@ -28,6 +28,14 @@ class StageSolverError(RuntimeError):
     """Raised when the integration cannot complete."""
 
 
+# Integration defaults, shared by the scalar and batch solvers and part of
+# the persistent arc-cache fingerprint (changing them invalidates cached
+# arc results).
+STEPS_PER_PHASE = 60
+SETTLE_FRACTION = 0.02
+MAX_EXTENSIONS = 24
+
+
 @dataclass(frozen=True)
 class InputRamp:
     """The switching input: a rail-to-rail saturated ramp.
@@ -82,9 +90,9 @@ class StageSolver:
         self,
         table: StageTable,
         process: ProcessParams | None = None,
-        steps_per_phase: int = 60,
-        settle_fraction: float = 0.02,
-        max_extensions: int = 24,
+        steps_per_phase: int = STEPS_PER_PHASE,
+        settle_fraction: float = SETTLE_FRACTION,
+        max_extensions: int = MAX_EXTENSIONS,
     ):
         self.table = table
         self.process = process if process is not None else default_process()
@@ -242,36 +250,53 @@ class StageSolver:
         t_drop: float | None,
         newton_total: int,
     ) -> StageResult:
-        process = self.process
-        vdd = process.vdd
-        v_th = process.v_th_model
-        lo_thr, hi_thr = 0.1 * vdd, 0.9 * vdd
-        half = 0.5 * vdd
-
-        t_half = waveform.crossing_time(half)
-        if out_direction == RISING:
-            t_lo = waveform.crossing_time(lo_thr)
-            t_hi = waveform.crossing_time(hi_thr)
-            t_early = waveform.crossing_time(v_th)
-            t_late = waveform.crossing_time(vdd - v_th)
-            transition = (t_hi - t_lo) / 0.8
-        else:
-            t_hi = waveform.crossing_time(hi_thr)
-            t_lo = waveform.crossing_time(lo_thr)
-            t_early = waveform.crossing_time(vdd - v_th)
-            t_late = waveform.crossing_time(v_th)
-            transition = (t_lo - t_hi) / 0.8
-        return StageResult(
-            waveform=waveform,
-            direction=out_direction,
-            t_cross=t_half,
-            transition=max(transition, 0.0),
-            t_early=t_early,
-            t_late=t_late,
-            coupled=fired,
-            t_drop=t_drop,
-            newton_iterations=newton_total,
+        return measure_stage_waveform(
+            self.process, waveform, out_direction, fired, t_drop, newton_total
         )
+
+
+def measure_stage_waveform(
+    process: ProcessParams,
+    waveform: Waveform,
+    out_direction: str,
+    fired: bool,
+    t_drop: float | None,
+    newton_total: int,
+) -> StageResult:
+    """Extract the ramp-event markers from a solved stage waveform.
+
+    Shared by the scalar and batch solvers so both report identical
+    measurements for identical waveforms.
+    """
+    vdd = process.vdd
+    v_th = process.v_th_model
+    lo_thr, hi_thr = 0.1 * vdd, 0.9 * vdd
+    half = 0.5 * vdd
+
+    t_half = waveform.crossing_time(half)
+    if out_direction == RISING:
+        t_lo = waveform.crossing_time(lo_thr)
+        t_hi = waveform.crossing_time(hi_thr)
+        t_early = waveform.crossing_time(v_th)
+        t_late = waveform.crossing_time(vdd - v_th)
+        transition = (t_hi - t_lo) / 0.8
+    else:
+        t_hi = waveform.crossing_time(hi_thr)
+        t_lo = waveform.crossing_time(lo_thr)
+        t_early = waveform.crossing_time(vdd - v_th)
+        t_late = waveform.crossing_time(v_th)
+        transition = (t_lo - t_hi) / 0.8
+    return StageResult(
+        waveform=waveform,
+        direction=out_direction,
+        t_cross=t_half,
+        transition=max(transition, 0.0),
+        t_early=t_early,
+        t_late=t_late,
+        coupled=fired,
+        t_drop=t_drop,
+        newton_iterations=newton_total,
+    )
 
 
 def _monotone_clean(waveform: Waveform) -> Waveform:

@@ -20,6 +20,22 @@ class TestParser:
         assert args.scale == 0.05
         assert args.output == "-"
 
+    def test_engine_defaults(self):
+        args = build_parser().parse_args(["analyze", "s27"])
+        assert args.engine == "scalar"
+        assert args.workers == 0
+        assert args.arc_cache is None
+        assert not args.timing_report
+
+    def test_engine_choices(self):
+        args = build_parser().parse_args(
+            ["analyze", "s27", "--engine", "batch", "--workers", "2"]
+        )
+        assert args.engine == "batch"
+        assert args.workers == 2
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "s27", "--engine", "turbo"])
+
 
 class TestInfo:
     def test_info_s27(self, capsys):
@@ -71,6 +87,51 @@ class TestAnalyze:
         payload = json.loads(target.read_text())
         assert "best_case" in payload["modes"]
         assert payload["critical_path"]["steps"]
+
+
+class TestBatchEngineFlags:
+    def test_batch_engine_run(self, capsys):
+        assert main(["analyze", "s27", "--mode", "one_step", "--engine", "batch"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+
+    def test_timing_report(self, capsys):
+        assert main(
+            [
+                "analyze",
+                "s27",
+                "--mode",
+                "one_step",
+                "--engine",
+                "batch",
+                "--timing-report",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "timing report" in out.lower()
+        assert "arc cache" in out.lower()
+
+    def test_arc_cache_roundtrip(self, tmp_path, capsys):
+        cache = tmp_path / "arcs.json"
+        assert main(
+            ["analyze", "s27", "--mode", "one_step", "--arc-cache", str(cache)]
+        ) == 0
+        assert cache.exists()
+        capsys.readouterr()
+        # Warm run: every arc comes out of the persisted cache.
+        assert main(
+            [
+                "analyze",
+                "s27",
+                "--mode",
+                "one_step",
+                "--arc-cache",
+                str(cache),
+                "--timing-report",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "persistent cache" in out.lower()
 
 
 class TestRepair:

@@ -1,0 +1,77 @@
+"""Scalar vs batch engine: end-to-end equivalence.
+
+The batch engine is strictly a performance feature: its longest-path
+delay bounds must match the scalar reference within the quantization
+guard band on every analysis mode (in practice they agree bitwise,
+because both engines fill the same quantized arc cache with identical
+numerics and share all decision logic).
+"""
+
+import pytest
+
+from repro.circuit import s27
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode, Engine, StaConfig
+from repro.flow import prepare_design
+
+
+@pytest.fixture(scope="module")
+def s27_design():
+    return prepare_design(s27())
+
+
+@pytest.fixture(scope="module")
+def results(s27_design):
+    out = {}
+    for engine in (Engine.SCALAR, Engine.BATCH):
+        sta = CrosstalkSTA(s27_design, StaConfig(engine=engine))
+        out[engine] = {mode: sta.run(mode) for mode in AnalysisMode}
+    return out
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("mode", list(AnalysisMode))
+    def test_longest_delay_within_guard(self, results, mode):
+        guard = StaConfig().guard
+        scalar = results[Engine.SCALAR][mode]
+        batch = results[Engine.BATCH][mode]
+        assert abs(scalar.longest_delay - batch.longest_delay) <= guard
+        assert scalar.critical_endpoint == batch.critical_endpoint
+        assert scalar.critical_direction == batch.critical_direction
+
+    @pytest.mark.parametrize("mode", list(AnalysisMode))
+    def test_every_endpoint_arrival_matches(self, results, mode):
+        scalar = results[Engine.SCALAR][mode].arrival_map()
+        batch = results[Engine.BATCH][mode].arrival_map()
+        assert set(scalar) == set(batch)
+        guard = StaConfig().guard
+        for key in scalar:
+            assert abs(scalar[key] - batch[key]) <= guard, key
+
+    def test_same_evaluation_accounting(self, results):
+        """Both engines walk the same arcs and make the same decisions."""
+        for mode in AnalysisMode:
+            scalar = results[Engine.SCALAR][mode]
+            batch = results[Engine.BATCH][mode]
+            assert scalar.arcs_processed == batch.arcs_processed
+            assert scalar.waveform_evaluations == batch.waveform_evaluations
+            assert scalar.coupled_arcs == batch.coupled_arcs
+            assert scalar.passes == batch.passes
+
+    def test_batch_engine_used_vectorized_solves(self, results):
+        stats = results[Engine.BATCH][AnalysisMode.ITERATIVE].cache_stats
+        assert stats["batched_solves"] > 0
+
+
+class TestWorkerPool:
+    def test_pooled_batch_matches_scalar(self, s27_design):
+        """Opt-in multi-process fan-out produces the same bound."""
+        scalar = CrosstalkSTA(s27_design, StaConfig(engine=Engine.SCALAR)).run(
+            AnalysisMode.ONE_STEP
+        )
+        sta = CrosstalkSTA(
+            s27_design, StaConfig(engine=Engine.BATCH, workers=2)
+        )
+        pooled = sta.run(AnalysisMode.ONE_STEP)
+        sta.calculator.close()
+        assert abs(scalar.longest_delay - pooled.longest_delay) <= StaConfig().guard

@@ -57,16 +57,24 @@ class TestFlowInvariants:
     @given(spec=spec_strategy)
     @_slow
     def test_mode_bounds_on_random_circuits(self, spec):
-        """best <= one-step <= worst per endpoint on arbitrary designs."""
+        """best <= one-step <= worst per endpoint on arbitrary designs.
+
+        The ordering holds up to the cache-quantization guard band: the
+        modes quantize each arc's input slew independently, and the few
+        femtofarads / picoseconds of rounding can shuffle arrivals by a
+        grid step or two (exactly the error ``StaConfig.guard`` exists to
+        absorb), so the comparisons use that guard as tolerance.
+        """
         design = prepare_design(generate_circuit(spec))
         sta = CrosstalkSTA(design)
+        guard = StaConfig().guard
         best = sta.run(AnalysisMode.BEST_CASE).arrival_map()
         one_step = sta.run(AnalysisMode.ONE_STEP).arrival_map()
         worst = sta.run(AnalysisMode.WORST_CASE).arrival_map()
         assert set(best) == set(one_step) == set(worst)
         for key in best:
-            assert best[key] <= one_step[key] + 1e-12, key
-            assert one_step[key] <= worst[key] + 1e-12, key
+            assert best[key] <= one_step[key] + guard, key
+            assert one_step[key] <= worst[key] + guard, key
 
     @given(spec=spec_strategy)
     @_slow

@@ -1,0 +1,102 @@
+"""Quantization conservatism property (the arc cache's contract).
+
+``GateDelayCalculator`` buckets arcs by rounding the input slew and the
+load capacitances *up* to the cache grids.  A slower input and a heavier
+load can only delay the output, so the cached (quantized) arc must never
+report an earlier ``t_cross`` or ``t_late`` than the exact, unquantized
+solve of the same situation -- that is precisely why rounding up is the
+conservative direction for the max-delay bound.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.waveform.coupling import CouplingLoad
+from repro.waveform.gatedelay import ArcRequest, GateDelayCalculator
+from repro.waveform.pwl import FALLING, RISING
+from repro.waveform.stage import InputRamp
+
+# Small float slack for solver round-off between two independent
+# integrations (time steps differ between the quantized and raw solves).
+EPS = 1e-15
+
+ARCS = [("INV_X1", "A"), ("NAND2_X1", "B"), ("NOR2_X1", "A"), ("NAND3_X2", "C")]
+
+arc_strategy = st.sampled_from(ARCS)
+direction_strategy = st.sampled_from([RISING, FALLING])
+transition_strategy = st.floats(min_value=15e-12, max_value=240e-12)
+cap_strategy = st.floats(min_value=1.5e-15, max_value=25e-15)
+couple_strategy = st.floats(min_value=0.0, max_value=5e-15)
+
+_prop = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestQuantizationIsConservative:
+    @given(
+        arc=arc_strategy,
+        direction=direction_strategy,
+        transition=transition_strategy,
+        c_ground=cap_strategy,
+        c_active=couple_strategy,
+    )
+    @_prop
+    def test_rounding_up_never_decreases_late_markers(
+        self, library, arc, direction, transition, c_ground, c_active
+    ):
+        calc = GateDelayCalculator()
+        name, pin = arc
+        ctype = library[name]
+        load = CouplingLoad(c_ground=c_ground, c_couple_active=c_active)
+
+        quantized = calc.compute_arc_relative(ctype, pin, direction, transition, load)
+        raw = calc.solve_stage_raw(
+            ctype,
+            pin,
+            InputRamp(direction=direction, t_start=0.0, transition=transition),
+            load,
+        )
+
+        assert quantized.t_cross >= raw.t_cross - EPS
+        assert quantized.t_late >= raw.t_late - EPS
+
+    @given(
+        arc=arc_strategy,
+        direction=direction_strategy,
+        transition=transition_strategy,
+        c_ground=cap_strategy,
+    )
+    @_prop
+    def test_cached_arc_is_the_exact_solve_at_the_key(
+        self, library, arc, direction, transition, c_ground
+    ):
+        """The cached arc is not an approximation of the quantized point:
+        it equals, bitwise, the raw solve at exactly the slew and load the
+        cache key records."""
+        calc = GateDelayCalculator()
+        name, pin = arc
+        ctype = library[name]
+        load = CouplingLoad(c_ground=c_ground)
+
+        cached = calc.compute_arc_relative(ctype, pin, direction, transition, load)
+        request = ArcRequest(
+            ctype=ctype,
+            pin=pin,
+            input_direction=direction,
+            input_transition=transition,
+            load=load,
+        )
+        _, _, _, q_tt, q_passive, q_active, _ = calc._quantized_key(request)
+        raw = calc.solve_stage_raw(
+            ctype,
+            pin,
+            InputRamp(direction=direction, t_start=0.0, transition=q_tt),
+            CouplingLoad(c_ground=q_passive, c_couple_active=q_active),
+        )
+        assert cached.t_cross == raw.t_cross
+        assert cached.t_late == raw.t_late
+        assert cached.t_early == raw.t_early
+        assert cached.transition == raw.transition
