@@ -1,0 +1,94 @@
+"""Observability-overhead benchmark.
+
+The instrumentation budget of the tentpole: the tracer must be free when
+disabled.  The null tracer's ``span()`` returns a shared no-op context
+manager, so the disabled path is strictly cheaper than the enabled path
+measured here; asserting that even *enabled* per-level/per-phase tracing
+stays under the 2% budget proves the disabled path does too, without
+needing an un-instrumented build to compare against.
+
+Also asserts the bit-exactness contract: tracing must never change the
+analysis result.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.circuit import s27
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode, StaConfig
+from repro.flow import prepare_design
+from repro.obs import Observability
+
+ROUNDS = 5
+OVERHEAD_BUDGET = 0.02
+
+
+@pytest.fixture(scope="module")
+def overhead_comparison(record_result):
+    design = prepare_design(s27())
+    config = StaConfig(mode=AnalysisMode.ONE_STEP)
+
+    def run(obs):
+        # A fresh analyzer per run: no arc-cache sharing between timings.
+        sta = CrosstalkSTA(design, config, obs=obs)
+        t0 = time.perf_counter()
+        result = sta.run()
+        return time.perf_counter() - t0, result
+
+    run(Observability.disabled())  # warmup (imports, table builds)
+
+    disabled_times: list[float] = []
+    enabled_times: list[float] = []
+    delays: set[float] = set()
+    span_count = 0
+    for _ in range(ROUNDS):
+        seconds, result = run(Observability.disabled())
+        disabled_times.append(seconds)
+        delays.add(result.longest_delay)
+        obs = Observability.tracing()
+        seconds, result = run(obs)
+        enabled_times.append(seconds)
+        delays.add(result.longest_delay)
+        span_count = len(obs.tracer.events)
+
+    disabled_best = min(disabled_times)
+    enabled_best = min(enabled_times)
+    overhead = enabled_best / disabled_best - 1.0
+
+    record_result(
+        "obs_overhead",
+        "\n".join(
+            [
+                f"Tracing overhead (s27 one-step, best of {ROUNDS})",
+                "",
+                f"  disabled (null tracer): {disabled_best * 1e3:8.2f} ms",
+                f"  enabled  ({span_count} spans):    {enabled_best * 1e3:8.2f} ms",
+                f"  overhead: {overhead:+.2%} (budget {OVERHEAD_BUDGET:.0%})",
+            ]
+        ),
+    )
+    return {
+        "disabled_best": disabled_best,
+        "enabled_best": enabled_best,
+        "overhead": overhead,
+        "delays": delays,
+        "span_count": span_count,
+    }
+
+
+def test_results_identical_with_tracing(overhead_comparison, benchmark):
+    assert len(overhead_comparison["delays"]) == 1
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_tracing_overhead_within_budget(overhead_comparison, benchmark):
+    assert overhead_comparison["span_count"] > 0
+    assert overhead_comparison["overhead"] < OVERHEAD_BUDGET, (
+        f"tracing overhead {overhead_comparison['overhead']:.2%} "
+        f"exceeds the {OVERHEAD_BUDGET:.0%} budget"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -47,6 +47,9 @@ def engine_comparison(scale, record_result):
                 "waveform_evaluations": result.waveform_evaluations,
                 "arcs_per_second": result.arcs_processed / seconds,
                 "passes": result.passes,
+                # Per-run metrics delta (counters/gauges/histograms) so CI
+                # can track solver behaviour, not just wall-clock.
+                "metrics": result.telemetry.metrics if result.telemetry else {},
             }
         scalar = per_engine["scalar"]
         batch = per_engine["batch"]

@@ -19,6 +19,7 @@ Netlist specifiers:
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 
@@ -30,11 +31,14 @@ from repro.circuit.generators import (
     generate_bench,
     generate_circuit,
 )
-from repro.core.analyzer import CrosstalkSTA, StaResult
+from repro.core.analyzer import CrosstalkSTA
 from repro.core.modes import AnalysisMode, Engine, StaConfig, WindowCheck
 from repro.core.netreport import format_net_report, rank_crosstalk_nets
-from repro.core.report import check_mode_ordering, format_table
+from repro.core.report import check_mode_ordering, format_table, format_timing_report
 from repro.flow import prepare_design
+from repro.obs import Observability, metrics_payload, write_metrics
+
+logger = logging.getLogger("repro.cli")
 
 _GEN_SPECS = {
     "s35932": S35932_SPEC,
@@ -67,10 +71,10 @@ def cmd_info(args: argparse.Namespace) -> int:
     report = validate_circuit(circuit)
     print(f"validation: {'OK' if report.ok else 'FAILED'}")
     for error in report.errors[:10]:
-        print(f"  error: {error}")
+        logger.error("%s", error)
     if args.verbose:
         for warning in report.warnings[:20]:
-            print(f"  warning: {warning}")
+            logger.warning("%s", warning)
     return 0 if report.ok else 1
 
 
@@ -79,10 +83,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print(f"{circuit.stats()}")
     t0 = time.time()
     design = prepare_design(circuit)
-    print(
-        f"physical design: {len(design.routing.routes)} nets routed, "
-        f"{len(design.extraction.coupling_pairs())} coupling pairs "
-        f"({time.time() - t0:.1f} s)"
+    logger.info(
+        "physical design: %d nets routed, %d coupling pairs (%.1f s)",
+        len(design.routing.routes),
+        len(design.extraction.coupling_pairs()),
+        time.time() - t0,
     )
 
     config = StaConfig(
@@ -93,26 +98,46 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         workers=args.workers,
         arc_cache=args.arc_cache,
     )
-    sta = CrosstalkSTA(design, config)
+    obs = Observability.tracing() if args.trace else Observability.disabled()
+    sta = CrosstalkSTA(design, config, obs=obs)
 
+    exit_code = 0
     if args.all_modes:
         results = sta.run_all_modes()
         print()
         print(format_table(design.name, results, cell_count=circuit.cell_count()))
         violations = check_mode_ordering(results)
         if violations:
-            print("ORDERING VIOLATIONS:")
+            logger.error("mode-ordering violations:")
             for violation in violations:
-                print(f"  {violation}")
-            return 1
+                logger.error("  %s", violation)
+            exit_code = 1
         reference = results[AnalysisMode.ITERATIVE]
     else:
+        results = None
         reference = sta.run()
         print(f"\n{reference}")
 
     if args.timing_report:
         print()
-        print(_format_timing_report(reference))
+        print(format_timing_report(results if results is not None else reference))
+
+    if args.trace:
+        if str(args.trace).endswith(".jsonl"):
+            obs.tracer.write_jsonl(args.trace)
+        else:
+            obs.tracer.write_chrome(args.trace)
+        logger.info("wrote trace to %s (%d spans)", args.trace, len(obs.tracer.events))
+
+    if args.metrics:
+        telemetries = [res.telemetry for res in results.values()] if results is not None else [reference.telemetry]
+        payload = metrics_payload(
+            design.name,
+            {t.mode: t for t in telemetries if t is not None},
+            registry=sta.obs.metrics,
+        )
+        write_metrics(payload, args.metrics)
+        logger.info("wrote metrics to %s", args.metrics)
 
     path = sta.critical_path(reference)
     print(f"\ncritical path ({len(path)} stages):")
@@ -132,7 +157,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             payload = {"modes": {reference.mode.value: sta_result_to_dict(reference)}}
         payload["critical_path"] = path_to_dict(path)
         save_json(payload, args.json)
-        print(f"\nwrote {args.json}")
+        logger.info("wrote %s", args.json)
 
     if args.simulate:
         from repro.validate import align_aggressors, build_path_circuit, quiet_simulation
@@ -147,48 +172,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
               f"windowed worst {windowed.path_delay*1e9:.3f} ns, "
               f"STA bound {reference.longest_delay*1e9:.3f} ns")
         if windowed.path_delay > reference.longest_delay:
-            print("BOUND VIOLATION")
+            logger.error("BOUND VIOLATION")
             return 1
-    return 0
-
-
-def _format_timing_report(result: StaResult) -> str:
-    """Per-phase wall-clock and arc-cache statistics of a finished run."""
-    lines = [f"timing report [{result.mode.value}, engine stats]"]
-    total = sum(result.phase_seconds.values())
-    for phase, seconds in sorted(
-        result.phase_seconds.items(), key=lambda kv: kv[1], reverse=True
-    ):
-        share = seconds / total if total else 0.0
-        lines.append(f"  {phase:20s} {seconds:8.3f} s  ({share:5.1%})")
-    stats = result.cache_stats
-    if stats:
-        lines.append(
-            f"  arc cache: {stats['evaluations']} solved, "
-            f"{stats['cache_hits']} hits ({stats['hit_rate']:.1%} hit rate), "
-            f"{stats['cached_arcs']} cached"
-        )
-        if stats.get("batched_solves"):
-            lines.append(
-                f"  batch engine: {stats['batched_solves']} vectorized solves"
-                + (
-                    f", {stats['pool_solves']} via worker pool"
-                    if stats.get("pool_solves")
-                    else ""
-                )
-            )
-        if stats.get("persisted_loads"):
-            lines.append(
-                f"  persistent cache: {stats['persisted_loads']} arcs loaded from disk"
-            )
-    for record in result.history:
-        lines.append(
-            f"  pass {record.index}: {record.seconds:.3f} s, "
-            f"{record.waveform_evaluations} evals, "
-            f"{record.cache_evaluations} solved / {record.cache_hits} hits "
-            f"({record.cache_hit_rate:.1%})"
-        )
-    return "\n".join(lines)
+    return exit_code
 
 
 def cmd_repair(args: argparse.Namespace) -> int:
@@ -227,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Crosstalk-aware static timing analysis (Ringe et al., DATE 2000)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="info",
+        help="diagnostic verbosity (log lines go to stderr; reports stay on stdout)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -275,6 +267,16 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--top", type=int, default=15)
     analyze.add_argument("--simulate", action="store_true", help="validate the longest path")
     analyze.add_argument("--json", metavar="FILE", help="write results as JSON")
+    analyze.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a span trace (Chrome trace-viewer JSON; .jsonl for an event stream)",
+    )
+    analyze.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the per-mode metrics snapshot as JSON",
+    )
     analyze.set_defaults(func=cmd_analyze)
 
     repair = sub.add_parser("repair", help="shield crosstalk-critical nets and re-analyze")
@@ -292,9 +294,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_logging(level_name: str) -> None:
+    # Diagnostics go to stderr so report tables on stdout stay parseable.
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    root = logging.getLogger("repro")
+    root.setLevel(getattr(logging, level_name.upper()))
+    # Replace rather than stack handlers: main() may run repeatedly in-process.
+    root.handlers[:] = [handler]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.log_level)
     return args.func(args)
 
 

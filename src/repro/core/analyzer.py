@@ -18,6 +18,8 @@ from repro.core.modes import AnalysisMode, StaConfig
 from repro.core.paths import CriticalPath, extract_critical_path
 from repro.core.propagation import PassResult, Propagator
 from repro.flow.design import Design
+from repro.obs.metrics import diff_snapshots
+from repro.obs.telemetry import Observability, RunTelemetry
 from repro.waveform.gatedelay import GateDelayCalculator
 
 
@@ -39,6 +41,7 @@ class StaResult:
     final_pass: PassResult | None = None
     cache_stats: dict = field(default_factory=dict)
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    telemetry: RunTelemetry | None = None
 
     @property
     def longest_delay_ns(self) -> float:
@@ -74,20 +77,34 @@ class CrosstalkSTA:
         design: Design,
         config: StaConfig | None = None,
         calculator: GateDelayCalculator | None = None,
+        obs: Observability | None = None,
     ):
         self.design = design
         self.config = config if config is not None else StaConfig()
-        self.calculator = (
-            calculator
-            if calculator is not None
-            else GateDelayCalculator(
+        if obs is not None:
+            self.obs = obs
+        else:
+            self.obs = Observability.disabled()
+        if calculator is not None:
+            self.calculator = calculator
+            # Adopt the calculator's registry so one snapshot covers arc
+            # cache + propagation + solver (its instruments are bound to it
+            # at construction and cannot move to ours).
+            self.obs.metrics = calculator.metrics
+        else:
+            self.calculator = GateDelayCalculator(
                 process=design.process,
                 engine=self.config.engine.value,
                 workers=self.config.workers,
+                metrics=self.obs.metrics,
             )
-        )
         if self.config.arc_cache:
-            self.calculator.load_cache_file(self.config.arc_cache, self._cell_types())
+            with self.obs.tracer.span(
+                "sta.arc_cache_load", path=str(self.config.arc_cache)
+            ):
+                self.calculator.load_cache_file(
+                    self.config.arc_cache, self._cell_types()
+                )
 
     def _cell_types(self):
         return {cell.ctype.name: cell.ctype for cell in self.design.circuit.cells.values()}.values()
@@ -95,37 +112,55 @@ class CrosstalkSTA:
     def run(self, mode: AnalysisMode | None = None) -> StaResult:
         """Run one analysis mode (defaults to the configured one)."""
         config = self.config if mode is None else self.config.with_mode(mode)
-        propagator = Propagator(self.design, config, self.calculator)
+        propagator = Propagator(
+            self.design, config, self.calculator, obs=self.obs
+        )
+        metrics_before = self.obs.metrics.snapshot()
 
         t0 = time.perf_counter()
-        if config.mode is AnalysisMode.ITERATIVE:
-            iterative = run_iterative(propagator)
-            final = iterative.final
-            history = iterative.history
-        else:
-            final = propagator.run_pass()
-            history = [
-                IterationRecord(
-                    index=1,
-                    longest_delay=final.longest_delay,
-                    waveform_evaluations=final.waveform_evaluations,
-                    seconds=time.perf_counter() - t0,
-                    recalculated_cells=len(propagator.order),
-                    total_cells=len(propagator.order),
-                    cache_evaluations=final.cache_evaluations,
-                    cache_hits=final.cache_hits,
-                    phase_seconds=dict(final.phase_seconds),
-                )
-            ]
+        with self.obs.tracer.span(
+            "sta.run", mode=config.mode.value, design=self.design.name
+        ):
+            if config.mode is AnalysisMode.ITERATIVE:
+                iterative = run_iterative(propagator)
+                final = iterative.final
+                history = iterative.history
+            else:
+                final = propagator.run_pass()
+                history = [
+                    IterationRecord(
+                        index=1,
+                        longest_delay=final.longest_delay,
+                        waveform_evaluations=final.waveform_evaluations,
+                        seconds=time.perf_counter() - t0,
+                        recalculated_cells=len(propagator.order),
+                        total_cells=len(propagator.order),
+                        cache_evaluations=final.cache_evaluations,
+                        cache_hits=final.cache_hits,
+                        phase_seconds=dict(final.phase_seconds),
+                    )
+                ]
         runtime = time.perf_counter() - t0
 
         if config.arc_cache:
-            self.calculator.save_cache_file(config.arc_cache, self._cell_types())
+            with self.obs.tracer.span(
+                "sta.arc_cache_save", path=str(config.arc_cache)
+            ):
+                self.calculator.save_cache_file(config.arc_cache, self._cell_types())
 
         phase_totals: dict[str, float] = {}
         for record in history:
             for phase, seconds in record.phase_seconds.items():
                 phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+
+        telemetry = RunTelemetry(
+            mode=config.mode.value,
+            design=self.design.name,
+            runtime_seconds=runtime,
+            passes=[record.to_dict() for record in history],
+            phase_seconds=phase_totals,
+            metrics=diff_snapshots(metrics_before, self.obs.metrics.snapshot()),
+        )
 
         return StaResult(
             mode=config.mode,
@@ -142,6 +177,7 @@ class CrosstalkSTA:
             final_pass=final,
             cache_stats=self.calculator.cache_stats(),
             phase_seconds=phase_totals,
+            telemetry=telemetry,
         )
 
     def run_all_modes(self) -> dict[AnalysisMode, StaResult]:

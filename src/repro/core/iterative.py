@@ -55,6 +55,22 @@ class IterationRecord:
         lookups = self.cache_evaluations + self.cache_hits
         return self.cache_hits / lookups if lookups else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary for telemetry artifacts."""
+        return {
+            "index": self.index,
+            "longest_delay_ns": self.longest_delay * 1e9,
+            "waveform_evaluations": self.waveform_evaluations,
+            "seconds": self.seconds,
+            "recalculated_cells": self.recalculated_cells,
+            "total_cells": self.total_cells,
+            "recalc_fraction": self.recalc_fraction,
+            "cache_evaluations": self.cache_evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
 
 @dataclass
 class IterativeResult:
@@ -73,22 +89,31 @@ def run_iterative(propagator: Propagator) -> IterativeResult:
     config = propagator.config
     total_cells = len(propagator.order)
     history: list[IterationRecord] = []
+    obs = propagator.obs
+    tracer = obs.tracer
+    metrics = obs.metrics
+    g_passes = metrics.gauge("iterative.passes")
+    g_recalc = metrics.gauge("iterative.recalc_fraction")
+    g_waves = metrics.gauge("iterative.coupling_waves")
+    c_waves = metrics.counter("propagation.coupling_waves")
+    waves_before = c_waves.value
 
-    t0 = time.perf_counter()
-    current = propagator.run_pass(prev_windows=None)
-    history.append(
-        IterationRecord(
-            index=1,
-            longest_delay=current.longest_delay,
-            waveform_evaluations=current.waveform_evaluations,
-            seconds=time.perf_counter() - t0,
-            recalculated_cells=total_cells,
-            total_cells=total_cells,
-            cache_evaluations=current.cache_evaluations,
-            cache_hits=current.cache_hits,
-            phase_seconds=dict(current.phase_seconds),
+    with tracer.span("iterative.pass", index=1, full=True):
+        t0 = time.perf_counter()
+        current = propagator.run_pass(prev_windows=None)
+        history.append(
+            IterationRecord(
+                index=1,
+                longest_delay=current.longest_delay,
+                waveform_evaluations=current.waveform_evaluations,
+                seconds=time.perf_counter() - t0,
+                recalculated_cells=total_cells,
+                total_cells=total_cells,
+                cache_evaluations=current.cache_evaluations,
+                cache_hits=current.cache_hits,
+                phase_seconds=dict(current.phase_seconds),
+            )
         )
-    )
 
     best = current
     while len(history) < config.max_iterations:
@@ -98,14 +123,19 @@ def run_iterative(propagator: Propagator) -> IterativeResult:
             recalc = esperance_recalc_cells(
                 propagator.design, propagator, current, config.esperance_slack
             )
-        t0 = time.perf_counter()
-        next_pass = propagator.run_pass(
-            prev_windows=windows,
-            recalc_cells=recalc,
-            prev_state=current.state if recalc is not None else None,
-        )
-        history.append(
-            IterationRecord(
+        with tracer.span(
+            "iterative.pass",
+            index=len(history) + 1,
+            full=recalc is None,
+            recalc_cells=len(recalc) if recalc is not None else total_cells,
+        ):
+            t0 = time.perf_counter()
+            next_pass = propagator.run_pass(
+                prev_windows=windows,
+                recalc_cells=recalc,
+                prev_state=current.state if recalc is not None else None,
+            )
+            record = IterationRecord(
                 index=len(history) + 1,
                 longest_delay=next_pass.longest_delay,
                 waveform_evaluations=next_pass.waveform_evaluations,
@@ -116,13 +146,16 @@ def run_iterative(propagator: Propagator) -> IterativeResult:
                 cache_hits=next_pass.cache_hits,
                 phase_seconds=dict(next_pass.phase_seconds),
             )
-        )
+            history.append(record)
+            g_recalc.set(record.recalc_fraction)
         improved = next_pass.longest_delay < best.longest_delay - config.convergence_tolerance
         if next_pass.longest_delay < best.longest_delay:
             best = next_pass
         current = next_pass
         if not improved:
             break
+    g_passes.set(len(history))
+    g_waves.set(c_waves.value - waves_before)
     return IterativeResult(final=best, history=history)
 
 

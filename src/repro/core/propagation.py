@@ -43,10 +43,21 @@ from repro.core.modes import (
     WindowCheck,
 )
 from repro.flow.design import Design
+from repro.obs.metrics import SMALL_COUNT_BUCKETS
+from repro.obs.telemetry import Observability
 from repro.waveform.coupling import CouplingLoad, CouplingTreatment, aggregate_load
 from repro.waveform.gatedelay import ArcRequest, GateDelayCalculator
 from repro.waveform.pwl import FALLING, RISING, opposite
 from repro.waveform.ramp import RampEvent, merge_worst
+
+# The propagation phases, in execution order (timer and metric keys).
+PASS_PHASES = (
+    "gather",
+    "base_waveforms",
+    "coupling_decisions",
+    "final_waveforms",
+    "merge",
+)
 
 
 @dataclass
@@ -128,9 +139,19 @@ class Propagator:
         design: Design,
         config: StaConfig,
         calculator: GateDelayCalculator | None = None,
+        obs: Observability | None = None,
     ):
         self.design = design
         self.config = config
+        if obs is not None:
+            self.obs = obs
+        elif calculator is not None:
+            # Share the calculator's registry so arc-cache and propagation
+            # metrics land in one snapshot.
+            self.obs = Observability.disabled()
+            self.obs.metrics = calculator.metrics
+        else:
+            self.obs = Observability.disabled()
         self.calculator = (
             calculator
             if calculator is not None
@@ -138,6 +159,7 @@ class Propagator:
                 process=design.process,
                 engine=config.engine.value,
                 workers=config.workers,
+                metrics=self.obs.metrics,
             )
         )
         self.levels = evaluation_levels(design.circuit)
@@ -145,6 +167,19 @@ class Propagator:
         self._clock_nets = {
             name for name, net in design.circuit.nets.items() if net.is_clock
         }
+        metrics = self.obs.metrics
+        self._c_phase = {
+            phase: metrics.counter("propagation.phase_seconds", phase=phase)
+            for phase in PASS_PHASES
+        }
+        self._c_passes = metrics.counter("propagation.passes")
+        self._c_arcs = metrics.counter("propagation.arcs_processed")
+        self._c_evals = metrics.counter("propagation.waveform_evaluations")
+        self._c_coupled = metrics.counter("propagation.coupled_arcs")
+        self._c_waves = metrics.counter("propagation.coupling_waves")
+        self._h_waves = metrics.histogram(
+            "propagation.waves_per_level", boundaries=SMALL_COUNT_BUCKETS
+        )
 
     # -- pass driver ---------------------------------------------------------
 
@@ -166,95 +201,131 @@ class Propagator:
         result = PassResult(state=state)
         eval_before = self.calculator.evaluations
         hits_before = self.calculator.cache_hits
-        timers = {
-            "gather": 0.0,
-            "base_waveforms": 0.0,
-            "coupling_decisions": 0.0,
-            "final_waveforms": 0.0,
-            "merge": 0.0,
-        }
-        self._init_sources(state)
+        timers = {phase: 0.0 for phase in PASS_PHASES}
+        tracer = self.obs.tracer
 
-        for level in self.levels:
-            t0 = time.perf_counter()
-            tasks: list[_ArcTask] = []
-            tasks_of: dict[str, list[_ArcTask]] = {}
-            computed_cells: list[Cell] = []
-            for cell in level:
-                out_net = cell.output_pin.net
-                if out_net is None:
-                    continue
-                if (
-                    recalc_cells is not None
-                    and cell.name not in recalc_cells
-                    and prev_state is not None
-                    and out_net.name in prev_state.processed
-                ):
-                    state.events[out_net.name] = dict(prev_state.events[out_net.name])
-                    for direction in (RISING, FALLING):
-                        prov = prev_state.provenance.get((out_net.name, direction))
-                        if prov is not None:
-                            state.provenance[(out_net.name, direction)] = prov
-                    state.processed.add(out_net.name)
-                    continue
-                state.ensure_net(out_net.name)
-                if cell.is_sequential:
-                    cell_tasks = self._flip_flop_tasks(cell, state)
-                else:
-                    cell_tasks = self._gate_tasks(cell, state)
-                if not cell_tasks:
-                    # No launch events reach this cell: its output stays
-                    # quiet this pass, which downstream decisions may use.
-                    state.processed.add(out_net.name)
-                    continue
-                computed_cells.append(cell)
-                tasks_of[cell.name] = cell_tasks
-                tasks.extend(cell_tasks)
-            timers["gather"] += time.perf_counter() - t0
-
-            if tasks:
-                t0 = time.perf_counter()
-                self._phase_base_waveforms(tasks, result)
-                timers["base_waveforms"] += time.perf_counter() - t0
-
-                for wave in self._coupling_waves(computed_cells):
-                    wave_tasks = [
-                        task for cell in wave for task in tasks_of[cell.name]
-                    ]
+        with tracer.span(
+            "sta.pass",
+            mode=self.config.mode.value,
+            engine=self.config.engine.value,
+            incremental=recalc_cells is not None,
+        ) as pass_span:
+            self._init_sources(state)
+            for level_index, level in enumerate(self.levels):
+                with tracer.span(
+                    "sta.level", index=level_index, cells=len(level)
+                ) as level_span:
                     t0 = time.perf_counter()
-                    self._phase_decide_coupling(wave_tasks, state, prev_windows, result)
-                    timers["coupling_decisions"] += time.perf_counter() - t0
+                    tasks: list[_ArcTask] = []
+                    tasks_of: dict[str, list[_ArcTask]] = {}
+                    computed_cells: list[Cell] = []
+                    for cell in level:
+                        out_net = cell.output_pin.net
+                        if out_net is None:
+                            continue
+                        if (
+                            recalc_cells is not None
+                            and cell.name not in recalc_cells
+                            and prev_state is not None
+                            and out_net.name in prev_state.processed
+                        ):
+                            state.events[out_net.name] = dict(
+                                prev_state.events[out_net.name]
+                            )
+                            for direction in (RISING, FALLING):
+                                prov = prev_state.provenance.get(
+                                    (out_net.name, direction)
+                                )
+                                if prov is not None:
+                                    state.provenance[(out_net.name, direction)] = prov
+                            state.processed.add(out_net.name)
+                            continue
+                        state.ensure_net(out_net.name)
+                        if cell.is_sequential:
+                            cell_tasks = self._flip_flop_tasks(cell, state)
+                        else:
+                            cell_tasks = self._gate_tasks(cell, state)
+                        if not cell_tasks:
+                            # No launch events reach this cell: its output stays
+                            # quiet this pass, which downstream decisions may use.
+                            state.processed.add(out_net.name)
+                            continue
+                        computed_cells.append(cell)
+                        tasks_of[cell.name] = cell_tasks
+                        tasks.extend(cell_tasks)
+                    timers["gather"] += time.perf_counter() - t0
+
+                    if not tasks:
+                        continue
 
                     t0 = time.perf_counter()
-                    self._phase_final_waveforms(wave_tasks, result)
-                    timers["final_waveforms"] += time.perf_counter() - t0
+                    with tracer.span("phase.base_waveforms", tasks=len(tasks)):
+                        self._phase_base_waveforms(tasks, result)
+                    timers["base_waveforms"] += time.perf_counter() - t0
 
-                    t0 = time.perf_counter()
-                    for task in wave_tasks:
-                        self._merge_output(
-                            state.events[task.out_net_name],
-                            task.final_event,
-                            state,
-                            task.out_net_name,
-                            Provenance(
-                                cell=task.cell.name,
-                                in_pin=task.prov_pin,
-                                in_net=task.prov_net,
-                                in_direction=task.prov_direction,
-                                coupled=task.coupled,
-                                c_active=0.0,
-                            ),
-                        )
-                    # Wave barrier: these events now count as calculated
-                    # for the later waves' and levels' decisions.
-                    for cell in wave:
-                        state.processed.add(cell.output_pin.net.name)
-                    timers["merge"] += time.perf_counter() - t0
+                    waves = self._coupling_waves(computed_cells)
+                    self._c_waves.inc(len(waves))
+                    self._h_waves.observe(len(waves))
+                    level_span.set(tasks=len(tasks), waves=len(waves))
+                    for wave_index, wave in enumerate(waves):
+                        wave_tasks = [
+                            task for cell in wave for task in tasks_of[cell.name]
+                        ]
+                        t0 = time.perf_counter()
+                        with tracer.span(
+                            "phase.coupling_decisions",
+                            wave=wave_index,
+                            tasks=len(wave_tasks),
+                        ):
+                            self._phase_decide_coupling(
+                                wave_tasks, state, prev_windows, result
+                            )
+                        timers["coupling_decisions"] += time.perf_counter() - t0
 
-        self._collect_arrivals(state, result)
+                        t0 = time.perf_counter()
+                        with tracer.span("phase.final_waveforms", wave=wave_index):
+                            self._phase_final_waveforms(wave_tasks, result)
+                        timers["final_waveforms"] += time.perf_counter() - t0
+
+                        t0 = time.perf_counter()
+                        for task in wave_tasks:
+                            self._merge_output(
+                                state.events[task.out_net_name],
+                                task.final_event,
+                                state,
+                                task.out_net_name,
+                                Provenance(
+                                    cell=task.cell.name,
+                                    in_pin=task.prov_pin,
+                                    in_net=task.prov_net,
+                                    in_direction=task.prov_direction,
+                                    coupled=task.coupled,
+                                    c_active=0.0,
+                                ),
+                            )
+                        # Wave barrier: these events now count as calculated
+                        # for the later waves' and levels' decisions.
+                        for cell in wave:
+                            state.processed.add(cell.output_pin.net.name)
+                        timers["merge"] += time.perf_counter() - t0
+
+            self._collect_arrivals(state, result)
+            pass_span.set(
+                arcs=result.arcs_processed,
+                evaluations=result.waveform_evaluations,
+                coupled_arcs=result.coupled_arcs,
+                longest_delay_ns=result.longest_delay * 1e9,
+            )
+
         result.cache_evaluations = self.calculator.evaluations - eval_before
         result.cache_hits = self.calculator.cache_hits - hits_before
         result.phase_seconds = timers
+        self._c_passes.inc()
+        self._c_arcs.inc(result.arcs_processed)
+        self._c_evals.inc(result.waveform_evaluations)
+        self._c_coupled.inc(result.coupled_arcs)
+        for phase, seconds in timers.items():
+            self._c_phase[phase].inc(seconds)
         return result
 
     # -- sources ---------------------------------------------------------------

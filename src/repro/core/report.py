@@ -78,6 +78,63 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_timing_report(
+    results: dict[AnalysisMode, StaResult] | StaResult,
+) -> str:
+    """Per-phase wall-clock and per-pass statistics of finished runs.
+
+    Accepts a single :class:`StaResult` or the ``run_all_modes`` dict; with
+    a dict every analyzed mode gets its own section (modes in table order).
+    The arc-cache block is printed once at the end: the calculator is
+    shared across modes, so its statistics are cumulative.
+    """
+    if isinstance(results, StaResult):
+        results = {results.mode: results}
+    ordered = [results[mode] for mode in MODE_ORDER if mode in results]
+    ordered += [res for mode, res in results.items() if mode not in MODE_ORDER]
+    lines: list[str] = []
+    for result in ordered:
+        lines.append(f"timing report [{result.mode.value}]")
+        total = sum(result.phase_seconds.values())
+        for phase, seconds in sorted(
+            result.phase_seconds.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            share = seconds / total if total else 0.0
+            lines.append(f"  {phase:20s} {seconds:8.3f} s  ({share:5.1%})")
+        for record in result.history:
+            lines.append(
+                f"  pass {record.index}: {record.seconds:.3f} s, "
+                f"{record.waveform_evaluations} evals, "
+                f"{record.cache_evaluations} solved / {record.cache_hits} hits "
+                f"({record.cache_hit_rate:.1%})"
+            )
+    stats = ordered[-1].cache_stats if ordered else {}
+    if stats:
+        lines.append(
+            f"  arc cache: {stats['evaluations']} solved, "
+            f"{stats['cache_hits']} hits ({stats['hit_rate']:.1%} hit rate), "
+            f"{stats['cached_arcs']} cached"
+        )
+        if stats.get("batched_solves"):
+            lines.append(
+                f"  batch engine: {stats['batched_solves']} vectorized solves"
+                + (
+                    f", {stats['pool_solves']} via worker pool"
+                    if stats.get("pool_solves")
+                    else ""
+                )
+            )
+        if stats.get("persisted_loads"):
+            lines.append(
+                f"  persistent cache: {stats['persisted_loads']} arcs loaded from disk"
+            )
+        if stats.get("stale_rejects"):
+            lines.append(
+                f"  persistent cache: {stats['stale_rejects']} stale entries rejected"
+            )
+    return "\n".join(lines)
+
+
 def check_mode_ordering(
     results: dict[AnalysisMode, StaResult],
     tolerance: float = 1e-12,

@@ -98,6 +98,13 @@ class BatchNewtonResult:
     def total_iterations(self) -> int:
         return int(self.iterations.sum())
 
+    @property
+    def bisection_count(self) -> int:
+        """Elements that fell back to bisection (convergence failures of
+        the Newton update, fed to the ``newton.bisection_fallbacks``
+        metric by the stage solvers)."""
+        return int(self.used_bisection.sum())
+
 
 def solve_newton_many(
     func: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],

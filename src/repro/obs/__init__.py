@@ -1,0 +1,59 @@
+"""Observability: structured tracing and metrics for analysis runs.
+
+See ``docs/OBSERVABILITY.md`` for the API, event schema and how to open
+traces in the Chrome trace viewer / Perfetto.
+"""
+
+from repro.obs.metrics import (
+    NEWTON_ITER_BUCKETS,
+    SMALL_COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    series_key,
+)
+from repro.obs.telemetry import (
+    METRICS_SCHEMA,
+    Observability,
+    RunTelemetry,
+    metrics_payload,
+    validate_chrome_trace,
+    validate_metrics_payload,
+    validate_snapshot,
+    write_metrics,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    Tracer,
+    read_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS_SCHEMA",
+    "NEWTON_ITER_BUCKETS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "RunTelemetry",
+    "SMALL_COUNT_BUCKETS",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "diff_snapshots",
+    "metrics_payload",
+    "read_jsonl",
+    "series_key",
+    "validate_chrome_trace",
+    "validate_metrics_payload",
+    "validate_snapshot",
+    "write_metrics",
+]

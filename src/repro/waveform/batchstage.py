@@ -27,6 +27,7 @@ import numpy as np
 from repro.devices.newton import solve_newton_many
 from repro.devices.params import ProcessParams, default_process
 from repro.devices.tables import GridBank, StageTable
+from repro.obs.metrics import NEWTON_ITER_BUCKETS, MetricsRegistry
 from repro.waveform.coupling import CouplingLoad
 from repro.waveform.pwl import RISING, Waveform, opposite
 from repro.waveform import stage as stage_defaults
@@ -71,6 +72,7 @@ class BatchStageSolver:
         steps_per_phase: int = stage_defaults.STEPS_PER_PHASE,
         settle_fraction: float = stage_defaults.SETTLE_FRACTION,
         max_extensions: int = stage_defaults.MAX_EXTENSIONS,
+        metrics: MetricsRegistry | None = None,
     ):
         self.tables = tables
         self.bank = GridBank([table.grid for table in tables])
@@ -78,6 +80,15 @@ class BatchStageSolver:
         self.steps_per_phase = steps_per_phase
         self.settle_fraction = settle_fraction
         self.max_extensions = max_extensions
+        self.metrics = metrics
+        if metrics is not None:
+            self._h_newton = metrics.histogram(
+                "newton.iterations_per_arc", boundaries=NEWTON_ITER_BUCKETS
+            )
+            self._c_bisect = metrics.counter("newton.bisection_fallbacks")
+        else:
+            self._h_newton = None
+            self._c_bisect = None
 
     # -- drive-strength estimate (same formula as the scalar solver) -------
 
@@ -166,6 +177,7 @@ class BatchStageSolver:
         done = np.zeros(n, dtype=bool)
         t_drop = np.full(n, np.nan)
         newton_total = np.zeros(n, dtype=int)
+        bisect_total = np.zeros(n, dtype=int)
         t_input_end = t_start + tt
 
         # Recorded waveforms: one snapshot per lockstep iteration, plus a
@@ -224,6 +236,7 @@ class BatchStageSolver:
                     residual, x0=v_prev, tol=1e-7, lo=lo, hi=hi
                 )
                 newton_total[idx] += solved.iterations
+                bisect_total[idx] += solved.used_bisection
                 v_next = solved.roots
 
                 # Coupling drop event: detect the trigger crossing inside
@@ -289,6 +302,12 @@ class BatchStageSolver:
                     bool(fired[i]),
                     float(t_drop[i]) if fired[i] else None,
                     int(newton_total[i]),
+                    int(bisect_total[i]),
                 )
             )
+        if self._h_newton is not None:
+            self._h_newton.observe_many(newton_total.tolist())
+            fallbacks = int(bisect_total.sum())
+            if fallbacks:
+                self._c_bisect.inc(fallbacks)
         return results

@@ -79,7 +79,9 @@ class CouplingLoad:
         process = process if process is not None else default_process()
         if self.c_total <= 0:
             return 0.0
-        return process.vdd * self.c_couple_active / self.c_total
+        # The divider ratio is <= 1 mathematically, but c_act/c_total can
+        # round one ULP above it when c_act dominates; clamp to the rail.
+        return min(process.vdd * self.c_couple_active / self.c_total, process.vdd)
 
     def trigger_voltage(self, direction: str, process: ProcessParams | None = None) -> float:
         """Victim voltage at which the worst-case aggressor drop fires.

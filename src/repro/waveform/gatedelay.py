@@ -33,6 +33,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import math
 import os
 from dataclasses import dataclass
@@ -41,6 +42,7 @@ from typing import Iterable, Sequence
 from repro.circuit.library import CellType
 from repro.devices.params import ProcessParams, default_process
 from repro.devices.tables import StageTable
+from repro.obs.metrics import NEWTON_ITER_BUCKETS, MetricsRegistry
 from repro.waveform.batchstage import BatchArcSpec, BatchStageSolver
 from repro.waveform.coupling import CouplingLoad
 from repro.waveform.ramp import RampEvent
@@ -52,6 +54,8 @@ from repro.waveform.stage import (
     StageResult,
     StageSolver,
 )
+
+logger = logging.getLogger("repro.waveform.gatedelay")
 
 CACHE_FORMAT = 1
 
@@ -157,7 +161,9 @@ def _pool_solve_chunk(payload):
     ``table_specs`` maps local table index -> (pu_params, pd_params) and
     each item is ``(table_idx, direction, tt, c_passive, c_active,
     aiding)``.  Tables are cached per worker process across chunks.
-    Returns one result tuple per item.
+    Returns one result tuple per item plus the worker's metrics snapshot
+    (Newton iteration histogram, bisection fallbacks), which the parent
+    merges into its registry.
     """
     from repro.devices.mosfet import Mosfet, MosfetParams
 
@@ -172,7 +178,8 @@ def _pool_solve_chunk(payload):
             table = StageTable(pull_up, pull_down, process=process, points=table_points)
             _WORKER_TABLES[cache_key] = table
         tables.append(table)
-    solver = BatchStageSolver(tables, process)
+    registry = MetricsRegistry()
+    solver = BatchStageSolver(tables, process, metrics=registry)
     specs = [
         BatchArcSpec(
             table_index=ti,
@@ -183,10 +190,11 @@ def _pool_solve_chunk(payload):
         )
         for ti, direction, tt, cp, ca, aiding in items
     ]
-    return [
+    rows = [
         (r.direction, r.t_cross, r.transition, r.t_early, r.t_late, r.coupled)
         for r in solver.solve_many(specs)
     ]
+    return rows, registry.snapshot()
 
 
 class GateDelayCalculator:
@@ -200,6 +208,7 @@ class GateDelayCalculator:
         table_points: int = 121,
         engine: str = "scalar",
         workers: int = 0,
+        metrics: MetricsRegistry | None = None,
     ):
         self.process = process if process is not None else default_process()
         self.transition_grid = transition_grid
@@ -213,11 +222,43 @@ class GateDelayCalculator:
         self._batch_solver: BatchStageSolver | None = None
         self._table_order: list[tuple[str, str]] = []
         self._executor = None
-        self.evaluations = 0
-        self.cache_hits = 0
-        self.batched_solves = 0
-        self.pool_solves = 0
-        self.persisted_loads = 0
+        # All statistics live in a metrics registry (one per analysis run,
+        # shared with the propagator when the analyzer constructs us); the
+        # instruments are resolved once so the hot path pays one method
+        # call per event.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_evaluations = self.metrics.counter("arc_cache.evaluations")
+        self._c_cache_hits = self.metrics.counter("arc_cache.hits")
+        self._c_batched = self.metrics.counter("arc_cache.batched_solves")
+        self._c_pool = self.metrics.counter("arc_cache.pool_solves")
+        self._c_persisted = self.metrics.counter("arc_cache.persisted_loads")
+        self._c_stale = self.metrics.counter("arc_cache.stale_rejects")
+        self._h_newton = self.metrics.histogram(
+            "newton.iterations_per_arc", boundaries=NEWTON_ITER_BUCKETS
+        )
+        self._c_bisect = self.metrics.counter("newton.bisection_fallbacks")
+
+    # -- statistics properties (registry-backed, kept for compatibility) ----
+
+    @property
+    def evaluations(self) -> int:
+        return self._c_evaluations.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._c_cache_hits.value
+
+    @property
+    def batched_solves(self) -> int:
+        return self._c_batched.value
+
+    @property
+    def pool_solves(self) -> int:
+        return self._c_pool.value
+
+    @property
+    def persisted_loads(self) -> int:
+        return self._c_persisted.value
 
     # -- stage machinery ----------------------------------------------------
 
@@ -248,6 +289,7 @@ class GateDelayCalculator:
             self._batch_solver = BatchStageSolver(
                 [self._stage_tables[key] for key in self._table_order],
                 self.process,
+                metrics=self.metrics,
             )
         return self._batch_solver
 
@@ -334,7 +376,7 @@ class GateDelayCalculator:
         key = self._quantized_key(request)
         cached = self._arc_cache.get(key)
         if cached is not None:
-            self.cache_hits += 1
+            self._c_cache_hits.inc()
             return cached
         arc = self._solve_key(ctype, key)
         self._arc_cache[key] = arc
@@ -343,7 +385,7 @@ class GateDelayCalculator:
     def _solve_key(self, ctype: CellType, key: tuple) -> ArcResult:
         """Scalar (reference) solve of one quantized arc situation."""
         _, pin, input_direction, tt, c_passive, c_active, aiding = key
-        self.evaluations += 1
+        self._c_evaluations.inc()
         solver = self.solver_for(ctype, pin)
         stage_result = solver.solve(
             InputRamp(direction=input_direction, t_start=0.0, transition=tt),
@@ -354,6 +396,9 @@ class GateDelayCalculator:
             ),
             aiding=aiding,
         )
+        self._h_newton.observe(stage_result.newton_iterations)
+        if stage_result.newton_bisections:
+            self._c_bisect.inc(stage_result.newton_bisections)
         return self._to_arc(stage_result)
 
     @staticmethod
@@ -419,8 +464,8 @@ class GateDelayCalculator:
         results = solver.solve_many(specs)
         for key, stage_result in zip(keys, results):
             self._arc_cache[key] = self._to_arc(stage_result)
-        self.evaluations += len(keys)
-        self.batched_solves += len(keys)
+        self._c_evaluations.inc(len(keys))
+        self._c_batched.inc(len(keys))
 
     def _solve_keys_pooled(self, misses: dict[tuple, CellType]) -> None:
         """Fan the distinct solves out over worker processes."""
@@ -450,16 +495,19 @@ class GateDelayCalculator:
             for i in range(0, len(items), chunk_size)
         ]
         flat: list = []
-        for chunk_result in self._executor.map(_pool_solve_chunk, payloads):
-            flat.extend(chunk_result)
+        for chunk_rows, chunk_snapshot in self._executor.map(
+            _pool_solve_chunk, payloads
+        ):
+            flat.extend(chunk_rows)
+            self.metrics.merge_snapshot(chunk_snapshot)
         for key, fields in zip(keys, flat):
             direction, t_cross, transition, t_early, t_late, coupled = fields
             self._arc_cache[key] = ArcResult(
                 direction, t_cross, transition, t_early, t_late, coupled
             )
-        self.evaluations += len(keys)
-        self.batched_solves += len(keys)
-        self.pool_solves += len(keys)
+        self._c_evaluations.inc(len(keys))
+        self._c_batched.inc(len(keys))
+        self._c_pool.inc(len(keys))
 
     def close(self) -> None:
         """Shut down the worker pool, if one was started."""
@@ -519,11 +567,21 @@ class GateDelayCalculator:
         try:
             with open(path) as handle:
                 payload = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            return 0
+        except ValueError:
+            self._c_stale.inc()
+            logger.warning("arc cache %s is not valid JSON; ignoring", path)
             return 0
         if payload.get("format") != CACHE_FORMAT:
+            self._c_stale.inc()
+            logger.warning("arc cache %s has an unknown format; ignoring", path)
             return 0
         if payload.get("fingerprint") != self.fingerprint(cell_types):
+            self._c_stale.inc()
+            logger.warning(
+                "arc cache %s was built for a different configuration; ignoring", path
+            )
             return 0
         loaded = 0
         for raw_key, fields in payload.get("arcs", []):
@@ -536,7 +594,7 @@ class GateDelayCalculator:
                 out_direction, t_cross, transition, t_early, t_late, bool(coupled)
             )
             loaded += 1
-        self.persisted_loads += loaded
+        self._c_persisted.inc(loaded)
         return loaded
 
     # -- statistics -----------------------------------------------------------
@@ -552,10 +610,13 @@ class GateDelayCalculator:
             "batched_solves": self.batched_solves,
             "pool_solves": self.pool_solves,
             "persisted_loads": self.persisted_loads,
+            "stale_rejects": self._c_stale.value,
+            "newton_iterations": self._h_newton.total,
+            "newton_bisections": self._c_bisect.value,
         }
 
     def reset_counters(self) -> None:
-        self.evaluations = 0
-        self.cache_hits = 0
-        self.batched_solves = 0
-        self.pool_solves = 0
+        self._c_evaluations.reset()
+        self._c_cache_hits.reset()
+        self._c_batched.reset()
+        self._c_pool.reset()

@@ -81,6 +81,7 @@ class StageResult:
     coupled: bool
     t_drop: float | None
     newton_iterations: int
+    newton_bisections: int = 0
 
 
 class StageSolver:
@@ -175,6 +176,7 @@ class StageSolver:
         fired = False
         t_drop: float | None = None
         newton_total = 0
+        newton_bisections = 0
 
         max_steps = 2 * self.steps_per_phase
         extensions = 0
@@ -204,6 +206,8 @@ class StageSolver:
 
             result = solve_newton(residual, x0=v_prev, tol=1e-7, lo=lo, hi=hi)
             newton_total += result.iterations
+            if result.used_bisection:
+                newton_bisections += 1
             v_next = result.root
 
             crossed = False
@@ -240,7 +244,9 @@ class StageSolver:
         waveform = _monotone_clean(
             Waveform(np.array(times), np.array(values), out_direction)
         )
-        return self._measure(waveform, out_direction, fired, t_drop, newton_total)
+        return self._measure(
+            waveform, out_direction, fired, t_drop, newton_total, newton_bisections
+        )
 
     def _measure(
         self,
@@ -249,9 +255,16 @@ class StageSolver:
         fired: bool,
         t_drop: float | None,
         newton_total: int,
+        newton_bisections: int = 0,
     ) -> StageResult:
         return measure_stage_waveform(
-            self.process, waveform, out_direction, fired, t_drop, newton_total
+            self.process,
+            waveform,
+            out_direction,
+            fired,
+            t_drop,
+            newton_total,
+            newton_bisections,
         )
 
 
@@ -262,6 +275,7 @@ def measure_stage_waveform(
     fired: bool,
     t_drop: float | None,
     newton_total: int,
+    newton_bisections: int = 0,
 ) -> StageResult:
     """Extract the ramp-event markers from a solved stage waveform.
 
@@ -296,6 +310,7 @@ def measure_stage_waveform(
         coupled=fired,
         t_drop=t_drop,
         newton_iterations=newton_total,
+        newton_bisections=newton_bisections,
     )
 
 

@@ -134,6 +134,74 @@ class TestBatchEngineFlags:
         assert "persistent cache" in out.lower()
 
 
+class TestObservabilityFlags:
+    def test_trace_writes_valid_chrome_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        target = tmp_path / "trace.json"
+        assert main(
+            ["analyze", "s27", "--mode", "one_step", "--trace", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert validate_chrome_trace(payload) == []
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "sta.run" in names
+        assert "sta.pass" in names
+
+    def test_trace_jsonl_stream(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        target = tmp_path / "trace.jsonl"
+        assert main(
+            ["analyze", "s27", "--mode", "one_step", "--trace", str(target)]
+        ) == 0
+        events = read_jsonl(str(target))
+        assert events
+        assert all("name" in e and "ts" in e for e in events)
+
+    def test_metrics_writes_valid_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_metrics_payload
+
+        target = tmp_path / "metrics.json"
+        assert main(
+            ["analyze", "s27", "--mode", "one_step", "--metrics", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert validate_metrics_payload(payload) == []
+        assert list(payload["modes"]) == ["one_step"]
+        assert "cumulative" in payload
+
+    def test_metrics_all_modes(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_metrics_payload
+
+        target = tmp_path / "metrics.json"
+        assert main(["analyze", "s27", "--all-modes", "--metrics", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert validate_metrics_payload(payload) == []
+        assert len(payload["modes"]) == 5
+
+    def test_log_level_silences_info(self, tmp_path, capsys):
+        assert main(
+            ["--log-level", "error", "analyze", "s27", "--mode", "one_step"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "physical design" not in captured.err
+        # The report itself still lands on stdout.
+        assert "critical path" in captured.out
+
+    def test_info_logs_to_stderr(self, capsys):
+        assert main(["--log-level", "info", "analyze", "s27", "--mode", "one_step"]) == 0
+        captured = capsys.readouterr()
+        assert "physical design" in captured.err
+        assert "physical design" not in captured.out
+
+
 class TestRepair:
     def test_repair_runs_one_round(self, capsys):
         assert main(["repair", "gen:s35932", "--scale", "0.02", "--top", "4"]) == 0

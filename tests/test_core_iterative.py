@@ -2,9 +2,52 @@
 
 import pytest
 
-from repro.core.iterative import esperance_recalc_cells, run_iterative
+from repro.core.iterative import (
+    IterationRecord,
+    esperance_recalc_cells,
+    run_iterative,
+)
 from repro.core.modes import AnalysisMode, StaConfig
 from repro.core.propagation import Propagator
+
+
+class TestIterationRecordGuards:
+    def _record(self, **overrides) -> IterationRecord:
+        base = dict(
+            index=1,
+            longest_delay=1e-9,
+            waveform_evaluations=10,
+            seconds=0.1,
+            recalculated_cells=5,
+            total_cells=10,
+            cache_evaluations=8,
+            cache_hits=2,
+        )
+        base.update(overrides)
+        return IterationRecord(**base)
+
+    def test_recalc_fraction(self):
+        assert self._record().recalc_fraction == 0.5
+
+    def test_recalc_fraction_zero_cells(self):
+        record = self._record(recalculated_cells=0, total_cells=0)
+        assert record.recalc_fraction == 0.0
+
+    def test_cache_hit_rate(self):
+        assert self._record().cache_hit_rate == 0.2
+
+    def test_cache_hit_rate_zero_lookups(self):
+        record = self._record(cache_evaluations=0, cache_hits=0)
+        assert record.cache_hit_rate == 0.0
+
+    def test_to_dict_round_trips_guards(self):
+        import json
+
+        record = self._record(cache_evaluations=0, cache_hits=0, total_cells=0)
+        data = json.loads(json.dumps(record.to_dict()))
+        assert data["recalc_fraction"] == 0.0
+        assert data["cache_hit_rate"] == 0.0
+        assert data["longest_delay_ns"] == pytest.approx(1.0)
 
 
 @pytest.fixture(scope="module")
@@ -36,8 +79,12 @@ class TestConvergence:
 
     def test_iteration_budget_respected(self, small_design):
         config = StaConfig(mode=AnalysisMode.ITERATIVE, max_iterations=2)
-        result = run_iterative(Propagator(small_design, config))
+        propagator = Propagator(small_design, config)
+        result = run_iterative(propagator)
         assert result.passes <= 2
+        metrics = propagator.obs.metrics
+        assert metrics.gauge("iterative.passes").value == result.passes
+        assert metrics.gauge("iterative.coupling_waves").value > 0
 
     def test_second_pass_not_above_first(self, iterative_result):
         """Stored quiescent times can only remove coupling assumptions."""
