@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.circuit.library import Library, default_library
 from repro.circuit.netlist import Circuit, NetlistError
+from repro.errors import InputError
 
 _KNOWN_GATES = {
     "AND",
@@ -42,7 +43,7 @@ _LINE_RE = re.compile(
 _PORT_RE = re.compile(r"^\s*(?P<dir>INPUT|OUTPUT)\s*\(\s*(?P<name>[\w.\[\]$]+)\s*\)\s*$")
 
 
-class BenchParseError(ValueError):
+class BenchParseError(InputError):
     """Raised on malformed ``.bench`` input."""
 
 
@@ -143,8 +144,11 @@ def write_bench(netlist: BenchNetlist) -> str:
 
 def load_bench(path: str, name: str | None = None) -> BenchNetlist:
     """Parse a ``.bench`` file from disk."""
-    with open(path) as handle:
-        text = handle.read()
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise BenchParseError(f"cannot read bench file {path!r}: {exc}") from exc
     if name is None:
         name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
     return parse_bench(text, name=name)

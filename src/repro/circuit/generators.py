@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.circuit.bench import BenchGate, BenchNetlist, map_to_circuit
 from repro.circuit.library import Library
 from repro.circuit.netlist import Circuit, NetlistError
+from repro.errors import InputError
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,7 @@ class GeneratorSpec:
     def scaled(self, scale: float) -> "GeneratorSpec":
         """Shrink (or grow) the circuit, keeping depth and shape."""
         if scale <= 0:
-            raise ValueError("scale must be positive")
+            raise InputError("scale must be positive")
 
         def sz(n: int, minimum: int = 1) -> int:
             return max(minimum, round(n * scale))

@@ -25,6 +25,7 @@ from repro.devices.params import (
     default_process,
     default_sizing,
 )
+from repro.errors import InputError
 
 LogicFn = Callable[[Mapping[str, bool]], bool]
 
@@ -86,7 +87,7 @@ class CellType:
 
     def evaluate(self, values: Mapping[str, bool]) -> bool:
         if self.function is None:
-            raise ValueError(f"{self.name} is sequential; no combinational function")
+            raise InputError(f"{self.name} is sequential; no combinational function")
         return self.function(values)
 
     @property
@@ -108,7 +109,7 @@ class Library:
 
     def add(self, cell: CellType) -> None:
         if cell.name in self._cells:
-            raise ValueError(f"duplicate cell type {cell.name!r}")
+            raise InputError(f"duplicate cell type {cell.name!r}")
         self._cells[cell.name] = cell
 
     def __getitem__(self, name: str) -> CellType:

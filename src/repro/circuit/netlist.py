@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.circuit.library import CellType, Library, default_library
+from repro.errors import InputError
 
 
-class NetlistError(ValueError):
+class NetlistError(InputError):
     """Raised for structurally invalid netlist operations."""
 
 

@@ -35,6 +35,14 @@ from repro.core.analyzer import CrosstalkSTA
 from repro.core.modes import AnalysisMode, Engine, StaConfig, WindowCheck
 from repro.core.netreport import format_net_report, rank_crosstalk_nets
 from repro.core.report import check_mode_ordering, format_table, format_timing_report
+from repro.errors import (
+    EXIT_DEGRADED_OVER_BUDGET,
+    EXIT_INPUT_ERROR,
+    EXIT_INTERNAL_FAULT,
+    DegradationBudgetError,
+    InputError,
+    ReproError,
+)
 from repro.flow import prepare_design
 from repro.obs import Observability, metrics_payload, write_metrics
 
@@ -53,7 +61,7 @@ def _resolve_circuit(spec: str, scale: float):
     if spec.startswith("gen:"):
         name = spec[4:]
         if name not in _GEN_SPECS:
-            raise SystemExit(f"unknown generator {name!r}; have {sorted(_GEN_SPECS)}")
+            raise InputError(f"unknown generator {name!r}; have {sorted(_GEN_SPECS)}")
         return generate_circuit(_GEN_SPECS[name].scaled(scale))
     return map_to_circuit(load_bench(spec))
 
@@ -97,6 +105,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         engine=Engine(args.engine),
         workers=args.workers,
         arc_cache=args.arc_cache,
+        strict=args.strict,
+        max_degraded=args.max_degraded,
+        checkpoint=args.checkpoint,
+        worker_retries=args.worker_retries,
+        worker_timeout=args.worker_timeout,
     )
     obs = Observability.tracing() if args.trace else Observability.disabled()
     sta = CrosstalkSTA(design, config, obs=obs)
@@ -117,6 +130,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         results = None
         reference = sta.run()
         print(f"\n{reference}")
+
+    if reference.degraded_arcs:
+        logger.warning(
+            "%d arc(s) were degraded to conservative substitute bounds; the "
+            "reported delay is still a valid upper bound (rerun with --strict "
+            "to fail fast instead)",
+            len(reference.degraded_arcs),
+        )
 
     if args.timing_report:
         print()
@@ -197,7 +218,7 @@ def cmd_repair(args: argparse.Namespace) -> int:
 
 def cmd_generate(args: argparse.Namespace) -> int:
     if args.name not in _GEN_SPECS:
-        raise SystemExit(f"unknown generator {args.name!r}; have {sorted(_GEN_SPECS)}")
+        raise InputError(f"unknown generator {args.name!r}; have {sorted(_GEN_SPECS)}")
     netlist = generate_bench(_GEN_SPECS[args.name].scaled(args.scale))
     text = write_bench(netlist)
     if args.output == "-":
@@ -259,6 +280,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent arc-cache file reused across runs",
     )
     analyze.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail fast on internal faults instead of degrading to "
+        "conservative substitute bounds",
+    )
+    analyze.add_argument(
+        "--max-degraded",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject the run (exit code 3) when more than N arcs had to be "
+        "degraded to substitute bounds",
+    )
+    analyze.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="iterative mode: persist per-pass state to FILE and resume "
+        "from it when present",
+    )
+    analyze.add_argument(
+        "--worker-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="resubmissions of a dead/timed-out worker chunk before it is "
+        "evaluated in-process",
+    )
+    analyze.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk wall-clock limit for the worker pool",
+    )
+    analyze.add_argument(
         "--timing-report",
         action="store_true",
         help="print per-phase wall-clock and arc-cache statistics",
@@ -305,10 +361,26 @@ def _configure_logging(level_name: str) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point with the exit-code taxonomy.
+
+    0: success.  1: analysis finished but found violations.  2: bad
+    input (netlist, tables, arguments).  3: degraded-arc budget
+    exceeded.  4: internal fault surfaced in strict mode.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     _configure_logging(args.log_level)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except DegradationBudgetError as exc:
+        logger.error("%s", exc)
+        return EXIT_DEGRADED_OVER_BUDGET
+    except InputError as exc:
+        logger.error("%s", exc)
+        return EXIT_INPUT_ERROR
+    except ReproError as exc:
+        logger.error("internal fault: %s", exc)
+        return EXIT_INTERNAL_FAULT
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,14 +9,17 @@ across modes, mirroring how the paper reports all five rows per circuit.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
+from repro.core.checkpoint import CheckpointManager
 from repro.core.graph import TimingState
 from repro.core.iterative import IterationRecord, run_iterative
 from repro.core.modes import AnalysisMode, StaConfig
 from repro.core.paths import CriticalPath, extract_critical_path
 from repro.core.propagation import PassResult, Propagator
+from repro.errors import DegradationBudgetError
 from repro.flow.design import Design
 from repro.obs.metrics import diff_snapshots
 from repro.obs.telemetry import Observability, RunTelemetry
@@ -42,6 +45,10 @@ class StaResult:
     cache_stats: dict = field(default_factory=dict)
     phase_seconds: dict[str, float] = field(default_factory=dict)
     telemetry: RunTelemetry | None = None
+    # Arcs whose solve failed and received a conservative substitute bound
+    # during this run (see GateDelayCalculator.degraded); empty on a
+    # healthy run.  The reported delay is still a valid upper bound.
+    degraded_arcs: list[dict] = field(default_factory=list)
 
     @property
     def longest_delay_ns(self) -> float:
@@ -97,6 +104,9 @@ class CrosstalkSTA:
                 engine=self.config.engine.value,
                 workers=self.config.workers,
                 metrics=self.obs.metrics,
+                strict=self.config.strict,
+                worker_retries=self.config.worker_retries,
+                worker_timeout=self.config.worker_timeout,
             )
         if self.config.arc_cache:
             with self.obs.tracer.span(
@@ -109,20 +119,55 @@ class CrosstalkSTA:
     def _cell_types(self):
         return {cell.ctype.name: cell.ctype for cell in self.design.circuit.cells.values()}.values()
 
+    def _checkpoint_fingerprint(self, config: StaConfig) -> str:
+        """Hash of everything that determines the iterative pass sequence
+        -- a checkpoint is only resumable into the identical analysis."""
+        blob = "|".join(
+            str(part)
+            for part in (
+                self.design.name,
+                self.calculator.fingerprint(self._cell_types()),
+                config.mode.value,
+                config.input_transition,
+                config.guard,
+                config.max_iterations,
+                config.convergence_tolerance,
+                config.esperance,
+                config.esperance_slack,
+                config.clock_model.value,
+                config.slew_degradation_factor,
+                config.window_check.value,
+            )
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
     def run(self, mode: AnalysisMode | None = None) -> StaResult:
-        """Run one analysis mode (defaults to the configured one)."""
+        """Run one analysis mode (defaults to the configured one).
+
+        When ``config.max_degraded`` is set and more arcs than that had
+        to fall back to conservative substitute bounds, raises
+        :class:`DegradationBudgetError` carrying the (still valid, but
+        over-degraded) result on its ``result`` attribute.
+        """
         config = self.config if mode is None else self.config.with_mode(mode)
         propagator = Propagator(
             self.design, config, self.calculator, obs=self.obs
         )
         metrics_before = self.obs.metrics.snapshot()
+        degraded_before = len(self.calculator.degraded)
 
         t0 = time.perf_counter()
         with self.obs.tracer.span(
             "sta.run", mode=config.mode.value, design=self.design.name
         ):
             if config.mode is AnalysisMode.ITERATIVE:
-                iterative = run_iterative(propagator)
+                checkpoint = None
+                if config.checkpoint:
+                    checkpoint = CheckpointManager(
+                        config.checkpoint,
+                        fingerprint=self._checkpoint_fingerprint(config),
+                    )
+                iterative = run_iterative(propagator, checkpoint=checkpoint)
                 final = iterative.final
                 history = iterative.history
             else:
@@ -162,7 +207,8 @@ class CrosstalkSTA:
             metrics=diff_snapshots(metrics_before, self.obs.metrics.snapshot()),
         )
 
-        return StaResult(
+        degraded = list(self.calculator.degraded[degraded_before:])
+        result = StaResult(
             mode=config.mode,
             design_name=self.design.name,
             longest_delay=final.longest_delay,
@@ -178,7 +224,15 @@ class CrosstalkSTA:
             cache_stats=self.calculator.cache_stats(),
             phase_seconds=phase_totals,
             telemetry=telemetry,
+            degraded_arcs=degraded,
         )
+        if config.max_degraded is not None and len(degraded) > config.max_degraded:
+            raise DegradationBudgetError(
+                degraded=len(degraded),
+                budget=config.max_degraded,
+                result=result,
+            )
+        return result
 
     def run_all_modes(self) -> dict[AnalysisMode, StaResult]:
         """Run the paper's five modes (the rows of Tables 1-3)."""

@@ -1,0 +1,256 @@
+"""Checkpoint/resume for the iterative analysis.
+
+The iterative mode's unit of recoverable work is one pass: everything a
+later pass consumes is the previous pass's :class:`PassResult` (events,
+processed set, provenance) plus the best-so-far bound and the pass
+history.  :class:`CheckpointManager` persists exactly that after every
+pass, so a killed run resumed with ``--checkpoint`` continues from the
+last completed pass and produces results bit-identical to an
+uninterrupted run.
+
+Bit-identity is guaranteed by serialising every float through
+``float.hex()`` (lossless for all finite values and infinities) and by
+the solver's determinism: later passes depend only on the restored
+windows and state.  Writes are atomic (temp file + rename) and carry a
+content checksum; a corrupt or mismatched checkpoint is quarantined to
+``<path>.bad`` and the analysis restarts cleanly from pass 1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+from typing import Iterable
+
+from repro.core.graph import Provenance, TimingState
+from repro.core.iterative import IterationRecord
+from repro.core.propagation import EndpointArrival, PassResult
+from repro.waveform.ramp import RampEvent
+
+logger = logging.getLogger("repro.core.checkpoint")
+
+CHECKPOINT_FORMAT = 1
+
+
+def _hex(value: float) -> str:
+    return float(value).hex()
+
+
+def _unhex(raw: str) -> float:
+    return float.fromhex(raw)
+
+
+def _encode_event(event: RampEvent | None) -> list | None:
+    if event is None:
+        return None
+    return [
+        event.direction,
+        _hex(event.t_cross),
+        _hex(event.transition),
+        _hex(event.t_early),
+        _hex(event.t_late),
+    ]
+
+
+def _decode_event(raw: list | None) -> RampEvent | None:
+    if raw is None:
+        return None
+    direction, t_cross, transition, t_early, t_late = raw
+    return RampEvent(
+        direction=direction,
+        t_cross=_unhex(t_cross),
+        transition=_unhex(transition),
+        t_early=_unhex(t_early),
+        t_late=_unhex(t_late),
+    )
+
+
+def _encode_pass(result: PassResult) -> dict:
+    state = result.state
+    return {
+        "events": {
+            net: {d: _encode_event(e) for d, e in slot.items()}
+            for net, slot in state.events.items()
+        },
+        "processed": sorted(state.processed),
+        "provenance": [
+            [net, direction, p.cell, p.in_pin, p.in_net, p.in_direction,
+             bool(p.coupled), _hex(p.c_active)]
+            for (net, direction), p in state.provenance.items()
+        ],
+        "arrivals": [
+            [a.endpoint, a.direction, _encode_event(a.event)]
+            for a in result.arrivals
+        ],
+        "longest_delay": _hex(result.longest_delay),
+        "critical_endpoint": result.critical_endpoint,
+        "critical_direction": result.critical_direction,
+        "waveform_evaluations": result.waveform_evaluations,
+        "arcs_processed": result.arcs_processed,
+        "coupled_arcs": result.coupled_arcs,
+        "cache_evaluations": result.cache_evaluations,
+        "cache_hits": result.cache_hits,
+        "phase_seconds": {k: _hex(v) for k, v in result.phase_seconds.items()},
+    }
+
+
+def _decode_pass(raw: dict) -> PassResult:
+    state = TimingState()
+    for net, slot in raw["events"].items():
+        state.events[net] = {d: _decode_event(e) for d, e in slot.items()}
+    state.processed = set(raw["processed"])
+    for net, direction, cell, in_pin, in_net, in_direction, coupled, c_active in raw[
+        "provenance"
+    ]:
+        state.provenance[(net, direction)] = Provenance(
+            cell=cell,
+            in_pin=in_pin,
+            in_net=in_net,
+            in_direction=in_direction,
+            coupled=bool(coupled),
+            c_active=_unhex(c_active),
+        )
+    return PassResult(
+        state=state,
+        arrivals=[
+            EndpointArrival(endpoint=e, direction=d, event=_decode_event(ev))
+            for e, d, ev in raw["arrivals"]
+        ],
+        longest_delay=_unhex(raw["longest_delay"]),
+        critical_endpoint=raw["critical_endpoint"],
+        critical_direction=raw["critical_direction"],
+        waveform_evaluations=raw["waveform_evaluations"],
+        arcs_processed=raw["arcs_processed"],
+        coupled_arcs=raw["coupled_arcs"],
+        cache_evaluations=raw["cache_evaluations"],
+        cache_hits=raw["cache_hits"],
+        phase_seconds={k: _unhex(v) for k, v in raw["phase_seconds"].items()},
+    )
+
+
+def _encode_record(record: IterationRecord) -> dict:
+    return {
+        "index": record.index,
+        "longest_delay": _hex(record.longest_delay),
+        "waveform_evaluations": record.waveform_evaluations,
+        "seconds": _hex(record.seconds),
+        "recalculated_cells": record.recalculated_cells,
+        "total_cells": record.total_cells,
+        "cache_evaluations": record.cache_evaluations,
+        "cache_hits": record.cache_hits,
+        "phase_seconds": {k: _hex(v) for k, v in record.phase_seconds.items()},
+    }
+
+
+def _decode_record(raw: dict) -> IterationRecord:
+    return IterationRecord(
+        index=raw["index"],
+        longest_delay=_unhex(raw["longest_delay"]),
+        waveform_evaluations=raw["waveform_evaluations"],
+        seconds=_unhex(raw["seconds"]),
+        recalculated_cells=raw["recalculated_cells"],
+        total_cells=raw["total_cells"],
+        cache_evaluations=raw["cache_evaluations"],
+        cache_hits=raw["cache_hits"],
+        phase_seconds={k: _unhex(v) for k, v in raw["phase_seconds"].items()},
+    )
+
+
+class CheckpointManager:
+    """Persist and restore the iterative algorithm's per-pass state.
+
+    ``fingerprint`` ties a checkpoint to an analysis configuration
+    (design, config, library); a mismatch means the checkpoint describes
+    a different problem and is ignored with a warning.
+    """
+
+    def __init__(self, path: str, fingerprint: str = ""):
+        self.path = path
+        self.fingerprint = fingerprint
+
+    def save(
+        self,
+        current: PassResult,
+        best: PassResult,
+        history: Iterable[IterationRecord],
+        converged: bool,
+    ) -> None:
+        body = {
+            "history": [_encode_record(r) for r in history],
+            "current": _encode_pass(current),
+            "best": None if best is current else _encode_pass(best),
+            "converged": bool(converged),
+        }
+        blob = json.dumps(body, sort_keys=True)
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "fingerprint": self.fingerprint,
+            "checksum": hashlib.sha256(blob.encode()).hexdigest(),
+            "body": body,
+        }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.path)
+
+    def load(
+        self,
+    ) -> tuple[PassResult, PassResult, list[IterationRecord], bool] | None:
+        """Restore ``(current, best, history, converged)``.
+
+        Returns ``None`` when there is nothing usable to resume from: no
+        file, a checkpoint for a different configuration, or a corrupt
+        file (which is quarantined to ``<path>.bad`` so the fresh run
+        cannot trip over it again).
+        """
+        try:
+            with open(self.path) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return self._quarantine("not valid JSON")
+        if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+            return self._quarantine("unknown format")
+        if payload.get("fingerprint") != self.fingerprint:
+            logger.warning(
+                "checkpoint %s belongs to a different analysis configuration; "
+                "starting from scratch",
+                self.path,
+            )
+            return None
+        body = payload.get("body")
+        blob = json.dumps(body, sort_keys=True)
+        if hashlib.sha256(blob.encode()).hexdigest() != payload.get("checksum"):
+            return self._quarantine("content checksum mismatch")
+        try:
+            history = [_decode_record(r) for r in body["history"]]
+            current = _decode_pass(body["current"])
+            best = current if body["best"] is None else _decode_pass(body["best"])
+            converged = bool(body["converged"])
+        except (KeyError, TypeError, ValueError):
+            return self._quarantine("malformed body")
+        logger.info(
+            "resuming from checkpoint %s: %d pass(es) completed, best bound %.6e s",
+            self.path,
+            len(history),
+            best.longest_delay,
+        )
+        return current, best, history, converged
+
+    def _quarantine(self, reason: str) -> None:
+        quarantined = f"{self.path}.bad"
+        try:
+            os.replace(self.path, quarantined)
+            where = f"quarantined to {quarantined}"
+        except OSError:
+            where = "could not be quarantined"
+        logger.warning(
+            "checkpoint %s is corrupt (%s); %s, starting from scratch",
+            self.path,
+            reason,
+            where,
+        )
+        return None

@@ -16,18 +16,31 @@ Every pass individually guarantees an upper bound, so the smallest pass
 result is the reported bound.  The optional *Esperance* speed-up
 (Benkoski et al. [11]) recomputes only nets on long paths from the second
 pass on.
+
+Robustness: a stop is classified as *convergence* (the final pass
+matches the best bound) or *oscillation* (the delay bounced back above
+an earlier bound -- coupling decisions flipping between passes); an
+oscillating stop is logged with the full pass history and counted under
+``iterative.oscillation_stops``, and the reported result is still the
+smallest pass, so the bound stays valid either way.  An optional
+checkpoint store (see :mod:`repro.core.checkpoint`) persists the state
+after every pass so an interrupted run resumes bit-identically.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Callable, Protocol
 
 from repro.core.graph import TimingState
 from repro.core.propagation import PassResult, Propagator
 from repro.flow.design import Design
 from repro.waveform.pwl import FALLING, RISING, opposite
+
+logger = logging.getLogger("repro.core.iterative")
 
 
 @dataclass
@@ -84,8 +97,36 @@ class IterativeResult:
         return len(self.history)
 
 
-def run_iterative(propagator: Propagator) -> IterativeResult:
-    """Run the iterative algorithm to convergence."""
+class CheckpointStore(Protocol):
+    """What :func:`run_iterative` needs from a checkpoint backend
+    (satisfied by :class:`repro.core.checkpoint.CheckpointManager`)."""
+
+    def save(
+        self,
+        current: PassResult,
+        best: PassResult,
+        history: list[IterationRecord],
+        converged: bool,
+    ) -> None: ...
+
+    def load(
+        self,
+    ) -> tuple[PassResult, PassResult, list[IterationRecord], bool] | None: ...
+
+
+def run_iterative(
+    propagator: Propagator,
+    checkpoint: CheckpointStore | None = None,
+    after_pass: Callable[[int, PassResult], None] | None = None,
+) -> IterativeResult:
+    """Run the iterative algorithm to convergence.
+
+    ``checkpoint`` persists the state after every pass and, when it
+    already holds passes for this configuration, resumes from them
+    (bit-identical to an uninterrupted run).  ``after_pass(index,
+    result)`` is invoked after each pass is recorded and checkpointed --
+    the fault-injection harness uses it to interrupt mid-run.
+    """
     config = propagator.config
     total_cells = len(propagator.order)
     history: list[IterationRecord] = []
@@ -96,26 +137,43 @@ def run_iterative(propagator: Propagator) -> IterativeResult:
     g_recalc = metrics.gauge("iterative.recalc_fraction")
     g_waves = metrics.gauge("iterative.coupling_waves")
     c_waves = metrics.counter("propagation.coupling_waves")
+    c_osc = metrics.counter("iterative.oscillation_stops")
     waves_before = c_waves.value
 
-    with tracer.span("iterative.pass", index=1, full=True):
-        t0 = time.perf_counter()
-        current = propagator.run_pass(prev_windows=None)
-        history.append(
-            IterationRecord(
-                index=1,
-                longest_delay=current.longest_delay,
-                waveform_evaluations=current.waveform_evaluations,
-                seconds=time.perf_counter() - t0,
-                recalculated_cells=total_cells,
-                total_cells=total_cells,
-                cache_evaluations=current.cache_evaluations,
-                cache_hits=current.cache_hits,
-                phase_seconds=dict(current.phase_seconds),
-            )
-        )
+    current: PassResult | None = None
+    best: PassResult | None = None
+    if checkpoint is not None:
+        restored = checkpoint.load()
+        if restored is not None:
+            current, best, history, converged = restored
+            if converged:
+                g_passes.set(len(history))
+                g_waves.set(c_waves.value - waves_before)
+                return IterativeResult(final=best, history=history)
 
-    best = current
+    if current is None:
+        with tracer.span("iterative.pass", index=1, full=True):
+            t0 = time.perf_counter()
+            current = propagator.run_pass(prev_windows=None)
+            history.append(
+                IterationRecord(
+                    index=1,
+                    longest_delay=current.longest_delay,
+                    waveform_evaluations=current.waveform_evaluations,
+                    seconds=time.perf_counter() - t0,
+                    recalculated_cells=total_cells,
+                    total_cells=total_cells,
+                    cache_evaluations=current.cache_evaluations,
+                    cache_hits=current.cache_hits,
+                    phase_seconds=dict(current.phase_seconds),
+                )
+            )
+        best = current
+        if checkpoint is not None:
+            checkpoint.save(current, best, history, converged=False)
+        if after_pass is not None:
+            after_pass(1, current)
+
     while len(history) < config.max_iterations:
         windows = current.state.window_snapshot()
         recalc = None
@@ -149,9 +207,34 @@ def run_iterative(propagator: Propagator) -> IterativeResult:
             history.append(record)
             g_recalc.set(record.recalc_fraction)
         improved = next_pass.longest_delay < best.longest_delay - config.convergence_tolerance
+        # Each pass is individually a valid upper bound, so a delay that
+        # climbs back *above* the best bound means the coupling decisions
+        # are cycling between passes, not converging.  The loop stops
+        # either way (best = min is still correct); the distinction only
+        # matters for diagnosis.
+        oscillating = (
+            not improved
+            and next_pass.longest_delay
+            > best.longest_delay + config.convergence_tolerance
+        )
         if next_pass.longest_delay < best.longest_delay:
             best = next_pass
         current = next_pass
+        if checkpoint is not None:
+            checkpoint.save(current, best, history, converged=not improved)
+        if after_pass is not None:
+            after_pass(len(history), current)
+        if oscillating:
+            c_osc.inc()
+            logger.warning(
+                "iteration stopped on oscillation, not convergence: pass %d "
+                "delay %.6e s is above the best bound %.6e s; reporting the "
+                "best bound (history: %s)",
+                len(history),
+                next_pass.longest_delay,
+                best.longest_delay,
+                ", ".join(f"{r.longest_delay:.6e}" for r in history),
+            )
         if not improved:
             break
     g_passes.set(len(history))

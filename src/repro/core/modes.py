@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.errors import InputError
+
 
 class AnalysisMode(Enum):
     """The paper's five coupling treatments."""
@@ -133,6 +135,28 @@ class StaConfig:
         before the first pass when it exists and matches the design's
         process/cell-library fingerprint; rewritten after each run so
         repeated invocations skip the Newton integrations entirely.
+    strict:
+        Fail fast on internal faults instead of degrading gracefully: a
+        failed arc solve raises instead of substituting a conservative
+        bound, and a corrupt arc cache raises instead of being
+        quarantined and rebuilt.
+    max_degraded:
+        Budget of degraded (conservatively bounded) arcs a non-strict
+        run may accumulate before it is rejected; ``None`` means
+        unlimited.
+    checkpoint:
+        Optional path of an iterative-mode checkpoint file.  State is
+        persisted after every pass; when the file already holds passes
+        for this exact analysis, the run resumes from them
+        (bit-identical to an uninterrupted run).
+    worker_retries:
+        How many times a worker chunk that died or timed out is resubmitted
+        (with exponential backoff) before it is quarantined and evaluated
+        in-process.
+    worker_timeout:
+        Per-chunk wall-clock limit in seconds for the worker pool
+        (``None``: unlimited).  A chunk exceeding it counts as a worker
+        failure and follows the retry/quarantine policy.
     """
 
     mode: AnalysisMode = AnalysisMode.ITERATIVE
@@ -149,6 +173,11 @@ class StaConfig:
     engine: Engine = Engine.SCALAR
     workers: int = 0
     arc_cache: str | None = None
+    strict: bool = False
+    max_degraded: int | None = None
+    checkpoint: str | None = None
+    worker_retries: int = 2
+    worker_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.window_check is None:
@@ -156,7 +185,11 @@ class StaConfig:
         if isinstance(self.engine, str):
             object.__setattr__(self, "engine", Engine(self.engine))
         if self.workers < 0:
-            raise ValueError("workers must be non-negative")
+            raise InputError("workers must be non-negative")
+        if self.max_degraded is not None and self.max_degraded < 0:
+            raise InputError("max_degraded must be non-negative")
+        if self.worker_retries < 0:
+            raise InputError("worker_retries must be non-negative")
 
     def with_mode(self, mode: AnalysisMode) -> "StaConfig":
         from dataclasses import replace

@@ -15,6 +15,7 @@ from repro.circuit.netlist import Circuit, Pin
 from repro.core.graph import TimingState
 from repro.core.propagation import PassResult
 from repro.waveform.ramp import RampEvent
+from repro.errors import InputError
 
 
 @dataclass(frozen=True)
@@ -148,7 +149,7 @@ def extract_critical_path(
     if direction is None:
         direction = result.critical_direction
     if not endpoint:
-        raise ValueError("pass result has no critical endpoint (empty design?)")
+        raise InputError("pass result has no critical endpoint (empty design?)")
 
     state = result.state
     path = CriticalPath(endpoint=endpoint, direction=direction)

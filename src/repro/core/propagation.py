@@ -45,6 +45,7 @@ from repro.core.modes import (
 from repro.flow.design import Design
 from repro.obs.metrics import SMALL_COUNT_BUCKETS
 from repro.obs.telemetry import Observability
+from repro.errors import EngineError
 from repro.waveform.coupling import CouplingLoad, CouplingTreatment, aggregate_load
 from repro.waveform.gatedelay import ArcRequest, GateDelayCalculator
 from repro.waveform.pwl import FALLING, RISING, opposite
@@ -611,7 +612,7 @@ class Propagator:
             return CouplingLoad(c_ground=load.c_fixed + 2.0 * c_c)
         if mode is AnalysisMode.WORST_CASE:
             return CouplingLoad(c_ground=load.c_fixed, c_couple_active=c_c)
-        raise ValueError(f"mode {mode} has no fixed coupling treatment")
+        raise EngineError(f"mode {mode} has no fixed coupling treatment")
 
     def _aggressor_window(
         self,

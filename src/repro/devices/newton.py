@@ -15,8 +15,10 @@ from typing import Callable
 
 import numpy as np
 
+from repro.errors import SolverError
 
-class NewtonError(RuntimeError):
+
+class NewtonError(SolverError):
     """Raised when the iteration fails to converge."""
 
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.devices.mosfet import Mosfet
 from repro.devices.params import ProcessParams, default_process
+from repro.errors import InputError
 
 
 def _cell_locate(f, n: int):
@@ -62,15 +63,25 @@ class _BilinearGrid:
 
     def __init__(self, x_axis: np.ndarray, y_axis: np.ndarray, values: np.ndarray):
         if values.shape != (x_axis.size, y_axis.size):
-            raise ValueError(
+            raise InputError(
                 f"table shape {values.shape} does not match axes "
                 f"({x_axis.size}, {y_axis.size})"
             )
         if x_axis.size < 2 or y_axis.size < 2:
-            raise ValueError("table axes need at least two points")
+            raise InputError("table axes need at least two points")
         self.x_axis = np.asarray(x_axis, dtype=float)
         self.y_axis = np.asarray(y_axis, dtype=float)
         self.values = np.asarray(values, dtype=float)
+        # A single NaN/Inf entry would silently poison every Newton solve
+        # that interpolates near it; reject the table at load instead.
+        if not (np.isfinite(self.x_axis).all() and np.isfinite(self.y_axis).all()):
+            raise InputError("device table axes contain non-finite values")
+        if not np.isfinite(self.values).all():
+            bad = int(np.size(self.values) - np.count_nonzero(np.isfinite(self.values)))
+            raise InputError(
+                f"device table contains {bad} non-finite (NaN/Inf) entries; "
+                "refusing to load it"
+            )
         self._x0 = float(self.x_axis[0])
         self._y0 = float(self.y_axis[0])
         self._dx = float(self.x_axis[1] - self.x_axis[0])
@@ -162,14 +173,14 @@ class GridBank:
 
     def __init__(self, grids: list[_BilinearGrid]):
         if not grids:
-            raise ValueError("grid bank needs at least one grid")
+            raise InputError("grid bank needs at least one grid")
         base = grids[0]
         for grid in grids[1:]:
             if not (
                 np.array_equal(grid.x_axis, base.x_axis)
                 and np.array_equal(grid.y_axis, base.y_axis)
             ):
-                raise ValueError("grid bank requires congruent grid axes")
+                raise InputError("grid bank requires congruent grid axes")
         self._x0 = base._x0
         self._y0 = base._y0
         self._dx = base._dx
@@ -296,7 +307,7 @@ class StageTable:
         margin: float = 0.3,
     ):
         if pull_up is None and pull_down is None:
-            raise ValueError("stage needs at least one of pull-up / pull-down")
+            raise InputError("stage needs at least one of pull-up / pull-down")
         self.process = process if process is not None else default_process()
         vdd = self.process.vdd
         axis = np.linspace(-margin, vdd + margin, points)

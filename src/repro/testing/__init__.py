@@ -1,0 +1,15 @@
+"""Deterministic fault-injection utilities for robustness testing."""
+
+from repro.testing.faults import (
+    corrupt_file,
+    interrupt_after_pass,
+    newton_failures,
+    worker_faults,
+)
+
+__all__ = [
+    "corrupt_file",
+    "interrupt_after_pass",
+    "newton_failures",
+    "worker_faults",
+]

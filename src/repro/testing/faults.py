@@ -1,0 +1,124 @@
+"""Deterministic fault injection for the analysis runtime.
+
+Each injector forces one failure mode the runtime claims to survive --
+Newton divergence, worker death/hangs, cache corruption, mid-run
+interrupts -- in a way that is reproducible from a seed, so robustness
+tests assert exact outcomes instead of racing real faults.
+
+All injectors are context managers (or small factories) with no global
+state left behind: monkey-patched solver methods are restored on exit
+and worker-fault specs are cleared from the calculator.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Callable, Iterable
+
+from repro.core.propagation import PassResult
+from repro.errors import AnalysisInterrupted
+from repro.waveform.batchstage import BatchStageSolver
+from repro.waveform.gatedelay import GateDelayCalculator
+from repro.waveform.stage import StageSolver, StageSolverError
+
+
+@contextmanager
+def newton_failures(rate: float = 1.0, seed: int = 0):
+    """Make a deterministic fraction of stage solves fail.
+
+    Both the scalar and the batch solver entry points are patched: each
+    call draws from one seeded stream and raises
+    :class:`StageSolverError` (the taxonomy's ``SolverError``) with
+    probability ``rate``.  Because the analysis evaluates arcs in a
+    deterministic order, a given ``(rate, seed)`` always fails the same
+    arcs.
+    """
+    rng = random.Random(seed)
+    original_solve = StageSolver.solve
+    original_solve_many = BatchStageSolver.solve_many
+
+    def failing_solve(self, *args, **kwargs):
+        if rng.random() < rate:
+            raise StageSolverError("injected Newton failure")
+        return original_solve(self, *args, **kwargs)
+
+    def failing_solve_many(self, *args, **kwargs):
+        if rng.random() < rate:
+            raise StageSolverError("injected Newton failure (batch)")
+        return original_solve_many(self, *args, **kwargs)
+
+    StageSolver.solve = failing_solve
+    BatchStageSolver.solve_many = failing_solve_many
+    try:
+        yield
+    finally:
+        StageSolver.solve = original_solve
+        BatchStageSolver.solve_many = original_solve_many
+
+
+@contextmanager
+def worker_faults(
+    calculator: GateDelayCalculator,
+    action: str = "kill",
+    times: int = 1,
+    seconds: float = 30.0,
+    chunks: Iterable[int] | None = None,
+):
+    """Arm worker-pool faults on ``calculator``.
+
+    ``action="kill"`` makes the worker die via ``os._exit`` (what an OOM
+    kill looks like); ``action="hang"`` makes it sleep for ``seconds``.
+    The spec is consumed parent-side on chunk submission, so ``times=N``
+    fires on exactly the first N matching submissions regardless of
+    worker scheduling.  ``chunks`` restricts injection to those chunk
+    indices.
+    """
+    calculator.pool_fault = {
+        "action": action,
+        "times": times,
+        "seconds": seconds,
+        "chunks": set(chunks) if chunks is not None else None,
+    }
+    try:
+        yield
+    finally:
+        calculator.pool_fault = None
+
+
+def corrupt_file(path: str, mode: str = "truncate", seed: int = 0) -> None:
+    """Corrupt an on-disk artifact the way real corruption looks.
+
+    ``truncate`` keeps a prefix (a torn write); ``bitflip`` flips one
+    deterministically chosen bit in place (bit rot).  Both leave the
+    file present so loaders must *detect* the damage rather than miss
+    the file.
+    """
+    with open(path, "rb") as handle:
+        blob = bytearray(handle.read())
+    if not blob:
+        raise ValueError(f"cannot corrupt empty file {path!r}")
+    rng = random.Random(seed)
+    if mode == "truncate":
+        keep = max(1, len(blob) // 2)
+        blob = blob[:keep]
+    elif mode == "bitflip":
+        index = rng.randrange(len(blob))
+        blob[index] ^= 1 << rng.randrange(8)
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+
+
+def interrupt_after_pass(passes: int) -> Callable[[int, PassResult], None]:
+    """An ``after_pass`` hook that raises :class:`AnalysisInterrupted`
+    once ``passes`` passes have completed (and been checkpointed)."""
+
+    def hook(index: int, result: PassResult) -> None:
+        if index >= passes:
+            raise AnalysisInterrupted(
+                f"injected interrupt after pass {index}", passes_completed=index
+            )
+
+    return hook

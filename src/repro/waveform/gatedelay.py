@@ -26,6 +26,19 @@ The cache can persist across runs (:meth:`save_cache_file` /
 process, the cell library's collapsed stage devices and the solver
 settings, so the iterative mode's repeat passes and repeated benchmark
 invocations skip Newton entirely.
+
+Fault tolerance: because every result of the analysis is an *upper
+bound* on the true last event (paper, Section 3), the correct response
+to a numerical failure is a coarser-but-still-safe bound, not a crash.
+When both Newton and its bisection fallback fail on an arc, the
+calculator substitutes a conservative ramp bound (see
+:meth:`GateDelayCalculator._conservative_arc`), counts it under
+``solver.degraded_arcs`` and annotates it in
+:attr:`GateDelayCalculator.degraded`; ``strict=True`` restores the
+fail-fast behaviour.  The multi-core fan-out likewise survives worker
+death and hangs (bounded retries with backoff, then an in-process
+replay of the chunk), and persistent cache files are checksummed --
+corrupt ones are quarantined to ``<path>.bad`` and rebuilt.
 """
 
 from __future__ import annotations
@@ -36,15 +49,20 @@ import json
 import logging
 import math
 import os
+import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.circuit.library import CellType
 from repro.devices.params import ProcessParams, default_process
 from repro.devices.tables import StageTable
+from repro.errors import CacheError, InputError, SolverError
 from repro.obs.metrics import NEWTON_ITER_BUCKETS, MetricsRegistry
 from repro.waveform.batchstage import BatchArcSpec, BatchStageSolver
 from repro.waveform.coupling import CouplingLoad
+from repro.waveform.pwl import RISING, opposite
 from repro.waveform.ramp import RampEvent
 from repro.waveform.stage import (
     MAX_EXTENSIONS,
@@ -57,7 +75,8 @@ from repro.waveform.stage import (
 
 logger = logging.getLogger("repro.waveform.gatedelay")
 
-CACHE_FORMAT = 1
+# Format 2 added the content checksum over the arc table.
+CACHE_FORMAT = 2
 
 # Below this many distinct situations a batched solve does not amortize
 # its setup; fall through to the scalar reference path.
@@ -154,20 +173,37 @@ def library_fingerprint(
 _WORKER_TABLES: dict = {}
 
 
+def _apply_worker_fault(fault: dict) -> None:
+    """Execute one injected worker fault (see :mod:`repro.testing.faults`).
+
+    ``kill`` terminates the worker process without cleanup -- exactly
+    what an OOM kill or segfault looks like to the parent's pool.
+    ``hang`` blocks the worker past any per-chunk timeout.
+    """
+    action = fault.get("action")
+    if action == "kill":
+        os._exit(17)
+    elif action == "hang":
+        time.sleep(float(fault.get("seconds", 30.0)))
+
+
 def _pool_solve_chunk(payload):
     """Solve one chunk of distinct arc situations in a worker process.
 
-    ``payload``: (process, table_points, table_specs, items) where
-    ``table_specs`` maps local table index -> (pu_params, pd_params) and
-    each item is ``(table_idx, direction, tt, c_passive, c_active,
-    aiding)``.  Tables are cached per worker process across chunks.
-    Returns one result tuple per item plus the worker's metrics snapshot
-    (Newton iteration histogram, bisection fallbacks), which the parent
-    merges into its registry.
+    ``payload``: (process, table_points, table_specs, items, fault)
+    where ``table_specs`` maps local table index -> (pu_params,
+    pd_params), each item is ``(table_idx, direction, tt, c_passive,
+    c_active, aiding)`` and ``fault`` is ``None`` outside the
+    fault-injection harness.  Tables are cached per worker process
+    across chunks.  Returns one result tuple per item plus the worker's
+    metrics snapshot (Newton iteration histogram, bisection fallbacks),
+    which the parent merges into its registry.
     """
     from repro.devices.mosfet import Mosfet, MosfetParams
 
-    process, table_points, table_specs, items = payload
+    process, table_points, table_specs, items, fault = payload
+    if fault is not None:
+        _apply_worker_fault(fault)
     tables = []
     for pu, pd in table_specs:
         cache_key = (pu, pd, table_points)
@@ -209,6 +245,10 @@ class GateDelayCalculator:
         engine: str = "scalar",
         workers: int = 0,
         metrics: MetricsRegistry | None = None,
+        strict: bool = False,
+        worker_retries: int = 2,
+        worker_timeout: float | None = None,
+        retry_backoff: float = 0.05,
     ):
         self.process = process if process is not None else default_process()
         self.transition_grid = transition_grid
@@ -216,6 +256,18 @@ class GateDelayCalculator:
         self.table_points = table_points
         self.engine = engine
         self.workers = workers
+        # Fault-tolerance policy: ``strict`` restores fail-fast solves and
+        # turns corrupt-cache quarantine into a CacheError; the worker
+        # knobs bound how long a sick pool may stall the run.
+        self.strict = strict
+        self.worker_retries = max(0, worker_retries)
+        self.worker_timeout = worker_timeout
+        self.retry_backoff = retry_backoff
+        # Per-arc degradation annotations (dicts; surfaced on StaResult).
+        self.degraded: list[dict] = []
+        # Fault-injection hook: a mutable spec dict consumed (parent-side,
+        # hence deterministically) by :meth:`_take_pool_fault`.
+        self.pool_fault: dict | None = None
         self._stage_tables: dict[tuple[str, str], StageTable] = {}
         self._solvers: dict[tuple[str, str], StageSolver] = {}
         self._arc_cache: dict[tuple, ArcResult] = {}
@@ -237,6 +289,13 @@ class GateDelayCalculator:
             "newton.iterations_per_arc", boundaries=NEWTON_ITER_BUCKETS
         )
         self._c_bisect = self.metrics.counter("newton.bisection_fallbacks")
+        self._c_degraded = self.metrics.counter("solver.degraded_arcs")
+        self._c_batch_fallbacks = self.metrics.counter("engine.batch_fallbacks")
+        self._c_worker_failures = self.metrics.counter("engine.worker_failures")
+        self._c_worker_retries = self.metrics.counter("engine.worker_retries")
+        self._c_quarantined_chunks = self.metrics.counter("engine.quarantined_chunks")
+        self._c_serial_fallbacks = self.metrics.counter("engine.serial_fallbacks")
+        self._c_cache_quarantined = self.metrics.counter("arc_cache.quarantined")
 
     # -- statistics properties (registry-backed, kept for compatibility) ----
 
@@ -268,7 +327,7 @@ class GateDelayCalculator:
         if solver is None:
             pull_up, pull_down = ctype.topology.equivalent_stage(pin, self.process)
             if pull_up is None and pull_down is None:
-                raise ValueError(
+                raise InputError(
                     f"{ctype.name} has no transistor gated by pin {pin!r}"
                 )
             table = StageTable(
@@ -387,19 +446,121 @@ class GateDelayCalculator:
         _, pin, input_direction, tt, c_passive, c_active, aiding = key
         self._c_evaluations.inc()
         solver = self.solver_for(ctype, pin)
-        stage_result = solver.solve(
-            InputRamp(direction=input_direction, t_start=0.0, transition=tt),
-            CouplingLoad(
-                c_ground=c_passive,
-                c_couple_active=c_active,
-                c_couple_passive=0.0,
-            ),
-            aiding=aiding,
-        )
+        try:
+            stage_result = solver.solve(
+                InputRamp(direction=input_direction, t_start=0.0, transition=tt),
+                CouplingLoad(
+                    c_ground=c_passive,
+                    c_couple_active=c_active,
+                    c_couple_passive=0.0,
+                ),
+                aiding=aiding,
+            )
+        except SolverError as exc:
+            return self._degrade_key(ctype, key, exc)
         self._h_newton.observe(stage_result.newton_iterations)
         if stage_result.newton_bisections:
             self._c_bisect.inc(stage_result.newton_bisections)
         return self._to_arc(stage_result)
+
+    def _degrade_key(self, ctype: CellType, key: tuple, exc: SolverError) -> ArcResult:
+        """Substitute a conservative bound for an arc whose solve failed.
+
+        Strict mode re-raises instead (the pre-degradation fail-fast
+        behaviour); otherwise the substitution is counted under
+        ``solver.degraded_arcs`` and annotated in :attr:`degraded`.
+        """
+        if self.strict:
+            raise exc
+        arc = self._conservative_arc(ctype, key)
+        self._c_degraded.inc()
+        name, pin, direction, tt, c_passive, c_active, aiding = key
+        self.degraded.append(
+            {
+                "cell": name,
+                "pin": pin,
+                "input_direction": direction,
+                "input_transition": tt,
+                "c_passive": c_passive,
+                "c_active": c_active,
+                "aiding": bool(aiding),
+                "bound": arc.t_late,
+                "reason": f"{type(exc).__name__}: {exc}",
+            }
+        )
+        logger.warning(
+            "arc %s/%s (%s) failed to solve (%s); substituting conservative "
+            "ramp bound t_late=%.3e s",
+            name,
+            pin,
+            direction,
+            exc,
+            arc.t_late,
+        )
+        return arc
+
+    # Voltage margin beyond the rails the bound's traversal allows for
+    # (coupling overshoot); matches the stage tables' grid margin.
+    _BOUND_MARGIN = 0.3
+    # Drive floor when even the table minimum is unusable (amperes).  At
+    # femtofarad-scale loads this puts the bound around tens of
+    # nanoseconds -- orders of magnitude above any real stage delay.
+    _BOUND_CURRENT_FLOOR = 1e-7
+
+    def _conservative_arc(self, ctype: CellType, key: tuple) -> ArcResult:
+        """A provably conservative ramp response for one arc situation.
+
+        Models the stage as charging its total load through the *weakest*
+        drive current found anywhere along the output traversal once the
+        input has settled::
+
+            T = C_total * span / I_min
+
+        The true output (a) starts moving no later than the assumed
+        start (input fully settled at ``tt``) and (b) moves at every
+        voltage at least as fast as ``I_min / C_total``, so ``tt + T``
+        can only overestimate the late crossing.  Opposing active
+        coupling may additionally yank the victim back by at most the
+        full span once (divider drop + recovery), covered by a second
+        ``T``.  The early marker is pinned to the input ramp start (time
+        0): the output cannot move before its cause.  The transition
+        upper bound follows from the thresholds: both slew markers lie
+        inside ``[0, t_late]`` and the slew is the marker gap over 0.8.
+        """
+        _, pin, input_direction, tt, c_passive, c_active, aiding = key
+        vdd = self.process.vdd
+        out_direction = opposite(input_direction)
+        margin = self._BOUND_MARGIN
+        span = vdd + margin - self.process.v_th_model
+        c_total = max(c_passive + c_active, self.cap_grid)
+
+        i_min = 0.0
+        table = self._stage_tables.get((ctype.name, pin))
+        if table is not None:
+            vin_final = vdd if input_direction == RISING else 0.0
+            if out_direction == RISING:
+                v_path = np.linspace(-margin, vdd - self.process.v_th_model, 97)
+            else:
+                v_path = np.linspace(self.process.v_th_model, vdd + margin, 97)
+            currents = np.abs(
+                table.current_array(np.full_like(v_path, vin_final), v_path)
+            )
+            if np.isfinite(currents).all():
+                i_min = float(currents.min())
+        if not i_min > 0.0:
+            i_min = self._BOUND_CURRENT_FLOOR
+
+        t_traverse = c_total * span / i_min
+        recovery = t_traverse if c_active > 0.0 else 0.0
+        t_late = tt + t_traverse + recovery
+        return ArcResult(
+            direction=out_direction,
+            t_cross=t_late,
+            transition=1.25 * t_late,
+            t_early=0.0,
+            t_late=t_late,
+            coupled=c_active > 0.0,
+        )
 
     @staticmethod
     def _to_arc(stage_result: StageResult) -> ArcResult:
@@ -461,19 +622,33 @@ class GateDelayCalculator:
             )
             for (name, pin, direction, tt, c_passive, c_active, aiding) in keys
         ]
-        results = solver.solve_many(specs)
+        try:
+            results = solver.solve_many(specs)
+        except SolverError as exc:
+            if self.strict:
+                raise
+            self._c_batch_fallbacks.inc()
+            logger.warning(
+                "batched solve of %d arcs failed (%s); falling back to "
+                "per-arc scalar solves",
+                len(keys),
+                exc,
+            )
+            for key in keys:
+                self._arc_cache[key] = self._solve_key(misses[key], key)
+            return
         for key, stage_result in zip(keys, results):
             self._arc_cache[key] = self._to_arc(stage_result)
         self._c_evaluations.inc(len(keys))
         self._c_batched.inc(len(keys))
 
     def _solve_keys_pooled(self, misses: dict[tuple, CellType]) -> None:
-        """Fan the distinct solves out over worker processes."""
-        from concurrent.futures import ProcessPoolExecutor
+        """Fan the distinct solves out over worker processes.
 
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
-
+        Chunks are submitted one future at a time so a dead or hung
+        worker is detected per chunk; see :meth:`_run_pool_chunk` for the
+        retry/quarantine policy.
+        """
         keys = list(misses)
         table_specs: list = []
         spec_index: dict = {}
@@ -490,24 +665,130 @@ class GateDelayCalculator:
 
         chunks = max(1, self.workers)
         chunk_size = (len(items) + chunks - 1) // chunks
-        payloads = [
-            (self.process, self.table_points, table_specs, items[i : i + chunk_size])
-            for i in range(0, len(items), chunk_size)
-        ]
-        flat: list = []
-        for chunk_rows, chunk_snapshot in self._executor.map(
-            _pool_solve_chunk, payloads
-        ):
-            flat.extend(chunk_rows)
-            self.metrics.merge_snapshot(chunk_snapshot)
-        for key, fields in zip(keys, flat):
-            direction, t_cross, transition, t_early, t_late, coupled = fields
-            self._arc_cache[key] = ArcResult(
-                direction, t_cross, transition, t_early, t_late, coupled
+        for index, start in enumerate(range(0, len(items), chunk_size)):
+            chunk_keys = keys[start : start + chunk_size]
+            base_payload = (
+                self.process,
+                self.table_points,
+                table_specs,
+                items[start : start + chunk_size],
             )
-        self._c_evaluations.inc(len(keys))
-        self._c_batched.inc(len(keys))
-        self._c_pool.inc(len(keys))
+            rows = self._run_pool_chunk(base_payload, index, chunk_keys, misses)
+            if rows is None:
+                # The chunk was solved (and counted) one arc at a time by
+                # the scalar fallback inside _run_pool_chunk.
+                continue
+            for key, fields in zip(chunk_keys, rows):
+                direction, t_cross, transition, t_early, t_late, coupled = fields
+                self._arc_cache[key] = ArcResult(
+                    direction, t_cross, transition, t_early, t_late, coupled
+                )
+            self._c_evaluations.inc(len(rows))
+            self._c_batched.inc(len(rows))
+            self._c_pool.inc(len(rows))
+
+    def _run_pool_chunk(
+        self,
+        base_payload: tuple,
+        chunk_index: int,
+        chunk_keys: list[tuple],
+        misses: dict[tuple, CellType],
+    ) -> list | None:
+        """Solve one chunk on the pool, surviving worker faults.
+
+        Worker death (BrokenProcessPool), per-chunk timeouts and OS-level
+        submission failures are retried up to ``worker_retries`` times
+        with exponential backoff, rebuilding the executor each time.  A
+        chunk that still fails is quarantined: replayed in-process (bit-
+        identical to the pool result), and if even that raises a solver
+        error, each arc is solved individually so only the sick arcs
+        degrade.  Returns the chunk's result rows, or ``None`` when the
+        per-arc fallback already cached (and counted) the results.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as PoolTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        attempts = self.worker_retries + 1
+        for attempt in range(attempts):
+            payload = (*base_payload, self._take_pool_fault(chunk_index))
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            future = self._executor.submit(_pool_solve_chunk, payload)
+            try:
+                rows, snapshot = future.result(timeout=self.worker_timeout)
+            except SolverError:
+                # Deterministic numerical failure: a retry would fail
+                # identically, so go straight to the in-process fallback.
+                break
+            except (BrokenProcessPool, PoolTimeout, TimeoutError, OSError) as exc:
+                self._c_worker_failures.inc()
+                self._reset_executor()
+                if attempt + 1 < attempts:
+                    self._c_worker_retries.inc()
+                    delay = self.retry_backoff * (2**attempt)
+                    logger.warning(
+                        "worker chunk %d failed (%s: %s); retrying in %.0f ms",
+                        chunk_index,
+                        type(exc).__name__,
+                        exc,
+                        delay * 1e3,
+                    )
+                    time.sleep(delay)
+                else:
+                    logger.warning(
+                        "worker chunk %d failed (%s: %s) after %d attempts; "
+                        "quarantining and evaluating in-process",
+                        chunk_index,
+                        type(exc).__name__,
+                        exc,
+                        attempts,
+                    )
+            else:
+                self.metrics.merge_snapshot(snapshot)
+                return rows
+
+        self._c_quarantined_chunks.inc()
+        self._c_serial_fallbacks.inc()
+        try:
+            rows, snapshot = _pool_solve_chunk((*base_payload, None))
+        except SolverError as exc:
+            if self.strict:
+                raise
+            logger.warning(
+                "chunk %d failed in-process as well (%s); solving its arcs "
+                "one at a time",
+                chunk_index,
+                exc,
+            )
+            for key in chunk_keys:
+                if key not in self._arc_cache:
+                    self._arc_cache[key] = self._solve_key(misses[key], key)
+            return None
+        self.metrics.merge_snapshot(snapshot)
+        return rows
+
+    def _take_pool_fault(self, chunk_index: int) -> dict | None:
+        """Consume one injected worker fault, if the harness armed any.
+
+        The spec is decremented parent-side so a ``times=N`` injection
+        fires on exactly N chunk submissions regardless of worker
+        scheduling -- that is what makes pool-fault tests deterministic.
+        """
+        spec = self.pool_fault
+        if not spec or spec.get("times", 0) <= 0:
+            return None
+        only = spec.get("chunks")
+        if only is not None and chunk_index not in only:
+            return None
+        spec["times"] -= 1
+        return {"action": spec["action"], "seconds": spec.get("seconds", 30.0)}
+
+    def _reset_executor(self) -> None:
+        """Tear down the pool so the next chunk starts on fresh workers."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
 
     def close(self) -> None:
         """Shut down the worker pool, if one was started."""
@@ -541,15 +822,20 @@ class GateDelayCalculator:
         """Write the arc cache as JSON keyed by the library fingerprint.
 
         Returns the number of entries written.  The write is atomic
-        (temp file + rename) so concurrent runs never read a torn file.
+        (temp file + rename) so concurrent runs never read a torn file,
+        and the arc table carries a content checksum so silent corruption
+        (bit rot, partial copies) is caught at load time.
         """
+        arcs = [
+            [list(key), [r.direction, r.t_cross, r.transition, r.t_early, r.t_late, r.coupled]]
+            for key, r in self._arc_cache.items()
+        ]
+        body = json.dumps(arcs, sort_keys=True)
         payload = {
             "format": CACHE_FORMAT,
             "fingerprint": self.fingerprint(cell_types),
-            "arcs": [
-                [list(key), [r.direction, r.t_cross, r.transition, r.t_early, r.t_late, r.coupled]]
-                for key, r in self._arc_cache.items()
-            ],
+            "checksum": hashlib.sha256(body.encode()).hexdigest(),
+            "arcs": arcs,
         }
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w") as handle:
@@ -557,12 +843,34 @@ class GateDelayCalculator:
         os.replace(tmp, path)
         return len(self._arc_cache)
 
+    def _quarantine_cache(self, path: str, reason: str) -> int:
+        """Move a corrupt cache file aside so the rebuild cannot re-read
+        it; strict mode raises a :class:`CacheError` instead of rebuilding."""
+        self._c_cache_quarantined.inc()
+        quarantined = f"{path}.bad"
+        try:
+            os.replace(path, quarantined)
+            where = f"quarantined to {quarantined}"
+        except OSError:
+            where = "could not be quarantined"
+        logger.warning(
+            "arc cache %s is corrupt (%s); %s, rebuilding from scratch",
+            path,
+            reason,
+            where,
+        )
+        if self.strict:
+            raise CacheError(f"arc cache {path} is corrupt: {reason}")
+        return 0
+
     def load_cache_file(self, path: str, cell_types: Iterable[CellType]) -> int:
         """Load a persistent arc cache if it matches this configuration.
 
         Silently ignores missing, unreadable, wrong-format or
-        stale-fingerprint files (a cold start is always safe).  Returns
-        the number of entries adopted.
+        stale-fingerprint files (a cold start is always safe).  Corrupt
+        files -- unparseable, checksum mismatch, malformed or non-finite
+        arc entries -- are additionally quarantined to ``<path>.bad``.
+        Returns the number of entries adopted.
         """
         try:
             with open(path) as handle:
@@ -570,10 +878,8 @@ class GateDelayCalculator:
         except OSError:
             return 0
         except ValueError:
-            self._c_stale.inc()
-            logger.warning("arc cache %s is not valid JSON; ignoring", path)
-            return 0
-        if payload.get("format") != CACHE_FORMAT:
+            return self._quarantine_cache(path, "not valid JSON")
+        if not isinstance(payload, dict) or payload.get("format") != CACHE_FORMAT:
             self._c_stale.inc()
             logger.warning("arc cache %s has an unknown format; ignoring", path)
             return 0
@@ -583,16 +889,40 @@ class GateDelayCalculator:
                 "arc cache %s was built for a different configuration; ignoring", path
             )
             return 0
+        arcs = payload.get("arcs", [])
+        body = json.dumps(arcs, sort_keys=True)
+        if hashlib.sha256(body.encode()).hexdigest() != payload.get("checksum"):
+            return self._quarantine_cache(path, "content checksum mismatch")
+        entries: list[tuple[tuple, ArcResult]] = []
+        try:
+            for raw_key, fields in arcs:
+                name, pin, direction, tt, c_passive, c_active, aiding = raw_key
+                out_direction, t_cross, transition, t_early, t_late, coupled = fields
+                numbers = (tt, c_passive, c_active, t_cross, transition, t_early, t_late)
+                if not all(
+                    isinstance(v, (int, float)) and math.isfinite(v) for v in numbers
+                ):
+                    raise ValueError("non-finite arc entry")
+                entries.append(
+                    (
+                        (name, pin, direction, tt, c_passive, c_active, bool(aiding)),
+                        ArcResult(
+                            out_direction,
+                            t_cross,
+                            transition,
+                            t_early,
+                            t_late,
+                            bool(coupled),
+                        ),
+                    )
+                )
+        except (TypeError, ValueError):
+            return self._quarantine_cache(path, "malformed arc entries")
         loaded = 0
-        for raw_key, fields in payload.get("arcs", []):
-            name, pin, direction, tt, c_passive, c_active, aiding = raw_key
-            key = (name, pin, direction, tt, c_passive, c_active, bool(aiding))
+        for key, arc in entries:
             if key in self._arc_cache:
                 continue
-            out_direction, t_cross, transition, t_early, t_late, coupled = fields
-            self._arc_cache[key] = ArcResult(
-                out_direction, t_cross, transition, t_early, t_late, bool(coupled)
-            )
+            self._arc_cache[key] = arc
             loaded += 1
         self._c_persisted.inc(loaded)
         return loaded
@@ -611,8 +941,11 @@ class GateDelayCalculator:
             "pool_solves": self.pool_solves,
             "persisted_loads": self.persisted_loads,
             "stale_rejects": self._c_stale.value,
+            "quarantined": self._c_cache_quarantined.value,
             "newton_iterations": self._h_newton.total,
             "newton_bisections": self._c_bisect.value,
+            "degraded_arcs": self._c_degraded.value,
+            "worker_failures": self._c_worker_failures.value,
         }
 
     def reset_counters(self) -> None:

@@ -20,11 +20,12 @@ import numpy as np
 from repro.devices.newton import solve_newton
 from repro.devices.params import ProcessParams, default_process
 from repro.devices.tables import StageTable
+from repro.errors import SolverError
 from repro.waveform.coupling import CouplingLoad
 from repro.waveform.pwl import FALLING, RISING, Waveform, opposite
 
 
-class StageSolverError(RuntimeError):
+class StageSolverError(SolverError):
     """Raised when the integration cannot complete."""
 
 

@@ -50,8 +50,8 @@ class TestInfo:
         assert "s35932_like" in out
 
     def test_unknown_generator(self):
-        with pytest.raises(SystemExit, match="unknown generator"):
-            main(["info", "gen:s99999"])
+        # Input errors map to exit code 2 instead of raising out of main.
+        assert main(["info", "gen:s99999"]) == 2
 
     def test_bench_file(self, tmp_path, capsys):
         from repro.circuit.benchmarks import S27_BENCH

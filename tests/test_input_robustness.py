@@ -1,0 +1,88 @@
+"""Property tests for input-fault containment.
+
+Whatever garbage arrives at the parsers and table loaders, the only
+exception allowed out is the taxonomy's :class:`InputError` (or a
+subclass such as :class:`BenchParseError`) -- never a bare
+``KeyError``/``IndexError``/``AttributeError`` from deep inside.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.bench import BenchParseError, parse_bench
+from repro.circuit.benchmarks import S27_BENCH
+from repro.devices.tables import _BilinearGrid
+from repro.errors import InputError
+
+_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestBenchFuzz:
+    @given(st.text(alphabet=st.characters(max_codepoint=0x7F), max_size=300))
+    @_settings
+    def test_arbitrary_text_only_raises_bench_parse_error(self, text):
+        try:
+            parse_bench(text, name="fuzz")
+        except BenchParseError:
+            pass  # the only acceptable failure, and it is an InputError
+
+    @given(
+        st.integers(min_value=0, max_value=len(S27_BENCH) - 1),
+        st.integers(min_value=1, max_value=40),
+        st.sampled_from(["delete", "duplicate", "garble"]),
+    )
+    @_settings
+    def test_mutated_s27_only_raises_bench_parse_error(self, pos, length, op):
+        text = S27_BENCH
+        if op == "delete":
+            mutated = text[:pos] + text[pos + length :]
+        elif op == "duplicate":
+            mutated = text[:pos] + text[pos : pos + length] + text[pos:]
+        else:
+            mutated = text[:pos] + "(,)=" * (length // 4 + 1) + text[pos + length :]
+        try:
+            parse_bench(mutated, name="mutated")
+        except BenchParseError:
+            pass
+
+    def test_bench_parse_error_is_input_error(self):
+        with pytest.raises(InputError):
+            parse_bench("G1 = FROB(G2)", name="bad")
+
+
+class TestNonFiniteTables:
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=8),
+        st.sampled_from([np.nan, np.inf, -np.inf]),
+    )
+    @_settings
+    def test_single_poisoned_value_rejected(self, i, j, poison):
+        axis = np.linspace(0.0, 3.3, 9)
+        values = np.ones((9, 9))
+        values[i, j] = poison
+        with pytest.raises(InputError):
+            _BilinearGrid(axis, axis, values)
+
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.sampled_from([np.nan, np.inf, -np.inf]),
+    )
+    @_settings
+    def test_poisoned_axis_rejected(self, i, poison):
+        axis = np.linspace(0.0, 3.3, 9).copy()
+        axis[i] = poison
+        values = np.ones((9, 9))
+        with pytest.raises(InputError):
+            _BilinearGrid(axis, axis, values)
+
+    def test_finite_table_accepted(self):
+        axis = np.linspace(0.0, 3.3, 9)
+        grid = _BilinearGrid(axis, axis, np.ones((9, 9)))
+        assert grid.lookup(1.0, 1.0) == pytest.approx(1.0)
