@@ -47,6 +47,22 @@ def engine_comparison(scale, record_result):
                 "waveform_evaluations": result.waveform_evaluations,
                 "arcs_per_second": result.arcs_processed / seconds,
                 "passes": result.passes,
+                # Per-pass series: how the delta-driven engine's work
+                # decays over the iterative passes (pass 1 pays in full,
+                # later passes only re-solve dirty arcs).
+                "pass_series": [
+                    {
+                        "index": record.index,
+                        "seconds": record.seconds,
+                        "waveform_evaluations": record.waveform_evaluations,
+                        "cache_evaluations": record.cache_evaluations,
+                        "dedup_hits": record.cache_dedup_hits,
+                        "persisted_hits": record.cache_persisted_hits,
+                        "dirty_arcs": record.dirty_arcs,
+                        "reused_arcs": record.reused_arcs,
+                    }
+                    for record in result.history
+                ],
                 # Per-run metrics delta (counters/gauges/histograms) so CI
                 # can track solver behaviour, not just wall-clock.
                 "metrics": result.telemetry.metrics if result.telemetry else {},
@@ -103,11 +119,37 @@ def test_engines_agree_within_guard_band(engine_comparison, benchmark):
 
 def test_batch_speedup_on_one_step(engine_comparison, benchmark):
     """The headline claim: the batch engine accelerates the paper's
-    one-step analysis by at least 3x at the default benchmark scale."""
+    one-step analysis substantially at the default benchmark scale.
+
+    The floor is 2x, not the historical 3.4x: signature canonicalization
+    removed most of the scalar engine's fixed cost (it now builds ~9
+    stage tables instead of 75 and dedups aliased pins' solves), so the
+    batch engine's *relative* advantage shrank while both absolute times
+    improved."""
     row = next(
         r for r in engine_comparison["rows"] if r["mode"] == AnalysisMode.ONE_STEP.value
     )
-    assert row["speedup"] >= 3.0, f"one-step speedup only {row['speedup']:.2f}x"
+    assert row["speedup"] >= 2.0, f"one-step speedup only {row['speedup']:.2f}x"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_iterative_pass_work_decays(engine_comparison, benchmark):
+    """Delta-driven reuse: from the second pass on, at most 30% of the
+    first pass's waveform evaluations are issued (both engines)."""
+    row = next(
+        r
+        for r in engine_comparison["rows"]
+        if r["mode"] == AnalysisMode.ITERATIVE.value
+    )
+    for engine, entry in row["engines"].items():
+        series = entry["pass_series"]
+        assert len(series) >= 2, f"{engine}: iterative converged in one pass"
+        first = series[0]["waveform_evaluations"]
+        for later in series[1:]:
+            assert later["waveform_evaluations"] <= 0.30 * first, (
+                f"{engine}: pass {later['index']} issued "
+                f"{later['waveform_evaluations']} of {first} evaluations"
+            )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

@@ -105,6 +105,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         engine=Engine(args.engine),
         workers=args.workers,
         arc_cache=args.arc_cache,
+        incremental=not args.no_incremental,
         strict=args.strict,
         max_degraded=args.max_degraded,
         checkpoint=args.checkpoint,
@@ -278,6 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--arc-cache",
         metavar="FILE",
         help="persistent arc-cache file reused across runs",
+    )
+    analyze.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable delta-driven reuse between iterative passes "
+        "(every pass re-solves every arc; results are identical)",
     )
     analyze.add_argument(
         "--strict",

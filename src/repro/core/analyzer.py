@@ -182,6 +182,10 @@ class CrosstalkSTA:
                         total_cells=len(propagator.order),
                         cache_evaluations=final.cache_evaluations,
                         cache_hits=final.cache_hits,
+                        cache_dedup_hits=final.cache_dedup_hits,
+                        cache_persisted_hits=final.cache_persisted_hits,
+                        dirty_arcs=final.dirty_arcs,
+                        reused_arcs=final.reused_arcs,
                         phase_seconds=dict(final.phase_seconds),
                     )
                 ]

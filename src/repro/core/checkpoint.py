@@ -90,8 +90,12 @@ def _encode_pass(result: PassResult) -> dict:
         "waveform_evaluations": result.waveform_evaluations,
         "arcs_processed": result.arcs_processed,
         "coupled_arcs": result.coupled_arcs,
+        "dirty_arcs": result.dirty_arcs,
+        "reused_arcs": result.reused_arcs,
         "cache_evaluations": result.cache_evaluations,
         "cache_hits": result.cache_hits,
+        "cache_dedup_hits": result.cache_dedup_hits,
+        "cache_persisted_hits": result.cache_persisted_hits,
         "phase_seconds": {k: _hex(v) for k, v in result.phase_seconds.items()},
     }
 
@@ -124,8 +128,12 @@ def _decode_pass(raw: dict) -> PassResult:
         waveform_evaluations=raw["waveform_evaluations"],
         arcs_processed=raw["arcs_processed"],
         coupled_arcs=raw["coupled_arcs"],
+        dirty_arcs=raw.get("dirty_arcs", 0),
+        reused_arcs=raw.get("reused_arcs", 0),
         cache_evaluations=raw["cache_evaluations"],
         cache_hits=raw["cache_hits"],
+        cache_dedup_hits=raw.get("cache_dedup_hits", 0),
+        cache_persisted_hits=raw.get("cache_persisted_hits", 0),
         phase_seconds={k: _unhex(v) for k, v in raw["phase_seconds"].items()},
     )
 
@@ -140,6 +148,10 @@ def _encode_record(record: IterationRecord) -> dict:
         "total_cells": record.total_cells,
         "cache_evaluations": record.cache_evaluations,
         "cache_hits": record.cache_hits,
+        "cache_dedup_hits": record.cache_dedup_hits,
+        "cache_persisted_hits": record.cache_persisted_hits,
+        "dirty_arcs": record.dirty_arcs,
+        "reused_arcs": record.reused_arcs,
         "phase_seconds": {k: _hex(v) for k, v in record.phase_seconds.items()},
     }
 
@@ -154,6 +166,10 @@ def _decode_record(raw: dict) -> IterationRecord:
         total_cells=raw["total_cells"],
         cache_evaluations=raw["cache_evaluations"],
         cache_hits=raw["cache_hits"],
+        cache_dedup_hits=raw.get("cache_dedup_hits", 0),
+        cache_persisted_hits=raw.get("cache_persisted_hits", 0),
+        dirty_arcs=raw.get("dirty_arcs", 0),
+        reused_arcs=raw.get("reused_arcs", 0),
         phase_seconds={k: _unhex(v) for k, v in raw["phase_seconds"].items()},
     )
 

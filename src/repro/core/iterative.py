@@ -55,6 +55,16 @@ class IterationRecord:
     total_cells: int
     cache_evaluations: int = 0
     cache_hits: int = 0
+    # Hit taxonomy (distinct, not conflated): in-run deduplication --
+    # the same canonical arc situation requested again -- versus reuse
+    # of entries loaded from a persistent cache file.
+    cache_dedup_hits: int = 0
+    cache_persisted_hits: int = 0
+    # Delta-driven accounting: arcs that needed at least one waveform
+    # solve this pass versus arcs served entirely from the previous
+    # pass's memo (unchanged fingerprints).
+    dirty_arcs: int = 0
+    reused_arcs: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -67,6 +77,19 @@ class IterationRecord:
     def cache_hit_rate(self) -> float:
         lookups = self.cache_evaluations + self.cache_hits
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of cache lookups served by in-run deduplication
+        (excludes persistent-cache loads, which are not this run's work)."""
+        lookups = self.cache_evaluations + self.cache_hits
+        return self.cache_dedup_hits / lookups if lookups else 0.0
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Fraction of this pass's arcs that actually required solving."""
+        arcs = self.dirty_arcs + self.reused_arcs
+        return self.dirty_arcs / arcs if arcs else 0.0
 
     def to_dict(self) -> dict:
         """JSON-safe summary for telemetry artifacts."""
@@ -81,6 +104,12 @@ class IterationRecord:
             "cache_evaluations": self.cache_evaluations,
             "cache_hits": self.cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
+            "cache_dedup_hits": self.cache_dedup_hits,
+            "cache_persisted_hits": self.cache_persisted_hits,
+            "dedup_ratio": self.dedup_ratio,
+            "dirty_arcs": self.dirty_arcs,
+            "reused_arcs": self.reused_arcs,
+            "dirty_fraction": self.dirty_fraction,
             "phase_seconds": dict(self.phase_seconds),
         }
 
@@ -135,6 +164,7 @@ def run_iterative(
     metrics = obs.metrics
     g_passes = metrics.gauge("iterative.passes")
     g_recalc = metrics.gauge("iterative.recalc_fraction")
+    g_dirty = metrics.gauge("iterative.dirty_fraction")
     g_waves = metrics.gauge("iterative.coupling_waves")
     c_waves = metrics.counter("propagation.coupling_waves")
     c_osc = metrics.counter("iterative.oscillation_stops")
@@ -165,6 +195,10 @@ def run_iterative(
                     total_cells=total_cells,
                     cache_evaluations=current.cache_evaluations,
                     cache_hits=current.cache_hits,
+                    cache_dedup_hits=current.cache_dedup_hits,
+                    cache_persisted_hits=current.cache_persisted_hits,
+                    dirty_arcs=current.dirty_arcs,
+                    reused_arcs=current.reused_arcs,
                     phase_seconds=dict(current.phase_seconds),
                 )
             )
@@ -202,10 +236,15 @@ def run_iterative(
                 total_cells=total_cells,
                 cache_evaluations=next_pass.cache_evaluations,
                 cache_hits=next_pass.cache_hits,
+                cache_dedup_hits=next_pass.cache_dedup_hits,
+                cache_persisted_hits=next_pass.cache_persisted_hits,
+                dirty_arcs=next_pass.dirty_arcs,
+                reused_arcs=next_pass.reused_arcs,
                 phase_seconds=dict(next_pass.phase_seconds),
             )
             history.append(record)
             g_recalc.set(record.recalc_fraction)
+            g_dirty.set(record.dirty_fraction)
         improved = next_pass.longest_delay < best.longest_delay - config.convergence_tolerance
         # Each pass is individually a valid upper bound, so a delay that
         # climbs back *above* the best bound means the coupling decisions

@@ -149,6 +149,16 @@ class StaConfig:
         persisted after every pass; when the file already holds passes
         for this exact analysis, the run resumes from them
         (bit-identical to an uninterrupted run).
+    incremental:
+        Delta-driven re-propagation between iterative passes: each arc's
+        inputs (arrival event and decided coupling load) are
+        fingerprinted with *exact* float equality, and an arc whose
+        fingerprint is unchanged reuses the previous pass's waveform
+        instead of re-solving.  Reuse is bit-identical by construction
+        (equal inputs into a deterministic, cached calculator produce
+        equal outputs), so this is purely a performance feature; disable
+        to force every pass to pay full price (diagnosis, benchmarking
+        baselines).
     worker_retries:
         How many times a worker chunk that died or timed out is resubmitted
         (with exponential backoff) before it is quarantined and evaluated
@@ -173,6 +183,7 @@ class StaConfig:
     engine: Engine = Engine.SCALAR
     workers: int = 0
     arc_cache: str | None = None
+    incremental: bool = True
     strict: bool = False
     max_degraded: int | None = None
     checkpoint: str | None = None

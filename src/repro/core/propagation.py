@@ -8,6 +8,26 @@ the paper's pseudo-code and decide each neighbour's coupling treatment by
 comparing the aggressor's quiescent time with the victim's earliest
 possible activity.
 
+Between iterative passes the propagator is additionally *delta-driven*
+(``StaConfig.incremental``): it keeps a per-arc memo of the last pass's
+solve-relevant inputs -- the arrival's direction and transition, and the
+decided coupling load -- together with the *origin-free relative*
+results (:class:`~repro.waveform.gatedelay.ArcResult`).  An arc whose
+inputs are unchanged (compared with exact float equality, not a
+tolerance) re-anchors the memoized relative waveform at the current
+arrival's time origin instead of re-solving; because the full path would
+hit the identical quantized cache entry and shift it by the identical
+origin, the reused event is bit-for-bit what a fresh solve would return.
+Crucially the arrival's *crossing time* is not part of the fingerprint
+-- it only chooses the origin -- so an arc whose arrival merely shifted
+stays clean, and dirtiness propagates only through genuine shape
+changes: an input transition that moved, or a coupling decision that
+flipped because an aggressor window shifted, forces a fresh solve, which
+in turn may dirty arcs downstream and across coupling edges.  The cheap
+parts of the pass (task gathering, window comparisons, merging) always
+run in full, so the coupling *decisions* are re-derived every pass from
+current windows; only the expensive waveform evaluations are skipped.
+
 The pass is *level-batched*: cells are processed one topological level
 at a time (:func:`repro.core.graph.evaluation_levels`).  All waveform
 calculations that do not depend on other nets' timing (the fixed loads
@@ -47,7 +67,7 @@ from repro.obs.metrics import SMALL_COUNT_BUCKETS
 from repro.obs.telemetry import Observability
 from repro.errors import EngineError
 from repro.waveform.coupling import CouplingLoad, CouplingTreatment, aggregate_load
-from repro.waveform.gatedelay import ArcRequest, GateDelayCalculator
+from repro.waveform.gatedelay import ArcRequest, ArcResult, GateDelayCalculator
 from repro.waveform.pwl import FALLING, RISING, opposite
 from repro.waveform.ramp import RampEvent, merge_worst
 
@@ -82,8 +102,12 @@ class PassResult:
     waveform_evaluations: int = 0
     arcs_processed: int = 0
     coupled_arcs: int = 0
+    dirty_arcs: int = 0
+    reused_arcs: int = 0
     cache_evaluations: int = 0
     cache_hits: int = 0
+    cache_dedup_hits: int = 0
+    cache_persisted_hits: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
     def arrival_map(self) -> dict[tuple[str, str], float]:
@@ -112,6 +136,49 @@ def ideal_ramp_event(
     )
 
 
+def _arrival_fp(event: RampEvent) -> tuple[str, float]:
+    """The exact solve-relevant fingerprint of an arrival event.
+
+    The arc calculation consumes the input event only through its
+    direction and transition (the ramp the stage solver integrates) and
+    its crossing time -- and the latter enters *only* as the time origin
+    the origin-free relative result is shifted by
+    (:meth:`~repro.waveform.gatedelay.ArcResult.to_event`).  The window
+    markers ``t_early``/``t_late`` never enter at all; they only feed
+    *other* arcs' coupling decisions, which are re-derived every pass
+    anyway.  The memo therefore stores the *relative* results and
+    fingerprints only ``(direction, transition)`` with exact float
+    equality: an arc whose arrival merely shifted in time (the common
+    case between iterative passes, where windows tighten while ramp
+    shapes stabilize after the first pass) re-anchors the memoized
+    relative waveform at the new origin -- bit-identical to what a fresh
+    solve would return, because the unchanged quantized cache key maps to
+    the same cached :class:`ArcResult`.
+    """
+    return (event.direction, event.transition)
+
+
+@dataclass
+class _ArcMemo:
+    """Last-pass fingerprint and relative outputs of one timing arc.
+
+    ``arrival_fp`` and ``final_load`` are the arc's *inputs* (compared
+    with exact float equality); the :class:`ArcResult` values are the
+    origin-free outputs the next pass may re-anchor and reuse when the
+    inputs are unchanged.  ``final_load`` is the load the final result
+    was actually solved with -- the decided aggregate for coupled arcs,
+    the fixed/plain load for unwindowed ones, and ``None`` when the pass
+    short-circuited to the best-case waveform.
+    """
+
+    arrival_fp: tuple[str, float]
+    best: ArcResult | None
+    worst: ArcResult | None
+    final_load: CouplingLoad | None
+    final: ArcResult
+    coupled: bool
+
+
 @dataclass
 class _ArcTask:
     """One timing arc of the current level, carried through the phases."""
@@ -125,11 +192,22 @@ class _ArcTask:
     prov_direction: str
     windowed: bool = False
     plain_load: CouplingLoad | None = None
+    best_rel: ArcResult | None = None
+    worst_rel: ArcResult | None = None
     best_event: RampEvent | None = None
     worst_event: RampEvent | None = None
     final_load: CouplingLoad | None = None
+    final_rel: ArcResult | None = None
     final_event: RampEvent | None = None
     coupled: bool = False
+    memo: _ArcMemo | None = None
+    evaluated: bool = False
+
+    @property
+    def t_start(self) -> float:
+        """Time origin the relative arc results are anchored at (the
+        start of the arriving input ramp)."""
+        return self.arrival.t_cross - 0.5 * self.arrival.transition
 
 
 class Propagator:
@@ -168,6 +246,11 @@ class Propagator:
         self._clock_nets = {
             name for name, net in design.circuit.nets.items() if net.is_clock
         }
+        # Delta-driven pass-to-pass memo: arc identity -> last inputs and
+        # outputs (see _ArcMemo).  The identity triple is unique per arc
+        # task: gates key by (cell, input pin, input direction); flip-flop
+        # launch tasks share pin "A" but differ in arrival direction.
+        self._memo: dict[tuple[str, str, str], _ArcMemo] = {}
         metrics = self.obs.metrics
         self._c_phase = {
             phase: metrics.counter("propagation.phase_seconds", phase=phase)
@@ -177,6 +260,8 @@ class Propagator:
         self._c_arcs = metrics.counter("propagation.arcs_processed")
         self._c_evals = metrics.counter("propagation.waveform_evaluations")
         self._c_coupled = metrics.counter("propagation.coupled_arcs")
+        self._c_dirty = metrics.counter("propagation.dirty_arcs")
+        self._c_reused = metrics.counter("propagation.reused_arcs")
         self._c_waves = metrics.counter("propagation.coupling_waves")
         self._h_waves = metrics.histogram(
             "propagation.waves_per_level", boundaries=SMALL_COUNT_BUCKETS
@@ -202,6 +287,8 @@ class Propagator:
         result = PassResult(state=state)
         eval_before = self.calculator.evaluations
         hits_before = self.calculator.cache_hits
+        dedup_before = self.calculator.dedup_hits
+        persisted_before = self.calculator.persisted_hits
         timers = {phase: 0.0 for phase in PASS_PHASES}
         tracer = self.obs.tracer
 
@@ -304,6 +391,23 @@ class Propagator:
                                     c_active=0.0,
                                 ),
                             )
+                            if task.evaluated:
+                                result.dirty_arcs += 1
+                            else:
+                                result.reused_arcs += 1
+                            if self.config.incremental:
+                                self._memo[self._memo_key(task)] = _ArcMemo(
+                                    arrival_fp=_arrival_fp(task.arrival),
+                                    best=task.best_rel,
+                                    worst=task.worst_rel,
+                                    final_load=(
+                                        task.final_load
+                                        if task.final_load is not None
+                                        else task.plain_load
+                                    ),
+                                    final=task.final_rel,
+                                    coupled=task.coupled,
+                                )
                         # Wave barrier: these events now count as calculated
                         # for the later waves' and levels' decisions.
                         for cell in wave:
@@ -320,11 +424,15 @@ class Propagator:
 
         result.cache_evaluations = self.calculator.evaluations - eval_before
         result.cache_hits = self.calculator.cache_hits - hits_before
+        result.cache_dedup_hits = self.calculator.dedup_hits - dedup_before
+        result.cache_persisted_hits = self.calculator.persisted_hits - persisted_before
         result.phase_seconds = timers
         self._c_passes.inc()
         self._c_arcs.inc(result.arcs_processed)
         self._c_evals.inc(result.waveform_evaluations)
         self._c_coupled.inc(result.coupled_arcs)
+        self._c_dirty.inc(result.dirty_arcs)
+        self._c_reused.inc(result.reused_arcs)
         for phase, seconds in timers.items():
             self._c_phase[phase].inc(seconds)
         return result
@@ -459,27 +567,56 @@ class Propagator:
 
     # -- phase A: state-independent base waveforms ------------------------------
 
+    @staticmethod
+    def _memo_key(task: _ArcTask) -> tuple[str, str, str]:
+        return (task.cell.name, task.pin_name, task.arrival.direction)
+
     def _phase_base_waveforms(self, tasks: list[_ArcTask], result: PassResult) -> None:
         """Compute every event that does not depend on other nets' timing:
         the fixed-treatment loads of the non-window modes, and the
         best-case (plus, under OVERLAP, the all-active) calculation of the
         window-based modes.  With the batch engine all distinct situations
-        are primed in one vectorized solve first."""
+        are primed in one vectorized solve first.
+
+        Delta-driven reuse: an arc whose arrival matches the previous
+        pass's fingerprint re-anchors the memoized relative best/worst
+        (and, for unwindowed arcs solved with the same load, final)
+        results at the current time origin -- those depend on nothing
+        else, so reuse is exact.
+        """
         mode = self.config.mode
         overlap = self.config.window_check is WindowCheck.OVERLAP
+        incremental = self.config.incremental
         requests: list[ArcRequest] = []
         for task in tasks:
             result.arcs_processed += 1
             load = self.design.loads[task.out_net_name]
+            if incremental:
+                memo = self._memo.get(self._memo_key(task))
+                if memo is not None and memo.arrival_fp == _arrival_fp(task.arrival):
+                    task.memo = memo
             if not mode.is_window_based or not load.couplings:
                 if mode.is_window_based:
                     # No neighbours: nothing to decide, plain grounded load.
                     task.plain_load = CouplingLoad(c_ground=load.c_fixed)
                 else:
                     task.plain_load = self._fixed_load(load, mode)
-                requests.append(self._request(task, task.plain_load))
+                if task.memo is not None and task.memo.final_load == task.plain_load:
+                    task.final_rel = task.memo.final
+                    task.final_event = task.final_rel.to_event(task.t_start)
+                    task.coupled = task.memo.coupled
+                else:
+                    requests.append(self._request(task, task.plain_load))
                 continue
             task.windowed = True
+            if task.memo is not None and task.memo.best is not None:
+                if not overlap or task.memo.worst is not None:
+                    task.best_rel = task.memo.best
+                    task.best_event = task.best_rel.to_event(task.t_start)
+                    if task.memo.worst is not None:
+                        task.worst_rel = task.memo.worst
+                        task.worst_event = task.worst_rel.to_event(task.t_start)
+                    continue
             # One-step / iterative: best-case calculation first ("w_bcs :=
             # calculate waveform for best-case, i.e. all adjacent wires
             # are quiet; t_bcs := time when w_bcs reaches V_th").
@@ -506,21 +643,30 @@ class Propagator:
         for task in tasks:
             load = self.design.loads[task.out_net_name]
             if not task.windowed:
+                if task.final_event is not None:
+                    continue  # reused from the memo above
                 result.waveform_evaluations += 1
-                task.final_event = self._compute(task, task.plain_load)
+                task.evaluated = True
+                task.final_rel = self._compute_rel(task, task.plain_load)
+                task.final_event = task.final_rel.to_event(task.t_start)
                 task.coupled = task.plain_load.has_active_coupling
                 continue
+            if task.best_event is not None:
+                continue  # reused from the memo above
             best_load = CouplingLoad(
                 c_ground=load.c_fixed + load.c_coupling_total, c_couple_active=0.0
             )
             result.waveform_evaluations += 1
-            task.best_event = self._compute(task, best_load)
+            task.evaluated = True
+            task.best_rel = self._compute_rel(task, best_load)
+            task.best_event = task.best_rel.to_event(task.t_start)
             if overlap:
                 worst_load = CouplingLoad(
                     c_ground=load.c_fixed, c_couple_active=load.c_coupling_total
                 )
                 result.waveform_evaluations += 1
-                task.worst_event = self._compute(task, worst_load)
+                task.worst_rel = self._compute_rel(task, worst_load)
+                task.worst_event = task.worst_rel.to_event(task.t_start)
 
     # -- phase B: the coupling decision (Sections 2 and 5) ----------------------
 
@@ -566,20 +712,35 @@ class Propagator:
             if any_active:
                 task.final_load = aggregate_load(load.c_fixed, treatments)
             else:
+                task.final_rel = task.best_rel
                 task.final_event = task.best_event
                 task.coupled = False
 
     # -- phase C: decided final waveforms ---------------------------------------
 
     def _phase_final_waveforms(self, tasks: list[_ArcTask], result: PassResult) -> None:
-        pending = [task for task in tasks if task.final_load is not None]
+        pending: list[_ArcTask] = []
+        for task in tasks:
+            if task.final_load is None:
+                continue
+            result.coupled_arcs += 1
+            # Delta-driven reuse: same arrival shape (checked when the memo
+            # was attached) and same decided load -> same relative waveform,
+            # re-anchored at the current origin.
+            if task.memo is not None and task.memo.final_load == task.final_load:
+                task.final_rel = task.memo.final
+                task.final_event = task.final_rel.to_event(task.t_start)
+                task.coupled = True
+                continue
+            pending.append(task)
         if not pending:
             return
         self._prime([self._request(task, task.final_load) for task in pending])
         for task in pending:
             result.waveform_evaluations += 1
-            result.coupled_arcs += 1
-            task.final_event = self._compute(task, task.final_load)
+            task.evaluated = True
+            task.final_rel = self._compute_rel(task, task.final_load)
+            task.final_event = task.final_rel.to_event(task.t_start)
             task.coupled = True
 
     # -- arc-engine helpers ------------------------------------------------------
@@ -599,9 +760,16 @@ class Propagator:
         if self.config.engine is Engine.BATCH:
             self.calculator.prime_arcs(requests)
 
-    def _compute(self, task: _ArcTask, load: CouplingLoad) -> RampEvent:
-        return self.calculator.compute_arc(
-            task.cell.ctype, task.pin_name, task.arrival, load
+    def _compute_rel(self, task: _ArcTask, load: CouplingLoad) -> ArcResult:
+        """The origin-free arc solve; callers anchor it via
+        ``result.to_event(task.t_start)`` -- exactly what
+        :meth:`GateDelayCalculator.compute_arc` does internally."""
+        return self.calculator.compute_arc_relative(
+            task.cell.ctype,
+            task.pin_name,
+            task.arrival.direction,
+            task.arrival.transition,
+            load,
         )
 
     def _fixed_load(self, load, mode: AnalysisMode) -> CouplingLoad:

@@ -102,19 +102,37 @@ def format_timing_report(
             share = seconds / total if total else 0.0
             lines.append(f"  {phase:20s} {seconds:8.3f} s  ({share:5.1%})")
         for record in result.history:
-            lines.append(
+            # Dedup (in-run canonical sharing) and persistent-cache reuse
+            # are reported separately: only the former is this run's work
+            # avoidance, the latter was paid for by an earlier run.
+            line = (
                 f"  pass {record.index}: {record.seconds:.3f} s, "
                 f"{record.waveform_evaluations} evals, "
-                f"{record.cache_evaluations} solved / {record.cache_hits} hits "
-                f"({record.cache_hit_rate:.1%})"
+                f"{record.cache_evaluations} solved / "
+                f"{record.cache_dedup_hits} dedup "
+                f"({record.dedup_ratio:.1%}) / "
+                f"{record.cache_persisted_hits} persisted"
             )
+            if record.dirty_arcs or record.reused_arcs:
+                line += (
+                    f", {record.dirty_arcs} dirty / {record.reused_arcs} reused arcs"
+                    f" ({record.dirty_fraction:.1%} recalc)"
+                )
+            lines.append(line)
     stats = ordered[-1].cache_stats if ordered else {}
     if stats:
         lines.append(
             f"  arc cache: {stats['evaluations']} solved, "
-            f"{stats['cache_hits']} hits ({stats['hit_rate']:.1%} hit rate), "
+            f"{stats['cache_hits']} hits ({stats['hit_rate']:.1%} hit rate: "
+            f"{stats.get('dedup_hits', 0)} dedup, "
+            f"{stats.get('persisted_hits', 0)} persisted), "
             f"{stats['cached_arcs']} cached"
         )
+        if stats.get("signatures"):
+            lines.append(
+                f"  canonical signatures: {stats['signatures']} distinct stages, "
+                f"{stats.get('signature_aliases', 0)} (cell, pin) aliases folded"
+            )
         if stats.get("batched_solves"):
             lines.append(
                 f"  batch engine: {stats['batched_solves']} vectorized solves"

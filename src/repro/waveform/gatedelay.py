@@ -4,13 +4,22 @@ Wraps the stage solvers into the operation the STA performs on every
 timing arc: given the switching input's ramp event, the cell/pin, and the
 victim output's coupling situation, produce the output ramp event.
 
-Results are cached on a quantized key (cell, pin, input direction, input
-transition, passive load, active coupling); circuits instantiate few cell
-types at many places, so the Newton integrations are only paid for
-distinct electrical situations.  Quantization rounds the load and slew
-*up* (slower, later -- conservative for the delay bound); the small
-non-conservative error this leaves on the early-activity marker is
-covered by the STA's comparison guard band (``StaConfig.guard``).
+Results are cached on a *canonicalized* quantized key: instead of the
+(cell, pin) name pair, the key carries the arc's **stage signature** --
+an interned token of the collapsed pull-up/pull-down device parameters
+the stage solver actually integrates (see :func:`_stage_params`).  Two
+arcs through differently named cells or pins that collapse to the same
+devices are electrically the same integration, so they share one cache
+entry and one Newton solve; the token is a content hash of the device
+parameters, which makes it stable across runs and safe to persist.  The
+remaining key fields are the input direction and the quantized slew /
+passive load / active-coupling configuration.  Quantization rounds the
+load and slew *up* (slower, later -- conservative for the delay bound);
+signature sharing itself is exact, not approximate: equal collapsed
+devices build bit-identical stage tables, so the shared result equals
+what a per-(cell, pin) solve would have produced.  The small
+non-conservative error quantization leaves on the early-activity marker
+is covered by the STA's comparison guard band (``StaConfig.guard``).
 
 Two evaluation backends fill the cache:
 
@@ -75,8 +84,9 @@ from repro.waveform.stage import (
 
 logger = logging.getLogger("repro.waveform.gatedelay")
 
-# Format 2 added the content checksum over the arc table.
-CACHE_FORMAT = 2
+# Format 2 added the content checksum over the arc table; format 3
+# replaced the (cell, pin) key prefix with the canonical stage signature.
+CACHE_FORMAT = 3
 
 # Below this many distinct situations a batched solve does not amortize
 # its setup; fall through to the scalar reference path.
@@ -127,6 +137,17 @@ def _stage_params(ctype: CellType, pin: str, process: ProcessParams):
     return pu, pd
 
 
+def _signature_token(params: tuple) -> str:
+    """Stable content token of one collapsed-stage electrical identity.
+
+    Hashing the device parameter tuples (via their JSON float reprs,
+    which are round-trip exact) gives a token that is identical across
+    processes and runs, so canonical cache keys survive persistence.
+    """
+    blob = json.dumps(params, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
 def library_fingerprint(
     process: ProcessParams,
     cell_types: Iterable[CellType],
@@ -169,8 +190,46 @@ def library_fingerprint(
 
 
 # -- worker-process machinery for the opt-in multi-core fan-out ------------
+#
+# Stage tables are shipped to the workers ONCE per executor: the pool is
+# created with an initializer that receives the process constants, the
+# table resolution and the parent's currently known stage signatures, and
+# prebuilds the corresponding tables into the per-process cache.  Chunk
+# payloads then carry only the work items themselves; an item references
+# its stage by the raw device parameter tuples, so a signature discovered
+# after executor start is simply built (and cached) on first use without
+# any executor rebuild.
 
 _WORKER_TABLES: dict = {}
+_WORKER_CTX: dict = {}
+
+
+def _worker_table(pu, pd) -> StageTable:
+    """The per-worker-process stage table for one collapsed stage."""
+    from repro.devices.mosfet import Mosfet, MosfetParams
+
+    process = _WORKER_CTX["process"]
+    table_points = _WORKER_CTX["table_points"]
+    cache_key = (pu, pd, table_points)
+    table = _WORKER_TABLES.get(cache_key)
+    if table is None:
+        pull_up = Mosfet(MosfetParams(*pu), process) if pu is not None else None
+        pull_down = Mosfet(MosfetParams(*pd), process) if pd is not None else None
+        table = StageTable(pull_up, pull_down, process=process, points=table_points)
+        _WORKER_TABLES[cache_key] = table
+    return table
+
+
+def _pool_init(process, table_points, warm_specs) -> None:
+    """Executor initializer: prime one worker's table cache.
+
+    Runs once per worker process at pool start-up, so the per-chunk
+    payloads never repeat the (identical) table data.
+    """
+    _WORKER_CTX["process"] = process
+    _WORKER_CTX["table_points"] = table_points
+    for pu, pd in warm_specs:
+        _worker_table(pu, pd)
 
 
 def _apply_worker_fault(fault: dict) -> None:
@@ -190,44 +249,49 @@ def _apply_worker_fault(fault: dict) -> None:
 def _pool_solve_chunk(payload):
     """Solve one chunk of distinct arc situations in a worker process.
 
-    ``payload``: (process, table_points, table_specs, items, fault)
-    where ``table_specs`` maps local table index -> (pu_params,
-    pd_params), each item is ``(table_idx, direction, tt, c_passive,
-    c_active, aiding)`` and ``fault`` is ``None`` outside the
-    fault-injection harness.  Tables are cached per worker process
-    across chunks.  Returns one result tuple per item plus the worker's
-    metrics snapshot (Newton iteration histogram, bisection fallbacks),
-    which the parent merges into its registry.
+    ``payload``: (items, fault) where each item is ``(pu_params,
+    pd_params, direction, tt, c_passive, c_active, aiding)`` and
+    ``fault`` is ``None`` outside the fault-injection harness.  Tables
+    come from the per-process cache primed by :func:`_pool_init` (built
+    on demand for signatures discovered after pool start).  Returns one
+    result tuple per item -- including the arc's Newton iteration count,
+    which the parent feeds into its per-signature cost model -- plus the
+    worker's metrics snapshot, which the parent merges into its registry.
     """
-    from repro.devices.mosfet import Mosfet, MosfetParams
-
-    process, table_points, table_specs, items, fault = payload
+    items, fault = payload
     if fault is not None:
         _apply_worker_fault(fault)
-    tables = []
-    for pu, pd in table_specs:
-        cache_key = (pu, pd, table_points)
-        table = _WORKER_TABLES.get(cache_key)
-        if table is None:
-            pull_up = Mosfet(MosfetParams(*pu), process) if pu is not None else None
-            pull_down = Mosfet(MosfetParams(*pd), process) if pd is not None else None
-            table = StageTable(pull_up, pull_down, process=process, points=table_points)
-            _WORKER_TABLES[cache_key] = table
-        tables.append(table)
-    registry = MetricsRegistry()
-    solver = BatchStageSolver(tables, process, metrics=registry)
-    specs = [
-        BatchArcSpec(
-            table_index=ti,
-            input_direction=direction,
-            transition=tt,
-            load=CouplingLoad(c_ground=cp, c_couple_active=ca),
-            aiding=aiding,
+    tables: list[StageTable] = []
+    index_of: dict = {}
+    specs = []
+    for pu, pd, direction, tt, cp, ca, aiding in items:
+        stage = (pu, pd)
+        ti = index_of.get(stage)
+        if ti is None:
+            ti = len(tables)
+            index_of[stage] = ti
+            tables.append(_worker_table(pu, pd))
+        specs.append(
+            BatchArcSpec(
+                table_index=ti,
+                input_direction=direction,
+                transition=tt,
+                load=CouplingLoad(c_ground=cp, c_couple_active=ca),
+                aiding=aiding,
+            )
         )
-        for ti, direction, tt, cp, ca, aiding in items
-    ]
+    registry = MetricsRegistry()
+    solver = BatchStageSolver(tables, _WORKER_CTX["process"], metrics=registry)
     rows = [
-        (r.direction, r.t_cross, r.transition, r.t_early, r.t_late, r.coupled)
+        (
+            r.direction,
+            r.t_cross,
+            r.transition,
+            r.t_early,
+            r.t_late,
+            r.coupled,
+            r.newton_iterations,
+        )
         for r in solver.solve_many(specs)
     ]
     return rows, registry.snapshot()
@@ -268,11 +332,24 @@ class GateDelayCalculator:
         # Fault-injection hook: a mutable spec dict consumed (parent-side,
         # hence deterministically) by :meth:`_take_pool_fault`.
         self.pool_fault: dict | None = None
-        self._stage_tables: dict[tuple[str, str], StageTable] = {}
-        self._solvers: dict[tuple[str, str], StageSolver] = {}
+        # Canonical stage signatures: (cell, pin) -> token, token -> the
+        # collapsed device parameters, a representative (cell, pin) for
+        # diagnostics, and the per-signature Newton cost model
+        # [solves, total_iterations] that orders worker chunks.
+        self._sig_of: dict[tuple[str, str], str] = {}
+        self._sig_params: dict[str, tuple] = {}
+        self._sig_rep: dict[str, tuple[CellType, str]] = {}
+        self._sig_cost: dict[str, list] = {}
+        # Stage tables / solvers are keyed by signature token, so aliased
+        # (cell, pin) pairs share one table build as well as one cache row.
+        self._stage_tables: dict[str, StageTable] = {}
+        self._solvers: dict[str, StageSolver] = {}
         self._arc_cache: dict[tuple, ArcResult] = {}
+        # Keys adopted from a persistent cache file: hits on them are
+        # persisted-cache reuse, everything else is in-run deduplication.
+        self._persisted_keys: set[tuple] = set()
         self._batch_solver: BatchStageSolver | None = None
-        self._table_order: list[tuple[str, str]] = []
+        self._table_order: list[str] = []
         self._executor = None
         # All statistics live in a metrics registry (one per analysis run,
         # shared with the propagator when the analyzer constructs us); the
@@ -281,6 +358,13 @@ class GateDelayCalculator:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._c_evaluations = self.metrics.counter("arc_cache.evaluations")
         self._c_cache_hits = self.metrics.counter("arc_cache.hits")
+        # Hit taxonomy: a hit is either in-run deduplication (the same
+        # canonical situation requested again, possibly through a
+        # different cell/pin) or reuse of an entry loaded from disk.
+        self._c_dedup_hits = self.metrics.counter("arc_cache.dedup_hits")
+        self._c_persisted_hits = self.metrics.counter("arc_cache.persisted_hits")
+        self._g_signatures = self.metrics.gauge("arc_cache.signatures")
+        self._c_sig_aliases = self.metrics.counter("arc_cache.signature_aliases")
         self._c_batched = self.metrics.counter("arc_cache.batched_solves")
         self._c_pool = self.metrics.counter("arc_cache.pool_solves")
         self._c_persisted = self.metrics.counter("arc_cache.persisted_loads")
@@ -308,6 +392,14 @@ class GateDelayCalculator:
         return self._c_cache_hits.value
 
     @property
+    def dedup_hits(self) -> int:
+        return self._c_dedup_hits.value
+
+    @property
+    def persisted_hits(self) -> int:
+        return self._c_persisted_hits.value
+
+    @property
     def batched_solves(self) -> int:
         return self._c_batched.value
 
@@ -321,22 +413,53 @@ class GateDelayCalculator:
 
     # -- stage machinery ----------------------------------------------------
 
-    def solver_for(self, ctype: CellType, pin: str) -> StageSolver:
+    def signature(self, ctype: CellType, pin: str) -> str:
+        """The canonical stage-signature token of one (cell, pin) arc.
+
+        Interns the collapsed device parameters: the first (cell, pin)
+        collapsing to a given stage registers the signature; later pairs
+        that collapse to the same devices become aliases (counted under
+        ``arc_cache.signature_aliases``) and share the first pair's
+        table, solver and cache rows.
+        """
         key = (ctype.name, pin)
-        solver = self._solvers.get(key)
-        if solver is None:
-            pull_up, pull_down = ctype.topology.equivalent_stage(pin, self.process)
-            if pull_up is None and pull_down is None:
+        token = self._sig_of.get(key)
+        if token is None:
+            params = _stage_params(ctype, pin, self.process)
+            if params == (None, None):
                 raise InputError(
                     f"{ctype.name} has no transistor gated by pin {pin!r}"
                 )
+            token = _signature_token(params)
+            self._sig_of[key] = token
+            if token in self._sig_params:
+                self._c_sig_aliases.inc()
+            else:
+                self._sig_params[token] = params
+                self._sig_rep[token] = (ctype, pin)
+                self._g_signatures.set(len(self._sig_params))
+        return token
+
+    def solver_for(self, ctype: CellType, pin: str) -> StageSolver:
+        return self._solver_for_token(self.signature(ctype, pin))
+
+    def _solver_for_token(self, token: str) -> StageSolver:
+        from repro.devices.mosfet import Mosfet, MosfetParams
+
+        solver = self._solvers.get(token)
+        if solver is None:
+            pu, pd = self._sig_params[token]
+            pull_up = Mosfet(MosfetParams(*pu), self.process) if pu is not None else None
+            pull_down = (
+                Mosfet(MosfetParams(*pd), self.process) if pd is not None else None
+            )
             table = StageTable(
                 pull_up, pull_down, process=self.process, points=self.table_points
             )
-            self._stage_tables[key] = table
-            self._table_order.append(key)
+            self._stage_tables[token] = table
+            self._table_order.append(token)
             solver = StageSolver(table, self.process)
-            self._solvers[key] = solver
+            self._solvers[token] = solver
         return solver
 
     def _batch_solver_current(self) -> BatchStageSolver:
@@ -363,10 +486,12 @@ class GateDelayCalculator:
         return rounder(max(value, 0.0) / self.cap_grid) * self.cap_grid
 
     def _quantized_key(self, request: ArcRequest) -> tuple:
-        """The cache key of a request: quantized slew and loads.
+        """The canonical cache key of a request: the interned stage
+        signature plus the quantized slew and loads.
 
-        This is the single place quantization happens, shared by the
-        scalar per-arc path and the batched priming path.
+        This is the single place canonicalization and quantization
+        happen, shared by the scalar per-arc path and the batched
+        priming path.
         """
         down = request.quantize_down
         tt = self._q_time(request.input_transition, down=down)
@@ -381,8 +506,7 @@ class GateDelayCalculator:
         if down and c_passive + c_active <= 0.0:
             c_passive = self.cap_grid  # keep the stage integrable
         return (
-            request.ctype.name,
-            request.pin,
+            self.signature(request.ctype, request.pin),
             request.input_direction,
             tt,
             c_passive,
@@ -435,17 +559,34 @@ class GateDelayCalculator:
         key = self._quantized_key(request)
         cached = self._arc_cache.get(key)
         if cached is not None:
-            self._c_cache_hits.inc()
+            self._record_hit(key)
             return cached
-        arc = self._solve_key(ctype, key)
+        arc = self._solve_key(key)
         self._arc_cache[key] = arc
         return arc
 
-    def _solve_key(self, ctype: CellType, key: tuple) -> ArcResult:
-        """Scalar (reference) solve of one quantized arc situation."""
-        _, pin, input_direction, tt, c_passive, c_active, aiding = key
+    def _record_hit(self, key: tuple) -> None:
+        self._c_cache_hits.inc()
+        if key in self._persisted_keys:
+            self._c_persisted_hits.inc()
+        else:
+            self._c_dedup_hits.inc()
+
+    def _observe_cost(self, token: str, iterations: int) -> None:
+        """Feed one solved arc's Newton iteration count into the
+        per-signature cost model (used to order worker chunks)."""
+        stats = self._sig_cost.get(token)
+        if stats is None:
+            self._sig_cost[token] = [1, iterations]
+        else:
+            stats[0] += 1
+            stats[1] += iterations
+
+    def _solve_key(self, key: tuple) -> ArcResult:
+        """Scalar (reference) solve of one canonical arc situation."""
+        token, input_direction, tt, c_passive, c_active, aiding = key
         self._c_evaluations.inc()
-        solver = self.solver_for(ctype, pin)
+        solver = self._solver_for_token(token)
         try:
             stage_result = solver.solve(
                 InputRamp(direction=input_direction, t_start=0.0, transition=tt),
@@ -457,13 +598,14 @@ class GateDelayCalculator:
                 aiding=aiding,
             )
         except SolverError as exc:
-            return self._degrade_key(ctype, key, exc)
+            return self._degrade_key(key, exc)
         self._h_newton.observe(stage_result.newton_iterations)
+        self._observe_cost(token, stage_result.newton_iterations)
         if stage_result.newton_bisections:
             self._c_bisect.inc(stage_result.newton_bisections)
         return self._to_arc(stage_result)
 
-    def _degrade_key(self, ctype: CellType, key: tuple, exc: SolverError) -> ArcResult:
+    def _degrade_key(self, key: tuple, exc: SolverError) -> ArcResult:
         """Substitute a conservative bound for an arc whose solve failed.
 
         Strict mode re-raises instead (the pre-degradation fail-fast
@@ -472,13 +614,16 @@ class GateDelayCalculator:
         """
         if self.strict:
             raise exc
-        arc = self._conservative_arc(ctype, key)
+        arc = self._conservative_arc(key)
         self._c_degraded.inc()
-        name, pin, direction, tt, c_passive, c_active, aiding = key
+        token, direction, tt, c_passive, c_active, aiding = key
+        rep = self._sig_rep.get(token)
+        name, pin = (rep[0].name, rep[1]) if rep is not None else (token, "?")
         self.degraded.append(
             {
                 "cell": name,
                 "pin": pin,
+                "signature": token,
                 "input_direction": direction,
                 "input_transition": tt,
                 "c_passive": c_passive,
@@ -507,7 +652,7 @@ class GateDelayCalculator:
     # nanoseconds -- orders of magnitude above any real stage delay.
     _BOUND_CURRENT_FLOOR = 1e-7
 
-    def _conservative_arc(self, ctype: CellType, key: tuple) -> ArcResult:
+    def _conservative_arc(self, key: tuple) -> ArcResult:
         """A provably conservative ramp response for one arc situation.
 
         Models the stage as charging its total load through the *weakest*
@@ -527,7 +672,7 @@ class GateDelayCalculator:
         upper bound follows from the thresholds: both slew markers lie
         inside ``[0, t_late]`` and the slew is the marker gap over 0.8.
         """
-        _, pin, input_direction, tt, c_passive, c_active, aiding = key
+        token, input_direction, tt, c_passive, c_active, aiding = key
         vdd = self.process.vdd
         out_direction = opposite(input_direction)
         margin = self._BOUND_MARGIN
@@ -535,7 +680,7 @@ class GateDelayCalculator:
         c_total = max(c_passive + c_active, self.cap_grid)
 
         i_min = 0.0
-        table = self._stage_tables.get((ctype.name, pin))
+        table = self._stage_tables.get(token)
         if table is not None:
             vin_final = vdd if input_direction == RISING else 0.0
             if out_direction == RISING:
@@ -585,17 +730,19 @@ class GateDelayCalculator:
         tiny batches or ``engine="scalar"``.  Returns the number of
         situations actually solved.
         """
-        misses: dict[tuple, CellType] = {}
+        misses: list[tuple] = []
+        seen: set[tuple] = set()
         for request in requests:
             key = self._quantized_key(request)
-            if key not in self._arc_cache and key not in misses:
-                misses[key] = request.ctype
+            if key not in self._arc_cache and key not in seen:
+                seen.add(key)
+                misses.append(key)
         if not misses:
             return 0
 
         if self.engine != "batch" or len(misses) < MIN_BATCH:
-            for key, ctype in misses.items():
-                self._arc_cache[key] = self._solve_key(ctype, key)
+            for key in misses:
+                self._arc_cache[key] = self._solve_key(key)
             return len(misses)
 
         if self.workers >= 2 and len(misses) >= 2 * MIN_BATCH:
@@ -604,23 +751,22 @@ class GateDelayCalculator:
             self._solve_keys_batched(misses)
         return len(misses)
 
-    def _solve_keys_batched(self, misses: dict[tuple, CellType]) -> None:
+    def _solve_keys_batched(self, misses: list[tuple]) -> None:
         """One vectorized integration over all missing situations."""
-        # Materialise tables first so the bank covers every (cell, pin).
-        for key, ctype in misses.items():
-            self.solver_for(ctype, key[1])
+        # Materialise tables first so the bank covers every signature.
+        for key in misses:
+            self._solver_for_token(key[0])
         solver = self._batch_solver_current()
-        index_of = {table_key: i for i, table_key in enumerate(self._table_order)}
-        keys = list(misses)
+        index_of = {token: i for i, token in enumerate(self._table_order)}
         specs = [
             BatchArcSpec(
-                table_index=index_of[(name, pin)],
+                table_index=index_of[token],
                 input_direction=direction,
                 transition=tt,
                 load=CouplingLoad(c_ground=c_passive, c_couple_active=c_active),
                 aiding=aiding,
             )
-            for (name, pin, direction, tt, c_passive, c_active, aiding) in keys
+            for (token, direction, tt, c_passive, c_active, aiding) in misses
         ]
         try:
             results = solver.solve_many(specs)
@@ -631,68 +777,100 @@ class GateDelayCalculator:
             logger.warning(
                 "batched solve of %d arcs failed (%s); falling back to "
                 "per-arc scalar solves",
-                len(keys),
+                len(misses),
                 exc,
             )
-            for key in keys:
-                self._arc_cache[key] = self._solve_key(misses[key], key)
+            for key in misses:
+                self._arc_cache[key] = self._solve_key(key)
             return
-        for key, stage_result in zip(keys, results):
+        for key, stage_result in zip(misses, results):
             self._arc_cache[key] = self._to_arc(stage_result)
-        self._c_evaluations.inc(len(keys))
-        self._c_batched.inc(len(keys))
+            self._observe_cost(key[0], stage_result.newton_iterations)
+        self._c_evaluations.inc(len(misses))
+        self._c_batched.inc(len(misses))
 
-    def _solve_keys_pooled(self, misses: dict[tuple, CellType]) -> None:
+    def _predicted_cost(self, key: tuple) -> float:
+        """Predicted Newton cost of one arc situation, from the
+        per-signature cost model (global histogram mean as fallback)."""
+        stats = self._sig_cost.get(key[0])
+        if stats is not None and stats[0]:
+            return stats[1] / stats[0]
+        mean = self._h_newton.mean
+        return mean if mean > 0.0 else 1.0
+
+    def _solve_keys_pooled(self, misses: list[tuple]) -> None:
         """Fan the distinct solves out over worker processes.
 
-        Chunks are submitted one future at a time so a dead or hung
+        Chunks are balanced by *predicted cost* (longest-processing-time
+        assignment using the per-signature Newton cost model) and
+        submitted heaviest-first, one future at a time, so a dead or hung
         worker is detected per chunk; see :meth:`_run_pool_chunk` for the
         retry/quarantine policy.
         """
-        keys = list(misses)
-        table_specs: list = []
-        spec_index: dict = {}
-        items = []
-        for key in keys:
-            name, pin, direction, tt, c_passive, c_active, aiding = key
-            params = _stage_params(misses[key], pin, self.process)
-            ti = spec_index.get(params)
-            if ti is None:
-                ti = len(table_specs)
-                spec_index[params] = ti
-                table_specs.append(params)
-            items.append((ti, direction, tt, c_passive, c_active, aiding))
+        # LPT: sort by descending predicted cost, greedily assign each
+        # arc to the currently lightest of ``workers`` buckets.
+        ordered = sorted(misses, key=self._predicted_cost, reverse=True)
+        buckets: list[list[tuple]] = [[] for _ in range(max(1, self.workers))]
+        loads = [0.0] * len(buckets)
+        for key in ordered:
+            lightest = loads.index(min(loads))
+            buckets[lightest].append(key)
+            loads[lightest] += self._predicted_cost(key)
+        # Submit heaviest chunk first so it overlaps the most other work.
+        order = sorted(range(len(buckets)), key=loads.__getitem__, reverse=True)
 
-        chunks = max(1, self.workers)
-        chunk_size = (len(items) + chunks - 1) // chunks
-        for index, start in enumerate(range(0, len(items), chunk_size)):
-            chunk_keys = keys[start : start + chunk_size]
-            base_payload = (
-                self.process,
-                self.table_points,
-                table_specs,
-                items[start : start + chunk_size],
-            )
-            rows = self._run_pool_chunk(base_payload, index, chunk_keys, misses)
+        for index in order:
+            chunk_keys = buckets[index]
+            if not chunk_keys:
+                continue
+            items = []
+            for token, direction, tt, c_passive, c_active, aiding in chunk_keys:
+                pu, pd = self._sig_params[token]
+                items.append((pu, pd, direction, tt, c_passive, c_active, aiding))
+            rows = self._run_pool_chunk(items, index, chunk_keys)
             if rows is None:
                 # The chunk was solved (and counted) one arc at a time by
                 # the scalar fallback inside _run_pool_chunk.
                 continue
             for key, fields in zip(chunk_keys, rows):
-                direction, t_cross, transition, t_early, t_late, coupled = fields
+                (
+                    direction,
+                    t_cross,
+                    transition,
+                    t_early,
+                    t_late,
+                    coupled,
+                    iterations,
+                ) = fields
                 self._arc_cache[key] = ArcResult(
                     direction, t_cross, transition, t_early, t_late, coupled
                 )
+                self._observe_cost(key[0], iterations)
             self._c_evaluations.inc(len(rows))
             self._c_batched.inc(len(rows))
             self._c_pool.inc(len(rows))
 
+    def _ensure_executor(self):
+        """The process pool, created lazily with a table-priming
+        initializer: every worker prebuilds the stage tables for all
+        signatures known at pool start, so chunk payloads carry only the
+        work items (signatures discovered later are built on first use)."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        if self._executor is None:
+            warm_specs = tuple(self._sig_params[t] for t in self._table_order)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_pool_init,
+                initargs=(self.process, self.table_points, warm_specs),
+            )
+        return self._executor
+
     def _run_pool_chunk(
         self,
-        base_payload: tuple,
+        items: list[tuple],
         chunk_index: int,
         chunk_keys: list[tuple],
-        misses: dict[tuple, CellType],
     ) -> list | None:
         """Solve one chunk on the pool, surviving worker faults.
 
@@ -705,16 +883,13 @@ class GateDelayCalculator:
         degrade.  Returns the chunk's result rows, or ``None`` when the
         per-arc fallback already cached (and counted) the results.
         """
-        from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures import TimeoutError as PoolTimeout
         from concurrent.futures.process import BrokenProcessPool
 
         attempts = self.worker_retries + 1
         for attempt in range(attempts):
-            payload = (*base_payload, self._take_pool_fault(chunk_index))
-            if self._executor is None:
-                self._executor = ProcessPoolExecutor(max_workers=self.workers)
-            future = self._executor.submit(_pool_solve_chunk, payload)
+            payload = (items, self._take_pool_fault(chunk_index))
+            future = self._ensure_executor().submit(_pool_solve_chunk, payload)
             try:
                 rows, snapshot = future.result(timeout=self.worker_timeout)
             except SolverError:
@@ -750,8 +925,12 @@ class GateDelayCalculator:
 
         self._c_quarantined_chunks.inc()
         self._c_serial_fallbacks.inc()
+        # The in-process replay runs in the parent, where the worker
+        # context was never initialized -- prime it here (warm specs are
+        # unnecessary; _worker_table builds on demand).
+        _pool_init(self.process, self.table_points, ())
         try:
-            rows, snapshot = _pool_solve_chunk((*base_payload, None))
+            rows, snapshot = _pool_solve_chunk((items, None))
         except SolverError as exc:
             if self.strict:
                 raise
@@ -763,7 +942,7 @@ class GateDelayCalculator:
             )
             for key in chunk_keys:
                 if key not in self._arc_cache:
-                    self._arc_cache[key] = self._solve_key(misses[key], key)
+                    self._arc_cache[key] = self._solve_key(key)
             return None
         self.metrics.merge_snapshot(snapshot)
         return rows
@@ -896,7 +1075,9 @@ class GateDelayCalculator:
         entries: list[tuple[tuple, ArcResult]] = []
         try:
             for raw_key, fields in arcs:
-                name, pin, direction, tt, c_passive, c_active, aiding = raw_key
+                token, direction, tt, c_passive, c_active, aiding = raw_key
+                if not isinstance(token, str):
+                    raise ValueError("non-string signature token")
                 out_direction, t_cross, transition, t_early, t_late, coupled = fields
                 numbers = (tt, c_passive, c_active, t_cross, transition, t_early, t_late)
                 if not all(
@@ -905,7 +1086,7 @@ class GateDelayCalculator:
                     raise ValueError("non-finite arc entry")
                 entries.append(
                     (
-                        (name, pin, direction, tt, c_passive, c_active, bool(aiding)),
+                        (token, direction, tt, c_passive, c_active, bool(aiding)),
                         ArcResult(
                             out_direction,
                             t_cross,
@@ -923,6 +1104,7 @@ class GateDelayCalculator:
             if key in self._arc_cache:
                 continue
             self._arc_cache[key] = arc
+            self._persisted_keys.add(key)
             loaded += 1
         self._c_persisted.inc(loaded)
         return loaded
@@ -935,8 +1117,12 @@ class GateDelayCalculator:
             "evaluations": self.evaluations,
             "cache_hits": self.cache_hits,
             "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            "dedup_hits": self._c_dedup_hits.value,
+            "persisted_hits": self._c_persisted_hits.value,
             "cached_arcs": len(self._arc_cache),
             "stage_tables": len(self._stage_tables),
+            "signatures": len(self._sig_params),
+            "signature_aliases": self._c_sig_aliases.value,
             "batched_solves": self.batched_solves,
             "pool_solves": self.pool_solves,
             "persisted_loads": self.persisted_loads,
@@ -951,5 +1137,7 @@ class GateDelayCalculator:
     def reset_counters(self) -> None:
         self._c_evaluations.reset()
         self._c_cache_hits.reset()
+        self._c_dedup_hits.reset()
+        self._c_persisted_hits.reset()
         self._c_batched.reset()
         self._c_pool.reset()

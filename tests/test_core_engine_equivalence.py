@@ -63,6 +63,56 @@ class TestEngineEquivalence:
         assert stats["batched_solves"] > 0
 
 
+class TestIncrementalEquivalence:
+    """Delta-driven reuse must be invisible in the numbers: the memoized
+    relative results re-anchor to exactly what a fresh solve would
+    return, so every mode's bound is bit-identical (hex-equal), not
+    merely within tolerance."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, s27_design):
+        out = {}
+        for incremental in (True, False):
+            sta = CrosstalkSTA(s27_design, StaConfig(incremental=incremental))
+            out[incremental] = {mode: sta.run(mode) for mode in AnalysisMode}
+        return out
+
+    @pytest.mark.parametrize("mode", list(AnalysisMode))
+    def test_longest_delay_bit_identical(self, pair, mode):
+        inc, full = pair[True][mode], pair[False][mode]
+        assert inc.longest_delay.hex() == full.longest_delay.hex()
+        assert inc.critical_endpoint == full.critical_endpoint
+        assert inc.critical_direction == full.critical_direction
+
+    @pytest.mark.parametrize("mode", list(AnalysisMode))
+    def test_every_pass_bit_identical(self, pair, mode):
+        inc, full = pair[True][mode], pair[False][mode]
+        assert len(inc.history) == len(full.history)
+        for ri, rf in zip(inc.history, full.history):
+            assert ri.longest_delay.hex() == rf.longest_delay.hex()
+
+    @pytest.mark.parametrize("mode", list(AnalysisMode))
+    def test_every_endpoint_arrival_bit_identical(self, pair, mode):
+        inc = pair[True][mode].arrival_map()
+        full = pair[False][mode].arrival_map()
+        assert set(inc) == set(full)
+        for key in inc:
+            assert inc[key].hex() == full[key].hex(), key
+
+    def test_iterative_later_passes_reuse(self, pair):
+        """Once windows and ramp shapes stabilize, later passes skip the
+        waveform work entirely on this small design."""
+        history = pair[True][AnalysisMode.ITERATIVE].history
+        assert len(history) >= 2
+        assert history[1].waveform_evaluations == 0
+        assert history[1].reused_arcs > 0
+        assert history[1].dirty_arcs == 0
+        # The non-incremental run pays the full pass every time.
+        full_history = pair[False][AnalysisMode.ITERATIVE].history
+        assert full_history[1].waveform_evaluations > 0
+        assert full_history[1].reused_arcs == 0
+
+
 class TestWorkerPool:
     def test_pooled_batch_matches_scalar(self, s27_design):
         """Opt-in multi-process fan-out produces the same bound."""

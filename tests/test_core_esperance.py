@@ -1,0 +1,149 @@
+"""Direct coverage of the Esperance speed-up's cell selection.
+
+:func:`esperance_recalc_cells` runs a backward required-time sweep over
+the stored events of a finished pass and marks the driver cells of every
+net whose slack is within a fraction of the longest-path delay.  Here the
+same selection is recomputed by brute force -- explicit enumeration of
+every complete downstream path from every net to every timing endpoint --
+and the two selections must agree exactly.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.circuit.generators import GeneratorSpec, generate_circuit
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.iterative import esperance_recalc_cells
+from repro.core.modes import AnalysisMode, StaConfig
+from repro.core.propagation import Propagator
+from repro.flow import prepare_design
+from repro.waveform.pwl import FALLING, RISING, opposite
+
+
+@pytest.fixture(scope="module")
+def swept():
+    """A finished one-step pass on a small generated circuit (with
+    flip-flops, so the sequential arc handling is exercised too)."""
+    spec = GeneratorSpec(
+        name="esp", seed=3, n_inputs=6, n_outputs=4, n_ff=6, n_gates=40, depth=4
+    )
+    design = prepare_design(generate_circuit(spec))
+    config = StaConfig(mode=AnalysisMode.ITERATIVE)
+    sta = CrosstalkSTA(design, config)
+    propagator = Propagator(design, config, sta.calculator)
+    result = propagator.run_pass()
+    return design, propagator, result
+
+
+def _forward_arcs(design, order, state):
+    """Adjacency (in_net, in_dir) -> [((out_net, out_dir), arc_delay)],
+    using the same arc definition as the backward sweep: gates are
+    negative unate, flip-flops launch both Q transitions off the clock."""
+    arcs = defaultdict(list)
+    for cell in order:
+        out_net = cell.output_pin.net
+        if out_net is None:
+            continue
+        for out_direction in (RISING, FALLING):
+            out_event = state.event(out_net.name, out_direction)
+            if out_event is None:
+                continue
+            in_pins = [cell.pins["CLK"]] if cell.is_sequential else cell.input_pins
+            for pin in in_pins:
+                in_net = pin.net
+                if in_net is None:
+                    continue
+                in_directions = (
+                    (RISING, FALLING)
+                    if cell.is_sequential
+                    else (opposite(out_direction),)
+                )
+                for in_direction in in_directions:
+                    in_event = state.event(in_net.name, in_direction)
+                    if in_event is None:
+                        continue
+                    arcs[(in_net.name, in_direction)].append(
+                        (
+                            (out_net.name, out_direction),
+                            out_event.t_cross - in_event.t_cross,
+                        )
+                    )
+    return arcs
+
+
+def _downstream_sums(key, arcs, endpoint_keys):
+    """Delay sums of every complete path from ``key`` to an endpoint,
+    by exhaustive enumeration (no memoization -- this is the reference,
+    not an algorithm)."""
+    sums = []
+    if key in endpoint_keys:
+        sums.append(0.0)
+    for out_key, delay in arcs.get(key, ()):
+        sums.extend(delay + rest for rest in _downstream_sums(out_key, arcs, endpoint_keys))
+    return sums
+
+
+def _brute_force_recalc(design, order, result, slack_fraction):
+    state = result.state
+    horizon = result.longest_delay
+    circuit = design.circuit
+    endpoint_keys = set()
+    for endpoint in circuit.timing_endpoints():
+        net = endpoint.net
+        if net is None:
+            continue
+        for direction in (RISING, FALLING):
+            if state.event(net.name, direction) is not None:
+                endpoint_keys.add((net.name, direction))
+
+    arcs = _forward_arcs(design, order, state)
+    recalc = set()
+    for net_name, net in circuit.nets.items():
+        for direction in (RISING, FALLING):
+            event = state.event(net_name, direction)
+            if event is None:
+                continue
+            sums = _downstream_sums((net_name, direction), arcs, endpoint_keys)
+            if not sums:
+                continue
+            # required = horizon - (worst downstream delay); slack follows.
+            slack = (horizon - max(sums)) - event.t_cross
+            if slack <= slack_fraction * horizon:
+                driver = net.driver_cell()
+                if driver is not None:
+                    recalc.add(driver.name)
+    return recalc
+
+
+class TestEsperanceSelection:
+    @pytest.mark.parametrize("slack_fraction", [0.02, 0.1, 0.3, 1.0])
+    def test_matches_brute_force_path_enumeration(self, swept, slack_fraction):
+        design, propagator, result = swept
+        fast = esperance_recalc_cells(design, propagator, result, slack_fraction)
+        brute = _brute_force_recalc(design, propagator.order, result, slack_fraction)
+        assert fast == brute
+
+    def test_selection_grows_with_slack_fraction(self, swept):
+        design, propagator, result = swept
+        tight = esperance_recalc_cells(design, propagator, result, 0.02)
+        loose = esperance_recalc_cells(design, propagator, result, 0.5)
+        assert tight <= loose
+        assert loose  # the critical path always qualifies
+
+    def test_critical_driver_selected_at_any_fraction(self, swept):
+        """The cell driving the critical endpoint's net has (near-)zero
+        slack by construction and must always be selected."""
+        design, propagator, result = swept
+        selected = esperance_recalc_cells(design, propagator, result, 0.02)
+        critical_net = None
+        for endpoint in design.circuit.timing_endpoints():
+            name = (
+                endpoint.full_name if hasattr(endpoint, "full_name") else endpoint.name
+            )
+            if name == result.critical_endpoint:
+                critical_net = endpoint.net
+        assert critical_net is not None
+        driver = critical_net.driver_cell()
+        if driver is not None:
+            assert driver.name in selected

@@ -1,0 +1,60 @@
+"""Performance smoke checks for the delta-driven iterative engine.
+
+Run in CI on tiny inputs: after the first pass has paid for the full
+propagation, the delta-driven memo must keep later passes cheap -- the
+second pass may issue at most 30% of the first pass's waveform
+evaluations.  A regression here (an over-eager fingerprint, a memo that
+never matches) would silently return the iterative mode to quadratic
+cost without changing any result.
+"""
+
+import pytest
+
+from repro.circuit.benchmarks import s27, s35932_like
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode, StaConfig
+from repro.flow import prepare_design
+
+PASS2_BUDGET = 0.30
+
+
+def _iterative_history(circuit, **config):
+    design = prepare_design(circuit)
+    sta = CrosstalkSTA(design, StaConfig(mode=AnalysisMode.ITERATIVE, **config))
+    result = sta.run()
+    assert len(result.history) >= 2, "iterative mode converged in one pass"
+    return result
+
+
+class TestDeltaDrivenReuse:
+    def test_s27_second_pass_free(self):
+        """On the paper's example circuit the windows stabilize after one
+        pass: the convergence pass reuses every arc."""
+        result = _iterative_history(s27())
+        second = result.history[1]
+        assert second.waveform_evaluations == 0
+        assert second.dirty_arcs == 0
+        assert second.reused_arcs > 0
+
+    def test_tiny_s35932_pass2_within_budget(self):
+        """Scaled-down Table 1 circuit: real coupling churn between the
+        passes, still >= 70% of the waveform work avoided."""
+        result = _iterative_history(s35932_like(scale=0.02))
+        first, second = result.history[0], result.history[1]
+        assert first.waveform_evaluations > 0
+        ratio = second.waveform_evaluations / first.waveform_evaluations
+        assert ratio <= PASS2_BUDGET, (
+            f"pass 2 issued {second.waveform_evaluations} of "
+            f"{first.waveform_evaluations} evaluations ({ratio:.1%} > "
+            f"{PASS2_BUDGET:.0%} budget)"
+        )
+        # The reuse accounting must corroborate: most arcs were clean.
+        assert second.reused_arcs > second.dirty_arcs
+
+    def test_incremental_off_pays_full_passes(self):
+        """The control: with the memo disabled, pass 2 repeats roughly
+        pass 1's work, so the budget above is meaningful."""
+        result = _iterative_history(s27(), incremental=False)
+        first, second = result.history[0], result.history[1]
+        assert second.waveform_evaluations >= 0.5 * first.waveform_evaluations
+        assert second.reused_arcs == 0
