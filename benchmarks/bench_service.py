@@ -1,0 +1,279 @@
+"""Timing-query service benchmark: warm what-if vs cold analyze, plus a
+concurrency sweep against the socket server.
+
+Two claims are measured and pinned:
+
+* **Warm what-if is cheap.**  On a session that has already analyzed the
+  paper's Table-1 circuit, a what-if (ECO edit + incremental re-analysis
+  through the migrated arc memo and shared arc cache) costs a fraction
+  of a cold analysis of the same edited design -- while returning
+  bit-identical delays.
+* **Overload never drops silently.**  Under a 1/4/16-client burst the
+  server may reject with ``busy`` (429), but every rejection carries
+  ``retry_after`` and every request eventually completes.
+
+Numbers go to ``BENCH_service.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode, StaConfig
+from repro.service import (
+    ServiceCallError,
+    ServiceClient,
+    SessionManager,
+    TimingServer,
+    TimingService,
+    apply_edit,
+)
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_service.json"
+
+MODE = AnalysisMode.ONE_STEP
+N_EDITS = 5
+CLIENT_COUNTS = (1, 4, 16)
+REQUESTS_PER_CLIENT = 12
+
+
+@pytest.fixture(scope="module")
+def whatif_comparison(scale, record_result):
+    manager = SessionManager(config=StaConfig(mode=MODE))
+    session = manager.open("gen:s35932", scale=scale)
+    t0 = time.perf_counter()
+    session.analyze(MODE.value)
+    first_analyze_seconds = time.perf_counter() - t0
+    exposures = session.exposures(MODE.value)
+
+    edits = []
+    for exposure in exposures:
+        if len(edits) >= N_EDITS:
+            break
+        couplings = session.design.loads[exposure.net].couplings
+        if not couplings:
+            continue
+        if len(edits) % 2 == 0:
+            edits.append(
+                {
+                    "action": "drop_coupling",
+                    "net": exposure.net,
+                    "neighbour": max(couplings, key=couplings.get),
+                }
+            )
+        else:
+            edits.append(
+                {"action": "respace", "nets": [exposure.net], "guard_tracks": 1}
+            )
+    assert len(edits) == N_EDITS
+
+    rows = []
+    for edit in edits:
+        t0 = time.perf_counter()
+        payload = session.whatif(edit, mode=MODE.value)
+        warm_seconds = time.perf_counter() - t0
+
+        edited, _ = apply_edit(session.design, edit)
+        t0 = time.perf_counter()
+        cold = CrosstalkSTA(edited, session.config).run(MODE)
+        cold_seconds = time.perf_counter() - t0
+
+        rows.append(
+            {
+                "edit": {"action": edit["action"]},
+                "warm_seconds": warm_seconds,
+                "cold_seconds": cold_seconds,
+                "ratio": warm_seconds / cold_seconds,
+                "dirty_arcs": payload["after"]["dirty_arcs"],
+                "reused_arcs": payload["after"]["reused_arcs"],
+                "bit_identical": payload["after"]["longest_delay_hex"]
+                == float(cold.longest_delay).hex(),
+            }
+        )
+
+    median_ratio = statistics.median(r["ratio"] for r in rows)
+    lines = [
+        f"Warm what-if vs cold analyze (s35932-like at scale {scale}, {MODE.value})",
+        "",
+        f"first analyze (cold session): {first_analyze_seconds:.2f} s",
+        "",
+        f"{'edit':<14} {'warm s':>8} {'cold s':>8} {'ratio':>7} "
+        f"{'dirty':>6} {'reused':>7} {'bit-id':>7}",
+        "-" * 64,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['edit']['action']:<14} {row['warm_seconds']:>8.3f} "
+            f"{row['cold_seconds']:>8.3f} {row['ratio']:>7.2f} "
+            f"{row['dirty_arcs']:>6d} {row['reused_arcs']:>7d} "
+            f"{'yes' if row['bit_identical'] else 'NO':>7}"
+        )
+    lines.append("-" * 64)
+    lines.append(f"median warm/cold ratio: {median_ratio:.2f}")
+    record_result("service_whatif", "\n".join(lines))
+
+    return {
+        "first_analyze_seconds": first_analyze_seconds,
+        "rows": rows,
+        "median_ratio": median_ratio,
+    }
+
+
+def _start_server(service):
+    server = TimingServer(service, host="127.0.0.1", port=0)
+    ready = threading.Event()
+
+    def run():
+        async def main():
+            await server.start()
+            ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(15)
+    return server, thread
+
+
+@pytest.fixture(scope="module")
+def concurrency_sweep(record_result):
+    service = TimingService(
+        config=StaConfig(mode=MODE), workers=4, queue_limit=8
+    )
+    server, thread = _start_server(service)
+    with ServiceClient(server.address) as setup:
+        sid = setup.open_session("s27")["session"]
+        setup.analyze(sid)  # warm the shared session
+        report = setup.net_report(sid, top=3)
+        nets = [entry["net"] for entry in report["nets"]]
+
+    sweeps = []
+    for n_clients in CLIENT_COUNTS:
+        latencies: list[float] = []
+        busy_retries = [0]
+        dropped_without_retry_after = [0]
+        failures: list[str] = []
+        lock = threading.Lock()
+
+        def worker(index: int) -> None:
+            try:
+                with ServiceClient(server.address) as client:
+                    for i in range(REQUESTS_PER_CLIENT):
+                        net = nets[(index + i) % len(nets)]
+                        t0 = time.perf_counter()
+                        while True:
+                            try:
+                                client.query_net(sid, net)
+                                break
+                            except ServiceCallError as exc:
+                                if exc.code != 429:
+                                    raise
+                                if exc.retry_after is None:
+                                    with lock:
+                                        dropped_without_retry_after[0] += 1
+                                    return
+                                with lock:
+                                    busy_retries[0] += 1
+                                time.sleep(exc.retry_after)
+                        with lock:
+                            latencies.append(time.perf_counter() - t0)
+            except Exception as exc:  # pragma: no cover - diagnostic only
+                with lock:
+                    failures.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_clients)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        elapsed = time.perf_counter() - t0
+
+        completed = len(latencies)
+        latencies.sort()
+        sweeps.append(
+            {
+                "clients": n_clients,
+                "requests": n_clients * REQUESTS_PER_CLIENT,
+                "completed": completed,
+                "seconds": elapsed,
+                "requests_per_second": completed / elapsed if elapsed else 0.0,
+                "p50_seconds": latencies[completed // 2] if completed else None,
+                "p95_seconds": latencies[int(completed * 0.95)] if completed else None,
+                "busy_retries": busy_retries[0],
+                "dropped_without_retry_after": dropped_without_retry_after[0],
+                "failures": failures,
+            }
+        )
+
+    with ServiceClient(server.address) as closer:
+        closer.call_with_retry("shutdown")
+    thread.join(30)
+
+    lines = [
+        "Concurrency sweep (s27 session, query_net, 4 workers + queue 8)",
+        "",
+        f"{'clients':>8} {'reqs':>6} {'done':>6} {'req/s':>8} "
+        f"{'p50 ms':>8} {'p95 ms':>8} {'429s':>6} {'dropped':>8}",
+        "-" * 66,
+    ]
+    for sweep in sweeps:
+        lines.append(
+            f"{sweep['clients']:>8d} {sweep['requests']:>6d} {sweep['completed']:>6d} "
+            f"{sweep['requests_per_second']:>8.1f} "
+            f"{(sweep['p50_seconds'] or 0) * 1e3:>8.1f} "
+            f"{(sweep['p95_seconds'] or 0) * 1e3:>8.1f} "
+            f"{sweep['busy_retries']:>6d} {sweep['dropped_without_retry_after']:>8d}"
+        )
+    record_result("service_concurrency", "\n".join(lines))
+    return sweeps
+
+
+@pytest.fixture(scope="module")
+def persisted(whatif_comparison, concurrency_sweep, scale):
+    payload = {
+        "benchmark": "service",
+        "circuit": "s35932_like",
+        "scale": scale,
+        "mode": MODE.value,
+        "python": platform.python_version(),
+        "whatif": whatif_comparison,
+        "concurrency": concurrency_sweep,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_warm_whatif_beats_cold_analyze(persisted, benchmark):
+    """The headline claim: a warm what-if costs at most 35% of a cold
+    analysis of the same edited design."""
+    ratio = persisted["whatif"]["median_ratio"]
+    assert ratio <= 0.35, f"median warm/cold ratio {ratio:.2f} exceeds 0.35"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_warm_whatif_is_bit_identical(persisted, benchmark):
+    for row in persisted["whatif"]["rows"]:
+        assert row["bit_identical"], row
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_overload_never_drops_silently(persisted, benchmark):
+    for sweep in persisted["concurrency"]:
+        assert sweep["failures"] == []
+        assert sweep["dropped_without_retry_after"] == 0
+        assert sweep["completed"] == sweep["requests"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

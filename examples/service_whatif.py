@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Timing-query service: warm sessions and what-if (ECO) analysis.
+
+Opens a design session against an in-process ``TimingService`` (same
+calls and error semantics as the socket server — see ``docs/SERVICE.md``),
+queries the worst crosstalk victims, then evaluates candidate fixes as
+*transactional what-ifs*: each edit is analyzed on a copy seeded from the
+session's warm incremental state, bit-identical to a cold re-analysis at
+a fraction of the cost, and only the winning edit is committed.
+
+Usage::
+
+    python examples/service_whatif.py [netlist] [scale]
+
+with ``netlist`` one of ``s27``, ``gen:<name>``, or a ``.bench`` path.
+"""
+
+import json
+import sys
+
+from repro.core.modes import AnalysisMode, StaConfig
+from repro.service import InProcessClient, ServiceCallError, TimingService
+
+MODE = AnalysisMode.ITERATIVE.value
+
+
+def main() -> None:
+    netlist = sys.argv[1] if len(sys.argv) > 1 else "gen:s35932"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.03
+
+    service = TimingService(config=StaConfig(mode=AnalysisMode.ITERATIVE))
+    client = InProcessClient(service)
+    try:
+        run(client, netlist, scale)
+    finally:
+        service.close()
+
+
+def run(client: InProcessClient, netlist: str, scale: float) -> None:
+    info = client.open_session(netlist, scale=scale)
+    sid = info["session"]
+    print(f"session {sid}: {info['design']}, {info['cells']} cells, "
+          f"{info['coupling_pairs']} coupling pairs")
+
+    # First analysis is the expensive one; it warms the session.
+    baseline = client.analyze(sid, mode=MODE)
+    print(f"iterative bound: {baseline['longest_delay_ns']:.3f} ns "
+          f"(endpoint {baseline['critical_endpoint']}, "
+          f"{baseline['passes']} passes)\n")
+
+    # Rank the crosstalk victims and inspect the worst one.
+    report = client.net_report(sid, mode=MODE, top=5)
+    print("Top crosstalk-critical nets:")
+    for entry in report["nets"]:
+        print(f"  {entry['net']:<10} coupling {entry['coupling_cap'] * 1e15:7.1f} fF, "
+              f"{entry['aggressor_count']} aggressors, coupled={entry['coupled']}")
+    victim = report["nets"][0]["net"]
+    detail = client.query_net(sid, victim, mode=MODE)
+    worst = max(detail["couplings"], key=detail["couplings"].get)
+    print(f"\nworst victim {victim}: strongest aggressor {worst} "
+          f"({detail['couplings'][worst] * 1e15:.1f} fF of "
+          f"{detail['coupling_cap_total'] * 1e15:.1f} fF total)\n")
+
+    # Candidate fixes, evaluated without mutating the session.
+    candidates = [
+        {"action": "respace", "nets": [victim], "guard_tracks": 1},
+        {"action": "upsize", "nets": [victim], "steps": 1},
+        {"action": "drop_coupling", "net": victim, "neighbour": worst},
+    ]
+    outcomes = []
+    for edit in candidates:
+        try:
+            payload = client.whatif(sid, edit, mode=MODE)
+        except ServiceCallError as exc:
+            print(f"  {edit['action']:<14} rejected: {exc}")
+            continue
+        delta = payload["delta"]
+        after = payload["after"]
+        outcomes.append((delta["improvement_ps"], edit, payload))
+        print(f"  {edit['action']:<14} {delta['improvement_ps']:+8.1f} ps "
+              f"(dirty {after['dirty_arcs']}, reused {after['reused_arcs']} arcs)")
+
+    if not outcomes:
+        print("no applicable edits")
+        return
+
+    # Nothing above was committed -- the session still reports baseline.
+    unchanged = client.analyze(sid, mode=MODE)
+    assert unchanged["longest_delay_hex"] == baseline["longest_delay_hex"]
+
+    # Commit the winner; the session now holds the edited design.
+    improvement, edit, _ = max(outcomes, key=lambda item: item[0])
+    committed = client.whatif(sid, edit, mode=MODE, commit=True)
+    print(f"\ncommitted {json.dumps(edit)}")
+    print(f"new bound: {committed['after']['longest_delay_ns']:.3f} ns "
+          f"({committed['delta']['improvement_ps']:+.1f} ps)")
+
+    snapshot = client.metrics()
+    whatif_calls = snapshot["counters"].get("service.requests{method=whatif}")
+    print(f"\nservice handled {whatif_calls} what-if requests "
+          f"({len(client.list_sessions())} session(s) open)")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,14 @@ from repro.circuit.bench import (
     parse_bench,
     write_bench,
 )
-from repro.circuit.benchmarks import s27, s27_bench, s35932_like, s38417_like, s38584_like
+from repro.circuit.benchmarks import (
+    resolve_circuit,
+    s27,
+    s27_bench,
+    s35932_like,
+    s38417_like,
+    s38584_like,
+)
 from repro.circuit.generators import GeneratorSpec, add_clock_tree, generate_circuit
 from repro.circuit.library import CellType, Library, build_library, default_library
 from repro.circuit.netlist import Cell, Circuit, CircuitStats, Net, NetlistError, Pin, Port
@@ -37,6 +44,7 @@ __all__ = [
     "load_bench",
     "map_to_circuit",
     "parse_bench",
+    "resolve_circuit",
     "s27",
     "s27_bench",
     "s35932_like",

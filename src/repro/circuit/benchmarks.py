@@ -61,3 +61,29 @@ PAPER_CELL_COUNTS = {
     "s38417": 23922,
     "s38584": 20812,
 }
+
+
+def resolve_circuit(spec: str, scale: float = 0.05) -> Circuit:
+    """Resolve a netlist specifier to a mapped circuit.
+
+    The shared vocabulary of the CLI and the timing-query service:
+
+    * ``s27`` -- the embedded genuine ISCAS89 benchmark,
+    * ``gen:<name>`` -- a synthetic paper-circuit stand-in sized by
+      ``scale`` (``gen:s35932`` / ``gen:s38417`` / ``gen:s38584``),
+    * anything else -- a path to a ``.bench`` file.
+    """
+    from repro.circuit.bench import load_bench
+    from repro.errors import InputError
+
+    if spec == "s27":
+        return s27()
+    if spec.startswith("gen:"):
+        name = spec[4:]
+        generator = PAPER_CIRCUITS.get(name)
+        if generator is None:
+            raise InputError(
+                f"unknown generator {name!r}; have {sorted(PAPER_CIRCUITS)}"
+            )
+        return generator(scale=scale)
+    return map_to_circuit(load_bench(spec))

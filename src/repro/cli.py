@@ -7,8 +7,14 @@ Usage examples::
     python -m repro analyze path/to/netlist.bench --mode iterative --report-nets
     python -m repro analyze gen:s35932 --scale 0.05 --simulate
     python -m repro generate s38417 --scale 0.1 -o s38417_like.bench
+    python -m repro serve --port 9227
+    python -m repro client --connect 127.0.0.1:9227 ping
 
-Netlist specifiers:
+``serve`` starts the long-running timing-query service (persistent
+design sessions, incremental what-if analysis; see docs/SERVICE.md) and
+``client`` sends it one request and prints the JSON response.
+
+Netlist specifiers (shared with the service's ``open_session``):
 
 * ``s27`` -- the embedded genuine ISCAS89 benchmark,
 * ``gen:s35932`` / ``gen:s38417`` / ``gen:s38584`` -- the synthetic
@@ -23,13 +29,13 @@ import logging
 import sys
 import time
 
-from repro.circuit import load_bench, map_to_circuit, s27, validate_circuit, write_bench
+from repro import __version__
+from repro.circuit import resolve_circuit, validate_circuit, write_bench
 from repro.circuit.generators import (
     S35932_SPEC,
     S38417_SPEC,
     S38584_SPEC,
     generate_bench,
-    generate_circuit,
 )
 from repro.core.analyzer import CrosstalkSTA
 from repro.core.modes import AnalysisMode, Engine, StaConfig, WindowCheck
@@ -55,15 +61,8 @@ _GEN_SPECS = {
 }
 
 
-def _resolve_circuit(spec: str, scale: float):
-    if spec == "s27":
-        return s27()
-    if spec.startswith("gen:"):
-        name = spec[4:]
-        if name not in _GEN_SPECS:
-            raise InputError(f"unknown generator {name!r}; have {sorted(_GEN_SPECS)}")
-        return generate_circuit(_GEN_SPECS[name].scaled(scale))
-    return map_to_circuit(load_bench(spec))
+# The specifier vocabulary is shared with the timing-query service.
+_resolve_circuit = resolve_circuit
 
 
 def _add_netlist_args(parser: argparse.ArgumentParser) -> None:
@@ -170,6 +169,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         exposures = rank_crosstalk_nets(design, reference.final_pass, top=args.top)
         print(format_net_report(exposures))
 
+    if args.net_report:
+        from repro.core.export import save_json
+        from repro.core.netreport import net_report_payload, validate_net_report
+
+        payload = net_report_payload(design, reference.final_pass, top=args.top)
+        problems = validate_net_report(payload)
+        if problems:  # internal invariant: we emit what we validate
+            raise ReproError(f"net report failed self-validation: {problems}")
+        save_json(payload, args.net_report)
+        logger.info("wrote net report to %s", args.net_report)
+
     if args.json:
         from repro.core.export import path_to_dict, results_to_dict, save_json, sta_result_to_dict
 
@@ -217,6 +227,94 @@ def cmd_repair(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import TimingService
+    from repro.service.server import serve as serve_service
+
+    config = StaConfig(
+        mode=AnalysisMode(args.mode),
+        window_check=WindowCheck(args.window_check),
+        esperance=args.esperance,
+        engine=Engine(args.engine),
+        workers=args.workers,
+        arc_cache=args.arc_cache,
+        incremental=not args.no_incremental,
+        strict=args.strict,
+        max_degraded=args.max_degraded,
+    )
+    obs = Observability.tracing() if args.trace else Observability.disabled()
+    service = TimingService(
+        config=config,
+        max_sessions=args.max_sessions,
+        checkpoint_dir=args.checkpoint_dir,
+        workers=args.service_workers,
+        queue_limit=args.queue_limit,
+        default_deadline=args.deadline,
+        obs=obs,
+    )
+
+    def ready(server) -> None:
+        # Parseable readiness line for scripts / the CI smoke job.
+        print(f"listening on {server.address}", flush=True)
+
+    try:
+        asyncio.run(
+            serve_service(
+                service, host=args.host, port=args.port, socket_path=args.socket,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        logger.info("interrupted; shutting down")
+        service.close()
+    if args.trace:
+        if str(args.trace).endswith(".jsonl"):
+            obs.tracer.write_jsonl(args.trace)
+        else:
+            obs.tracer.write_chrome(args.trace)
+        logger.info("wrote trace to %s (%d spans)", args.trace, len(obs.tracer.events))
+    print("server stopped", flush=True)
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceCallError, ServiceClient
+
+    params = json.loads(args.params) if args.params else {}
+    if not isinstance(params, dict):
+        raise InputError("--params must be a JSON object")
+    with ServiceClient(args.connect, timeout=args.timeout) as client:
+        try:
+            if args.no_retry:
+                result = client.call(args.method, params)
+            else:
+                result = client.call_with_retry(args.method, params)
+        except ServiceCallError as exc:
+            logger.error("%s", exc)
+            print(
+                json.dumps(
+                    {
+                        "error": {
+                            "code": exc.code,
+                            "kind": exc.kind,
+                            "message": str(exc),
+                            "data": exc.data,
+                        }
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            exit_code = exc.data.get("exit_code")
+            return int(exit_code) if exit_code is not None else 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     if args.name not in _GEN_SPECS:
         raise InputError(f"unknown generator {args.name!r}; have {sorted(_GEN_SPECS)}")
@@ -235,6 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Crosstalk-aware static timing analysis (Ringe et al., DATE 2000)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     parser.add_argument(
         "--log-level",
@@ -327,6 +428,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-phase wall-clock and arc-cache statistics",
     )
     analyze.add_argument("--report-nets", action="store_true", help="rank crosstalk-critical nets")
+    analyze.add_argument(
+        "--net-report",
+        metavar="FILE",
+        help="write the crosstalk ranking as schema-tagged JSON "
+        "(same payload the service's net_report method returns)",
+    )
     analyze.add_argument("--top", type=int, default=15)
     analyze.add_argument("--simulate", action="store_true", help="validate the longest path")
     analyze.add_argument("--json", metavar="FILE", help="write results as JSON")
@@ -354,6 +461,88 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--scale", type=float, default=0.05)
     generate.add_argument("-o", "--output", default="-")
     generate.set_defaults(func=cmd_generate)
+
+    serve = sub.add_parser(
+        "serve", help="run the timing-query service (see docs/SERVICE.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="TCP port (0 = ephemeral)")
+    serve.add_argument(
+        "--socket", metavar="PATH", help="serve on a Unix socket instead of TCP"
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=8, help="LRU bound on open sessions"
+    )
+    serve.add_argument(
+        "--service-workers", type=int, default=4, help="request worker threads"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="admitted-but-waiting requests beyond the workers; past that, "
+        "requests are rejected with busy (429) + retry_after",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline (clients may override per request)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="persist iterative-mode session checkpoints here",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=[m.value for m in AnalysisMode],
+        default=AnalysisMode.ITERATIVE.value,
+        help="default analysis mode for new sessions",
+    )
+    serve.add_argument(
+        "--window-check",
+        choices=[w.value for w in WindowCheck],
+        default=WindowCheck.QUIET.value,
+    )
+    serve.add_argument("--esperance", action="store_true")
+    serve.add_argument(
+        "--engine", choices=[e.value for e in Engine], default=Engine.SCALAR.value
+    )
+    serve.add_argument("--workers", type=int, default=0, help="batch-engine workers")
+    serve.add_argument("--arc-cache", metavar="FILE")
+    serve.add_argument("--no-incremental", action="store_true")
+    serve.add_argument("--strict", action="store_true")
+    serve.add_argument("--max-degraded", type=int, default=None, metavar="N")
+    serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a span trace on shutdown (Chrome trace-viewer JSON; "
+        ".jsonl for an event stream)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="send one request to a running timing-query service"
+    )
+    client.add_argument(
+        "--connect",
+        required=True,
+        metavar="ADDRESS",
+        help="host:port or unix:/path/to.sock",
+    )
+    client.add_argument("method", help="service method, e.g. ping or open_session")
+    client.add_argument(
+        "--params", metavar="JSON", help='request parameters, e.g. \'{"netlist": "s27"}\''
+    )
+    client.add_argument("--timeout", type=float, default=120.0)
+    client.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="fail immediately on busy (429) instead of honouring retry_after",
+    )
+    client.set_defaults(func=cmd_client)
     return parser
 
 

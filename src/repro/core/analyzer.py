@@ -85,9 +85,19 @@ class CrosstalkSTA:
         config: StaConfig | None = None,
         calculator: GateDelayCalculator | None = None,
         obs: Observability | None = None,
+        keep_propagators: bool = False,
     ):
         self.design = design
         self.config = config if config is not None else StaConfig()
+        # Session reuse (the timing-query service): with
+        # ``keep_propagators`` the analyzer retains one Propagator per
+        # exact configuration across run() calls, so a repeated analysis
+        # starts with a warm delta-driven arc memo instead of solving
+        # every arc again.  ``_warm_sources`` seeds a *new* propagator
+        # from another analyzer's retained one (see warm_start_from).
+        self.keep_propagators = keep_propagators
+        self._propagators: dict[StaConfig, Propagator] = {}
+        self._warm_sources: dict[StaConfig, Propagator] = {}
         if obs is not None:
             self.obs = obs
         else:
@@ -115,6 +125,30 @@ class CrosstalkSTA:
                 self.calculator.load_cache_file(
                     self.config.arc_cache, self._cell_types()
                 )
+
+    def warm_start_from(self, other: "CrosstalkSTA") -> None:
+        """Seed this analyzer's propagators from another analyzer's
+        retained ones (requires ``other`` to use ``keep_propagators``).
+
+        The designs may differ -- this is the what-if path of a design
+        session: the edited design's propagator adopts every memo entry
+        whose arc is electrically unchanged and re-solves only the dirty
+        cone (see :meth:`Propagator.warm_start_from`).  Reuse is
+        bit-identical to a cold analysis by construction.
+        """
+        self._warm_sources = dict(other._propagators)
+
+    def _propagator_for(self, config: StaConfig) -> Propagator:
+        propagator = self._propagators.get(config)
+        if propagator is not None:
+            return propagator
+        propagator = Propagator(self.design, config, self.calculator, obs=self.obs)
+        source = self._warm_sources.get(config)
+        if source is not None:
+            propagator.warm_start_from(source)
+        if self.keep_propagators:
+            self._propagators[config] = propagator
+        return propagator
 
     def _cell_types(self):
         return {cell.ctype.name: cell.ctype for cell in self.design.circuit.cells.values()}.values()
@@ -150,9 +184,7 @@ class CrosstalkSTA:
         over-degraded) result on its ``result`` attribute.
         """
         config = self.config if mode is None else self.config.with_mode(mode)
-        propagator = Propagator(
-            self.design, config, self.calculator, obs=self.obs
-        )
+        propagator = self._propagator_for(config)
         metrics_before = self.obs.metrics.snapshot()
         degraded_before = len(self.calculator.degraded)
 

@@ -85,6 +85,92 @@ def rank_crosstalk_nets(
     return exposures
 
 
+NET_REPORT_SCHEMA = "repro.netreport/1"
+
+# Per-net required keys of the machine-readable report (and their types);
+# shared by ``validate_net_report`` below, the CLI's ``--net-report`` and
+# the service's ``query_net`` so every consumer sees one payload shape.
+_NET_FIELDS = {
+    "net": str,
+    "coupling_cap": float,
+    "aggressor_count": int,
+    "worst_arrival": float,
+    "slack": float,
+    "coupled": bool,
+    "divider_fraction": float,
+    "score": float,
+}
+
+
+def exposure_to_dict(exposure: NetExposure) -> dict:
+    """One ranking entry as a JSON-safe dictionary (times in seconds)."""
+    return {
+        "net": exposure.net,
+        "coupling_cap": exposure.coupling_cap,
+        "aggressor_count": exposure.aggressor_count,
+        "worst_arrival": exposure.worst_arrival,
+        "slack": exposure.slack,
+        "coupled": exposure.coupled,
+        "divider_fraction": exposure.divider_fraction,
+        "score": exposure.score,
+    }
+
+
+def net_report_payload(
+    design: Design,
+    pass_result: PassResult,
+    top: int | None = 20,
+    exposures: list[NetExposure] | None = None,
+) -> dict:
+    """The crosstalk ranking as a schema-tagged JSON payload.
+
+    This is the machine-readable sibling of :func:`format_net_report`:
+    the CLI writes it behind ``--net-report`` and the timing-query
+    service returns the same entries from ``query_net``, so CI and
+    service clients consume one format.
+    """
+    if exposures is None:
+        exposures = rank_crosstalk_nets(design, pass_result, top=top)
+    return {
+        "schema": NET_REPORT_SCHEMA,
+        "design": design.name,
+        "longest_delay": pass_result.longest_delay,
+        "nets": [exposure_to_dict(e) for e in exposures],
+    }
+
+
+def validate_net_report(payload: dict) -> list[str]:
+    """Structural checks on a ``--net-report`` payload; returns error
+    strings (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["net report: not an object"]
+    if payload.get("schema") != NET_REPORT_SCHEMA:
+        errors.append(
+            f"net report: schema {payload.get('schema')!r} != {NET_REPORT_SCHEMA!r}"
+        )
+    if not isinstance(payload.get("design"), str):
+        errors.append("net report: missing design")
+    if not isinstance(payload.get("longest_delay"), float):
+        errors.append("net report: missing longest_delay")
+    nets = payload.get("nets")
+    if not isinstance(nets, list):
+        return errors + ["net report: nets is not a list"]
+    for i, entry in enumerate(nets):
+        if not isinstance(entry, dict):
+            errors.append(f"nets[{i}]: not an object")
+            continue
+        for field_name, field_type in _NET_FIELDS.items():
+            value = entry.get(field_name)
+            if field_type is float and isinstance(value, int):
+                value = float(value)
+            if not isinstance(value, field_type) or (
+                field_type is int and isinstance(value, bool)
+            ):
+                errors.append(f"nets[{i}].{field_name}: expected {field_type.__name__}")
+    return errors
+
+
 def format_net_report(exposures: list[NetExposure]) -> str:
     """Render the ranking as a text table."""
     lines = [

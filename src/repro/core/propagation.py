@@ -267,6 +267,48 @@ class Propagator:
             "propagation.waves_per_level", boundaries=SMALL_COUNT_BUCKETS
         )
 
+    # -- session reuse -------------------------------------------------------
+
+    def warm_start_from(self, source: "Propagator") -> None:
+        """Adopt another propagator's delta-driven pass memo (the what-if
+        path of a persistent design session).
+
+        Within one design the memo fingerprints only what a solve consumes
+        beyond the arc's identity -- the arrival shape and the decided
+        load -- because a cell's type and its output net's electrical view
+        cannot change between passes.  Across designs they can, so an
+        entry migrates only when its arc still exists, the driving cell
+        kept its cell type, and the output net's :class:`NetLoad` (fixed
+        load, coupling neighbours, sink Elmore delays) is exactly equal.
+        Everything else starts dirty and is re-solved.  Changes upstream
+        of a surviving arc are caught by the arrival fingerprint itself
+        (a moved transition misses the memo), so migration preserves the
+        incremental engine's guarantee: a reused arc is bit-identical to
+        a fresh solve.
+        """
+        if not self.config.incremental:
+            return
+        cells = self.design.circuit.cells
+        old_cells = source.design.circuit.cells
+        loads = self.design.loads
+        old_loads = source.design.loads
+        adopted: dict[tuple[str, str, str], _ArcMemo] = {}
+        for key, memo in source._memo.items():
+            cell = cells.get(key[0])
+            old_cell = old_cells.get(key[0])
+            if cell is None or old_cell is None:
+                continue
+            if cell.ctype.name != old_cell.ctype.name:
+                continue
+            out_net = cell.output_pin.net
+            old_net = old_cell.output_pin.net
+            if out_net is None or old_net is None:
+                continue
+            if loads.get(out_net.name) != old_loads.get(old_net.name):
+                continue
+            adopted[key] = memo
+        self._memo = adopted
+
     # -- pass driver ---------------------------------------------------------
 
     def run_pass(

@@ -3,6 +3,7 @@
 from repro.flow.design import Design, NetLoad, prepare_design
 from repro.flow.repair import (
     RepairOutcome,
+    adjust_coupling,
     repair_crosstalk,
     respace_nets,
     upsize_drivers,
@@ -12,6 +13,7 @@ __all__ = [
     "Design",
     "NetLoad",
     "RepairOutcome",
+    "adjust_coupling",
     "prepare_design",
     "repair_crosstalk",
     "respace_nets",

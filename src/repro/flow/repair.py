@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
 
-from repro.flow.design import Design, _net_load
+from repro.flow.design import Design, NetLoad, _net_load
 
 if TYPE_CHECKING:  # imported lazily at runtime: repro.core imports repro.flow
     from repro.core.analyzer import StaResult
@@ -95,6 +95,54 @@ def respace_nets(
     for net in design.circuit.nets.values():
         repaired.loads[net.name] = _net_load(net, extraction, design.process)
     return repaired
+
+
+def adjust_coupling(
+    design: Design, net: str, neighbour: str, cap: float = 0.0
+) -> Design:
+    """Set (or, with ``cap <= 0``, drop) one coupling capacitance,
+    symmetrically on both nets' load views.
+
+    This is the cheapest what-if edit: geometry and extraction are
+    untouched and shared with the source design; only the two affected
+    :class:`NetLoad` entries are replaced.  It models the effect of a
+    planned fix (drop) or of a suspected extraction miss (add) without
+    paying for a re-route.
+    """
+    from repro.errors import InputError
+
+    if design.loads.get(net) is None:
+        raise InputError(f"unknown net {net!r}")
+    if design.loads.get(neighbour) is None:
+        raise InputError(f"unknown net {neighbour!r}")
+    if net == neighbour:
+        raise InputError("a net cannot couple to itself")
+    if cap <= 0.0 and neighbour not in design.loads[net].couplings:
+        raise InputError(f"{net!r} has no coupling entry for {neighbour!r}")
+
+    edited = Design(
+        circuit=design.circuit,
+        placement=design.placement,
+        routing=design.routing,
+        extraction=design.extraction,
+        process=design.process,
+        technology=design.technology,
+    )
+    edited.loads.update(design.loads)
+    for name, other in ((net, neighbour), (neighbour, net)):
+        old = edited.loads[name]
+        couplings = dict(old.couplings)
+        if cap <= 0.0:
+            couplings.pop(other, None)
+        else:
+            couplings[other] = cap
+        edited.loads[name] = NetLoad(
+            net=old.net,
+            c_fixed=old.c_fixed,
+            couplings=couplings,
+            sink_elmore=dict(old.sink_elmore),
+        )
+    return edited
 
 
 _DRIVE_ORDER = ["X1", "X2", "X4"]

@@ -1,0 +1,52 @@
+"""Timing-query service: persistent design sessions over a concurrent
+async server, with incremental what-if (ECO) analysis.
+
+See ``docs/SERVICE.md`` for the protocol and an end-to-end tour.
+"""
+
+from repro.service.client import InProcessClient, ServiceClient
+from repro.service.executor import RequestExecutor
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_BUSY,
+    ERR_DEADLINE,
+    ERR_DEGRADED,
+    ERR_INPUT,
+    ERR_INTERNAL,
+    ERR_UNKNOWN_METHOD,
+    ERR_UNKNOWN_SESSION,
+    PROTOCOL_VERSION,
+    ServiceCallError,
+    ServiceError,
+    error_payload,
+)
+from repro.service.server import TimingServer, TimingService, serve
+from repro.service.session import Session, SessionManager, design_digest, result_summary
+from repro.service.whatif import EDIT_ACTIONS, apply_edit
+
+__all__ = [
+    "EDIT_ACTIONS",
+    "ERR_BAD_REQUEST",
+    "ERR_BUSY",
+    "ERR_DEADLINE",
+    "ERR_DEGRADED",
+    "ERR_INPUT",
+    "ERR_INTERNAL",
+    "ERR_UNKNOWN_METHOD",
+    "ERR_UNKNOWN_SESSION",
+    "InProcessClient",
+    "PROTOCOL_VERSION",
+    "RequestExecutor",
+    "ServiceCallError",
+    "ServiceClient",
+    "ServiceError",
+    "Session",
+    "SessionManager",
+    "TimingServer",
+    "TimingService",
+    "apply_edit",
+    "design_digest",
+    "error_payload",
+    "result_summary",
+    "serve",
+]

@@ -1,0 +1,224 @@
+"""Clients for the timing-query service.
+
+:class:`ServiceClient` speaks the wire protocol over TCP or a Unix
+socket -- one blocking request/response at a time (use one client per
+thread; connections are cheap).  :class:`InProcessClient` wraps a
+:class:`~repro.service.server.TimingService` directly with the *same*
+call surface and error semantics (failures raise
+:class:`~repro.service.protocol.ServiceCallError` in both), so tests and
+embedding tools can switch transports without changing code.
+
+Both clients honour backpressure: ``call_with_retry`` retries ``busy``
+(429) rejections after the server-advised ``retry_after`` delay.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from repro.errors import ReproError
+from repro.service.protocol import (
+    ERR_BUSY,
+    ServiceCallError,
+    decode_response,
+    encode_request,
+    error_payload,
+)
+from repro.service.server import TimingService
+
+
+class _CallSurface:
+    """Shared convenience methods over ``call``."""
+
+    def call(self, method: str, params: dict | None = None) -> dict:
+        raise NotImplementedError
+
+    def call_with_retry(
+        self,
+        method: str,
+        params: dict | None = None,
+        max_retries: int = 8,
+        max_wait: float = 60.0,
+    ) -> dict:
+        """Like :meth:`call`, but waits out ``busy`` rejections using the
+        server's ``retry_after`` advice (bounded by ``max_wait``)."""
+        waited = 0.0
+        for attempt in range(max_retries + 1):
+            try:
+                return self.call(method, params)
+            except ServiceCallError as exc:
+                if exc.code != ERR_BUSY or attempt == max_retries:
+                    raise
+                delay = exc.retry_after if exc.retry_after is not None else 0.5
+                if waited + delay > max_wait:
+                    raise
+                time.sleep(delay)
+                waited += delay
+        raise AssertionError("unreachable")
+
+    # -- method wrappers -----------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def open_session(
+        self,
+        netlist: str,
+        scale: float = 0.05,
+        config: dict | None = None,
+    ) -> dict:
+        params: dict[str, Any] = {"netlist": netlist, "scale": scale}
+        if config is not None:
+            params["config"] = config
+        return self.call("open_session", params)
+
+    def list_sessions(self) -> list[str]:
+        return self.call("list_sessions")["sessions"]
+
+    def session_info(self, session: str) -> dict:
+        return self.call("session_info", {"session": session})
+
+    def analyze(
+        self,
+        session: str,
+        mode: str | None = None,
+        force: bool = False,
+        deadline: float | None = None,
+    ) -> dict:
+        params: dict[str, Any] = {"session": session, "force": force}
+        if mode is not None:
+            params["mode"] = mode
+        if deadline is not None:
+            params["deadline"] = deadline
+        return self.call("analyze", params)
+
+    def query_net(self, session: str, net: str, mode: str | None = None) -> dict:
+        params: dict[str, Any] = {"session": session, "net": net}
+        if mode is not None:
+            params["mode"] = mode
+        return self.call("query_net", params)
+
+    def query_path(self, session: str, mode: str | None = None) -> dict:
+        params: dict[str, Any] = {"session": session}
+        if mode is not None:
+            params["mode"] = mode
+        return self.call("query_path", params)
+
+    def net_report(
+        self, session: str, mode: str | None = None, top: int = 20
+    ) -> dict:
+        params: dict[str, Any] = {"session": session, "top": top}
+        if mode is not None:
+            params["mode"] = mode
+        return self.call("net_report", params)
+
+    def whatif(
+        self,
+        session: str,
+        edit: dict,
+        mode: str | None = None,
+        commit: bool = False,
+        deadline: float | None = None,
+    ) -> dict:
+        params: dict[str, Any] = {"session": session, "edit": edit, "commit": commit}
+        if mode is not None:
+            params["mode"] = mode
+        if deadline is not None:
+            params["deadline"] = deadline
+        return self.call("whatif", params)
+
+    def close_session(self, session: str) -> dict:
+        return self.call("close_session", {"session": session})
+
+    def metrics(self) -> dict:
+        return self.call("metrics")["snapshot"]
+
+    def shutdown(self) -> dict:
+        return self.call("shutdown")
+
+
+class ServiceClient(_CallSurface):
+    """Blocking socket client.  ``address`` is ``host:port`` or
+    ``unix:/path/to.sock``."""
+
+    def __init__(self, address: str, timeout: float | None = 120.0):
+        self.address = address
+        if address.startswith("unix:"):
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(address[len("unix:") :])
+        else:
+            host, _, port = address.rpartition(":")
+            if not host or not port.isdigit():
+                raise ReproError(
+                    f"bad service address {address!r}; want host:port or unix:/path"
+                )
+            self._sock = socket.create_connection((host, int(port)), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def call(self, method: str, params: dict | None = None) -> dict:
+        self._next_id += 1
+        request_id = self._next_id
+        self._file.write(encode_request(request_id, method, params))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ReproError(f"service at {self.address} closed the connection")
+        response_id, result = decode_response(line)
+        if response_id != request_id:
+            raise ReproError(
+                f"response id {response_id!r} does not match request {request_id!r}"
+            )
+        return result
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InProcessClient(_CallSurface):
+    """Same-process client: dispatches straight into the service (no
+    sockets, no event loop) while keeping wire error semantics --
+    every failure surfaces as :class:`ServiceCallError` built from the
+    exact error payload a socket client would have received.  Requests
+    still pass the executor's admission control; deadlines do not apply
+    (the caller blocks on its own call)."""
+
+    def __init__(self, service: TimingService):
+        self.service = service
+
+    def call(self, method: str, params: dict | None = None) -> dict:
+        params = dict(params or {})
+        params.pop("deadline", None)
+        try:
+            return self.service.executor.run_sync(
+                lambda: self.service.dispatch(method, params), method=method
+            )
+        except Exception as exc:
+            error = error_payload(exc)
+            raise ServiceCallError(
+                code=error["code"],
+                kind=error["kind"],
+                message=error["message"],
+                data=error["data"],
+            ) from exc
+
+    def close(self) -> None:  # symmetry with ServiceClient
+        pass
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,171 @@
+"""Bounded execution layer of the timing-query service.
+
+Analysis work is CPU-bound and runs in a small thread pool; the asyncio
+event loop only parses lines and writes responses.  Three policies live
+here:
+
+* **Backpressure** -- admission is bounded by ``workers + queue_limit``
+  in-flight requests.  Past that the request is rejected *immediately*
+  with a ``busy`` (429) error carrying ``retry_after`` seconds, instead
+  of queueing without bound; the client decides whether to wait.
+* **Deadlines** -- a per-request deadline (client-supplied or the
+  server default) bounds how long the *caller* waits.  The worker
+  thread itself cannot be interrupted safely mid-solve, so on timeout
+  the request is answered with ``deadline_exceeded`` (408) while the
+  thread finishes in the background; its slot is released only when it
+  actually finishes, which keeps the admission count honest.
+* **Accounting** -- per-method request counters and latency histograms
+  plus an in-flight gauge (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.obs import Observability
+from repro.service.protocol import ERR_BUSY, ERR_DEADLINE, ServiceError
+
+LATENCY_BUCKETS = (
+    0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class RequestExecutor:
+    """Bounded thread-pool bridge with admission control and deadlines."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_limit: int = 8,
+        default_deadline: float | None = None,
+        obs: Observability | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.workers = workers
+        self.capacity = workers + queue_limit
+        self.default_deadline = default_deadline
+        self.obs = obs if obs is not None else Observability.disabled()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service"
+        )
+        self._pending = 0
+        self._lock = threading.Lock()
+        metrics = self.obs.metrics
+        self._g_in_flight = metrics.gauge("service.requests_in_flight")
+        self._g_in_flight.set(0)
+        self._c_rejected = metrics.counter("service.requests_rejected")
+        self._c_deadline = metrics.counter("service.requests_deadline_exceeded")
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def _admit(self) -> None:
+        with self._lock:
+            if self._pending >= self.capacity:
+                self._c_rejected.inc()
+                raise ServiceError(
+                    ERR_BUSY,
+                    f"server busy: {self._pending} requests in flight "
+                    f"(capacity {self.capacity})",
+                    retry_after=self._retry_after(self._pending),
+                )
+            self._pending += 1
+            self._g_in_flight.set(self._pending)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._pending -= 1
+            self._g_in_flight.set(self._pending)
+
+    def _retry_after(self, pending: int) -> float:
+        """Advisory wait before retrying a rejected request: half a
+        second per queued-ahead batch of workers, floored at 0.1 s."""
+        waves = math.ceil(max(pending - self.workers + 1, 1) / self.workers)
+        return max(0.1, 0.5 * waves)
+
+    def retry_after(self) -> float:
+        with self._lock:
+            pending = self._pending
+        return self._retry_after(pending)
+
+    async def submit(
+        self,
+        fn: Callable[[], Any],
+        method: str = "request",
+        deadline: float | None = None,
+    ) -> Any:
+        """Run ``fn`` on the pool; enforce admission and the deadline."""
+        self._admit()
+        metrics = self.obs.metrics
+        metrics.counter("service.requests", method=method).inc()
+        histogram = metrics.histogram(
+            "service.latency_seconds", boundaries=LATENCY_BUCKETS, method=method
+        )
+        loop = asyncio.get_running_loop()
+        t0 = time.perf_counter()
+        future = loop.run_in_executor(self._pool, fn)
+        # The slot is freed when the *thread* finishes, not when the
+        # caller stops waiting -- a timed-out request still occupies a
+        # worker, and admission control must see that.
+        future.add_done_callback(lambda _f: self._release())
+        if deadline is None:
+            deadline = self.default_deadline
+        try:
+            if deadline is None:
+                result = await future
+            else:
+                result = await asyncio.wait_for(asyncio.shield(future), deadline)
+        except asyncio.TimeoutError:
+            self._c_deadline.inc()
+            _silence(future)
+            raise ServiceError(
+                ERR_DEADLINE,
+                f"{method} exceeded its {deadline:g}s deadline "
+                "(the analysis continues in the background; retry to reuse "
+                "its warm state)",
+                deadline=deadline,
+            )
+        finally:
+            histogram.observe(time.perf_counter() - t0)
+        return result
+
+    def run_sync(self, fn: Callable[[], Any], method: str = "request") -> Any:
+        """Same admission control and accounting, for the in-process
+        client (no event loop, no deadline -- the caller blocks on its
+        own call)."""
+        self._admit()
+        metrics = self.obs.metrics
+        metrics.counter("service.requests", method=method).inc()
+        histogram = metrics.histogram(
+            "service.latency_seconds", boundaries=LATENCY_BUCKETS, method=method
+        )
+        t0 = time.perf_counter()
+        try:
+            return fn()
+        finally:
+            histogram.observe(time.perf_counter() - t0)
+            self._release()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+
+def _silence(future: asyncio.Future) -> None:
+    """Swallow the abandoned future's eventual exception (the request
+    was already answered with deadline_exceeded)."""
+
+    def _consume(f: asyncio.Future) -> None:
+        if not f.cancelled():
+            f.exception()
+
+    future.add_done_callback(_consume)

@@ -1,0 +1,377 @@
+"""The timing-query service: dispatcher and asyncio socket server.
+
+:class:`TimingService` is the transport-independent half -- a method
+registry over a :class:`~repro.service.session.SessionManager` and a
+:class:`~repro.service.executor.RequestExecutor`.  It is what the
+in-process client calls directly and what the socket server feeds.
+
+:class:`TimingServer` speaks the newline-delimited JSON protocol of
+:mod:`repro.service.protocol` over TCP or a Unix socket.  Each request
+line becomes its own task, so one connection can pipeline requests and
+receive responses out of order (matched by ``id``); writes per
+connection are serialized.  Every failure -- malformed line, unknown
+method, engine error, deadline, backpressure -- is answered with a
+structured error object; the server never answers a request by
+disconnecting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from typing import Any, Callable
+
+from repro import __version__
+from repro.core.modes import StaConfig
+from repro.core.netreport import net_report_payload
+from repro.errors import InputError
+from repro.obs import Observability
+from repro.service.executor import RequestExecutor
+from repro.service.protocol import (
+    ERR_BAD_REQUEST,
+    ERR_UNKNOWN_METHOD,
+    PROTOCOL_VERSION,
+    ServiceError,
+    decode_request,
+    encode_error,
+    encode_response,
+)
+from repro.service.session import SessionManager, result_summary
+
+_MISSING = object()
+
+
+def _param(params: dict, key: str, types, default=_MISSING):
+    value = params.get(key, _MISSING)
+    if value is _MISSING or value is None:
+        if default is _MISSING:
+            raise InputError(f"missing required parameter {key!r}")
+        return default
+    if types is float and isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    if not isinstance(value, types) or (
+        types in (int, float) and isinstance(value, bool)
+    ):
+        want = types.__name__ if isinstance(types, type) else "value"
+        raise InputError(f"parameter {key!r} must be a {want}")
+    return value
+
+
+class TimingService:
+    """Transport-independent dispatcher over persistent design sessions."""
+
+    def __init__(
+        self,
+        config: StaConfig | None = None,
+        max_sessions: int = 8,
+        checkpoint_dir: str | None = None,
+        workers: int = 4,
+        queue_limit: int = 8,
+        default_deadline: float | None = None,
+        obs: Observability | None = None,
+    ):
+        self.obs = obs if obs is not None else Observability.disabled()
+        self.sessions = SessionManager(
+            config=config,
+            max_sessions=max_sessions,
+            checkpoint_dir=checkpoint_dir,
+            obs=self.obs,
+        )
+        self.executor = RequestExecutor(
+            workers=workers,
+            queue_limit=queue_limit,
+            default_deadline=default_deadline,
+            obs=self.obs,
+        )
+        self.started_at = time.monotonic()
+        self.shutdown_requested = False
+        # The socket server installs a callback here to wake its loop.
+        self.on_shutdown: Callable[[], None] | None = None
+        self._methods: dict[str, Callable[[dict], dict]] = {
+            "ping": self._m_ping,
+            "open_session": self._m_open_session,
+            "list_sessions": self._m_list_sessions,
+            "session_info": self._m_session_info,
+            "analyze": self._m_analyze,
+            "query_net": self._m_query_net,
+            "query_path": self._m_query_path,
+            "net_report": self._m_net_report,
+            "whatif": self._m_whatif,
+            "close_session": self._m_close_session,
+            "metrics": self._m_metrics,
+            "shutdown": self._m_shutdown,
+        }
+
+    def methods(self) -> list[str]:
+        return sorted(self._methods)
+
+    def dispatch(self, method: str, params: dict) -> dict:
+        """Execute one request (synchronously; called on a worker)."""
+        handler = self._methods.get(method)
+        if handler is None:
+            raise ServiceError(
+                ERR_UNKNOWN_METHOD,
+                f"unknown method {method!r}; have {self.methods()}",
+            )
+        return handler(params)
+
+    def close(self) -> None:
+        self.sessions.close_all()
+        self.executor.shutdown(wait=True)
+
+    # -- method handlers (each runs under the executor) ----------------------
+
+    def _session(self, params: dict):
+        return self.sessions.get(_param(params, "session", str))
+
+    def _m_ping(self, params: dict) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "version": __version__,
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "sessions": len(self.sessions),
+            "in_flight": self.executor.pending,
+        }
+
+    def _m_open_session(self, params: dict) -> dict:
+        netlist = _param(params, "netlist", str)
+        scale = _param(params, "scale", float, 0.05)
+        overrides = _param(params, "config", dict, None)
+        session = self.sessions.open(netlist, scale=scale, config=overrides)
+        info = session.info()
+        info["protocol"] = PROTOCOL_VERSION
+        return info
+
+    def _m_list_sessions(self, params: dict) -> dict:
+        return {"sessions": self.sessions.ids()}
+
+    def _m_session_info(self, params: dict) -> dict:
+        session = self._session(params)
+        with session.lock:
+            return session.info()
+
+    def _m_analyze(self, params: dict) -> dict:
+        session = self._session(params)
+        mode = _param(params, "mode", str, None)
+        force = _param(params, "force", bool, False)
+        with session.lock:
+            return result_summary(session.analyze(mode, force=force))
+
+    def _m_query_net(self, params: dict) -> dict:
+        session = self._session(params)
+        net = _param(params, "net", str)
+        mode = _param(params, "mode", str, None)
+        with session.lock:
+            return session.query_net(net, mode)
+
+    def _m_query_path(self, params: dict) -> dict:
+        session = self._session(params)
+        mode = _param(params, "mode", str, None)
+        with session.lock:
+            return session.query_path(mode)
+
+    def _m_net_report(self, params: dict) -> dict:
+        session = self._session(params)
+        mode = _param(params, "mode", str, None)
+        top = _param(params, "top", int, 20)
+        with session.lock:
+            result = session.analyze(mode)
+            exposures = session.exposures(mode)[:top]
+            payload = net_report_payload(
+                session.design, result.final_pass, exposures=exposures
+            )
+        payload["session"] = session.session_id
+        payload["mode"] = result.mode.value
+        return payload
+
+    def _m_whatif(self, params: dict) -> dict:
+        session = self._session(params)
+        edit = _param(params, "edit", dict)
+        mode = _param(params, "mode", str, None)
+        commit = _param(params, "commit", bool, False)
+        with session.lock:
+            return session.whatif(edit, mode=mode, commit=commit)
+
+    def _m_close_session(self, params: dict) -> dict:
+        return self.sessions.close(_param(params, "session", str))
+
+    def _m_metrics(self, params: dict) -> dict:
+        return {"snapshot": self.obs.metrics.snapshot()}
+
+    def _m_shutdown(self, params: dict) -> dict:
+        self.shutdown_requested = True
+        if self.on_shutdown is not None:
+            self.on_shutdown()
+        return {"stopping": True, "sessions_closed": len(self.sessions)}
+
+
+class TimingServer:
+    """Asyncio front-end: newline-delimited JSON over TCP or Unix socket."""
+
+    def __init__(
+        self,
+        service: TimingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: str | None = None,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self._server: asyncio.AbstractServer | None = None
+        self._stop = asyncio.Event()
+        self._tasks: set[asyncio.Task] = set()
+        self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        service.on_shutdown = self._request_stop_threadsafe
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    @property
+    def address(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"{self.host}:{self.port}"
+
+    def _request_stop_threadsafe(self) -> None:
+        loop = self._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(self._stop.set)
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        if self.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=self.socket_path, limit=2**20
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self.host, port=self.port, limit=2**20
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` request (or :meth:`stop`) arrives,
+        then drain in-flight requests and close."""
+        if self._server is None:
+            await self.start()
+        await self._stop.wait()
+        await self.stop()
+
+    async def stop(self, drain_timeout: float = 30.0) -> None:
+        self._stop.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._tasks:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(*self._tasks, return_exceptions=True),
+                    drain_timeout,
+                )
+        # Close every connection so the per-client read loops see EOF and
+        # exit on their own (no task is left to be cancelled by the loop).
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        if self._connections:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    asyncio.gather(*self._connections, return_exceptions=True),
+                    drain_timeout,
+                )
+        self.service.close()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        self._writers.add(writer)
+        try:
+            while not self._stop.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(
+                        writer,
+                        write_lock,
+                        encode_error(
+                            None, ServiceError(ERR_BAD_REQUEST, "request line too long")
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._connections.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id: Any = None
+        try:
+            request_id, method, params = decode_request(line)
+            deadline = params.pop("deadline", None)
+            if deadline is not None and (
+                not isinstance(deadline, (int, float))
+                or isinstance(deadline, bool)
+                or deadline <= 0
+            ):
+                raise ServiceError(
+                    ERR_BAD_REQUEST, "'deadline' must be a positive number of seconds"
+                )
+            result = await self.service.executor.submit(
+                lambda: self.service.dispatch(method, params),
+                method=method,
+                deadline=deadline,
+            )
+            payload = encode_response(request_id, result)
+        except Exception as exc:  # answered, never disconnects
+            payload = encode_error(request_id, exc)
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+            await self._write(writer, write_lock, payload)
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter, lock: asyncio.Lock, payload: bytes
+    ) -> None:
+        async with lock:
+            writer.write(payload)
+            await writer.drain()
+
+
+async def serve(
+    service: TimingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    socket_path: str | None = None,
+    ready: Callable[[TimingServer], None] | None = None,
+) -> None:
+    """Start a server, report readiness, run until shutdown."""
+    server = TimingServer(service, host=host, port=port, socket_path=socket_path)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    await server.serve_until_shutdown()

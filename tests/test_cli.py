@@ -10,6 +10,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_help_mentions_every_command(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("info", "analyze", "repair", "generate", "serve", "client"):
+            assert command in out
+
+    def test_module_docstring_covers_service_commands(self):
+        import repro.cli
+
+        assert "serve" in repro.cli.__doc__
+        assert "client" in repro.cli.__doc__
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 0
+        assert args.max_sessions == 8
+        assert args.service_workers == 4
+        assert args.deadline is None
+
+    def test_client_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["client", "ping"])
+
     def test_analyze_defaults(self):
         args = build_parser().parse_args(["analyze", "s27"])
         assert args.mode == "iterative"
@@ -87,6 +120,30 @@ class TestAnalyze:
         payload = json.loads(target.read_text())
         assert "best_case" in payload["modes"]
         assert payload["critical_path"]["steps"]
+
+    def test_net_report_export(self, tmp_path, capsys):
+        import json
+
+        from repro.core.netreport import NET_REPORT_SCHEMA, validate_net_report
+
+        target = tmp_path / "nets.json"
+        assert main(
+            [
+                "analyze",
+                "s27",
+                "--mode",
+                "one_step",
+                "--net-report",
+                str(target),
+                "--top",
+                "5",
+            ]
+        ) == 0
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == NET_REPORT_SCHEMA
+        assert validate_net_report(payload) == []
+        assert 0 < len(payload["nets"]) <= 5
+        assert payload["design"] == "s27"
 
 
 class TestBatchEngineFlags:
@@ -208,6 +265,91 @@ class TestRepair:
         out = capsys.readouterr().out
         assert "round 1" in out
         assert "repaired 4 nets" in out
+
+
+class TestServeClient:
+    def test_serve_client_round_trip_over_unix_socket(self, tmp_path, capsys):
+        import os
+        import threading
+        import time
+
+        socket_path = str(tmp_path / "svc.sock")
+        trace_path = tmp_path / "serve_trace.json"
+        server_exit = {}
+
+        def run_server():
+            server_exit["code"] = main(
+                ["serve", "--socket", socket_path, "--trace", str(trace_path)]
+            )
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 15
+        while not os.path.exists(socket_path) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert os.path.exists(socket_path)
+
+        address = f"unix:{socket_path}"
+        assert main(["client", "--connect", address, "ping"]) == 0
+        assert main(
+            [
+                "client",
+                "--connect",
+                address,
+                "open_session",
+                "--params",
+                '{"netlist": "s27", "config": {"mode": "one_step"}}',
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert '"protocol": "repro.service/1"' in out
+        assert '"design": "s27"' in out
+        assert main(["client", "--connect", address, "shutdown"]) == 0
+        thread.join(30)
+        assert not thread.is_alive()
+        assert server_exit["code"] == 0
+        assert trace_path.exists()
+
+    def test_client_error_maps_exit_code(self, tmp_path, capsys):
+        import os
+        import threading
+        import time
+
+        socket_path = str(tmp_path / "svc.sock")
+
+        def run_server():
+            main(["serve", "--socket", socket_path])
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 15
+        while not os.path.exists(socket_path) and time.monotonic() < deadline:
+            time.sleep(0.05)
+        address = f"unix:{socket_path}"
+        # Unknown session: no CLI exit-code mapping -> generic failure 1.
+        assert main(
+            [
+                "client",
+                "--connect",
+                address,
+                "analyze",
+                "--params",
+                '{"session": "nope"}',
+            ]
+        ) == 1
+        # Input error carries the analysis taxonomy's exit code 2.
+        assert main(
+            [
+                "client",
+                "--connect",
+                address,
+                "open_session",
+                "--params",
+                '{"netlist": "gen:s99999"}',
+            ]
+        ) == 2
+        assert main(["client", "--connect", address, "shutdown"]) == 0
+        thread.join(30)
 
 
 class TestGenerate:

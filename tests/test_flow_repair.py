@@ -96,3 +96,36 @@ class TestRepairOutcome:
         assert outcome.improvement == pytest.approx(
             outcome.before_delay - outcome.after_delay
         )
+
+
+class TestRepairLoopEndToEnd:
+    """The full analyze -> rank -> fix -> re-analyze loop, over rounds."""
+
+    def test_rounds_never_regress_and_shed_coupling(self, small_design):
+        current = small_design
+        for _ in range(2):
+            outcome = repair_crosstalk(current, top=4)
+            # A repair round must not make the bound worse.
+            assert outcome.after_delay <= outcome.before_delay
+            for net in outcome.repaired_nets:
+                before_neighbours = set(current.loads[net].couplings)
+                after_neighbours = set(outcome.design.loads[net].couplings)
+                # Shielding sheds the majority of the net's former
+                # aggressors (reroute may introduce a few new ones)...
+                assert len(before_neighbours & after_neighbours) <= max(
+                    1, len(before_neighbours) // 2
+                )
+                # ...and cuts its total coupling load sharply.
+                assert (
+                    outcome.design.loads[net].c_coupling_total
+                    < current.loads[net].c_coupling_total * 0.5
+                )
+            current = outcome.design
+            if outcome.improvement <= 0:
+                break
+
+    def test_after_delay_matches_independent_analysis(self, outcome):
+        """The outcome's claimed after_delay is exactly what a fresh
+        analyzer reports on the repaired design."""
+        fresh = CrosstalkSTA(outcome.design).run(AnalysisMode.ITERATIVE)
+        assert float(fresh.longest_delay).hex() == float(outcome.after_delay).hex()
