@@ -21,10 +21,12 @@ import pytest
 
 from repro.circuit import s35932_like
 from repro.core.analyzer import CrosstalkSTA
-from repro.core.modes import AnalysisMode, Engine, StaConfig
+from repro.core.modes import AnalysisMode, Engine, SolverTier, StaConfig
 from repro.flow import prepare_design
 
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_sta_runtime.json"
+
+SCREEN_TOLERANCE = 100e-12
 
 
 @pytest.fixture(scope="module")
@@ -111,6 +113,121 @@ def engine_comparison(scale, record_result):
     return {"rows": rows, "guard": guard}
 
 
+def _timed_run(design, config):
+    sta = CrosstalkSTA(design, config)
+    t0 = time.perf_counter()
+    result = sta.run()
+    return result, time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def screened_comparison(scale, record_result, engine_comparison):
+    """Two-tier solver vs exact Newton, per analysis mode.
+
+    Three runs per mode: exact, screened with refinement disabled (the
+    pure pass-1 screening numbers the ISSUE budgets), and screened with
+    the default slack refinement (the shipping configuration, whose
+    longest-path delta must sit inside the tolerance).  Coupled modes
+    (worst_case, one_step, iterative) escalate every actively coupled
+    arc by design -- slew is non-monotone in active coupling -- so only
+    the uncoupled-screenable modes are expected to beat the 20% / 3x
+    pass-1 budgets."""
+    design = prepare_design(s35932_like(scale=scale))
+    rows = []
+    for mode in AnalysisMode:
+        exact, exact_seconds = _timed_run(design, StaConfig(mode=mode))
+        pass1, pass1_seconds = _timed_run(
+            design,
+            StaConfig(
+                mode=mode,
+                solver_tier=SolverTier.SCREENED,
+                screen_tolerance=SCREEN_TOLERANCE,
+                screen_slack_margin=0.0,
+            ),
+        )
+        refined, refined_seconds = _timed_run(
+            design,
+            StaConfig(
+                mode=mode,
+                solver_tier=SolverTier.SCREENED,
+                screen_tolerance=SCREEN_TOLERANCE,
+            ),
+        )
+        stats = pass1.cache_stats
+        tiers = stats["tier_counts"]
+        total_queries = sum(tiers.values())
+        rows.append(
+            {
+                "mode": mode.value,
+                "tolerance": SCREEN_TOLERANCE,
+                "exact": {
+                    "seconds": exact_seconds,
+                    "pass1_seconds": exact.history[0].seconds,
+                    "solves": exact.cache_stats["evaluations"],
+                    "longest_delay": exact.longest_delay,
+                },
+                "screened_pass1": {
+                    "seconds": pass1_seconds,
+                    "pass1_seconds": pass1.history[0].seconds,
+                    "solves": stats["evaluations"],
+                    "longest_delay": pass1.longest_delay,
+                    "tier_counts": dict(tiers),
+                    "escalations": dict(stats["escalations"]),
+                    "escalation_fraction": (
+                        tiers["newton"] / total_queries if total_queries else 0.0
+                    ),
+                    "anchor_solves": stats["anchor_solves"],
+                    "coarse_solves": stats["coarse_solves"],
+                },
+                "solve_fraction": (
+                    stats["evaluations"] / exact.cache_stats["evaluations"]
+                ),
+                "pass1_speedup": (
+                    exact.history[0].seconds / pass1.history[0].seconds
+                ),
+                "screened_refined": {
+                    "seconds": refined_seconds,
+                    "solves": refined.cache_stats["evaluations"],
+                    "longest_delay": refined.longest_delay,
+                },
+                "longest_path_delta_pass1": (
+                    pass1.longest_delay - exact.longest_delay
+                ),
+                "longest_path_delta": (
+                    refined.longest_delay - exact.longest_delay
+                ),
+            }
+        )
+
+    lines = [
+        f"Two-tier screened solver vs exact (s35932-like at scale {scale}, "
+        f"tolerance {SCREEN_TOLERANCE * 1e12:.0f} ps)",
+        "",
+        f"{'mode':<16} {'solves':>13} {'esc frac':>9} {'p1 speedup':>11} "
+        f"{'d(p1)':>10} {'d(refined)':>11}",
+        "-" * 76,
+    ]
+    for row in rows:
+        solves = (
+            f"{row['screened_pass1']['solves']}/{row['exact']['solves']}"
+        )
+        lines.append(
+            f"{row['mode']:<16} {solves:>13} "
+            f"{row['screened_pass1']['escalation_fraction']:>8.1%} "
+            f"{row['pass1_speedup']:>10.2f}x "
+            f"{row['longest_path_delta_pass1'] * 1e12:>9.1f}ps "
+            f"{row['longest_path_delta'] * 1e12:>10.2f}ps"
+        )
+    record_result("perf_screened", "\n".join(lines))
+
+    # engine_comparison already wrote the base payload; graft the
+    # screened section on so both live in one machine-readable file.
+    payload = json.loads(BENCH_JSON.read_text())
+    payload["screened"] = {"tolerance": SCREEN_TOLERANCE, "modes": rows}
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    return rows
+
+
 def test_engines_agree_within_guard_band(engine_comparison, benchmark):
     for row in engine_comparison["rows"]:
         assert row["delay_diff"] <= engine_comparison["guard"], row["mode"]
@@ -150,6 +267,32 @@ def test_iterative_pass_work_decays(engine_comparison, benchmark):
                 f"{engine}: pass {later['index']} issued "
                 f"{later['waveform_evaluations']} of {first} evaluations"
             )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_screened_pass1_meets_issue_budget(screened_comparison, benchmark):
+    """Headline criterion: on uncoupled-screenable modes the screened
+    pass issues at most 20% of the exact solve count (>= 5x reduction)
+    and the pass-1 wall-clock improves by at least 3x."""
+    for mode in ("best_case", "static_doubled"):
+        row = next(r for r in screened_comparison if r["mode"] == mode)
+        assert row["solve_fraction"] <= 0.20, (
+            f"{mode}: screened issued {row['solve_fraction']:.1%} of the "
+            f"exact solves (> 20% budget)"
+        )
+        assert row["pass1_speedup"] >= 3.0, (
+            f"{mode}: pass-1 speedup only {row['pass1_speedup']:.2f}x"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_screened_conservative_in_every_mode(screened_comparison, benchmark):
+    """The screened bound never undercuts exact, and with the default
+    slack refinement the reported delay lands inside the tolerance."""
+    for row in screened_comparison:
+        assert row["longest_path_delta_pass1"] >= -1e-15, row["mode"]
+        assert row["longest_path_delta"] >= -1e-15, row["mode"]
+        assert row["longest_path_delta"] <= row["tolerance"] + 1e-15, row["mode"]
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

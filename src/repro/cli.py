@@ -110,6 +110,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint,
         worker_retries=args.worker_retries,
         worker_timeout=args.worker_timeout,
+        solver_tier=args.solver_tier,
+        screen_tolerance=args.screen_tolerance,
+        screen_slack_margin=args.screen_slack_margin,
     )
     obs = Observability.tracing() if args.trace else Observability.disabled()
     sta = CrosstalkSTA(design, config, obs=obs)
@@ -243,6 +246,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         incremental=not args.no_incremental,
         strict=args.strict,
         max_degraded=args.max_degraded,
+        solver_tier=args.solver_tier,
+        screen_tolerance=args.screen_tolerance,
+        screen_slack_margin=args.screen_slack_margin,
     )
     obs = Observability.tracing() if args.trace else Observability.disabled()
     service = TimingService(
@@ -423,6 +429,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-chunk wall-clock limit for the worker pool",
     )
     analyze.add_argument(
+        "--solver-tier",
+        choices=["exact", "screened"],
+        default="exact",
+        help="arc-solving policy: 'exact' runs the full Newton solve on "
+        "every arc; 'screened' answers from the per-signature "
+        "macromodel/response-surface bank and escalates selectively",
+    )
+    analyze.add_argument(
+        "--screen-tolerance",
+        type=float,
+        default=100e-12,
+        metavar="SECONDS",
+        help="screened tier: largest acceptable per-arc error estimate "
+        "before escalating to the full solve",
+    )
+    analyze.add_argument(
+        "--screen-slack-margin",
+        type=float,
+        default=0.15,
+        metavar="FRACTION",
+        help="screened tier: slack fraction below which cells are refined "
+        "to the exact tier (0 disables refinement)",
+    )
+    analyze.add_argument(
         "--timing-report",
         action="store_true",
         help="print per-phase wall-clock and arc-cache statistics",
@@ -515,6 +545,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-incremental", action="store_true")
     serve.add_argument("--strict", action="store_true")
     serve.add_argument("--max-degraded", type=int, default=None, metavar="N")
+    serve.add_argument(
+        "--solver-tier",
+        choices=["exact", "screened"],
+        default="exact",
+        help="default arc-solving policy for new sessions",
+    )
+    serve.add_argument(
+        "--screen-tolerance", type=float, default=100e-12, metavar="SECONDS"
+    )
+    serve.add_argument(
+        "--screen-slack-margin", type=float, default=0.15, metavar="FRACTION"
+    )
     serve.add_argument(
         "--trace",
         metavar="FILE",

@@ -71,6 +71,27 @@ class Engine(Enum):
     BATCH = "batch"
 
 
+class SolverTier(Enum):
+    """Arc-solving policy.
+
+    ``EXACT``: every arc is integrated by the full transistor-table
+    Newton solver (the paper-faithful reference; bit-identical to the
+    behaviour before the tiered pipeline existed).  ``SCREENED``: arcs
+    are first answered from a per-signature screening bank -- an
+    analytical macromodel calibrated from a handful of anchor solves
+    plus a response surface fitted from every full solve performed --
+    and only escalated to the full Newton solve when the screen cannot
+    produce a bound within ``screen_tolerance``, the query falls outside
+    the fitted region, or the arc sits within ``screen_slack_margin`` of
+    the longest path.  Screened results are conservative (never earlier
+    / faster than the exact solve), so every reported delay remains an
+    upper bound.
+    """
+
+    EXACT = "exact"
+    SCREENED = "screened"
+
+
 class ClockAggressorModel(Enum):
     """How clock-tree nets behave as aggressors.
 
@@ -167,6 +188,28 @@ class StaConfig:
         Per-chunk wall-clock limit in seconds for the worker pool
         (``None``: unlimited).  A chunk exceeding it counts as a worker
         failure and follows the retry/quarantine policy.
+    solver_tier:
+        Arc-solving policy (see :class:`SolverTier`).  ``EXACT`` keeps
+        the full Newton solve on every arc; ``SCREENED`` answers arcs
+        from the per-signature macromodel/response-surface bank and
+        escalates to Newton only when the screen cannot meet
+        ``screen_tolerance`` or the arc is slack-critical.
+    screen_tolerance:
+        Screened tier only: the largest acceptable error estimate
+        (seconds, on the half-V_DD crossing time) of a screened bound.
+        Queries whose bracket or macromodel error estimate exceeds it
+        escalate to the full solve.  Per-arc inflation accumulates
+        along a path, so the first-pass longest delay can exceed the
+        exact delay by several multiples of this value; the slack
+        refinement (see ``screen_slack_margin``) is what brings the
+        reported delay back within tolerance.
+    screen_slack_margin:
+        Screened tier only: slack threshold, as a fraction of the
+        longest-path delay, below which an arc's driver cell is forced
+        to the exact tier.  The analyzer iterates this refinement until
+        the near-critical cone is fully exact, so the reported critical
+        path is produced by the exact solver; ``0`` disables the
+        refinement.
     """
 
     mode: AnalysisMode = AnalysisMode.ITERATIVE
@@ -189,12 +232,21 @@ class StaConfig:
     checkpoint: str | None = None
     worker_retries: int = 2
     worker_timeout: float | None = None
+    solver_tier: SolverTier = SolverTier.EXACT
+    screen_tolerance: float = 100e-12
+    screen_slack_margin: float = 0.15
 
     def __post_init__(self) -> None:
         if self.window_check is None:
             object.__setattr__(self, "window_check", WindowCheck.QUIET)
         if isinstance(self.engine, str):
             object.__setattr__(self, "engine", Engine(self.engine))
+        if isinstance(self.solver_tier, str):
+            object.__setattr__(self, "solver_tier", SolverTier(self.solver_tier))
+        if self.screen_tolerance <= 0:
+            raise InputError("screen_tolerance must be positive")
+        if self.screen_slack_margin < 0:
+            raise InputError("screen_slack_margin must be non-negative")
         if self.workers < 0:
             raise InputError("workers must be non-negative")
         if self.max_degraded is not None and self.max_degraded < 0:

@@ -59,6 +59,7 @@ from repro.core.modes import (
     AnalysisMode,
     ClockAggressorModel,
     Engine,
+    SolverTier,
     StaConfig,
     WindowCheck,
 )
@@ -177,6 +178,11 @@ class _ArcMemo:
     final_load: CouplingLoad | None
     final: ArcResult
     coupled: bool
+    # Whether every component above came from the exact (Newton) tier.
+    # Screened-tier memos are refused when the arc's driver cell has
+    # since been forced exact (slack refinement), so the re-solve
+    # actually happens instead of replaying the screened bound.
+    exact: bool = True
 
 
 @dataclass
@@ -202,6 +208,10 @@ class _ArcTask:
     coupled: bool = False
     memo: _ArcMemo | None = None
     evaluated: bool = False
+    # Screened solver tier: True when any component of this task's
+    # result came from a screened (non-Newton) bound, either freshly or
+    # through a reused non-exact memo.
+    screened: bool = False
 
     @property
     def t_start(self) -> float:
@@ -251,6 +261,11 @@ class Propagator:
         # task: gates key by (cell, input pin, input direction); flip-flop
         # launch tasks share pin "A" but differ in arrival direction.
         self._memo: dict[tuple[str, str, str], _ArcMemo] = {}
+        # Screened solver tier: driver cells forced to the exact tier
+        # (the analyzer grows this set during slack refinement until the
+        # near-critical cone is fully exact).
+        self._screened = config.solver_tier is SolverTier.SCREENED
+        self.exact_cells: set[str] = set()
         metrics = self.obs.metrics
         self._c_phase = {
             phase: metrics.counter("propagation.phase_seconds", phase=phase)
@@ -449,6 +464,7 @@ class Propagator:
                                     ),
                                     final=task.final_rel,
                                     coupled=task.coupled,
+                                    exact=not task.screened,
                                 )
                         # Wave barrier: these events now count as calculated
                         # for the later waves' and levels' decisions.
@@ -635,7 +651,13 @@ class Propagator:
             load = self.design.loads[task.out_net_name]
             if incremental:
                 memo = self._memo.get(self._memo_key(task))
-                if memo is not None and memo.arrival_fp == _arrival_fp(task.arrival):
+                if (
+                    memo is not None
+                    and memo.arrival_fp == _arrival_fp(task.arrival)
+                    # A screened memo must not satisfy a cell that the
+                    # slack refinement has since forced exact.
+                    and (memo.exact or task.cell.name not in self.exact_cells)
+                ):
                     task.memo = memo
             if not mode.is_window_based or not load.couplings:
                 if mode.is_window_based:
@@ -647,6 +669,7 @@ class Propagator:
                     task.final_rel = task.memo.final
                     task.final_event = task.final_rel.to_event(task.t_start)
                     task.coupled = task.memo.coupled
+                    task.screened = not task.memo.exact
                 else:
                     requests.append(self._request(task, task.plain_load))
                 continue
@@ -658,6 +681,7 @@ class Propagator:
                     if task.memo.worst is not None:
                         task.worst_rel = task.memo.worst
                         task.worst_event = task.worst_rel.to_event(task.t_start)
+                    task.screened = not task.memo.exact
                     continue
             # One-step / iterative: best-case calculation first ("w_bcs :=
             # calculate waveform for best-case, i.e. all adjacent wires
@@ -773,6 +797,8 @@ class Propagator:
                 task.final_rel = task.memo.final
                 task.final_event = task.final_rel.to_event(task.t_start)
                 task.coupled = True
+                if not task.memo.exact:
+                    task.screened = True
                 continue
             pending.append(task)
         if not pending:
@@ -794,6 +820,7 @@ class Propagator:
             input_direction=task.arrival.direction,
             input_transition=task.arrival.transition,
             load=load,
+            force_exact=self._screened and task.cell.name in self.exact_cells,
         )
 
     def _prime(self, requests: list[ArcRequest]) -> None:
@@ -806,13 +833,17 @@ class Propagator:
         """The origin-free arc solve; callers anchor it via
         ``result.to_event(task.t_start)`` -- exactly what
         :meth:`GateDelayCalculator.compute_arc` does internally."""
-        return self.calculator.compute_arc_relative(
+        arc = self.calculator.compute_arc_relative(
             task.cell.ctype,
             task.pin_name,
             task.arrival.direction,
             task.arrival.transition,
             load,
+            force_exact=self._screened and task.cell.name in self.exact_cells,
         )
+        if self._screened and self.calculator.last_tier != "newton":
+            task.screened = True
+        return arc
 
     def _fixed_load(self, load, mode: AnalysisMode) -> CouplingLoad:
         c_c = load.c_coupling_total

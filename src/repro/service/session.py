@@ -32,7 +32,7 @@ from dataclasses import replace
 from repro.circuit import resolve_circuit
 from repro.core.analyzer import CrosstalkSTA, StaResult
 from repro.core.export import path_to_dict
-from repro.core.modes import AnalysisMode, Engine, StaConfig, WindowCheck
+from repro.core.modes import AnalysisMode, Engine, SolverTier, StaConfig, WindowCheck
 from repro.core.netreport import exposure_to_dict, rank_crosstalk_nets
 from repro.errors import InputError
 from repro.flow import prepare_design
@@ -57,6 +57,9 @@ _CONFIG_OVERRIDES = {
     "guard": float,
     "max_iterations": int,
     "convergence_tolerance": float,
+    "solver_tier": lambda v: SolverTier(v),
+    "screen_tolerance": float,
+    "screen_slack_margin": float,
 }
 
 
@@ -111,7 +114,7 @@ def _finite(value: float) -> float | None:
 
 def result_summary(result: StaResult) -> dict:
     """The wire form of one analysis result (hex pins bit-exactness)."""
-    return {
+    summary = {
         "mode": result.mode.value,
         "design": result.design_name,
         "longest_delay": result.longest_delay,
@@ -128,6 +131,17 @@ def result_summary(result: StaResult) -> dict:
         "degraded_arcs": len(result.degraded_arcs),
         "runtime_seconds": result.runtime_seconds,
     }
+    stats = result.cache_stats or {}
+    if stats.get("solver_tier") == "screened":
+        # Tier counters live on the session's shared calculator, so they
+        # are cumulative across the session's runs (like the arc cache
+        # itself): clients difference successive responses for per-run
+        # figures.
+        summary["solver_tier"] = stats["solver_tier"]
+        summary["tier_counts"] = dict(stats.get("tier_counts", {}))
+        summary["escalations"] = dict(stats.get("escalations", {}))
+        summary["screen_hits"] = stats.get("screen_hits", 0)
+    return summary
 
 
 class Session:

@@ -73,6 +73,7 @@ from repro.waveform.batchstage import BatchArcSpec, BatchStageSolver
 from repro.waveform.coupling import CouplingLoad
 from repro.waveform.pwl import RISING, opposite
 from repro.waveform.ramp import RampEvent
+from repro.waveform.screening import ArcScreen
 from repro.waveform.stage import (
     MAX_EXTENSIONS,
     SETTLE_FRACTION,
@@ -126,6 +127,9 @@ class ArcRequest:
     load: CouplingLoad
     aiding: bool = False
     quantize_down: bool = False
+    # Screened tier only: route this request to the full Newton solve
+    # (slack-critical arc).  Not part of the canonical cache key.
+    force_exact: bool = False
 
 
 def _stage_params(ctype: CellType, pin: str, process: ProcessParams):
@@ -313,6 +317,8 @@ class GateDelayCalculator:
         worker_retries: int = 2,
         worker_timeout: float | None = None,
         retry_backoff: float = 0.05,
+        solver_tier: str = "exact",
+        screen_tolerance: float = 100e-12,
     ):
         self.process = process if process is not None else default_process()
         self.transition_grid = transition_grid
@@ -380,6 +386,39 @@ class GateDelayCalculator:
         self._c_quarantined_chunks = self.metrics.counter("engine.quarantined_chunks")
         self._c_serial_fallbacks = self.metrics.counter("engine.serial_fallbacks")
         self._c_cache_quarantined = self.metrics.counter("arc_cache.quarantined")
+        # Tiered-solver accounting: one counter per tier (distinct
+        # canonical situations resolved by it), escalation reasons, and
+        # wall-clock spent per tier.  All stay zero in exact mode.
+        self._c_tier = {
+            tier: self.metrics.counter("solver.tier", tier=tier)
+            for tier in ("analytical", "surface", "newton")
+        }
+        self._c_tier_seconds = {
+            tier: self.metrics.counter("solver.tier_seconds", tier=tier)
+            for tier in ("analytical", "surface", "newton")
+        }
+        self._c_escalations = {
+            reason: self.metrics.counter("propagation.escalations", reason=reason)
+            for reason in ("outside_region", "error_tolerance", "slack")
+        }
+        self._c_screen_hits = self.metrics.counter("arc_cache.screen_hits")
+        # The screened tier's per-signature macromodel / response-surface
+        # bank.  ``last_tier`` reports which tier answered the most recent
+        # compute_arc_relative call ("newton" covers exact-cache hits).
+        self.solver_tier = solver_tier
+        self.screen_tolerance = screen_tolerance
+        self.last_tier = "newton"
+        self._screen_cache: dict[tuple, tuple[ArcResult, str]] = {}
+        self._screen: ArcScreen | None = None
+        if solver_tier == "screened":
+            self._screen = ArcScreen(
+                solve=self._anchor_solve,
+                q_time=self._q_time,
+                q_cap=self._q_cap,
+                transition_grid=self.transition_grid,
+                cap_grid=self.cap_grid,
+                tolerance=screen_tolerance,
+            )
 
     # -- statistics properties (registry-backed, kept for compatibility) ----
 
@@ -544,6 +583,7 @@ class GateDelayCalculator:
         load: CouplingLoad,
         aiding: bool = False,
         quantize_down: bool = False,
+        force_exact: bool = False,
     ) -> ArcResult:
         """The cached, time-origin-free arc calculation.
 
@@ -552,6 +592,15 @@ class GateDelayCalculator:
         rounds the cache key's load and slew *down* instead of up -- the
         conservative direction for a min-delay (lower) bound, where the
         modelled arc must never be slower than reality.
+
+        Under the screened solver tier the query is first answered from
+        the per-signature screening bank (:mod:`repro.waveform.screening`)
+        and only escalated to the full Newton solve when the screen
+        cannot produce a bound within tolerance.  ``force_exact=True``
+        (slack-critical arcs) bypasses the screen; so do ``aiding`` and
+        ``quantize_down`` requests, whose min-delay semantics need lower
+        bounds the upper-bound screen cannot provide.  ``last_tier``
+        records which tier answered.
         """
         request = ArcRequest(
             ctype, pin, input_direction, input_transition, load, aiding, quantize_down
@@ -560,9 +609,65 @@ class GateDelayCalculator:
         cached = self._arc_cache.get(key)
         if cached is not None:
             self._record_hit(key)
+            self.last_tier = "newton"
+            return cached
+        if self._screen is not None and not aiding and not quantize_down:
+            return self._compute_screened(key, force_exact)
+        arc = self._solve_key(key)
+        self._arc_cache[key] = arc
+        self.last_tier = "newton"
+        return arc
+
+    def _screen_arc(self, key: tuple, fields: tuple) -> ArcResult:
+        """Materialise a screened bound as an :class:`ArcResult`."""
+        t_cross, transition, t_early, t_late = fields
+        return ArcResult(
+            direction=opposite(key[1]),
+            t_cross=t_cross,
+            transition=transition,
+            t_early=t_early,
+            t_late=t_late,
+            coupled=key[4] > 0.0,
+        )
+
+    def _compute_screened(self, key: tuple, force_exact: bool) -> ArcResult:
+        """Screened-tier resolution of one cache miss (scalar path)."""
+        if not force_exact:
+            screened = self._screen_cache.get(key)
+            if screened is not None:
+                arc, tier = screened
+                self._c_screen_hits.inc()
+                self.last_tier = tier
+                return arc
+        t0 = time.perf_counter()
+        if force_exact:
+            self._c_escalations["slack"].inc()
+        else:
+            outcome = self._screen.estimate(key)
+            if outcome.tier is not None:
+                arc = self._screen_arc(key, outcome.fields)
+                self._screen_cache[key] = (arc, outcome.tier)
+                self._c_tier[outcome.tier].inc()
+                self._c_tier_seconds[outcome.tier].inc(time.perf_counter() - t0)
+                self.last_tier = outcome.tier
+                return arc
+            self._c_escalations[outcome.reason].inc()
+        arc = self._solve_key(key)
+        self._arc_cache[key] = arc
+        self._c_tier["newton"].inc()
+        self._c_tier_seconds["newton"].inc(time.perf_counter() - t0)
+        self.last_tier = "newton"
+        return arc
+
+    def _anchor_solve(self, key: tuple) -> ArcResult:
+        """Exact solve of one screen-calibration anchor (cached like any
+        other canonical situation; counted as a Newton-tier solve)."""
+        cached = self._arc_cache.get(key)
+        if cached is not None:
             return cached
         arc = self._solve_key(key)
         self._arc_cache[key] = arc
+        self._c_tier["newton"].inc()
         return arc
 
     def _record_hit(self, key: tuple) -> None:
@@ -603,7 +708,13 @@ class GateDelayCalculator:
         self._observe_cost(token, stage_result.newton_iterations)
         if stage_result.newton_bisections:
             self._c_bisect.inc(stage_result.newton_bisections)
-        return self._to_arc(stage_result)
+        arc = self._to_arc(stage_result)
+        if self._screen is not None:
+            # Every successful full solve grows the response surface.
+            # The degraded path above returns without reaching this, so
+            # conservative substitutes never enter the surface.
+            self._screen.observe(key, arc)
+        return arc
 
     def _degrade_key(self, key: tuple, exc: SolverError) -> ArcResult:
         """Substitute a conservative bound for an arc whose solve failed.
@@ -729,26 +840,52 @@ class GateDelayCalculator:
         when configured, falling back to the scalar reference solver for
         tiny batches or ``engine="scalar"``.  Returns the number of
         situations actually solved.
+
+        Under the screened solver tier each miss is screened here, on
+        the parent side, and only the escalated (or ``force_exact``)
+        situations reach the batch/pool Newton solve.
         """
         misses: list[tuple] = []
         seen: set[tuple] = set()
+        screen = self._screen
         for request in requests:
             key = self._quantized_key(request)
-            if key not in self._arc_cache and key not in seen:
-                seen.add(key)
-                misses.append(key)
+            if key in self._arc_cache or key in seen:
+                continue
+            if screen is not None and not request.aiding and not request.quantize_down:
+                if request.force_exact:
+                    self._c_escalations["slack"].inc()
+                elif key in self._screen_cache:
+                    continue
+                else:
+                    t0 = time.perf_counter()
+                    outcome = screen.estimate(key)
+                    if outcome.tier is not None:
+                        arc = self._screen_arc(key, outcome.fields)
+                        self._screen_cache[key] = (arc, outcome.tier)
+                        self._c_tier[outcome.tier].inc()
+                        self._c_tier_seconds[outcome.tier].inc(
+                            time.perf_counter() - t0
+                        )
+                        continue
+                    self._c_escalations[outcome.reason].inc()
+                    self._c_tier_seconds["newton"].inc(time.perf_counter() - t0)
+            seen.add(key)
+            misses.append(key)
         if not misses:
             return 0
 
+        t0 = time.perf_counter()
         if self.engine != "batch" or len(misses) < MIN_BATCH:
             for key in misses:
                 self._arc_cache[key] = self._solve_key(key)
-            return len(misses)
-
-        if self.workers >= 2 and len(misses) >= 2 * MIN_BATCH:
+        elif self.workers >= 2 and len(misses) >= 2 * MIN_BATCH:
             self._solve_keys_pooled(misses)
         else:
             self._solve_keys_batched(misses)
+        if screen is not None:
+            self._c_tier["newton"].inc(len(misses))
+            self._c_tier_seconds["newton"].inc(time.perf_counter() - t0)
         return len(misses)
 
     def _solve_keys_batched(self, misses: list[tuple]) -> None:
@@ -784,8 +921,11 @@ class GateDelayCalculator:
                 self._arc_cache[key] = self._solve_key(key)
             return
         for key, stage_result in zip(misses, results):
-            self._arc_cache[key] = self._to_arc(stage_result)
+            arc = self._to_arc(stage_result)
+            self._arc_cache[key] = arc
             self._observe_cost(key[0], stage_result.newton_iterations)
+            if self._screen is not None:
+                self._screen.observe(key, arc)
         self._c_evaluations.inc(len(misses))
         self._c_batched.inc(len(misses))
 
@@ -842,10 +982,13 @@ class GateDelayCalculator:
                     coupled,
                     iterations,
                 ) = fields
-                self._arc_cache[key] = ArcResult(
+                arc = ArcResult(
                     direction, t_cross, transition, t_early, t_late, coupled
                 )
+                self._arc_cache[key] = arc
                 self._observe_cost(key[0], iterations)
+                if self._screen is not None:
+                    self._screen.observe(key, arc)
             self._c_evaluations.inc(len(rows))
             self._c_batched.inc(len(rows))
             self._c_pool.inc(len(rows))
@@ -1105,6 +1248,11 @@ class GateDelayCalculator:
                 continue
             self._arc_cache[key] = arc
             self._persisted_keys.add(key)
+            if self._screen is not None:
+                # Persisted entries are successful exact solves from a
+                # fingerprint-compatible run: warm the response surface
+                # so screened reruns skip most calibration work.
+                self._screen.observe(key, arc)
             loaded += 1
         self._c_persisted.inc(loaded)
         return loaded
@@ -1132,6 +1280,19 @@ class GateDelayCalculator:
             "newton_bisections": self._c_bisect.value,
             "degraded_arcs": self._c_degraded.value,
             "worker_failures": self._c_worker_failures.value,
+            "solver_tier": self.solver_tier,
+            "tier_counts": {
+                tier: counter.value for tier, counter in self._c_tier.items()
+            },
+            "tier_seconds": {
+                tier: counter.value for tier, counter in self._c_tier_seconds.items()
+            },
+            "escalations": {
+                reason: counter.value
+                for reason, counter in self._c_escalations.items()
+            },
+            "screen_hits": self._c_screen_hits.value,
+            **(self._screen.stats() if self._screen is not None else {}),
         }
 
     def reset_counters(self) -> None:
@@ -1141,3 +1302,7 @@ class GateDelayCalculator:
         self._c_persisted_hits.reset()
         self._c_batched.reset()
         self._c_pool.reset()
+        self._c_screen_hits.reset()
+        for group in (self._c_tier, self._c_tier_seconds, self._c_escalations):
+            for counter in group.values():
+                counter.reset()

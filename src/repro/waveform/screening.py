@@ -1,0 +1,494 @@
+"""Per-signature arc screening: analytical macromodel + response surface.
+
+The screened solver tier (``StaConfig.solver_tier = SCREENED``) answers
+arc queries from this bank instead of running the full transistor-table
+Newton integration.  Everything rests on the monotonicity the arc cache
+already assumes for its conservative round-up quantization: the stage
+response markers ``t_cross``/``transition``/``t_late`` (and ``t_early``)
+are monotone nondecreasing in the input slew and the passive load.  A
+query bracketed by two previously solved points therefore has
+guaranteed bounds:
+
+* the **dominating** point (every coordinate >= the query's) gives a
+  conservative *upper* bound for the late markers and the slew, and
+* the **dominated** point (every coordinate <= the query's) gives a
+  conservative *lower* bound for the early-activity marker.
+
+Two tiers share this bracket machinery:
+
+1. **Analytical tier** -- on the first query of a stage signature the
+   bank calibrates itself from a handful of *anchor* Newton solves (the
+   absolute grid floor, so a dominated point always exists, up to a
+   spread above the query) and fits a linear macromodel
+
+       t_cross ~ b0 + b1*slew + b2*C_passive
+
+   (effective drive resistance times load; ``C_passive`` already folds
+   the passive half of every coupling neighbour, which is the ΔC the
+   quiet-aggressor model adds).  The sensitivities choose per-axis *coarse grid
+   steps* -- the largest step whose predicted delay change stays inside
+   the tolerance budget -- and a query with no adequate bracket rounds
+   every coordinate UP to the coarse grid and solves that single
+   dominating corner.  The corner's values are a guaranteed bound
+   regardless of the fit (monotone domination); the macromodel supplies
+   the error estimate: its predicted delay increase from the query to
+   the corner.  One solve opens a whole coarse box -- every later query
+   under the same corner reuses it through the surface -- which is how
+   the screen coarsens the arc-cache grid to the tolerance scale.
+2. **Surface tier** -- every full Newton solve the run performs (anchor,
+   coarse-corner, escalated, batched or persisted-cache load) is folded
+   into the per-signature response surface, so coverage tightens as the
+   run progresses: a query resolves here with zero new solves when some
+   dominating surface point is close enough -- by the *measured* bracket
+   width against the best dominated point, or by the macromodel's
+   predicted delay increase from the query to that point -- to stay
+   within tolerance.
+
+A query **escalates** to the full Newton solve when the macromodel
+cannot vouch for a coarse corner (no fit, or the predicted error
+exceeds the tolerance -- the coarse grid is degenerate at the query),
+when the corner solve degraded, or when a bracket endpoint violates
+monotonicity beyond the solver noise floor.  Escalated solves feed the
+surface, so each escalation widens the region future queries resolve
+in.
+
+**Actively coupled situations never screen.**  The victim's output slew
+is *not* monotone in the aggressor coupling capacitance: the coupling
+bump delays the start of the output transition more than its end, so a
+larger ``C_active`` can produce a *smaller* measured slew (observed at
+the ~10 ps scale on the default library, far beyond solver noise).  A
+dominating-point slew bound is therefore unsound along that axis, and
+an optimistic slew would propagate downstream.  Queries with nonzero
+active coupling escalate (``outside_region``), and coupled solves stay
+out of the surface so they can never serve as dominating points for
+uncoupled queries.
+
+Degraded (conservative-bound-substituted) solves never enter the
+surface: they are valid upper bounds for their own key but wildly
+pessimistic, and as *dominated* points they would be unsound.
+
+All bounds are padded by :data:`repro.devices.newton.MONOTONE_NOISE`:
+circuit monotonicity is exact, but two independently converged solves
+can violate it by the solver's timing noise floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.devices.newton import MONOTONE_NOISE
+
+#: Escalation reasons reported by :meth:`ArcScreen.estimate`.
+REASON_OUTSIDE = "outside_region"
+REASON_TOLERANCE = "error_tolerance"
+
+#: Anchor-box half-dynamic-range: corners sit at query/SPREAD and
+#: query*SPREAD per axis, so one calibration covers a 16x range.
+SPREAD = 4.0
+
+#: Coarse-grid step bounds, in multiples of the fine cache grid.  The
+#: macromodel picks the step per axis; the clamp keeps a bad fit from
+#: degenerating into per-query solves (min) or a uselessly wide grid
+#: whose brackets never certify (max).
+MIN_COARSE = 1
+MAX_COARSE = 64
+
+#: Coarse step used before the macromodel is available (degraded
+#: calibration anchors leave fewer than three fit points).
+DEFAULT_COARSE = 8
+
+
+@dataclass(frozen=True)
+class ScreenOutcome:
+    """Result of one screen query.
+
+    ``tier`` is ``"analytical"`` or ``"surface"`` on a hit (``fields``
+    then holds ``(t_cross, transition, t_early, t_late)``) and ``None``
+    on an escalation (``reason`` then says why).  ``error`` is the
+    screen's error estimate on ``t_cross`` (the bracket width, or the
+    macromodel estimate when that is what passed the tolerance).
+    """
+
+    tier: str | None
+    error: float
+    fields: tuple | None = None
+    reason: str | None = None
+
+
+class _ScreenCell:
+    """The response surface of one (signature token, input direction)."""
+
+    __slots__ = (
+        "points",
+        "index_of",
+        "anchors",
+        "calibrated",
+        "box",
+        "floor_index",
+        "model",
+        "residual",
+        "_buf",
+        "_anchor_arr",
+        "_model_stale",
+    )
+
+    def __init__(self) -> None:
+        # One row per solved (uncoupled) point: (tt, c_passive,
+        # t_cross, transition, t_early, t_late).  Rows live in a
+        # capacity-doubling buffer so the per-query view is O(1) and an
+        # append is amortized O(1) -- the surface grows by thousands of
+        # points per run and a rebuild-on-add would be quadratic.
+        self.points: list[tuple] = []
+        self.index_of: dict[tuple, int] = {}
+        self.anchors: list[bool] = []
+        self.calibrated = False
+        self.box: tuple | None = None  # (tt_lo, tt_hi, cp_lo, cp_hi)
+        # Index of the grid-floor anchor: dominated by every on-grid
+        # query, so it serves as the O(1) lower-bound partner on the
+        # fast query path.
+        self.floor_index: int | None = None
+        self.model: np.ndarray | None = None
+        self.residual = 0.0
+        self._buf = np.empty((16, 6), dtype=float)
+        self._anchor_arr: np.ndarray | None = None
+        self._model_stale = True
+
+    def add(self, coords: tuple, values: tuple, anchor: bool) -> None:
+        index = self.index_of.get(coords)
+        if index is not None:
+            if anchor and not self.anchors[index]:
+                self.anchors[index] = True
+                self._anchor_arr = None
+                self._model_stale = True
+            return
+        n = len(self.points)
+        self.index_of[coords] = n
+        self.points.append(coords + values)
+        self.anchors.append(anchor)
+        if n >= self._buf.shape[0]:
+            grown = np.empty((2 * self._buf.shape[0], 6), dtype=float)
+            grown[:n] = self._buf[:n]
+            self._buf = grown
+        self._buf[n] = coords + values
+        self._anchor_arr = None  # the mask is one entry per point
+        if anchor:
+            self._model_stale = True
+
+    def array(self) -> np.ndarray:
+        return self._buf[: len(self.points)]
+
+    def anchor_mask(self) -> np.ndarray:
+        if self._anchor_arr is None:
+            self._anchor_arr = np.asarray(self.anchors, dtype=bool)
+        return self._anchor_arr
+
+    def fit(self) -> None:
+        """(Re)fit the linear macromodel over the anchor points."""
+        if not self._model_stale:
+            return
+        self._model_stale = False
+        arr = self.array()[self.anchor_mask()]
+        if len(arr) < 3:
+            self.model = None
+            return
+        tt, cp = arr[:, 0], arr[:, 1]
+        design = np.column_stack([np.ones_like(tt), tt, cp])
+        target = arr[:, 3]
+        coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+        self.model = coeffs
+        self.residual = float(np.max(np.abs(design @ coeffs - target)))
+
+    def predict(self, tt: float, cp: float) -> float | None:
+        self.fit()
+        if self.model is None:
+            return None
+        b0, b1, b2 = self.model
+        return float(b0 + b1 * tt + b2 * cp)
+
+    def coarse_steps(
+        self, transition_grid: float, cap_grid: float, tolerance: float
+    ) -> tuple[int, int]:
+        """Per-axis coarse-grid steps (in fine-grid units).
+
+        The largest step whose predicted delay change fits half the
+        tolerance budget per axis; the per-query acceptance test uses
+        the macromodel's estimate at the query's actual distance to the
+        corner, so only queries near a box's far corner on several axes
+        at once exceed the tolerance and escalate.
+        """
+        self.fit()
+        if self.model is None:
+            return (DEFAULT_COARSE, DEFAULT_COARSE)
+        _, b1, b2 = self.model
+        budget = tolerance / 2.0
+        return (
+            _clamp_step(budget / ((abs(b1) + 1e-30) * transition_grid)),
+            _clamp_step(budget / ((abs(b2) + 1e-30) * cap_grid)),
+        )
+
+
+def _clamp_step(units: float) -> int:
+    return max(MIN_COARSE, min(MAX_COARSE, int(units)))
+
+
+class ArcScreen:
+    """The screening bank over all stage signatures of one calculator.
+
+    ``solve`` is the calculator's exact-solve callback (key -> cached
+    ArcResult); the quantizers and grids come from the same calculator
+    so anchor corners land on canonical cache keys.
+    """
+
+    def __init__(
+        self,
+        solve: Callable[[tuple], object],
+        q_time: Callable[..., float],
+        q_cap: Callable[..., float],
+        transition_grid: float,
+        cap_grid: float,
+        tolerance: float,
+        pad: float = MONOTONE_NOISE,
+    ):
+        self._solve = solve
+        self._q_time = q_time
+        self._q_cap = q_cap
+        self._transition_grid = transition_grid
+        self._cap_grid = cap_grid
+        self.tolerance = tolerance
+        self.pad = pad
+        self._cells: dict[tuple, _ScreenCell] = {}
+        self.anchor_solves = 0
+        self.coarse_solves = 0
+
+    # -- surface maintenance -------------------------------------------------
+
+    def observe(self, key: tuple, arc, anchor: bool = False) -> None:
+        """Fold one successfully Newton-solved arc into the surface.
+
+        Degraded results must not be offered here (the calculator's
+        solve paths only call this after a successful solve).  Aiding
+        (min-delay) keys are ignored -- the screen serves upper-bound
+        queries only -- and so are actively coupled keys, whose slew is
+        non-monotone in the coupling (see module docstring): as
+        dominating points they would be unsound.
+        """
+        token, direction, tt, c_passive, c_active, aiding = key
+        if aiding or c_active > 0.0:
+            return
+        cell = self._cells.setdefault((token, direction), _ScreenCell())
+        cell.add(
+            (tt, c_passive),
+            (arc.t_cross, arc.transition, arc.t_early, arc.t_late),
+            anchor,
+        )
+
+    def _calibrate(self, cell: _ScreenCell, token: str, direction: str, q: tuple) -> None:
+        """Anchor the cell's box (and macromodel) around the first query.
+
+        The low corner sits at the absolute grid floor -- not below the
+        first query -- so every later query, however small, has at least
+        one dominated surface point (the floor anchor) supplying a valid
+        early-activity lower bound.
+        """
+        tt, cp = q
+        tt_lo = self._transition_grid
+        tt_hi = self._q_time(tt * SPREAD)
+        cp_lo = self._cap_grid
+        cp_hi = self._q_cap(max(cp * SPREAD, self._cap_grid))
+        cell.box = (tt_lo, tt_hi, cp_lo, cp_hi)
+        for tt_val in (tt_lo, tt_hi):
+            for cp_val in (cp_lo, cp_hi):
+                corner = (token, direction, tt_val, cp_val, 0.0, False)
+                self.anchor_solves += 1
+                self._solve(corner)
+                # A successful solve reached the surface through the
+                # calculator's observe hook; upgrade it to an anchor.
+                # A degraded solve never arrived, and stays out.
+                index = cell.index_of.get((tt_val, cp_val))
+                if index is not None and not cell.anchors[index]:
+                    cell.anchors[index] = True
+                    cell._anchor_arr = None
+                    cell._model_stale = True
+        cell.floor_index = cell.index_of.get((tt_lo, cp_lo))
+        cell.calibrated = True
+
+    # -- queries -------------------------------------------------------------
+
+    def _bracket(
+        self, cell: _ScreenCell, q: tuple
+    ) -> tuple[int | None, int | None, float] | None:
+        """Best dominance bracket for ``q`` over the cell's points.
+
+        Returns ``(i_up, i_dn, score)``: the best dominating point --
+        smallest *distance score* among points componentwise >= the
+        query, where a point's score is the smaller of its measured
+        width over the best dominated point and the macromodel's
+        predicted delay increase from the query to it -- and the
+        tightest dominated point.  Either index is ``None`` when that
+        side has no points; returns ``None`` when the cell is empty.
+        """
+        if not cell.points:
+            return None
+        arr = cell.array()
+        coords = arr[:, :2]
+        point = np.asarray(q)
+        up = np.all(coords >= point, axis=1)
+        dn = np.all(coords <= point, axis=1)
+        i_dn = None
+        if dn.any():
+            dn_idx = np.flatnonzero(dn)
+            i_dn = int(dn_idx[np.argmax(arr[dn_idx, 2])])
+        if not up.any():
+            return None, i_dn, float(np.inf)
+        up_idx = np.flatnonzero(up)
+        score = (
+            arr[up_idx, 2] - arr[i_dn, 2]
+            if i_dn is not None
+            else np.full(up_idx.size, np.inf)
+        )
+        cell.fit()
+        if cell.model is not None:
+            _, b1, b2 = cell.model
+            d_tt = arr[up_idx, 0] - point[0]
+            d_cp = arr[up_idx, 1] - point[1]
+            est = abs(b1) * d_tt + abs(b2) * d_cp
+            score = np.minimum(score, est)
+        j = int(np.argmin(score))
+        return int(up_idx[j]), i_dn, float(score[j])
+
+    def _outcome(
+        self, cell: _ScreenCell, tier: str, i_up: int, i_dn: int, error: float
+    ) -> ScreenOutcome:
+        arr = cell.array()
+        pad = self.pad
+        fields = (
+            float(arr[i_up, 2]) + pad,  # t_cross  (upper bound)
+            float(arr[i_up, 3]) + pad,  # transition (upper bound)
+            float(arr[i_dn, 4]) - pad,  # t_early  (lower bound)
+            float(arr[i_up, 5]) + pad,  # t_late   (upper bound)
+        )
+        return ScreenOutcome(tier=tier, error=max(error, 0.0), fields=fields)
+
+    def _coarse_up(
+        self, cell: _ScreenCell, q: tuple
+    ) -> tuple[tuple, float] | None:
+        """The coarse-grid corner dominating ``q`` and its error estimate.
+
+        The macromodel's sensitivities set the coarse step per axis; the
+        corner lands on canonical fine-grid coordinates (integer
+        multiples of the cache grids, the exact arithmetic of the
+        calculator's quantizers) so its solve is shared through the arc
+        cache.  The error estimate is the macromodel's predicted delay
+        increase from the query to the corner.  Returns ``None`` when no
+        macromodel is available (degraded calibration).
+        """
+        cell.fit()
+        if cell.model is None:
+            return None
+        k_tt, k_cp = cell.coarse_steps(
+            self._transition_grid, self._cap_grid, self.tolerance
+        )
+        tt, cp = q
+        n_tt = max(1, round(tt / self._transition_grid))
+        n_cp = max(1, round(cp / self._cap_grid))
+        up = (
+            math.ceil(n_tt / k_tt) * k_tt * self._transition_grid,
+            math.ceil(n_cp / k_cp) * k_cp * self._cap_grid,
+        )
+        _, b1, b2 = cell.model
+        error = abs(b1) * (up[0] - tt) + abs(b2) * (up[1] - cp)
+        return up, float(error)
+
+    def estimate(self, key: tuple) -> ScreenOutcome:
+        """Screen one canonical arc situation.
+
+        Returns a conservative bound (see module docstring) or an
+        escalation outcome naming the reason.
+        """
+        token, direction, tt, c_passive, c_active, aiding = key
+        if c_active > 0.0:
+            # Actively coupled: no sound slew bound exists in the bank
+            # (slew is non-monotone in the coupling -- module docstring).
+            return ScreenOutcome(tier=None, error=np.inf, reason=REASON_OUTSIDE)
+        q = (tt, c_passive)
+        cell = self._cells.setdefault((token, direction), _ScreenCell())
+        if not cell.calibrated:
+            self._calibrate(cell, token, direction, q)
+
+        # Fast path: the macromodel-sized coarse corner is pure
+        # arithmetic plus a dict probe.  When that corner is already on
+        # the surface and the model vouches for the gap, answer without
+        # scanning the point cloud -- the grid-floor anchor (dominated
+        # by every on-grid query) supplies the lower bound.
+        coarse = self._coarse_up(cell, q)
+        if (
+            coarse is not None
+            and coarse[1] <= self.tolerance
+            and cell.floor_index is not None
+            and tt >= self._transition_grid
+            and c_passive >= self._cap_grid
+        ):
+            i_up = cell.index_of.get(coarse[0])
+            if i_up is not None:
+                i_dn = cell.floor_index
+                arr = cell.array()
+                if float(arr[i_up, 2] - arr[i_dn, 2]) < -2.0 * self.pad:
+                    return ScreenOutcome(
+                        tier=None, error=-np.inf, reason=REASON_TOLERANCE
+                    )
+                return self._outcome(cell, "surface", i_up, i_dn, coarse[1])
+
+        bracket = self._bracket(cell, q)
+        if bracket is not None:
+            i_up, i_dn, score = bracket
+            if (
+                i_up is not None
+                and i_dn is not None
+                and float(cell.array()[i_up, 2] - cell.array()[i_dn, 2])
+                < -2.0 * self.pad
+            ):
+                # Monotonicity violated beyond the numerical noise floor
+                # (solver pathology): the surface is not trustworthy for
+                # this cell/region.
+                return ScreenOutcome(
+                    tier=None, error=-np.inf, reason=REASON_TOLERANCE
+                )
+            if i_up is not None and i_dn is not None and score <= self.tolerance:
+                return self._outcome(cell, "surface", i_up, i_dn, score)
+
+        # No existing surface point close enough: solve the dominating
+        # coarse corner, provided the macromodel vouches for it.
+        if coarse is None or coarse[1] > self.tolerance:
+            return ScreenOutcome(
+                tier=None,
+                error=np.inf if coarse is None else coarse[1],
+                reason=REASON_TOLERANCE,
+            )
+        up, error = coarse
+        if up not in cell.index_of:
+            self.coarse_solves += 1
+            self._solve((token, direction) + up + (0.0, False))
+        i_up = cell.index_of.get(up)
+        i_dn = None if bracket is None else bracket[1]
+        if i_up is None or i_dn is None:
+            # The corner solve degraded (never reached the surface) or
+            # no dominated point exists: outside the trustworthy region.
+            return ScreenOutcome(tier=None, error=np.inf, reason=REASON_OUTSIDE)
+        return self._outcome(cell, "analytical", i_up, i_dn, error)
+
+    # -- statistics ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        points = sum(len(cell.points) for cell in self._cells.values())
+        anchors = sum(sum(cell.anchors) for cell in self._cells.values())
+        return {
+            "screen_cells": len(self._cells),
+            "screen_points": points,
+            "screen_anchors": anchors,
+            "anchor_solves": self.anchor_solves,
+            "coarse_solves": self.coarse_solves,
+        }

@@ -1,0 +1,261 @@
+"""Tests for the two-tier arc solver (repro.waveform.screening).
+
+The load-bearing property: every screened answer is a *conservative*
+bound on the exact Newton solve of the same canonical arc situation --
+t_cross / transition / t_late never below exact, t_early never above.
+Checked both with Hypothesis over sampled (slew, load, coupling) points
+across all interned signatures, and with targeted unit tests of the
+escalation machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import default_library, s27
+from repro.core.analyzer import CrosstalkSTA
+from repro.core.modes import AnalysisMode, SolverTier, StaConfig
+from repro.flow import prepare_design
+from repro.waveform.coupling import CouplingLoad
+from repro.waveform.gatedelay import GateDelayCalculator
+from repro.waveform.pwl import FALLING, RISING
+from repro.waveform.screening import MAX_COARSE, MIN_COARSE, _ScreenCell
+
+# Every (cell, pin, direction) arc of the default library, the
+# population whose interned signatures the screen banks.  Sequential
+# cells time through their clock-side "A" arc, as in the engine.
+_LIBRARY = default_library()
+_ARCS = [
+    (ctype.name, pin, direction)
+    for ctype in sorted(_LIBRARY, key=lambda c: c.name)
+    for pin in (["A"] if ctype.is_sequential else list(ctype.inputs))
+    for direction in (RISING, FALLING)
+]
+
+# A pad covering the screen's own MONOTONE_NOISE padding plus float fuzz.
+_SLOP = 1e-15
+
+
+def _pair(tolerance=100e-12):
+    exact = GateDelayCalculator()
+    screened = GateDelayCalculator(
+        solver_tier="screened", screen_tolerance=tolerance
+    )
+    return exact, screened
+
+
+class TestConservatismProperty:
+    @settings(
+        max_examples=150,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        arc=st.sampled_from(_ARCS),
+        tt=st.floats(min_value=10e-12, max_value=800e-12),
+        c_ground=st.floats(min_value=1e-15, max_value=120e-15),
+        c_active=st.floats(min_value=0.0, max_value=20e-15),
+    )
+    def test_screened_bounds_dominate_exact(self, arc, tt, c_ground, c_active):
+        """Screened t_cross/transition/t_late >= exact; t_early <= exact."""
+        name, pin, direction = arc
+        ctype = _LIBRARY[name]
+        load = CouplingLoad(c_ground=c_ground, c_couple_active=c_active)
+        exact_calc, screened_calc = self._calcs()
+        exact = exact_calc.compute_arc_relative(ctype, pin, direction, tt, load)
+        bound = screened_calc.compute_arc_relative(ctype, pin, direction, tt, load)
+        assert bound.t_cross >= exact.t_cross - _SLOP
+        assert bound.transition >= exact.transition - _SLOP
+        assert bound.t_late >= exact.t_late - _SLOP
+        assert bound.t_early <= exact.t_early + _SLOP
+
+    # One calculator pair per test class run: the screen's value is its
+    # accumulated surface, and sharing exercises surface hits, coarse
+    # corner reuse and escalations across examples.
+    _SHARED = None
+
+    @classmethod
+    def _calcs(cls):
+        if cls._SHARED is None:
+            cls._SHARED = _pair()
+        return cls._SHARED
+
+
+class TestScreenMechanics:
+    def test_surface_and_analytical_tiers_answer_without_newton(self, library):
+        exact, screened = _pair()
+        inv = library["INV_X1"]
+        load = CouplingLoad(c_ground=30e-15)
+        screened.compute_arc_relative(inv, "A", RISING, 100e-12, load)
+        calibration = screened.evaluations
+        assert calibration > 0
+        # Nearby queries are answered by the bank, not new solves.
+        for c in (31e-15, 33e-15, 35e-15):
+            screened.compute_arc_relative(
+                inv, "A", RISING, 104e-12, CouplingLoad(c_ground=c)
+            )
+        stats = screened.cache_stats()
+        tiers = stats["tier_counts"]
+        assert tiers["surface"] + tiers["analytical"] >= 3
+        assert stats["screen_hits"] >= 0
+        assert stats["screen_cells"] >= 1
+        assert stats["screen_points"] >= stats["screen_anchors"] >= 3
+
+    def test_screen_cache_hits_on_repeat_query(self, library):
+        _, screened = _pair()
+        inv = library["INV_X1"]
+        load = CouplingLoad(c_ground=30e-15)
+        screened.compute_arc_relative(inv, "A", RISING, 100e-12, load)
+        first = screened.compute_arc_relative(
+            inv, "A", RISING, 104e-12, CouplingLoad(c_ground=31e-15)
+        )
+        hits_before = screened.cache_stats()["screen_hits"]
+        second = screened.compute_arc_relative(
+            inv, "A", RISING, 104e-12, CouplingLoad(c_ground=31e-15)
+        )
+        assert screened.cache_stats()["screen_hits"] == hits_before + 1
+        assert first.t_cross == second.t_cross
+
+    def test_force_exact_counts_slack_escalation(self, library):
+        _, screened = _pair()
+        inv = library["INV_X1"]
+        load = CouplingLoad(c_ground=30e-15)
+        arc = screened.compute_arc_relative(
+            inv, "A", RISING, 100e-12, load, force_exact=True
+        )
+        stats = screened.cache_stats()
+        assert stats["escalations"]["slack"] == 1
+        assert screened.last_tier == "newton"
+        exact = GateDelayCalculator().compute_arc_relative(
+            inv, "A", RISING, 100e-12, load
+        )
+        assert arc.t_cross == exact.t_cross
+
+    def test_exact_tier_never_builds_a_screen(self, library):
+        exact = GateDelayCalculator()
+        inv = library["INV_X1"]
+        exact.compute_arc_relative(inv, "A", RISING, 100e-12, CouplingLoad(30e-15))
+        stats = exact.cache_stats()
+        assert stats["solver_tier"] == "exact"
+        assert "screen_cells" not in stats
+        assert all(count == 0 for count in stats["tier_counts"].values())
+
+    def test_min_delay_requests_bypass_the_screen(self, library):
+        """aiding / quantize_down need lower bounds the upper-bound
+        screen cannot provide: they must go straight to Newton."""
+        _, screened = _pair()
+        inv = library["INV_X1"]
+        load = CouplingLoad(c_ground=30e-15, c_couple_active=5e-15)
+        screened.compute_arc_relative(
+            inv, "A", RISING, 100e-12, load, aiding=True, quantize_down=True
+        )
+        stats = screened.cache_stats()
+        assert stats["tier_counts"]["surface"] == 0
+        assert stats["tier_counts"]["analytical"] == 0
+        assert stats["screen_cells"] == 0
+
+    def test_coupled_queries_escalate_and_stay_out_of_the_bank(self, library):
+        """Slew is non-monotone in active coupling (AOI21/C at ~800 ps
+        slew demonstrates it), so coupled situations must neither be
+        screened nor serve as surface points."""
+        _, screened = _pair()
+        inv = library["INV_X1"]
+        coupled = CouplingLoad(c_ground=30e-15, c_couple_active=10e-15)
+        screened.compute_arc_relative(inv, "A", RISING, 100e-12, coupled)
+        stats = screened.cache_stats()
+        assert stats["escalations"]["outside_region"] == 1
+        assert screened.last_tier == "newton"
+        # The coupled solve is cached but never folded into the surface.
+        assert stats["screen_points"] == 0
+
+    def test_tolerance_zero_means_no_free_answers(self, library):
+        """As tolerance -> 0 the coarse grid degenerates to the fine
+        grid: every query pays a full solve (corner == query, error 0),
+        so the screen saves nothing but stays sound."""
+        _, screened = _pair(tolerance=1e-18)
+        inv = library["INV_X1"]
+        screened.compute_arc_relative(
+            inv, "A", RISING, 100e-12, CouplingLoad(30e-15)
+        )
+        screened.compute_arc_relative(
+            inv, "A", RISING, 104e-12, CouplingLoad(31e-15)
+        )
+        stats = screened.cache_stats()
+        assert stats["tier_counts"]["surface"] == 0
+        # Every analytical answer required its own coarse-corner solve.
+        assert stats["coarse_solves"] == stats["tier_counts"]["analytical"]
+
+
+class TestScreenCellModel:
+    def test_macromodel_fit_needs_three_anchors(self):
+        cell = _ScreenCell()
+        cell.add((1e-12, 1e-15), (1e-11, 2e-11, 0.0, 1e-11), anchor=True)
+        cell.add((2e-12, 1e-15), (2e-11, 2e-11, 0.0, 2e-11), anchor=True)
+        cell.fit()
+        assert cell.model is None
+        cell.add((1e-12, 2e-15), (3e-11, 2e-11, 0.0, 3e-11), anchor=True)
+        cell.add((2e-12, 2e-15), (4e-11, 2e-11, 0.0, 4e-11), anchor=True)
+        cell.fit()
+        assert cell.model is not None
+
+    def test_coarse_steps_clamped_and_inverse_to_slope(self):
+        cell = _ScreenCell()
+        # Steep slope in tt -> small tt step; flat in cap -> clamped high.
+        for tt, cp in [(1e-12, 1e-15), (2e-12, 1e-15), (1e-12, 2e-15), (2e-12, 2e-15)]:
+            cell.add((tt, cp), (tt * 1.0, 1e-11, 0.0, tt * 1.0), anchor=True)
+        k_tt, k_cp = cell.coarse_steps(2e-12, 0.2e-15, 100e-12)
+        assert MIN_COARSE <= k_tt <= MAX_COARSE
+        assert k_cp == MAX_COARSE  # zero cap sensitivity -> widest step
+
+    def test_point_buffer_grows_consistently(self):
+        cell = _ScreenCell()
+        for i in range(100):
+            cell.add(
+                (float(i), float(i)),
+                (float(i), 1.0, 0.0, float(i)),
+                anchor=(i % 7 == 0),
+            )
+        arr = cell.array()
+        assert arr.shape == (100, 6)
+        assert arr[42, 0] == 42.0
+        assert cell.anchor_mask().sum() == sum(
+            1 for i in range(100) if i % 7 == 0
+        )
+
+
+class TestEndToEndConservatism:
+    @pytest.mark.parametrize("mode", list(AnalysisMode))
+    def test_screened_delay_dominates_exact_within_tolerance(self, mode):
+        tolerance = 100e-12
+        design_exact = prepare_design(s27())
+        exact = CrosstalkSTA(design_exact, StaConfig(mode=mode)).run()
+        design_scr = prepare_design(s27())
+        screened = CrosstalkSTA(
+            design_scr,
+            StaConfig(
+                mode=mode,
+                solver_tier=SolverTier.SCREENED,
+                screen_tolerance=tolerance,
+            ),
+        ).run()
+        delta = screened.longest_delay - exact.longest_delay
+        assert delta >= -_SLOP
+        assert delta <= tolerance + _SLOP
+
+    def test_refinement_disabled_still_conservative(self):
+        design_exact = prepare_design(s27())
+        exact = CrosstalkSTA(
+            design_exact, StaConfig(mode=AnalysisMode.ONE_STEP)
+        ).run()
+        design_scr = prepare_design(s27())
+        screened = CrosstalkSTA(
+            design_scr,
+            StaConfig(
+                mode=AnalysisMode.ONE_STEP,
+                solver_tier=SolverTier.SCREENED,
+                screen_slack_margin=0.0,
+            ),
+        ).run()
+        assert screened.longest_delay >= exact.longest_delay - _SLOP
