@@ -38,6 +38,7 @@ from repro.circuit.generators import (
     generate_bench,
 )
 from repro.core.analyzer import CrosstalkSTA
+from repro.core.explain import explain_result, format_explain, validate_explain
 from repro.core.modes import AnalysisMode, Engine, StaConfig, WindowCheck
 from repro.core.netreport import format_net_report, rank_crosstalk_nets
 from repro.core.report import check_mode_ordering, format_table, format_timing_report
@@ -113,6 +114,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         solver_tier=args.solver_tier,
         screen_tolerance=args.screen_tolerance,
         screen_slack_margin=args.screen_slack_margin,
+        provenance=not args.no_provenance,
     )
     obs = Observability.tracing() if args.trace else Observability.disabled()
     sta = CrosstalkSTA(design, config, obs=obs)
@@ -212,6 +214,36 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Run one mode and break the worst path(s) down stage by stage.
+
+    The per-stage contributions sum bit-exactly (validated through
+    ``float.hex`` round-trips before anything is printed) to the
+    reported path delay; each stage carries the provenance the run
+    recorded for its winning arc.
+    """
+    circuit = _resolve_circuit(args.netlist, args.scale)
+    design = prepare_design(circuit)
+    config = StaConfig(
+        mode=AnalysisMode(args.mode),
+        engine=Engine(args.engine),
+        solver_tier=args.solver_tier,
+        screen_tolerance=args.screen_tolerance,
+        screen_slack_margin=args.screen_slack_margin,
+    )
+    sta = CrosstalkSTA(design, config)
+    result = sta.run()
+    payload = explain_result(design.circuit, result, k=args.paths, top=args.top)
+    validate_explain(payload)  # we print only what survives the bit-exact check
+    if args.json:
+        from repro.core.export import save_json
+
+        save_json(payload, args.json)
+        logger.info("wrote explain payload to %s", args.json)
+    print(format_explain(payload))
+    return 0
+
+
 def cmd_repair(args: argparse.Namespace) -> int:
     from repro.flow import repair_crosstalk
 
@@ -249,8 +281,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         solver_tier=args.solver_tier,
         screen_tolerance=args.screen_tolerance,
         screen_slack_margin=args.screen_slack_margin,
+        provenance=not args.no_provenance,
     )
-    obs = Observability.tracing() if args.trace else Observability.disabled()
+    obs = (
+        Observability.tracing()
+        if args.trace or args.trace_dir
+        else Observability.disabled()
+    )
     service = TimingService(
         config=config,
         max_sessions=args.max_sessions,
@@ -269,7 +306,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(
             serve_service(
                 service, host=args.host, port=args.port, socket_path=args.socket,
-                ready=ready,
+                ready=ready, access_log=args.access_log, trace_dir=args.trace_dir,
             )
         )
     except KeyboardInterrupt:
@@ -317,7 +354,11 @@ def cmd_client(args: argparse.Namespace) -> int:
             )
             exit_code = exc.data.get("exit_code")
             return int(exit_code) if exit_code is not None else 1
-    print(json.dumps(result, indent=2, sort_keys=True))
+    if isinstance(result, dict) and set(result) == {"exposition"}:
+        # Prometheus text format: print raw, not JSON-wrapped.
+        sys.stdout.write(result["exposition"])
+    else:
+        print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -477,7 +518,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the per-mode metrics snapshot as JSON",
     )
+    analyze.add_argument(
+        "--no-provenance",
+        action="store_true",
+        help="skip the per-arc provenance ledger (annotation only: delays "
+        "are bit-identical either way; 'repro explain' needs it on)",
+    )
     analyze.set_defaults(func=cmd_analyze)
+
+    explain = sub.add_parser(
+        "explain",
+        help="break the worst path(s) down stage by stage with provenance",
+    )
+    _add_netlist_args(explain)
+    explain.add_argument(
+        "--mode",
+        choices=[m.value for m in AnalysisMode],
+        default=AnalysisMode.ITERATIVE.value,
+    )
+    explain.add_argument(
+        "--engine", choices=[e.value for e in Engine], default=Engine.SCALAR.value
+    )
+    explain.add_argument(
+        "--solver-tier", choices=["exact", "screened"], default="exact"
+    )
+    explain.add_argument(
+        "--screen-tolerance", type=float, default=100e-12, metavar="SECONDS"
+    )
+    explain.add_argument(
+        "--screen-slack-margin", type=float, default=0.15, metavar="FRACTION"
+    )
+    explain.add_argument(
+        "--paths", type=int, default=1, metavar="K", help="worst paths to break down"
+    )
+    explain.add_argument(
+        "--top", type=int, default=10, metavar="N", help="blame-table size"
+    )
+    explain.add_argument(
+        "--json", metavar="FILE", help="write the repro.explain/1 payload as JSON"
+    )
+    explain.set_defaults(func=cmd_explain)
 
     repair = sub.add_parser("repair", help="shield crosstalk-critical nets and re-analyze")
     _add_netlist_args(repair)
@@ -562,6 +642,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a span trace on shutdown (Chrome trace-viewer JSON; "
         ".jsonl for an event stream)",
+    )
+    serve.add_argument(
+        "--access-log",
+        metavar="FILE",
+        help="append one JSONL record per request (request id, method, "
+        "session, queue wait, solve time, outcome)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="write each request's span subtree to DIR/<request_id>.jsonl",
+    )
+    serve.add_argument(
+        "--no-provenance",
+        action="store_true",
+        help="default new sessions to no provenance ledger (the 'explain' "
+        "RPC then needs a per-session override to turn it back on)",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -11,6 +11,12 @@ from repro.core.constraints import (
     check_setup,
     minimum_period,
 )
+from repro.core.explain import (
+    EXPLAIN_SCHEMA,
+    explain_result,
+    format_explain,
+    validate_explain,
+)
 from repro.core.export import (
     load_json,
     path_to_dict,
@@ -54,6 +60,7 @@ __all__ = [
     "ConstraintReport",
     "CriticalPath",
     "CrosstalkSTA",
+    "EXPLAIN_SCHEMA",
     "EndpointArrival",
     "EndpointSlack",
     "HoldReport",
@@ -77,7 +84,9 @@ __all__ = [
     "check_setup",
     "esperance_recalc_cells",
     "evaluation_order",
+    "explain_result",
     "extract_critical_path",
+    "format_explain",
     "format_net_report",
     "format_table",
     "merge_earliest",
@@ -93,4 +102,5 @@ __all__ = [
     "path_to_dict",
     "result_rows",
     "run_iterative",
+    "validate_explain",
 ]

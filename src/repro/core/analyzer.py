@@ -19,6 +19,7 @@ from repro.core.iterative import IterationRecord, esperance_recalc_cells, run_it
 from repro.core.modes import AnalysisMode, SolverTier, StaConfig
 from repro.core.paths import CriticalPath, extract_critical_path
 from repro.core.propagation import PassResult, Propagator
+from repro.core.provenance import ProvenanceLedger
 from repro.errors import DegradationBudgetError
 from repro.flow.design import Design
 from repro.obs.metrics import diff_snapshots
@@ -49,6 +50,10 @@ class StaResult:
     # during this run (see GateDelayCalculator.degraded); empty on a
     # healthy run.  The reported delay is still a valid upper bound.
     degraded_arcs: list[dict] = field(default_factory=list)
+    # The propagator's per-arc provenance ledger (shared across the
+    # passes of this run; row ids in final_pass.state.arc_prov index into
+    # it).  None when config.provenance is off.
+    ledger: ProvenanceLedger | None = None
 
     @property
     def longest_delay_ns(self) -> float:
@@ -187,6 +192,12 @@ class CrosstalkSTA:
                     config.screen_slack_margin,
                 )
             )
+        # Same append-only-when-non-default pattern: a ledger-off
+        # checkpoint must not resume a ledger-on run (the restored passes
+        # would have no provenance rows), but every default-config
+        # fingerprint stays what it always was.
+        if not config.provenance:
+            blob += "|provenance_off"
         return hashlib.sha256(blob.encode()).hexdigest()
 
     def _refine_screened(
@@ -249,6 +260,7 @@ class CrosstalkSTA:
                         dirty_arcs=refined.dirty_arcs,
                         reused_arcs=refined.reused_arcs,
                         phase_seconds=dict(refined.phase_seconds),
+                        provenance_rows=refined.provenance_rows,
                     )
                 )
             if refined.longest_delay <= final.longest_delay:
@@ -265,6 +277,12 @@ class CrosstalkSTA:
         """
         config = self.config if mode is None else self.config.with_mode(mode)
         propagator = self._propagator_for(config)
+        if config.provenance:
+            # One run, one ledger: each pass's arc_prov row ids index into
+            # it, and a persistent session must not accumulate rows across
+            # re-analyses.  The previous result keeps its own (replaced,
+            # not cleared) ledger object, so its row ids stay valid.
+            propagator.ledger = ProvenanceLedger()
         metrics_before = self.obs.metrics.snapshot()
         degraded_before = len(self.calculator.degraded)
 
@@ -278,6 +296,7 @@ class CrosstalkSTA:
                     checkpoint = CheckpointManager(
                         config.checkpoint,
                         fingerprint=self._checkpoint_fingerprint(config),
+                        propagator=propagator,
                     )
                 iterative = run_iterative(propagator, checkpoint=checkpoint)
                 final = iterative.final
@@ -299,6 +318,7 @@ class CrosstalkSTA:
                         dirty_arcs=final.dirty_arcs,
                         reused_arcs=final.reused_arcs,
                         phase_seconds=dict(final.phase_seconds),
+                        provenance_rows=final.provenance_rows,
                     )
                 ]
             if (
@@ -346,6 +366,7 @@ class CrosstalkSTA:
             phase_seconds=phase_totals,
             telemetry=telemetry,
             degraded_arcs=degraded,
+            ledger=propagator.ledger if config.provenance else None,
         )
         if config.max_degraded is not None and len(degraded) > config.max_degraded:
             raise DegradationBudgetError(

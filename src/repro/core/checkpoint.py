@@ -26,12 +26,17 @@ from typing import Iterable
 
 from repro.core.graph import Provenance, TimingState
 from repro.core.iterative import IterationRecord
-from repro.core.propagation import EndpointArrival, PassResult
+from repro.core.propagation import EndpointArrival, PassResult, Propagator
+from repro.core.provenance import ProvenanceLedger
 from repro.waveform.ramp import RampEvent
 
 logger = logging.getLogger("repro.core.checkpoint")
 
-CHECKPOINT_FORMAT = 1
+# Format 2 added the per-arc provenance ledger (columnar payload at the
+# top level) and the per-pass arc_prov row index / provenance_rows
+# counts.  Format-1 files are quarantined and the run restarts -- the
+# ledger cannot be reconstructed for passes that never recorded it.
+CHECKPOINT_FORMAT = 2
 
 
 def _hex(value: float) -> str:
@@ -80,6 +85,11 @@ def _encode_pass(result: PassResult) -> dict:
              bool(p.coupled), _hex(p.c_active)]
             for (net, direction), p in state.provenance.items()
         ],
+        "arc_prov": [
+            [net, direction, row]
+            for (net, direction), row in state.arc_prov.items()
+        ],
+        "provenance_rows": result.provenance_rows,
         "arrivals": [
             [a.endpoint, a.direction, _encode_event(a.event)]
             for a in result.arrivals
@@ -116,6 +126,8 @@ def _decode_pass(raw: dict) -> PassResult:
             coupled=bool(coupled),
             c_active=_unhex(c_active),
         )
+    for net, direction, row in raw.get("arc_prov", []):
+        state.arc_prov[(net, direction)] = row
     return PassResult(
         state=state,
         arrivals=[
@@ -134,6 +146,7 @@ def _decode_pass(raw: dict) -> PassResult:
         cache_hits=raw["cache_hits"],
         cache_dedup_hits=raw.get("cache_dedup_hits", 0),
         cache_persisted_hits=raw.get("cache_persisted_hits", 0),
+        provenance_rows=raw.get("provenance_rows", 0),
         phase_seconds={k: _unhex(v) for k, v in raw["phase_seconds"].items()},
     )
 
@@ -152,6 +165,7 @@ def _encode_record(record: IterationRecord) -> dict:
         "cache_persisted_hits": record.cache_persisted_hits,
         "dirty_arcs": record.dirty_arcs,
         "reused_arcs": record.reused_arcs,
+        "provenance_rows": record.provenance_rows,
         "phase_seconds": {k: _hex(v) for k, v in record.phase_seconds.items()},
     }
 
@@ -170,6 +184,7 @@ def _decode_record(raw: dict) -> IterationRecord:
         cache_persisted_hits=raw.get("cache_persisted_hits", 0),
         dirty_arcs=raw.get("dirty_arcs", 0),
         reused_arcs=raw.get("reused_arcs", 0),
+        provenance_rows=raw.get("provenance_rows", 0),
         phase_seconds={k: _unhex(v) for k, v in raw["phase_seconds"].items()},
     )
 
@@ -180,11 +195,22 @@ class CheckpointManager:
     ``fingerprint`` ties a checkpoint to an analysis configuration
     (design, config, library); a mismatch means the checkpoint describes
     a different problem and is ignored with a warning.
+
+    ``propagator`` (optional) lets the checkpoint carry the propagator's
+    per-arc provenance ledger and pass counter: the per-pass
+    ``arc_prov`` row indices are only meaningful against the ledger that
+    assigned them, so the two persist and restore together.
     """
 
-    def __init__(self, path: str, fingerprint: str = ""):
+    def __init__(
+        self,
+        path: str,
+        fingerprint: str = "",
+        propagator: Propagator | None = None,
+    ):
         self.path = path
         self.fingerprint = fingerprint
+        self.propagator = propagator
 
     def save(
         self,
@@ -199,6 +225,10 @@ class CheckpointManager:
             "best": None if best is current else _encode_pass(best),
             "converged": bool(converged),
         }
+        propagator = self.propagator
+        if propagator is not None and len(propagator.ledger):
+            body["ledger"] = propagator.ledger.to_payload()
+            body["pass_count"] = propagator._pass_count
         blob = json.dumps(body, sort_keys=True)
         payload = {
             "format": CHECKPOINT_FORMAT,
@@ -248,6 +278,13 @@ class CheckpointManager:
             converged = bool(body["converged"])
         except (KeyError, TypeError, ValueError):
             return self._quarantine("malformed body")
+        propagator = self.propagator
+        if propagator is not None and "ledger" in body:
+            try:
+                propagator.ledger = ProvenanceLedger.from_payload(body["ledger"])
+            except (KeyError, TypeError, ValueError):
+                return self._quarantine("malformed provenance ledger")
+            propagator._pass_count = body.get("pass_count", len(history))
         logger.info(
             "resuming from checkpoint %s: %d pass(es) completed, best bound %.6e s",
             self.path,

@@ -115,11 +115,15 @@ class TimingState:
     *driver output* (wire delay is added when a sink consumes the event).
     ``processed`` marks nets whose events are final for this pass --
     the "calculated" predicate of the one-step pseudo-code.
+    ``arc_prov`` maps each winning (net, direction) event to its row in
+    the propagator's :class:`~repro.core.provenance.ProvenanceLedger`
+    (absent when the ledger is disabled).
     """
 
     events: dict[str, dict[str, RampEvent | None]] = field(default_factory=dict)
     processed: set[str] = field(default_factory=set)
     provenance: dict[tuple[str, str], Provenance] = field(default_factory=dict)
+    arc_prov: dict[tuple[str, str], int] = field(default_factory=dict)
 
     def ensure_net(self, net_name: str) -> dict[str, RampEvent | None]:
         slot = self.events.get(net_name)

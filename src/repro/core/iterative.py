@@ -66,6 +66,8 @@ class IterationRecord:
     dirty_arcs: int = 0
     reused_arcs: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    # Provenance-ledger rows appended during this pass (0 when disabled).
+    provenance_rows: int = 0
 
     @property
     def recalc_fraction(self) -> float:
@@ -110,6 +112,7 @@ class IterationRecord:
             "dirty_arcs": self.dirty_arcs,
             "reused_arcs": self.reused_arcs,
             "dirty_fraction": self.dirty_fraction,
+            "provenance_rows": self.provenance_rows,
             "phase_seconds": dict(self.phase_seconds),
         }
 
@@ -200,6 +203,7 @@ def run_iterative(
                     dirty_arcs=current.dirty_arcs,
                     reused_arcs=current.reused_arcs,
                     phase_seconds=dict(current.phase_seconds),
+                    provenance_rows=current.provenance_rows,
                 )
             )
         best = current
@@ -241,6 +245,7 @@ def run_iterative(
                 dirty_arcs=next_pass.dirty_arcs,
                 reused_arcs=next_pass.reused_arcs,
                 phase_seconds=dict(next_pass.phase_seconds),
+                provenance_rows=next_pass.provenance_rows,
             )
             history.append(record)
             g_recalc.set(record.recalc_fraction)

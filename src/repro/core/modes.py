@@ -210,6 +210,13 @@ class StaConfig:
         the near-critical cone is fully exact, so the reported critical
         path is produced by the exact solver; ``0`` disables the
         refinement.
+    provenance:
+        Record a per-arc provenance ledger (solver tier, escalation
+        reason, reuse origin, decided coupling, pass index, signature
+        token) alongside the timing results.  Annotation only: delays
+        are bit-identical with the ledger on or off; disabling merely
+        drops the bookkeeping (and with it ``repro explain``'s
+        per-stage provenance).
     """
 
     mode: AnalysisMode = AnalysisMode.ITERATIVE
@@ -235,6 +242,7 @@ class StaConfig:
     solver_tier: SolverTier = SolverTier.EXACT
     screen_tolerance: float = 100e-12
     screen_slack_margin: float = 0.15
+    provenance: bool = True
 
     def __post_init__(self) -> None:
         if self.window_check is None:

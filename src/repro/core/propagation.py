@@ -64,6 +64,7 @@ from repro.core.modes import (
     WindowCheck,
 )
 from repro.flow.design import Design
+from repro.core.provenance import ProvenanceLedger
 from repro.obs.metrics import SMALL_COUNT_BUCKETS
 from repro.obs.telemetry import Observability
 from repro.errors import EngineError
@@ -110,6 +111,9 @@ class PassResult:
     cache_dedup_hits: int = 0
     cache_persisted_hits: int = 0
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    # Rows this pass appended to the propagator's provenance ledger
+    # (0 when the ledger is disabled).
+    provenance_rows: int = 0
 
     def arrival_map(self) -> dict[tuple[str, str], float]:
         return {(a.endpoint, a.direction): a.event.t_cross for a in self.arrivals}
@@ -135,6 +139,23 @@ def ideal_ramp_event(
         t_early=t_start + transition * v_th / vdd,
         t_late=t_start + transition * (vdd - v_th) / vdd,
     )
+
+
+# Decided coupling treatment of the non-window modes (the window-based
+# modes decide per aggressor: "quiet" / "overlap").
+_FIXED_COUPLING_KIND = {
+    AnalysisMode.BEST_CASE: "grounded",
+    AnalysisMode.STATIC_DOUBLED: "doubled",
+    AnalysisMode.WORST_CASE: "all_active",
+}
+
+
+def _memo_prov(memo: "_ArcMemo") -> dict | None:
+    """Provenance of a memo reuse: the stored solve's record with the
+    origin rewritten to "memo"."""
+    if memo.prov is None:
+        return None
+    return {**memo.prov, "origin": "memo"}
 
 
 def _arrival_fp(event: RampEvent) -> tuple[str, float]:
@@ -183,6 +204,10 @@ class _ArcMemo:
     # since been forced exact (slack refinement), so the re-solve
     # actually happens instead of replaying the screened bound.
     exact: bool = True
+    # Calculator provenance of the final result (tier / origin /
+    # escalation / signature); a reuse reports it with origin "memo".
+    # None when the ledger was disabled when the memo was stored.
+    prov: dict | None = None
 
 
 @dataclass
@@ -212,6 +237,12 @@ class _ArcTask:
     # result came from a screened (non-Newton) bound, either freshly or
     # through a reused non-exact memo.
     screened: bool = False
+    # Provenance of the *final* result (see _ArcMemo.prov) and the
+    # decided coupling treatment; populated only when the ledger is on.
+    prov: dict | None = None
+    coupling_kind: str = "none"
+    aggressors_total: int = 0
+    aggressors_active: int = 0
 
     @property
     def t_start(self) -> float:
@@ -266,6 +297,11 @@ class Propagator:
         # near-critical cone is fully exact).
         self._screened = config.solver_tier is SolverTier.SCREENED
         self.exact_cells: set[str] = set()
+        # Per-arc provenance ledger (columnar; one row per merged arc).
+        # Pure annotation: delays are bit-identical with it on or off.
+        self._provenance = config.provenance
+        self.ledger = ProvenanceLedger()
+        self._pass_count = 0
         metrics = self.obs.metrics
         self._c_phase = {
             phase: metrics.counter("propagation.phase_seconds", phase=phase)
@@ -346,6 +382,8 @@ class Propagator:
         hits_before = self.calculator.cache_hits
         dedup_before = self.calculator.dedup_hits
         persisted_before = self.calculator.persisted_hits
+        ledger_before = len(self.ledger)
+        self._pass_count += 1
         timers = {phase: 0.0 for phase in PASS_PHASES}
         tracer = self.obs.tracer
 
@@ -383,6 +421,11 @@ class Propagator:
                                 )
                                 if prov is not None:
                                     state.provenance[(out_net.name, direction)] = prov
+                                row = prev_state.arc_prov.get(
+                                    (out_net.name, direction)
+                                )
+                                if row is not None:
+                                    state.arc_prov[(out_net.name, direction)] = row
                             state.processed.add(out_net.name)
                             continue
                         state.ensure_net(out_net.name)
@@ -434,6 +477,9 @@ class Propagator:
 
                         t0 = time.perf_counter()
                         for task in wave_tasks:
+                            row_id = (
+                                self._ledger_row(task) if self._provenance else None
+                            )
                             self._merge_output(
                                 state.events[task.out_net_name],
                                 task.final_event,
@@ -447,6 +493,7 @@ class Propagator:
                                     coupled=task.coupled,
                                     c_active=0.0,
                                 ),
+                                row_id,
                             )
                             if task.evaluated:
                                 result.dirty_arcs += 1
@@ -465,6 +512,7 @@ class Propagator:
                                     final=task.final_rel,
                                     coupled=task.coupled,
                                     exact=not task.screened,
+                                    prov=task.prov,
                                 )
                         # Wave barrier: these events now count as calculated
                         # for the later waves' and levels' decisions.
@@ -484,6 +532,7 @@ class Propagator:
         result.cache_hits = self.calculator.cache_hits - hits_before
         result.cache_dedup_hits = self.calculator.dedup_hits - dedup_before
         result.cache_persisted_hits = self.calculator.persisted_hits - persisted_before
+        result.provenance_rows = len(self.ledger) - ledger_before
         result.phase_seconds = timers
         self._c_passes.inc()
         self._c_arcs.inc(result.arcs_processed)
@@ -665,11 +714,18 @@ class Propagator:
                     task.plain_load = CouplingLoad(c_ground=load.c_fixed)
                 else:
                     task.plain_load = self._fixed_load(load, mode)
+                if self._provenance:
+                    task.coupling_kind = _FIXED_COUPLING_KIND.get(mode, "none")
+                    task.aggressors_total = len(load.couplings)
+                    if mode is AnalysisMode.WORST_CASE:
+                        task.aggressors_active = task.aggressors_total
                 if task.memo is not None and task.memo.final_load == task.plain_load:
                     task.final_rel = task.memo.final
                     task.final_event = task.final_rel.to_event(task.t_start)
                     task.coupled = task.memo.coupled
                     task.screened = not task.memo.exact
+                    if self._provenance:
+                        task.prov = _memo_prov(task.memo)
                 else:
                     requests.append(self._request(task, task.plain_load))
                 continue
@@ -682,6 +738,10 @@ class Propagator:
                         task.worst_rel = task.memo.worst
                         task.worst_event = task.worst_rel.to_event(task.t_start)
                     task.screened = not task.memo.exact
+                    if self._provenance:
+                        # Tentative: overwritten if the coupling decision
+                        # forces a fresh final solve.
+                        task.prov = _memo_prov(task.memo)
                     continue
             # One-step / iterative: best-case calculation first ("w_bcs :=
             # calculate waveform for best-case, i.e. all adjacent wires
@@ -716,6 +776,8 @@ class Propagator:
                 task.final_rel = self._compute_rel(task, task.plain_load)
                 task.final_event = task.final_rel.to_event(task.t_start)
                 task.coupled = task.plain_load.has_active_coupling
+                if self._provenance:
+                    task.prov = self._last_prov()
                 continue
             if task.best_event is not None:
                 continue  # reused from the memo above
@@ -726,6 +788,10 @@ class Propagator:
             task.evaluated = True
             task.best_rel = self._compute_rel(task, best_load)
             task.best_event = task.best_rel.to_event(task.t_start)
+            if self._provenance:
+                # Tentative (the best-case solve): overwritten when the
+                # coupling decision forces a separate final solve.
+                task.prov = self._last_prov()
             if overlap:
                 worst_load = CouplingLoad(
                     c_ground=load.c_fixed, c_couple_active=load.c_coupling_total
@@ -775,6 +841,12 @@ class Propagator:
                     any_active = True
                 else:
                     treatments.append((cap, CouplingTreatment.GROUNDED))
+            if self._provenance:
+                task.aggressors_total = len(load.couplings)
+                task.aggressors_active = sum(
+                    1 for _, t in treatments if t is CouplingTreatment.ACTIVE
+                )
+                task.coupling_kind = "overlap" if any_active else "quiet"
             if any_active:
                 task.final_load = aggregate_load(load.c_fixed, treatments)
             else:
@@ -799,6 +871,8 @@ class Propagator:
                 task.coupled = True
                 if not task.memo.exact:
                     task.screened = True
+                if self._provenance:
+                    task.prov = _memo_prov(task.memo)
                 continue
             pending.append(task)
         if not pending:
@@ -810,6 +884,8 @@ class Propagator:
             task.final_rel = self._compute_rel(task, task.final_load)
             task.final_event = task.final_rel.to_event(task.t_start)
             task.coupled = True
+            if self._provenance:
+                task.prov = self._last_prov()
 
     # -- arc-engine helpers ------------------------------------------------------
 
@@ -828,6 +904,47 @@ class Propagator:
         scalar engine, which solves lazily inside :meth:`_compute`)."""
         if self.config.engine is Engine.BATCH:
             self.calculator.prime_arcs(requests)
+
+    def _last_prov(self) -> dict:
+        """The calculator's provenance surfaces for the solve it just
+        answered (captured immediately after a :meth:`_compute_rel`)."""
+        calc = self.calculator
+        return {
+            "tier": calc.last_tier,
+            "origin": calc.last_origin,
+            "escalation": calc.last_escalation,
+            "signature": calc.last_signature,
+        }
+
+    def _ledger_row(self, task: _ArcTask) -> int:
+        """Append one merged arc's provenance row to the ledger."""
+        prov = task.prov or {}
+        if task.windowed:
+            if (
+                task.coupled
+                and task.best_rel is not None
+                and task.final_rel is not None
+            ):
+                delta = task.final_rel.t_cross - task.best_rel.t_cross
+            else:
+                delta = 0.0
+        elif self.config.mode is AnalysisMode.BEST_CASE:
+            delta = 0.0
+        else:
+            # static_doubled / worst_case solve no quiescent companion,
+            # so there is no delta to report without an extra solve.
+            delta = None
+        return self.ledger.append(
+            tier=prov.get("tier", "newton"),
+            origin=prov.get("origin", "fresh"),
+            escalation=prov.get("escalation"),
+            signature=prov.get("signature", ""),
+            coupling=task.coupling_kind,
+            aggressors_total=task.aggressors_total,
+            aggressors_active=task.aggressors_active,
+            pass_index=self._pass_count,
+            coupling_delta=delta,
+        )
 
     def _compute_rel(self, task: _ArcTask, load: CouplingLoad) -> ArcResult:
         """The origin-free arc solve; callers anchor it via
@@ -910,6 +1027,7 @@ class Propagator:
         state: TimingState,
         out_net_name: str,
         provenance: Provenance,
+        ledger_row: int | None = None,
     ) -> None:
         direction = out_event.direction
         current = out_slot[direction]
@@ -917,6 +1035,8 @@ class Propagator:
         out_slot[direction] = merged
         if current is None or out_event.t_cross > current.t_cross:
             state.provenance[(out_net_name, direction)] = provenance
+            if ledger_row is not None:
+                state.arc_prov[(out_net_name, direction)] = ledger_row
 
     def _collect_arrivals(self, state: TimingState, result: PassResult) -> None:
         for endpoint in self.design.circuit.timing_endpoints():

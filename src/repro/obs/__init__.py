@@ -14,6 +14,7 @@ from repro.obs.metrics import (
     diff_snapshots,
     series_key,
 )
+from repro.obs.prometheus import parse_prometheus, render_prometheus
 from repro.obs.telemetry import (
     METRICS_SCHEMA,
     Observability,
@@ -50,7 +51,9 @@ __all__ = [
     "Tracer",
     "diff_snapshots",
     "metrics_payload",
+    "parse_prometheus",
     "read_jsonl",
+    "render_prometheus",
     "series_key",
     "validate_chrome_trace",
     "validate_metrics_payload",

@@ -1,0 +1,222 @@
+"""Prometheus text-format exposition of a metrics snapshot.
+
+:func:`render_prometheus` turns a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict into the
+`text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+counters and gauges as single samples, histograms as cumulative
+``_bucket`` series (``le`` labels plus ``+Inf``) with ``_sum`` and
+``_count``.  Series names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``); the registry's ``name{k=v,...}`` series
+keys become proper quoted label sets.
+
+:func:`parse_prometheus` is the inverse reader used by tests and the CI
+smoke job to prove the exposition actually parses: it returns the
+``# TYPE`` table and every sample, and enforces the histogram
+invariants (cumulative buckets are monotone; the ``+Inf`` bucket equals
+``_count``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(raw: str) -> str:
+    """Sanitize a registry series name to the Prometheus grammar."""
+    name = _NAME_BAD.sub("_", raw)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _split_series(key: str) -> tuple[str, dict[str, str]]:
+    """Registry ``name{k=v,...}`` key -> (name, labels)."""
+    if key.endswith("}") and "{" in key:
+        raw_name, _, inner = key.partition("{")
+        labels = {}
+        for part in inner[:-1].split(","):
+            label, _, value = part.partition("=")
+            labels[metric_name(label)] = value
+        return metric_name(raw_name), labels
+    return metric_name(key), {}
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape(labels[key])}"' for key in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def _number(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value) if value != int(value) else str(int(value))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """The text exposition of one metrics snapshot (trailing newline)."""
+    # Group label-sets under their base metric so each metric gets
+    # exactly one # TYPE line.
+    grouped: dict[str, dict] = {}
+    for kind in ("counters", "gauges", "histograms"):
+        for key, value in snapshot.get(kind, {}).items():
+            name, labels = _split_series(key)
+            entry = grouped.setdefault(name, {"kind": kind, "series": []})
+            if entry["kind"] != kind:
+                # Same sanitized name under two kinds: keep both apart.
+                name = f"{name}_{kind}"
+                entry = grouped.setdefault(name, {"kind": kind, "series": []})
+            entry["series"].append((labels, value))
+    lines: list[str] = []
+    for name in sorted(grouped):
+        kind = grouped[name]["kind"]
+        series = grouped[name]["series"]
+        if kind == "counters":
+            lines.append(f"# TYPE {name} counter")
+            for labels, value in series:
+                lines.append(f"{name}{_labels_text(labels)} {_number(value)}")
+        elif kind == "gauges":
+            lines.append(f"# TYPE {name} gauge")
+            for labels, value in series:
+                if value is None:
+                    continue
+                lines.append(f"{name}{_labels_text(labels)} {_number(value)}")
+        else:
+            lines.append(f"# TYPE {name} histogram")
+            for labels, data in series:
+                cumulative = 0
+                for boundary, count in zip(data["boundaries"], data["counts"]):
+                    cumulative += count
+                    le = dict(labels, le=_number(boundary))
+                    lines.append(
+                        f"{name}_bucket{_labels_text(le)} {cumulative}"
+                    )
+                le = dict(labels, le="+Inf")
+                lines.append(f"{name}_bucket{_labels_text(le)} {data['count']}")
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} {_number(data['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} {data['count']}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_labels(inner: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    rest = inner.strip()
+    while rest:
+        match = _LABEL.match(rest)
+        if match is None:
+            raise ValueError(f"bad label syntax near {rest!r}")
+        labels[match.group(1)] = (
+            match.group(2)
+            .replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+        rest = rest[match.end() :].lstrip()
+        if rest.startswith(","):
+            rest = rest[1:].lstrip()
+        elif rest:
+            raise ValueError(f"expected ',' between labels near {rest!r}")
+    return labels
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse a text exposition back into ``{"types", "samples"}``.
+
+    ``types`` maps metric name to ``counter``/``gauge``/``histogram``;
+    ``samples`` is a list of ``{"name", "labels", "value"}``.  Raises
+    ``ValueError`` on any malformed line and when a histogram violates
+    its cumulative invariants -- so a successful parse *is* the format
+    validation.
+    """
+    types: dict[str, str] = {}
+    samples: list[dict] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram", "summary"):
+                    raise ValueError(
+                        f"line {lineno}: unknown metric type {parts[3]!r}"
+                    )
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a valid sample: {line!r}")
+        name, inner, raw_value = match.groups()
+        samples.append(
+            {
+                "name": name,
+                "labels": _parse_labels(inner) if inner else {},
+                "value": _parse_value(raw_value),
+            }
+        )
+    _check_histograms(types, samples)
+    return {"types": types, "samples": samples}
+
+
+def _check_histograms(types: dict[str, str], samples: list[dict]) -> None:
+    """Cumulative-bucket invariants for every histogram label-set."""
+    buckets: dict[tuple, list[tuple[float, float]]] = {}
+    counts: dict[tuple, float] = {}
+    for sample in samples:
+        for base, kind in types.items():
+            if kind != "histogram":
+                continue
+            labels = dict(sample["labels"])
+            if sample["name"] == f"{base}_bucket" and "le" in labels:
+                le = _parse_value(labels.pop("le"))
+                series = (base, tuple(sorted(labels.items())))
+                buckets.setdefault(series, []).append((le, sample["value"]))
+            elif sample["name"] == f"{base}_count":
+                series = (base, tuple(sorted(labels.items())))
+                counts[series] = sample["value"]
+    for series, entries in buckets.items():
+        entries.sort(key=lambda pair: pair[0])
+        cumulative = [count for _, count in entries]
+        if cumulative != sorted(cumulative):
+            raise ValueError(
+                f"histogram {series[0]!r} buckets are not cumulative"
+            )
+        if not entries or not math.isinf(entries[-1][0]):
+            raise ValueError(f"histogram {series[0]!r} is missing +Inf")
+        if series in counts and entries[-1][1] != counts[series]:
+            raise ValueError(
+                f"histogram {series[0]!r}: +Inf bucket {entries[-1][1]} "
+                f"!= _count {counts[series]}"
+            )

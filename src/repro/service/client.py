@@ -129,11 +129,30 @@ class _CallSurface:
             params["deadline"] = deadline
         return self.call("whatif", params)
 
+    def explain(
+        self,
+        session: str,
+        mode: str | None = None,
+        paths: int = 1,
+        top: int = 10,
+    ) -> dict:
+        params: dict[str, Any] = {"session": session, "paths": paths, "top": top}
+        if mode is not None:
+            params["mode"] = mode
+        return self.call("explain", params)
+
     def close_session(self, session: str) -> dict:
         return self.call("close_session", {"session": session})
 
     def metrics(self) -> dict:
         return self.call("metrics")["snapshot"]
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the server's registry."""
+        return self.call("metrics", {"format": "prometheus"})["exposition"]
+
+    def stats(self) -> dict:
+        return self.call("stats")
 
     def shutdown(self) -> dict:
         return self.call("shutdown")
@@ -201,9 +220,11 @@ class InProcessClient(_CallSurface):
     def call(self, method: str, params: dict | None = None) -> dict:
         params = dict(params or {})
         params.pop("deadline", None)
+        request_id = self.service.next_request_id()
         try:
             return self.service.executor.run_sync(
-                lambda: self.service.dispatch(method, params), method=method
+                lambda: self.service.traced_dispatch(method, params, request_id),
+                method=method,
             )
         except Exception as exc:
             error = error_payload(exc)

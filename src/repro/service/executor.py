@@ -14,8 +14,9 @@ here:
   the request is answered with ``deadline_exceeded`` (408) while the
   thread finishes in the background; its slot is released only when it
   actually finishes, which keeps the admission count honest.
-* **Accounting** -- per-method request counters and latency histograms
-  plus an in-flight gauge (see docs/OBSERVABILITY.md).
+* **Accounting** -- per-method request counters, end-to-end latency and
+  queue-wait histograms, plus an in-flight gauge (see
+  docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -98,11 +99,40 @@ class RequestExecutor:
             pending = self._pending
         return self._retry_after(pending)
 
+    def _instrument(
+        self,
+        fn: Callable[[], Any],
+        method: str,
+        admitted_at: float,
+        info: dict | None,
+    ) -> Callable[[], Any]:
+        """Wrap ``fn`` to time its queue wait (admission to worker
+        pickup) and solve time on the worker thread; the optional
+        ``info`` dict receives both for the caller's access log."""
+        queue_hist = self.obs.metrics.histogram(
+            "service.queue_wait_seconds", boundaries=LATENCY_BUCKETS, method=method
+        )
+
+        def run() -> Any:
+            started = time.perf_counter()
+            wait = started - admitted_at
+            queue_hist.observe(wait)
+            if info is not None:
+                info["queue_wait_s"] = wait
+            try:
+                return fn()
+            finally:
+                if info is not None:
+                    info["solve_s"] = time.perf_counter() - started
+
+        return run
+
     async def submit(
         self,
         fn: Callable[[], Any],
         method: str = "request",
         deadline: float | None = None,
+        info: dict | None = None,
     ) -> Any:
         """Run ``fn`` on the pool; enforce admission and the deadline."""
         self._admit()
@@ -113,7 +143,9 @@ class RequestExecutor:
         )
         loop = asyncio.get_running_loop()
         t0 = time.perf_counter()
-        future = loop.run_in_executor(self._pool, fn)
+        future = loop.run_in_executor(
+            self._pool, self._instrument(fn, method, t0, info)
+        )
         # The slot is freed when the *thread* finishes, not when the
         # caller stops waiting -- a timed-out request still occupies a
         # worker, and admission control must see that.
@@ -139,10 +171,15 @@ class RequestExecutor:
             histogram.observe(time.perf_counter() - t0)
         return result
 
-    def run_sync(self, fn: Callable[[], Any], method: str = "request") -> Any:
+    def run_sync(
+        self,
+        fn: Callable[[], Any],
+        method: str = "request",
+        info: dict | None = None,
+    ) -> Any:
         """Same admission control and accounting, for the in-process
         client (no event loop, no deadline -- the caller blocks on its
-        own call)."""
+        own call, so the queue wait is effectively zero)."""
         self._admit()
         metrics = self.obs.metrics
         metrics.counter("service.requests", method=method).inc()
@@ -151,7 +188,7 @@ class RequestExecutor:
         )
         t0 = time.perf_counter()
         try:
-            return fn()
+            return self._instrument(fn, method, t0, info)()
         finally:
             histogram.observe(time.perf_counter() - t0)
             self._release()

@@ -19,6 +19,10 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import itertools
+import json
+import os
+import threading
 import time
 from typing import Any, Callable
 
@@ -26,7 +30,7 @@ from repro import __version__
 from repro.core.modes import StaConfig
 from repro.core.netreport import net_report_payload
 from repro.errors import InputError
-from repro.obs import Observability
+from repro.obs import Observability, render_prometheus
 from repro.service.executor import RequestExecutor
 from repro.service.protocol import (
     ERR_BAD_REQUEST,
@@ -36,6 +40,7 @@ from repro.service.protocol import (
     decode_request,
     encode_error,
     encode_response,
+    error_payload,
 )
 from repro.service.session import SessionManager, result_summary
 
@@ -88,6 +93,7 @@ class TimingService:
         self.shutdown_requested = False
         # The socket server installs a callback here to wake its loop.
         self.on_shutdown: Callable[[], None] | None = None
+        self._request_ids = itertools.count(1)
         self._methods: dict[str, Callable[[dict], dict]] = {
             "ping": self._m_ping,
             "open_session": self._m_open_session,
@@ -97,14 +103,20 @@ class TimingService:
             "query_net": self._m_query_net,
             "query_path": self._m_query_path,
             "net_report": self._m_net_report,
+            "explain": self._m_explain,
             "whatif": self._m_whatif,
             "close_session": self._m_close_session,
             "metrics": self._m_metrics,
+            "stats": self._m_stats,
             "shutdown": self._m_shutdown,
         }
 
     def methods(self) -> list[str]:
         return sorted(self._methods)
+
+    def next_request_id(self) -> str:
+        """A service-wide unique request id (``req-N``)."""
+        return f"req-{next(self._request_ids)}"
 
     def dispatch(self, method: str, params: dict) -> dict:
         """Execute one request (synchronously; called on a worker)."""
@@ -115,6 +127,16 @@ class TimingService:
                 f"unknown method {method!r}; have {self.methods()}",
             )
         return handler(params)
+
+    def traced_dispatch(self, method: str, params: dict, request_id: str) -> dict:
+        """Dispatch wrapped in a ``service.request`` span carrying the
+        request id.  Runs on the worker thread, so every span the
+        analysis opens becomes a child of this one -- that is what lets
+        the server extract one request's complete span subtree."""
+        with self.obs.tracer.span(
+            "service.request", request_id=request_id, method=method
+        ):
+            return self.dispatch(method, params)
 
     def close(self) -> None:
         self.sessions.close_all()
@@ -193,11 +215,65 @@ class TimingService:
         with session.lock:
             return session.whatif(edit, mode=mode, commit=commit)
 
+    def _m_explain(self, params: dict) -> dict:
+        session = self._session(params)
+        mode = _param(params, "mode", str, None)
+        paths = _param(params, "paths", int, 1)
+        top = _param(params, "top", int, 10)
+        with session.lock:
+            return session.explain(mode, paths=paths, top=top)
+
     def _m_close_session(self, params: dict) -> dict:
         return self.sessions.close(_param(params, "session", str))
 
     def _m_metrics(self, params: dict) -> dict:
-        return {"snapshot": self.obs.metrics.snapshot()}
+        fmt = _param(params, "format", str, "json")
+        snapshot = self.obs.metrics.snapshot()
+        if fmt == "prometheus":
+            return {"exposition": render_prometheus(snapshot)}
+        if fmt != "json":
+            raise InputError(
+                f"unknown metrics format {fmt!r}; have ['json', 'prometheus']"
+            )
+        return {"snapshot": snapshot}
+
+    def _m_stats(self, params: dict) -> dict:
+        """Service introspection: sessions with their warm-state sizes,
+        executor depth, and registry size."""
+        sessions = []
+        for session in self.sessions.values():
+            with session.lock:
+                stats = session.stats()
+                cache = session.sta.calculator.cache_stats()
+                stats["arc_cache"] = {
+                    key: value
+                    for key, value in cache.items()
+                    if isinstance(value, (int, float, str, bool))
+                }
+                memo: dict[str, int] = {}
+                ledger_rows: dict[str, int] = {}
+                for cfg, propagator in session.sta._propagators.items():
+                    mode = cfg.mode.value
+                    memo[mode] = memo.get(mode, 0) + len(propagator._memo)
+                    ledger_rows[mode] = ledger_rows.get(mode, 0) + len(
+                        propagator.ledger
+                    )
+                stats["memo_arcs"] = memo
+                stats["ledger_rows"] = ledger_rows
+            sessions.append(stats)
+        snapshot = self.obs.metrics.snapshot()
+        return {
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "sessions": sessions,
+            "executor": {
+                "workers": self.executor.workers,
+                "capacity": self.executor.capacity,
+                "pending": self.executor.pending,
+            },
+            "metrics_series": {
+                kind: len(series) for kind, series in snapshot.items()
+            },
+        }
 
     def _m_shutdown(self, params: dict) -> dict:
         self.shutdown_requested = True
@@ -215,11 +291,23 @@ class TimingServer:
         host: str = "127.0.0.1",
         port: int = 0,
         socket_path: str | None = None,
+        access_log: str | None = None,
+        trace_dir: str | None = None,
     ):
         self.service = service
         self.host = host
         self.port = port
         self.socket_path = socket_path
+        # Structured JSONL access log: one record per request with the
+        # request id, method, session, queue wait, solve time, outcome.
+        self.access_log = access_log
+        self._access_lock = threading.Lock()
+        # Per-request span-subtree export: <trace_dir>/<request_id>.jsonl
+        # (request ids are unique, so concurrent sessions never clobber
+        # or interleave each other's streams).
+        self.trace_dir = trace_dir
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
         self._server: asyncio.AbstractServer | None = None
         self._stop = asyncio.Event()
         self._tasks: set[asyncio.Task] = set()
@@ -331,8 +419,16 @@ class TimingServer:
         write_lock: asyncio.Lock,
     ) -> None:
         request_id: Any = None
+        rid = self.service.next_request_id()
+        method: str | None = None
+        session_param: str | None = None
+        info: dict = {}
+        outcome, code = "ok", None
         try:
             request_id, method, params = decode_request(line)
+            raw_session = params.get("session")
+            if isinstance(raw_session, str):
+                session_param = raw_session
             deadline = params.pop("deadline", None)
             if deadline is not None and (
                 not isinstance(deadline, (int, float))
@@ -343,15 +439,83 @@ class TimingServer:
                     ERR_BAD_REQUEST, "'deadline' must be a positive number of seconds"
                 )
             result = await self.service.executor.submit(
-                lambda: self.service.dispatch(method, params),
+                lambda: self.service.traced_dispatch(method, params, rid),
                 method=method,
                 deadline=deadline,
+                info=info,
             )
             payload = encode_response(request_id, result)
         except Exception as exc:  # answered, never disconnects
             payload = encode_error(request_id, exc)
+            outcome = "error"
+            code = error_payload(exc)["code"]
+        self._log_access(rid, method, session_param, info, outcome, code)
+        self._export_request_trace(rid)
         with contextlib.suppress(ConnectionResetError, BrokenPipeError):
             await self._write(writer, write_lock, payload)
+
+    def _log_access(
+        self,
+        rid: str,
+        method: str | None,
+        session: str | None,
+        info: dict,
+        outcome: str,
+        code: int | None,
+    ) -> None:
+        if self.access_log is None:
+            return
+        record = {
+            "ts": time.time(),
+            "request_id": rid,
+            "method": method,
+            "session": session,
+            "queue_wait_s": info.get("queue_wait_s"),
+            "solve_s": info.get("solve_s"),
+            "outcome": outcome,
+            "code": code,
+        }
+        text = json.dumps(record, sort_keys=True) + "\n"
+        with self._access_lock:
+            with open(self.access_log, "a") as handle:
+                handle.write(text)
+
+    def _export_request_trace(self, rid: str) -> None:
+        """Write this request's span subtree to its own JSONL file.
+
+        Children record themselves before their parent closes and carry
+        ``parent_id`` links, so walking parent links from the
+        ``service.request`` root selects exactly the spans of this
+        request even when the shared tracer interleaves many requests.
+        """
+        tracer = self.service.obs.tracer
+        if self.trace_dir is None or not tracer.enabled:
+            return
+        events = tracer.events
+        selected = [
+            e for e in events if e.get("args", {}).get("request_id") == rid
+        ]
+        if not selected:
+            return
+        ids = {e["span_id"] for e in selected}
+        remaining = [e for e in events if e["span_id"] not in ids]
+        grew = True
+        while grew:
+            grew = False
+            still: list[dict] = []
+            for event in remaining:
+                if event.get("parent_id") in ids:
+                    ids.add(event["span_id"])
+                    selected.append(event)
+                    grew = True
+                else:
+                    still.append(event)
+            remaining = still
+        selected.sort(key=lambda e: e["ts"])
+        path = os.path.join(self.trace_dir, f"{rid}.jsonl")
+        with open(path, "w") as handle:
+            for event in selected:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
 
     @staticmethod
     async def _write(
@@ -368,9 +532,18 @@ async def serve(
     port: int = 0,
     socket_path: str | None = None,
     ready: Callable[[TimingServer], None] | None = None,
+    access_log: str | None = None,
+    trace_dir: str | None = None,
 ) -> None:
     """Start a server, report readiness, run until shutdown."""
-    server = TimingServer(service, host=host, port=port, socket_path=socket_path)
+    server = TimingServer(
+        service,
+        host=host,
+        port=port,
+        socket_path=socket_path,
+        access_log=access_log,
+        trace_dir=trace_dir,
+    )
     await server.start()
     if ready is not None:
         ready(server)

@@ -31,6 +31,7 @@ from dataclasses import replace
 
 from repro.circuit import resolve_circuit
 from repro.core.analyzer import CrosstalkSTA, StaResult
+from repro.core.explain import explain_result, validate_explain
 from repro.core.export import path_to_dict
 from repro.core.modes import AnalysisMode, Engine, SolverTier, StaConfig, WindowCheck
 from repro.core.netreport import exposure_to_dict, rank_crosstalk_nets
@@ -60,6 +61,7 @@ _CONFIG_OVERRIDES = {
     "solver_tier": lambda v: SolverTier(v),
     "screen_tolerance": float,
     "screen_slack_margin": float,
+    "provenance": bool,
 }
 
 
@@ -270,6 +272,21 @@ class Session:
         payload["delay_hex"] = float(payload["delay"]).hex()
         return payload
 
+    def explain(self, mode: str | None = None, paths: int = 1, top: int = 10) -> dict:
+        """Worst-path breakdown with provenance (``repro.explain/1``).
+
+        Validated before it leaves the session: stage contributions must
+        telescope bit-exactly onto the reported path delay.
+        """
+        resolved = self._mode(mode)
+        result = self.analyze(resolved.value)
+        payload = explain_result(
+            self.design.circuit, result, k=paths, top=top
+        )
+        validate_explain(payload)
+        payload["session"] = self.session_id
+        return payload
+
     def whatif(self, edit: dict, mode: str | None = None, commit: bool = False) -> dict:
         """Apply an ECO edit, re-analyze incrementally, report the delta.
 
@@ -461,3 +478,8 @@ class SessionManager:
     def ids(self) -> list[str]:
         with self._lock:
             return list(self._sessions)
+
+    def values(self) -> list[Session]:
+        """Open sessions without touching LRU order (for ``stats``)."""
+        with self._lock:
+            return list(self._sessions.values())

@@ -408,6 +408,22 @@ class GateDelayCalculator:
         self.solver_tier = solver_tier
         self.screen_tolerance = screen_tolerance
         self.last_tier = "newton"
+        # Provenance surfaces: alongside ``last_tier``, every
+        # compute_arc_relative call also reports where its result came
+        # from (``last_origin``, one of repro.core.provenance.ORIGINS —
+        # string literals here to keep waveform/ free of core/ imports),
+        # why a screened query escalated (``last_escalation``) and the
+        # signature token it resolved through (``last_signature``).
+        # ``_fresh_keys`` holds keys solved by prime_arcs whose first
+        # consumer has not yet claimed them as "fresh"; ``_degraded_keys``
+        # marks conservative substitute bounds; ``_key_escalation``
+        # remembers why a cached key once escalated to Newton.
+        self.last_origin = "fresh"
+        self.last_escalation: str | None = None
+        self.last_signature = ""
+        self._fresh_keys: set[tuple] = set()
+        self._degraded_keys: set[tuple] = set()
+        self._key_escalation: dict[tuple, str] = {}
         self._screen_cache: dict[tuple, tuple[ArcResult, str]] = {}
         self._screen: ArcScreen | None = None
         if solver_tier == "screened":
@@ -606,16 +622,20 @@ class GateDelayCalculator:
             ctype, pin, input_direction, input_transition, load, aiding, quantize_down
         )
         key = self._quantized_key(request)
+        self.last_signature = key[0]
         cached = self._arc_cache.get(key)
         if cached is not None:
             self._record_hit(key)
             self.last_tier = "newton"
+            self.last_escalation = self._key_escalation.get(key)
             return cached
         if self._screen is not None and not aiding and not quantize_down:
             return self._compute_screened(key, force_exact)
         arc = self._solve_key(key)
         self._arc_cache[key] = arc
         self.last_tier = "newton"
+        self.last_origin = "degraded" if key in self._degraded_keys else "fresh"
+        self.last_escalation = None
         return arc
 
     def _screen_arc(self, key: tuple, fields: tuple) -> ArcResult:
@@ -638,10 +658,15 @@ class GateDelayCalculator:
                 arc, tier = screened
                 self._c_screen_hits.inc()
                 self.last_tier = tier
+                self.last_origin = (
+                    "screen_surface" if tier == "surface" else "screen_analytical"
+                )
+                self.last_escalation = None
                 return arc
         t0 = time.perf_counter()
         if force_exact:
             self._c_escalations["slack"].inc()
+            escalation = "slack"
         else:
             outcome = self._screen.estimate(key)
             if outcome.tier is not None:
@@ -650,13 +675,23 @@ class GateDelayCalculator:
                 self._c_tier[outcome.tier].inc()
                 self._c_tier_seconds[outcome.tier].inc(time.perf_counter() - t0)
                 self.last_tier = outcome.tier
+                self.last_origin = (
+                    "screen_surface"
+                    if outcome.tier == "surface"
+                    else "screen_analytical"
+                )
+                self.last_escalation = None
                 return arc
             self._c_escalations[outcome.reason].inc()
+            escalation = outcome.reason
         arc = self._solve_key(key)
         self._arc_cache[key] = arc
         self._c_tier["newton"].inc()
         self._c_tier_seconds["newton"].inc(time.perf_counter() - t0)
         self.last_tier = "newton"
+        self._key_escalation[key] = escalation
+        self.last_escalation = escalation
+        self.last_origin = "degraded" if key in self._degraded_keys else "fresh"
         return arc
 
     def _anchor_solve(self, key: tuple) -> ArcResult:
@@ -674,8 +709,19 @@ class GateDelayCalculator:
         self._c_cache_hits.inc()
         if key in self._persisted_keys:
             self._c_persisted_hits.inc()
+            origin = "persisted"
         else:
             self._c_dedup_hits.inc()
+            # The first consumer of a prime_arcs batch solve is the arc
+            # that *caused* the solve: report it as fresh, not dedup.
+            if key in self._fresh_keys:
+                self._fresh_keys.discard(key)
+                origin = "fresh"
+            else:
+                origin = "dedup"
+        if key in self._degraded_keys:
+            origin = "degraded"
+        self.last_origin = origin
 
     def _observe_cost(self, token: str, iterations: int) -> None:
         """Feed one solved arc's Newton iteration count into the
@@ -727,6 +773,7 @@ class GateDelayCalculator:
             raise exc
         arc = self._conservative_arc(key)
         self._c_degraded.inc()
+        self._degraded_keys.add(key)
         token, direction, tt, c_passive, c_active, aiding = key
         rep = self._sig_rep.get(token)
         name, pin = (rep[0].name, rep[1]) if rep is not None else (token, "?")
@@ -855,6 +902,7 @@ class GateDelayCalculator:
             if screen is not None and not request.aiding and not request.quantize_down:
                 if request.force_exact:
                     self._c_escalations["slack"].inc()
+                    self._key_escalation[key] = "slack"
                 elif key in self._screen_cache:
                     continue
                 else:
@@ -869,6 +917,7 @@ class GateDelayCalculator:
                         )
                         continue
                     self._c_escalations[outcome.reason].inc()
+                    self._key_escalation[key] = outcome.reason
                     self._c_tier_seconds["newton"].inc(time.perf_counter() - t0)
             seen.add(key)
             misses.append(key)
@@ -883,6 +932,7 @@ class GateDelayCalculator:
             self._solve_keys_pooled(misses)
         else:
             self._solve_keys_batched(misses)
+        self._fresh_keys.update(misses)
         if screen is not None:
             self._c_tier["newton"].inc(len(misses))
             self._c_tier_seconds["newton"].inc(time.perf_counter() - t0)

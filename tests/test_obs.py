@@ -185,6 +185,78 @@ class TestMetrics:
         with pytest.raises(ValueError, match="boundaries"):
             parent.merge_snapshot(worker.snapshot())
 
+    def test_merge_rejects_mismatched_boundaries_on_labeled_series(self):
+        # The boundary check keys on the full series key, labels and all.
+        parent = MetricsRegistry()
+        parent.histogram("lat", boundaries=(0.1, 1.0), method="analyze")
+        worker = MetricsRegistry()
+        worker.histogram("lat", boundaries=(0.5,), method="analyze").observe(1)
+        with pytest.raises(ValueError, match="boundaries"):
+            parent.merge_snapshot(worker.snapshot())
+        # A different label set is a different series: no clash.
+        other = MetricsRegistry()
+        other.histogram("lat", boundaries=(0.5,), method="ping").observe(1)
+        parent.merge_snapshot(other.snapshot())
+
+    def test_merge_adopts_then_enforces_boundaries_for_new_series(self):
+        # First merge of an unseen series adopts the incoming boundaries;
+        # from then on they are pinned and a disagreeing worker raises.
+        parent = MetricsRegistry()
+        first = MetricsRegistry()
+        first.histogram("h", boundaries=(10, 20)).observe(15)
+        parent.merge_snapshot(first.snapshot())
+        assert list(
+            parent.histogram("h", boundaries=(10, 20)).boundaries
+        ) == [10, 20]
+        second = MetricsRegistry()
+        second.histogram("h", boundaries=(30,)).observe(35)
+        with pytest.raises(ValueError, match="boundaries"):
+            parent.merge_snapshot(second.snapshot())
+
+    def test_labeled_worker_merges_roundtrip_through_diff(self):
+        # Two workers reporting labeled series fold into a parent that
+        # already has history; the diff across the merge equals exactly
+        # the workers' combined contribution -- and, being snapshot-
+        # shaped, replays into a fresh registry.
+        parent = MetricsRegistry()
+        parent.counter("rpc", method="analyze").inc(3)
+        parent.histogram(
+            "lat", boundaries=(0.1, 1.0), method="analyze"
+        ).observe(0.05)
+        before = parent.snapshot()
+        for method, calls, samples in (
+            ("analyze", 2, [0.05]),
+            ("whatif", 4, [1.5, 0.2]),
+        ):
+            worker = MetricsRegistry()
+            worker.counter("rpc", method=method).inc(calls)
+            worker.histogram(
+                "lat", boundaries=(0.1, 1.0), method=method
+            ).observe_many(samples)
+            worker.gauge("depth", method=method).set(calls)
+            parent.merge_snapshot(worker.snapshot())
+        delta = diff_snapshots(before, parent.snapshot())
+        assert delta["counters"] == {
+            "rpc{method=analyze}": 2,
+            "rpc{method=whatif}": 4,
+        }
+        assert delta["gauges"] == {
+            "depth{method=analyze}": 2,
+            "depth{method=whatif}": 4,
+        }
+        assert delta["histograms"]["lat{method=analyze}"]["count"] == 1
+        # (-inf,0.1], (0.1,1.0], (1.0,inf): 0.2 mid, 1.5 overflow.
+        assert delta["histograms"]["lat{method=whatif}"]["counts"] == [0, 1, 1]
+        replay = MetricsRegistry()
+        replay.merge_snapshot(delta)
+        assert replay.counter("rpc", method="whatif").value == 4
+        assert (
+            replay.histogram(
+                "lat", boundaries=(0.1, 1.0), method="whatif"
+            ).count
+            == 2
+        )
+
     def test_diff_snapshots(self):
         registry = MetricsRegistry()
         registry.counter("a").inc(5)
