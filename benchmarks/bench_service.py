@@ -12,6 +12,13 @@ Two claims are measured and pinned:
   server may reject with ``busy`` (429), but every rejection carries
   ``retry_after`` and every request eventually completes.
 
+A third claim rides on the fleet (PR 8): a 16-client swarm against a
+4-shard fleet **with one induced shard death mid-stream** completes
+every request -- 429 retries and transparent re-routes allowed, zero
+dropped or errored -- and every failed-over session keeps answering
+bit-identically.  Per-shard and fleet-aggregate rows land in
+``BENCH_service.json``.
+
 Numbers go to ``BENCH_service.json`` at the repo root.
 """
 
@@ -21,6 +28,7 @@ import asyncio
 import json
 import platform
 import statistics
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -30,12 +38,16 @@ import pytest
 from repro.core.analyzer import CrosstalkSTA
 from repro.core.modes import AnalysisMode, SolverTier, StaConfig
 from repro.service import (
+    FleetOptions,
+    FleetRuntime,
     ServiceCallError,
     ServiceClient,
+    ServiceTransportError,
     SessionManager,
     TimingServer,
     TimingService,
     apply_edit,
+    backoff_delay,
 )
 from repro.service.session import result_summary
 
@@ -47,6 +59,9 @@ N_SCREENED_EDITS = 3
 SCREEN_TOLERANCE = 100e-12
 CLIENT_COUNTS = (1, 4, 16)
 REQUESTS_PER_CLIENT = 12
+FLEET_SHARDS = 4
+FLEET_CLIENTS = 16
+FLEET_REQUESTS_PER_CLIENT = 6
 
 
 @pytest.fixture(scope="module")
@@ -352,8 +367,204 @@ def concurrency_sweep(record_result):
     return sweeps
 
 
+def _fleet_call(client, method, params, outcome, max_attempts=60):
+    """One fleet request, waiting out 429s and transparently reconnecting
+    across shard failover; outcome counters record how bumpy it was."""
+    failure = None
+    for attempt in range(max_attempts):
+        try:
+            return client.call(method, params)
+        except ServiceCallError as exc:
+            if exc.code != 429:
+                raise
+            failure = exc
+            outcome["busy_retries"] += 1
+            time.sleep(backoff_delay(attempt, floor=exc.retry_after or 0.0, cap=1.0))
+        except ServiceTransportError as exc:
+            if not client._reconnect():
+                raise
+            failure = exc
+            outcome["reroutes"] += 1
+            time.sleep(backoff_delay(attempt, cap=1.0))
+    raise failure
+
+
 @pytest.fixture(scope="module")
-def persisted(whatif_comparison, whatif_screened, concurrency_sweep, scale):
+def fleet_swarm(record_result):
+    """16-client swarm vs a 4-shard fleet with one induced shard death.
+
+    Every client opens its own session (distinct scales spread them
+    around the placement ring), pins a baseline ``longest_delay_hex``,
+    then streams queries while the main thread SIGKILLs the busiest
+    shard.  The supervised fleet must absorb it: zero dropped or errored
+    requests (429 retries and reconnect re-routes allowed) and every
+    post-failover answer bit-identical to the pre-kill baseline."""
+    log_dir = Path(tempfile.mkdtemp(prefix="repro-fleet-bench-"))
+    options = FleetOptions(
+        shards=FLEET_SHARDS,
+        workers=2,
+        queue_limit=8,
+        max_sessions=2 * FLEET_CLIENTS,
+    )
+    runtime = FleetRuntime(
+        options,
+        access_log=str(log_dir / "router.log"),
+        supervise=True,
+        probe_interval=0.25,
+        probe_timeout=1.0,
+    )
+    runtime.start()
+    # Workers pause at kill_gate halfway through their streams; the main
+    # thread kills a shard there and releases them via killed -- so the
+    # death deterministically lands mid-stream for every client.
+    kill_gate = threading.Barrier(FLEET_CLIENTS + 1)
+    killed = threading.Event()
+    latencies: list[float] = []
+    outcomes = [
+        {"busy_retries": 0, "reroutes": 0, "mismatches": 0}
+        for _ in range(FLEET_CLIENTS)
+    ]
+    completed = [0]
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        outcome = outcomes[rank]
+        try:
+            with ServiceClient(runtime.address) as client:
+                opened = _fleet_call(
+                    client,
+                    "open_session",
+                    {
+                        "netlist": "s27",
+                        "scale": 0.05 + rank * 0.01,
+                        "config": {"mode": MODE.value},
+                    },
+                    outcome,
+                )
+                sid = opened["session"]
+                baseline = _fleet_call(
+                    client, "analyze", {"session": sid}, outcome
+                )["longest_delay_hex"]
+                for i in range(FLEET_REQUESTS_PER_CLIENT):
+                    if i == FLEET_REQUESTS_PER_CLIENT // 2:
+                        kill_gate.wait(timeout=120)
+                        killed.wait(timeout=120)
+                    t0 = time.perf_counter()
+                    summary = _fleet_call(
+                        client, "analyze", {"session": sid}, outcome
+                    )
+                    elapsed = time.perf_counter() - t0
+                    with lock:
+                        latencies.append(elapsed)
+                        completed[0] += 1
+                    if summary["longest_delay_hex"] != baseline:
+                        outcome["mismatches"] += 1
+        except Exception as exc:
+            with lock:
+                failures.append(f"client {rank}: {type(exc).__name__}: {exc}")
+            kill_gate.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,))
+        for rank in range(FLEET_CLIENTS)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+
+    # Mid-stream chaos: SIGKILL the shard carrying the most sessions.
+    victim = -1
+    try:
+        kill_gate.wait(timeout=120)
+        with ServiceClient(runtime.address) as observer:
+            rows = observer.stats()["shards"]
+            victim = max(
+                (row for row in rows if row["alive"]),
+                key=lambda row: row.get("sessions") or 0,
+            )["shard"]
+        runtime.fleet.kill(victim)
+    except threading.BrokenBarrierError:
+        pass  # a worker already failed; its error is in `failures`
+    finally:
+        killed.set()
+
+    for t in threads:
+        t.join(180)
+    elapsed = time.perf_counter() - t0
+
+    with ServiceClient(runtime.address) as observer:
+        stats = observer.stats()
+    events: dict[str, int] = {}
+    log_path = log_dir / "router.log"
+    if log_path.exists():
+        for line in log_path.read_text().splitlines():
+            entry = json.loads(line)
+            if "event" in entry:
+                events[entry["event"]] = events.get(entry["event"], 0) + 1
+    runtime.stop()
+
+    per_shard = [
+        {
+            "shard": row["shard"],
+            "alive": row["alive"],
+            "restarts": row["restarts"],
+            "sessions": row.get("sessions"),
+            "in_flight": row.get("in_flight"),
+            "queue_depth": row.get("queue_depth"),
+        }
+        for row in stats["shards"]
+    ]
+    latencies.sort()
+    n = len(latencies)
+    section = {
+        "shards": FLEET_SHARDS,
+        "clients": FLEET_CLIENTS,
+        "requests": FLEET_CLIENTS * FLEET_REQUESTS_PER_CLIENT,
+        "completed": completed[0],
+        "seconds": elapsed,
+        "p50_seconds": latencies[n // 2] if n else None,
+        "p95_seconds": latencies[int(n * 0.95)] if n else None,
+        "killed_shard": victim,
+        "busy_retries": sum(o["busy_retries"] for o in outcomes),
+        "reroutes": sum(o["reroutes"] for o in outcomes),
+        "mismatches": sum(o["mismatches"] for o in outcomes),
+        "failures": failures,
+        "events": events,
+        "per_shard": per_shard,
+        "fleet": stats["fleet"],
+    }
+
+    lines = [
+        f"Fleet swarm ({FLEET_CLIENTS} clients x {FLEET_REQUESTS_PER_CLIENT} "
+        f"analyzes, {FLEET_SHARDS} shards, shard {victim} SIGKILLed mid-stream)",
+        "",
+        f"completed {section['completed']}/{section['requests']} in "
+        f"{elapsed:.1f}s  (p50 {1e3 * (section['p50_seconds'] or 0):.1f} ms, "
+        f"p95 {1e3 * (section['p95_seconds'] or 0):.1f} ms)",
+        f"429 retries: {section['busy_retries']}  reroutes: "
+        f"{section['reroutes']}  mismatches: {section['mismatches']}  "
+        f"failures: {len(failures)}",
+        f"fleet: deaths={section['fleet']['shard_deaths']} "
+        f"failovers={section['fleet']['failovers']} "
+        f"handoff_retries={section['fleet']['handoff_retries']}",
+        "",
+        f"{'shard':>6} {'alive':>6} {'restarts':>9} {'sessions':>9} "
+        f"{'in_flight':>10}",
+        "-" * 46,
+    ]
+    for row in per_shard:
+        lines.append(
+            f"{row['shard']:>6d} {'yes' if row['alive'] else 'NO':>6} "
+            f"{row['restarts']:>9d} {row['sessions'] if row['sessions'] is not None else '-':>9} "
+            f"{row['in_flight'] if row['in_flight'] is not None else '-':>10}"
+        )
+    record_result("service_fleet", "\n".join(lines))
+    return section
+
+
+@pytest.fixture(scope="module")
+def persisted(whatif_comparison, whatif_screened, concurrency_sweep, fleet_swarm, scale):
     payload = {
         "benchmark": "service",
         "circuit": "s35932_like",
@@ -363,6 +574,7 @@ def persisted(whatif_comparison, whatif_screened, concurrency_sweep, scale):
         "whatif": whatif_comparison,
         "whatif_screened": whatif_screened,
         "concurrency": concurrency_sweep,
+        "fleet": fleet_swarm,
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -408,4 +620,30 @@ def test_overload_never_drops_silently(persisted, benchmark):
         assert sweep["failures"] == []
         assert sweep["dropped_without_retry_after"] == 0
         assert sweep["completed"] == sweep["requests"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fleet_swarm_survives_shard_death(persisted, benchmark):
+    """The PR 8 robustness claim: one shard SIGKILLed under a 16-client
+    swarm costs zero dropped or errored requests, and every failed-over
+    session keeps answering bit-identically."""
+    fleet = persisted["fleet"]
+    assert fleet["failures"] == [], fleet["failures"]
+    assert fleet["completed"] == fleet["requests"]
+    assert fleet["mismatches"] == 0
+    # The kill was real and the fleet noticed it.
+    assert fleet["fleet"]["shard_deaths"] >= 1 or fleet["events"].get(
+        "shard_down", 0
+    ) >= 1
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fleet_rows_recorded(persisted, benchmark):
+    """BENCH_service.json carries one row per shard plus the fleet
+    aggregate, so regressions in failover accounting are pinned."""
+    fleet = persisted["fleet"]
+    assert len(fleet["per_shard"]) == FLEET_SHARDS
+    assert {row["shard"] for row in fleet["per_shard"]} == set(range(FLEET_SHARDS))
+    for key in ("shards", "alive", "sessions", "failovers", "shard_deaths"):
+        assert key in fleet["fleet"], key
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,157 @@
+"""CI fleet smoke: a real 2-shard fleet on real sockets, one shard
+SIGKILLed mid-query-stream.
+
+The contract being smoked (see docs/ROBUSTNESS.md):
+
+* zero failed client requests -- every stream completes through
+  ``call_with_retry``'s reconnect/backoff path, 429s allowed;
+* every post-kill answer is bit-identical to its pre-kill baseline;
+* the router's access log records the shard death and at least one
+  session failover.
+
+Run from the repo root with ``PYTHONPATH=src python benchmarks/fleet_smoke.py``.
+Exits non-zero (with a diagnostic) on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+
+from repro.service import FleetOptions, FleetRuntime, ServiceClient
+
+ACCESS_LOG = "fleet-access.log"
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 10
+KILL_AFTER_REQUESTS = 3  # per client, before the shard dies
+
+
+def main() -> int:
+    # The router appends; start from a clean log so the event assertions
+    # below only see this run.
+    if os.path.exists(ACCESS_LOG):
+        os.remove(ACCESS_LOG)
+    runtime = FleetRuntime(
+        FleetOptions(shards=2, workers=2, queue_limit=8),
+        access_log=ACCESS_LOG,
+        supervise=True,
+        probe_interval=0.25,
+        probe_timeout=1.0,
+    )
+    runtime.start()
+    print(f"fleet up at {runtime.address} (2 shards)")
+
+    failures: list[str] = []
+    mismatches: list[str] = []
+    completed = [0]
+    lock = threading.Lock()
+    # Workers pause at kill_gate after a few requests; the main thread
+    # kills a shard there and releases them via killed -- the death
+    # deterministically lands mid-stream for every client.
+    kill_gate = threading.Barrier(CLIENTS + 1)
+    killed = threading.Event()
+
+    def worker(rank: int) -> None:
+        try:
+            with ServiceClient(runtime.address) as client:
+                opened = client.call_with_retry(
+                    "open_session",
+                    {
+                        "netlist": "s27",
+                        "scale": 0.05 + rank * 0.01,
+                        "config": {"mode": "one_step"},
+                    },
+                )
+                sid = opened["session"]
+                baseline = client.call_with_retry("analyze", {"session": sid})[
+                    "longest_delay_hex"
+                ]
+                for i in range(REQUESTS_PER_CLIENT):
+                    if i == KILL_AFTER_REQUESTS:
+                        kill_gate.wait(timeout=60)
+                        killed.wait(timeout=60)
+                    summary = client.call_with_retry("analyze", {"session": sid})
+                    if summary["longest_delay_hex"] != baseline:
+                        with lock:
+                            mismatches.append(
+                                f"client {rank} request {i}: "
+                                f"{summary['longest_delay_hex']} != {baseline}"
+                            )
+                    with lock:
+                        completed[0] += 1
+        except Exception as exc:
+            with lock:
+                failures.append(f"client {rank}: {type(exc).__name__}: {exc}")
+            kill_gate.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,)) for rank in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+
+    # Every client has streamed a few requests; kill the shard that owns
+    # the most sessions so the next request in each affected stream
+    # crosses a failover.
+    try:
+        kill_gate.wait(timeout=120)
+        with ServiceClient(runtime.address) as observer:
+            rows = observer.stats()["shards"]
+        victim = max(
+            (row for row in rows if row["alive"]),
+            key=lambda row: row.get("sessions") or 0,
+        )["shard"]
+        print(f"killing shard {victim} mid-stream")
+        runtime.fleet.kill(victim)
+    except threading.BrokenBarrierError:
+        pass  # a worker already failed; its error is in `failures`
+    finally:
+        killed.set()
+
+    for t in threads:
+        t.join(120)
+
+    with ServiceClient(runtime.address) as observer:
+        fleet_stats = observer.stats()["fleet"]
+    runtime.stop()
+
+    events: dict[str, int] = {}
+    with open(ACCESS_LOG) as handle:
+        for line in handle:
+            entry = json.loads(line)
+            if "event" in entry:
+                events[entry["event"]] = events.get(entry["event"], 0) + 1
+
+    expected = CLIENTS * REQUESTS_PER_CLIENT
+    print(
+        f"completed {completed[0]}/{expected} requests; "
+        f"failures={len(failures)} mismatches={len(mismatches)}"
+    )
+    print(f"fleet stats: {json.dumps(fleet_stats)}")
+    print(f"access-log events: {json.dumps(events)}")
+
+    ok = True
+    for failure in failures:
+        print(f"FAIL request stream errored: {failure}")
+        ok = False
+    for mismatch in mismatches:
+        print(f"FAIL answer drifted across failover: {mismatch}")
+        ok = False
+    if completed[0] != expected:
+        print(f"FAIL dropped requests: {completed[0]} != {expected}")
+        ok = False
+    if events.get("shard_down", 0) < 1:
+        print("FAIL access log never recorded the shard death")
+        ok = False
+    if events.get("failover", 0) < 1:
+        print("FAIL access log never recorded a session failover")
+        ok = False
+    if ok:
+        print("fleet smoke OK")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -322,6 +322,51 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import signal as signal_module
+    import threading
+
+    from repro.service import FleetOptions, FleetRuntime
+
+    options = FleetOptions(
+        shards=args.shards,
+        workers=args.service_workers,
+        queue_limit=args.queue_limit,
+        max_sessions=args.max_sessions,
+        checkpoint_dir=args.checkpoint_dir,
+        default_deadline=args.deadline,
+        host=args.shard_host,
+        access_log_dir=args.shard_access_log_dir,
+    )
+    runtime = FleetRuntime(
+        options,
+        router_host=args.host,
+        router_port=args.port,
+        access_log=args.access_log,
+        probe_interval=args.probe_interval,
+    )
+    stopped = threading.Event()
+    for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+        try:
+            signal_module.signal(signum, lambda *_: stopped.set())
+        except ValueError:  # not the main thread
+            pass
+    runtime.start()
+    # Parseable readiness line for scripts / the CI fleet-smoke job.
+    print(f"fleet listening on {runtime.address} ({args.shards} shards)", flush=True)
+    try:
+        while not stopped.is_set():
+            if runtime.router is not None and runtime.router.stopping:
+                break
+            stopped.wait(0.5)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        runtime.stop()
+    print("fleet stopped", flush=True)
+    return 0
+
+
 def cmd_client(args: argparse.Namespace) -> int:
     import json
 
@@ -661,6 +706,66 @@ def build_parser() -> argparse.ArgumentParser:
         "RPC then needs a per-session override to turn it back on)",
     )
     serve.set_defaults(func=cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a supervised shard fleet behind a consistent-hash router",
+    )
+    fleet.add_argument("--shards", type=int, default=2, metavar="N")
+    fleet.add_argument(
+        "--host", default="127.0.0.1", help="router listen address"
+    )
+    fleet.add_argument(
+        "--port", type=int, default=0, help="router port (0 = ephemeral)"
+    )
+    fleet.add_argument(
+        "--shard-host",
+        default="127.0.0.1",
+        help="address shard servers bind (and the router dials)",
+    )
+    fleet.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="analysis threads per shard",
+    )
+    fleet.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-shard queued requests beyond the workers before 429",
+    )
+    fleet.add_argument(
+        "--max-sessions", type=int, default=8, metavar="N",
+        help="per-shard session LRU bound",
+    )
+    fleet.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="shared iterative-checkpoint directory (lets a replacement "
+        "shard resume a dead shard's per-pass state)",
+    )
+    fleet.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline on every shard",
+    )
+    fleet.add_argument(
+        "--access-log",
+        metavar="FILE",
+        help="router JSONL access log (per-request shard + failover events)",
+    )
+    fleet.add_argument(
+        "--shard-access-log-dir",
+        metavar="DIR",
+        help="per-shard access logs (DIR/shard-<i>.log)",
+    )
+    fleet.add_argument(
+        "--probe-interval", type=float, default=0.5, metavar="SECONDS",
+        help="supervisor health-check sweep interval",
+    )
+    fleet.set_defaults(func=cmd_fleet)
 
     client = sub.add_parser(
         "client", help="send one request to a running timing-query service"

@@ -4,8 +4,10 @@ async server, with incremental what-if (ECO) analysis.
 See ``docs/SERVICE.md`` for the protocol and an end-to-end tour.
 """
 
-from repro.service.client import InProcessClient, ServiceClient
+from repro.service.client import InProcessClient, ServiceClient, backoff_delay
 from repro.service.executor import RequestExecutor
+from repro.service.fleet import Fleet, FleetOptions, FleetRuntime, HashRing
+from repro.service.handoff import decode_handoff, encode_handoff, loads_handoff
 from repro.service.protocol import (
     ERR_BAD_REQUEST,
     ERR_BUSY,
@@ -15,13 +17,17 @@ from repro.service.protocol import (
     ERR_INTERNAL,
     ERR_UNKNOWN_METHOD,
     ERR_UNKNOWN_SESSION,
+    FLEET_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     ServiceCallError,
     ServiceError,
+    ServiceTransportError,
     error_payload,
 )
+from repro.service.router import FleetRouter, ShardLinkDown
 from repro.service.server import TimingServer, TimingService, serve
 from repro.service.session import Session, SessionManager, design_digest, result_summary
+from repro.service.supervisor import ShardSupervisor
 from repro.service.whatif import EDIT_ACTIONS, apply_edit
 
 __all__ = [
@@ -34,19 +40,32 @@ __all__ = [
     "ERR_INTERNAL",
     "ERR_UNKNOWN_METHOD",
     "ERR_UNKNOWN_SESSION",
+    "FLEET_PROTOCOL_VERSION",
+    "Fleet",
+    "FleetOptions",
+    "FleetRouter",
+    "FleetRuntime",
+    "HashRing",
     "InProcessClient",
     "PROTOCOL_VERSION",
     "RequestExecutor",
     "ServiceCallError",
     "ServiceClient",
     "ServiceError",
+    "ServiceTransportError",
     "Session",
     "SessionManager",
+    "ShardLinkDown",
+    "ShardSupervisor",
     "TimingServer",
     "TimingService",
     "apply_edit",
+    "backoff_delay",
+    "decode_handoff",
     "design_digest",
+    "encode_handoff",
     "error_payload",
+    "loads_handoff",
     "result_summary",
     "serve",
 ]

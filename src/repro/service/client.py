@@ -9,11 +9,16 @@ call surface and error semantics (failures raise
 embedding tools can switch transports without changing code.
 
 Both clients honour backpressure: ``call_with_retry`` retries ``busy``
-(429) rejections after the server-advised ``retry_after`` delay.
+(429) rejections with capped exponential backoff plus full jitter,
+never sleeping less than the server-advised ``retry_after``.  The
+socket client additionally retries *transport* failures (connection
+reset, server closed mid-call) by reconnecting -- against a fleet
+router this is what makes shard failover invisible to callers.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any
@@ -22,11 +27,30 @@ from repro.errors import ReproError
 from repro.service.protocol import (
     ERR_BUSY,
     ServiceCallError,
+    ServiceTransportError,
     decode_response,
     encode_request,
     error_payload,
 )
 from repro.service.server import TimingService
+
+
+def backoff_delay(
+    attempt: int,
+    floor: float = 0.0,
+    base: float = 0.1,
+    cap: float = 5.0,
+    rng: random.Random | None = None,
+) -> float:
+    """Capped exponential backoff with full jitter.
+
+    The jittered draw is uniform on ``[0, min(cap, base * 2**attempt)]``
+    (full jitter decorrelates retry herds after a fleet-wide event), and
+    a server-supplied ``retry_after`` acts as a *floor* -- the server
+    knows its queue better than the client's clock does.
+    """
+    draw = (rng or random).uniform(0.0, min(cap, base * (2.0 ** attempt)))
+    return max(floor, draw)
 
 
 class _CallSurface:
@@ -35,27 +59,47 @@ class _CallSurface:
     def call(self, method: str, params: dict | None = None) -> dict:
         raise NotImplementedError
 
+    def _reconnect(self) -> bool:
+        """Try to re-establish the transport; False when not applicable."""
+        return False
+
     def call_with_retry(
         self,
         method: str,
         params: dict | None = None,
         max_retries: int = 8,
         max_wait: float = 60.0,
+        base_delay: float = 0.1,
+        max_delay: float = 5.0,
+        rng: random.Random | None = None,
     ) -> dict:
-        """Like :meth:`call`, but waits out ``busy`` rejections using the
-        server's ``retry_after`` advice (bounded by ``max_wait``)."""
+        """Like :meth:`call`, but waits out ``busy`` (429) rejections and
+        transport drops with jittered exponential backoff (total sleep
+        bounded by ``max_wait``).  Transport failures are retried only
+        if :meth:`_reconnect` succeeds -- against a fleet router the new
+        connection transparently re-routes to the failed-over shard."""
         waited = 0.0
         for attempt in range(max_retries + 1):
+            retry_floor = 0.0
             try:
                 return self.call(method, params)
             except ServiceCallError as exc:
                 if exc.code != ERR_BUSY or attempt == max_retries:
                     raise
-                delay = exc.retry_after if exc.retry_after is not None else 0.5
-                if waited + delay > max_wait:
+                if exc.retry_after is not None:
+                    retry_floor = exc.retry_after
+                failure: ReproError = exc
+            except ServiceTransportError as exc:
+                if attempt == max_retries or not self._reconnect():
                     raise
-                time.sleep(delay)
-                waited += delay
+                failure = exc
+            delay = backoff_delay(
+                attempt, floor=retry_floor, base=base_delay, cap=max_delay, rng=rng
+            )
+            if waited + delay > max_wait:
+                raise failure
+            time.sleep(delay)
+            waited += delay
         raise AssertionError("unreachable")
 
     # -- method wrappers -----------------------------------------------------
@@ -144,6 +188,14 @@ class _CallSurface:
     def close_session(self, session: str) -> dict:
         return self.call("close_session", {"session": session})
 
+    def export_session(self, session: str) -> dict:
+        """The session's handoff payload (see :mod:`repro.service.handoff`)."""
+        return self.call("export_session", {"session": session})["payload"]
+
+    def import_session(self, payload: dict) -> dict:
+        """Rebuild a session from a handoff payload on this server."""
+        return self.call("import_session", {"payload": payload})
+
     def metrics(self) -> dict:
         return self.call("metrics")["snapshot"]
 
@@ -164,28 +216,52 @@ class ServiceClient(_CallSurface):
 
     def __init__(self, address: str, timeout: float | None = 120.0):
         self.address = address
-        if address.startswith("unix:"):
+        self.timeout = timeout
+        self._next_id = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        if self.address.startswith("unix:"):
             self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(address[len("unix:") :])
+            self._sock.settimeout(self.timeout)
+            self._sock.connect(self.address[len("unix:") :])
         else:
-            host, _, port = address.rpartition(":")
+            host, _, port = self.address.rpartition(":")
             if not host or not port.isdigit():
                 raise ReproError(
-                    f"bad service address {address!r}; want host:port or unix:/path"
+                    f"bad service address {self.address!r}; want host:port or unix:/path"
                 )
-            self._sock = socket.create_connection((host, int(port)), timeout=timeout)
+            self._sock = socket.create_connection(
+                (host, int(port)), timeout=self.timeout
+            )
         self._file = self._sock.makefile("rwb")
-        self._next_id = 0
+
+    def _reconnect(self) -> bool:
+        try:
+            self.close()
+        except OSError:
+            pass
+        try:
+            self._connect()
+        except OSError:
+            return False
+        return True
 
     def call(self, method: str, params: dict | None = None) -> dict:
         self._next_id += 1
         request_id = self._next_id
-        self._file.write(encode_request(request_id, method, params))
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(encode_request(request_id, method, params))
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceTransportError(
+                f"service at {self.address}: transport failure: {exc}"
+            ) from exc
         if not line:
-            raise ReproError(f"service at {self.address} closed the connection")
+            raise ServiceTransportError(
+                f"service at {self.address} closed the connection"
+            )
         response_id, result = decode_response(line)
         if response_id != request_id:
             raise ReproError(

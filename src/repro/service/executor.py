@@ -70,6 +70,13 @@ class RequestExecutor:
         with self._lock:
             return self._pending
 
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests waiting for a worker (0 when the pool keeps
+        up) -- the number fleet routers watch for shard backpressure."""
+        with self._lock:
+            return max(0, self._pending - self.workers)
+
     def _admit(self) -> None:
         with self._lock:
             if self._pending >= self.capacity:

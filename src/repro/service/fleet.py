@@ -1,0 +1,348 @@
+"""Shard fleet: worker processes, placement ring, and the fleet runtime.
+
+A fleet is N independent shard processes, each running the full
+single-process :class:`~repro.service.server.TimingServer` on its own
+port, fronted by a :class:`~repro.service.router.FleetRouter` and
+watched by a :class:`~repro.service.supervisor.ShardSupervisor`.  This
+module owns the *process* half: spawning shards (with a readiness
+handshake over a pipe), killing/pausing them (fault injection), and the
+consistent-hash ring that maps design placement keys onto shards.
+
+Placement hashes ``spec|scale`` -- the same key the session checkpoint
+filename uses -- so re-opening a design lands on the shard that already
+holds its warm state, and differing scales of one netlist spread across
+the fleet.
+
+:class:`FleetRuntime` assembles the whole topology (shards + router +
+supervisor) on a background thread; it is what the CLI, the benchmarks
+and the chaos tests drive.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+
+@dataclass
+class FleetOptions:
+    """Knobs of one fleet: shard count and per-shard server settings."""
+
+    shards: int = 2
+    workers: int = 2  # analysis threads per shard
+    queue_limit: int = 8
+    max_sessions: int = 8
+    checkpoint_dir: str | None = None
+    default_deadline: float | None = None
+    host: str = "127.0.0.1"
+    access_log_dir: str | None = None  # per-shard JSONL: shard-<i>.log
+    spawn_timeout: float = 60.0
+
+    @property
+    def shard_capacity(self) -> int:
+        return self.workers + self.queue_limit
+
+
+def placement_key(spec: str, scale: float) -> str:
+    """The ring key for one design: netlist spec + bit-exact scale."""
+    return f"{spec}|{float(scale).hex()}"
+
+
+def _hash_point(token: str) -> int:
+    return int.from_bytes(hashlib.sha256(token.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hash ring over shard indices.
+
+    Each shard contributes ``replicas`` virtual points; a key is owned
+    by the first point clockwise from its hash.  :meth:`owner` walks
+    past points whose shard is not in ``alive``, which is exactly the
+    failover placement rule: a dead shard's keys fall to its ring
+    successors, and everything else stays put (no rebalancing storm).
+    """
+
+    def __init__(self, replicas: int = 64):
+        self.replicas = replicas
+        self._points: list[tuple[int, int]] = []  # sorted (point, shard)
+
+    def add(self, shard: int) -> None:
+        for replica in range(self.replicas):
+            point = _hash_point(f"shard-{shard}-{replica}")
+            bisect.insort(self._points, (point, shard))
+
+    def remove(self, shard: int) -> None:
+        self._points = [(p, s) for p, s in self._points if s != shard]
+
+    def owner(self, key: str, alive: set[int] | None = None) -> int | None:
+        """The live shard owning ``key`` (None if no candidate is alive)."""
+        if not self._points:
+            return None
+        start = bisect.bisect_left(self._points, (_hash_point(key), -1))
+        seen: set[int] = set()
+        for offset in range(len(self._points)):
+            _, shard = self._points[(start + offset) % len(self._points)]
+            if shard in seen:
+                continue
+            seen.add(shard)
+            if alive is None or shard in alive:
+                return shard
+        return None
+
+    def shards(self) -> set[int]:
+        return {shard for _, shard in self._points}
+
+
+def _shard_main(index: int, options: FleetOptions, conn) -> None:
+    """Entry point of one shard process: a full TimingServer on its own
+    port, reported back through the readiness pipe.  SIGTERM takes the
+    drain-then-close path (see ``install_signal_handlers``), so a
+    supervised stop exits 0 with no request dropped mid-solve."""
+    import asyncio
+
+    from repro.obs import Observability
+    from repro.service.server import TimingService, serve
+
+    service = TimingService(
+        max_sessions=options.max_sessions,
+        checkpoint_dir=options.checkpoint_dir,
+        workers=options.workers,
+        queue_limit=options.queue_limit,
+        default_deadline=options.default_deadline,
+        obs=Observability.disabled(),
+    )
+    access_log = None
+    if options.access_log_dir is not None:
+        os.makedirs(options.access_log_dir, exist_ok=True)
+        access_log = os.path.join(options.access_log_dir, f"shard-{index}.log")
+
+    def ready(server) -> None:
+        conn.send({"shard": index, "port": server.port})
+        conn.close()
+
+    asyncio.run(
+        serve(
+            service,
+            host=options.host,
+            port=0,
+            ready=ready,
+            access_log=access_log,
+        )
+    )
+
+
+@dataclass
+class ShardHandle:
+    """One shard process as the parent sees it."""
+
+    index: int
+    process: multiprocessing.Process
+    port: int
+    restarts: int = 0
+    started_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class Fleet:
+    """Spawns and owns the shard processes (no routing; see router.py)."""
+
+    def __init__(self, options: FleetOptions | None = None):
+        self.options = options if options is not None else FleetOptions()
+        self.shards: dict[int, ShardHandle] = {}
+        # fork keeps spawn cheap (no module re-import per shard); the
+        # child immediately enters a fresh asyncio.run.
+        self._ctx = multiprocessing.get_context("fork")
+
+    def start(self) -> None:
+        for index in range(self.options.shards):
+            self.spawn(index)
+
+    def spawn(self, index: int) -> ShardHandle:
+        """Start (or restart) shard ``index``; blocks until its server
+        reports the port it bound, so a returned handle is routable."""
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(index, self.options, child),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        process.start()
+        child.close()
+        try:
+            if not parent.poll(self.options.spawn_timeout):
+                raise ReproError(
+                    f"shard {index} did not report readiness within "
+                    f"{self.options.spawn_timeout:g}s"
+                )
+            message = parent.recv()
+        except (EOFError, OSError) as exc:
+            process.kill()
+            raise ReproError(f"shard {index} died during startup: {exc}") from exc
+        finally:
+            parent.close()
+        previous = self.shards.get(index)
+        handle = ShardHandle(
+            index=index,
+            process=process,
+            port=message["port"],
+            restarts=previous.restarts + 1 if previous is not None else 0,
+        )
+        self.shards[index] = handle
+        return handle
+
+    def address(self, index: int) -> str:
+        handle = self.shards[index]
+        return f"{self.options.host}:{handle.port}"
+
+    # -- fault injection hooks (see repro.testing.faults) --------------------
+
+    def kill(self, index: int) -> None:
+        """SIGKILL: what an OOM kill or a segfault looks like."""
+        self._signal(index, signal.SIGKILL)
+
+    def pause(self, index: int) -> None:
+        """SIGSTOP: a hung shard -- alive to the OS, dead to clients."""
+        self._signal(index, signal.SIGSTOP)
+
+    def resume(self, index: int) -> None:
+        self._signal(index, signal.SIGCONT)
+
+    def _signal(self, index: int, signum: int) -> None:
+        process = self.shards[index].process
+        if process.pid is not None:
+            try:
+                os.kill(process.pid, signum)
+            except ProcessLookupError:
+                pass
+
+    def stop(self, grace: float = 10.0) -> None:
+        """SIGTERM every shard (drain-then-close), escalate to SIGKILL
+        for any that miss the grace deadline."""
+        for handle in self.shards.values():
+            if handle.alive:
+                # A paused shard cannot act on SIGTERM; wake it first.
+                self._signal(handle.index, signal.SIGCONT)
+                handle.process.terminate()
+        deadline = time.monotonic() + grace
+        for handle in self.shards.values():
+            handle.process.join(max(0.0, deadline - time.monotonic()))
+            if handle.alive:
+                handle.process.kill()
+                handle.process.join(5.0)
+
+
+class FleetRuntime:
+    """The assembled topology: shards + router + supervisor on a
+    background thread.  ``start()`` returns once the router is
+    accepting connections; ``stop()`` tears everything down (router
+    first, then SIGTERM to the shards)."""
+
+    def __init__(
+        self,
+        options: FleetOptions | None = None,
+        router_host: str = "127.0.0.1",
+        router_port: int = 0,
+        access_log: str | None = None,
+        supervise: bool = True,
+        probe_interval: float = 0.25,
+        probe_timeout: float = 2.0,
+    ):
+        self.options = options if options is not None else FleetOptions()
+        self.router_host = router_host
+        self.router_port = router_port
+        self.access_log = access_log
+        self.supervise = supervise
+        self.probe_interval = probe_interval
+        self.probe_timeout = probe_timeout
+        self.fleet = Fleet(self.options)
+        self.router = None
+        self.supervisor = None
+        self.address: str | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop_event = None
+        self._error: BaseException | None = None
+
+    def start(self, timeout: float = 120.0) -> "FleetRuntime":
+        # Shards fork from here, before the router thread exists.
+        self.fleet.start()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-fleet-router", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            self.stop()
+            raise ReproError("fleet router did not become ready")
+        if self._error is not None:
+            self.stop()
+            raise ReproError(f"fleet router failed to start: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        import asyncio
+
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        import asyncio
+        import contextlib
+
+        from repro.service.router import FleetRouter
+        from repro.service.supervisor import ShardSupervisor
+
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            router = FleetRouter(self.fleet, access_log=self.access_log)
+            await router.start_server(self.router_host, self.router_port)
+            router.on_stop = self._stop_event.set
+            self.router = router
+            self.address = router.address
+            supervisor_task = None
+            if self.supervise:
+                self.supervisor = ShardSupervisor(
+                    self.fleet,
+                    router,
+                    interval=self.probe_interval,
+                    probe_timeout=self.probe_timeout,
+                )
+                supervisor_task = asyncio.create_task(
+                    self.supervisor.run(self._stop_event)
+                )
+        except Exception as exc:
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        if supervisor_task is not None:
+            supervisor_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await supervisor_task
+        await router.stop_server()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(30.0)
+        self.fleet.stop()
+
+    def __enter__(self) -> "FleetRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,114 @@
+"""Session handoff payloads: warm-session replication for the fleet.
+
+A handoff payload is everything a *replacement* shard needs to rebuild a
+session whose owning shard died: the netlist specifier, the scale, the
+client's config overrides and the ordered log of committed ECO edits.
+It deliberately carries no solver state -- the analysis engine is
+deterministic, so replaying the descriptor reproduces the dead shard's
+session bit-identically, and iterative sessions additionally resume
+their per-pass state from the shared checkpoint directory
+(:mod:`repro.core.checkpoint`), whose filenames are keyed by the design
+digest and therefore survive the shard that wrote them.
+
+Like the PR 3 checkpoint format, the payload is self-validating: a
+SHA-256 checksum over the canonical JSON body detects truncation and
+bit rot, and every shape violation raises :class:`CheckpointError` (the
+taxonomy's persistent-state error) *before* any session state is
+touched -- a corrupt handoff can reject, never half-restore.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.errors import CheckpointError
+
+HANDOFF_FORMAT = 1
+
+# Keys every payload body must carry (types checked in decode_handoff).
+_REQUIRED = ("format", "session", "spec", "scale", "config", "edits")
+
+
+def _body_checksum(body: dict) -> str:
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def encode_handoff(
+    session_id: str,
+    spec: str,
+    scale: float,
+    config: dict | None,
+    edits: list[dict],
+) -> dict:
+    """Build the wire form of one session's replication descriptor.
+
+    ``scale`` travels as ``float.hex()`` so the replacement shard
+    resolves the *bit-identical* circuit the original opened.
+    """
+    body = {
+        "format": HANDOFF_FORMAT,
+        "session": session_id,
+        "spec": spec,
+        "scale": float(scale).hex(),
+        "config": dict(config) if config else None,
+        "edits": [dict(edit) for edit in edits],
+    }
+    return {"body": body, "checksum": _body_checksum(body)}
+
+
+def decode_handoff(payload) -> dict:
+    """Validate a handoff payload and return its body.
+
+    Raises :class:`CheckpointError` on *any* damage -- missing keys
+    (truncation), checksum mismatch (bit rot, corruption in flight),
+    wrong format, wrong types.  Nothing is restored from a payload that
+    fails here.
+    """
+    if not isinstance(payload, dict):
+        raise CheckpointError("handoff payload must be an object")
+    body = payload.get("body")
+    checksum = payload.get("checksum")
+    if not isinstance(body, dict) or not isinstance(checksum, str):
+        raise CheckpointError("handoff payload truncated: needs 'body' and 'checksum'")
+    if _body_checksum(body) != checksum:
+        raise CheckpointError("handoff payload checksum mismatch (corrupt in flight)")
+    missing = [key for key in _REQUIRED if key not in body]
+    if missing:
+        raise CheckpointError(f"handoff body truncated: missing {missing}")
+    if body["format"] != HANDOFF_FORMAT:
+        raise CheckpointError(
+            f"unknown handoff format {body['format']!r} (want {HANDOFF_FORMAT})"
+        )
+    if not isinstance(body["session"], str) or not body["session"]:
+        raise CheckpointError("handoff 'session' must be a non-empty string")
+    if not isinstance(body["spec"], str) or not body["spec"]:
+        raise CheckpointError("handoff 'spec' must be a non-empty string")
+    try:
+        scale = float.fromhex(body["scale"])
+    except (TypeError, ValueError):
+        raise CheckpointError("handoff 'scale' must be a float.hex() string")
+    if body["config"] is not None and not isinstance(body["config"], dict):
+        raise CheckpointError("handoff 'config' must be an object or null")
+    if not isinstance(body["edits"], list) or not all(
+        isinstance(edit, dict) for edit in body["edits"]
+    ):
+        raise CheckpointError("handoff 'edits' must be a list of edit objects")
+    decoded = dict(body)
+    decoded["scale"] = scale
+    return decoded
+
+
+def loads_handoff(text: str | bytes) -> dict:
+    """Parse a serialized handoff payload (e.g. from a replication log).
+
+    A torn write leaves unparsable JSON; that is classified exactly like
+    in-memory damage -- :class:`CheckpointError`, never a bare
+    ``ValueError`` from deep inside.
+    """
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise CheckpointError(f"handoff payload is not valid JSON: {exc}")
+    return decode_handoff(payload)

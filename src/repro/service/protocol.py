@@ -34,6 +34,7 @@ from repro.errors import (
 )
 
 PROTOCOL_VERSION = "repro.service/1"
+FLEET_PROTOCOL_VERSION = "repro.fleet/1"
 
 # Stable error codes (HTTP-flavoured where a familiar one exists).
 ERR_BAD_REQUEST = 400  # malformed request line / envelope
@@ -68,6 +69,13 @@ class ServiceError(ReproError):
         self.data = data
 
 
+class ServiceTransportError(ReproError):
+    """The connection itself failed (refused, reset, closed mid-call) --
+    distinct from :class:`ServiceCallError`, which means the server
+    *answered* with an error.  Retry layers treat transport failures as
+    retryable-after-reconnect; protocol errors are final."""
+
+
 class ServiceCallError(ReproError):
     """Client-side view of a wire error response."""
 
@@ -75,6 +83,7 @@ class ServiceCallError(ReproError):
         super().__init__(f"{kind} ({code}): {message}")
         self.code = code
         self.kind = kind
+        self.message = message
         self.data = data or {}
 
     @property
@@ -85,6 +94,15 @@ class ServiceCallError(ReproError):
 
 def error_payload(exc: BaseException) -> dict:
     """Map an exception onto the wire error object."""
+    if isinstance(exc, ServiceCallError):
+        # A proxied upstream error (the fleet router forwarding a shard's
+        # answer): pass it through verbatim, never re-wrap as 500.
+        return {
+            "code": exc.code,
+            "kind": exc.kind,
+            "message": exc.message,
+            "data": dict(exc.data),
+        }
     if isinstance(exc, ServiceError):
         code, data = exc.code, dict(exc.data)
     elif isinstance(exc, DegradationBudgetError):
@@ -92,7 +110,10 @@ def error_payload(exc: BaseException) -> dict:
     elif isinstance(exc, InputError):
         code, data = ERR_INPUT, {}
     elif isinstance(exc, ReproError):
-        code, data = ERR_INTERNAL, {}
+        # The taxonomy class name lets clients (and the fleet router)
+        # distinguish e.g. a rejected handoff (CheckpointError) from a
+        # generic internal fault without parsing messages.
+        code, data = ERR_INTERNAL, {"exception": type(exc).__name__}
     else:
         code, data = ERR_INTERNAL, {"exception": type(exc).__name__}
     kind, exit_code = ERROR_KINDS[code]

@@ -22,6 +22,7 @@ import contextlib
 import itertools
 import json
 import os
+import signal
 import threading
 import time
 from typing import Any, Callable
@@ -32,6 +33,7 @@ from repro.core.netreport import net_report_payload
 from repro.errors import InputError
 from repro.obs import Observability, render_prometheus
 from repro.service.executor import RequestExecutor
+from repro.service.handoff import decode_handoff
 from repro.service.protocol import (
     ERR_BAD_REQUEST,
     ERR_UNKNOWN_METHOD,
@@ -105,6 +107,8 @@ class TimingService:
             "net_report": self._m_net_report,
             "explain": self._m_explain,
             "whatif": self._m_whatif,
+            "export_session": self._m_export_session,
+            "import_session": self._m_import_session,
             "close_session": self._m_close_session,
             "metrics": self._m_metrics,
             "stats": self._m_stats,
@@ -154,6 +158,8 @@ class TimingService:
             "uptime_seconds": time.monotonic() - self.started_at,
             "sessions": len(self.sessions),
             "in_flight": self.executor.pending,
+            "capacity": self.executor.capacity,
+            "queue_depth": self.executor.queue_depth,
         }
 
     def _m_open_session(self, params: dict) -> dict:
@@ -222,6 +228,28 @@ class TimingService:
         top = _param(params, "top", int, 10)
         with session.lock:
             return session.explain(mode, paths=paths, top=top)
+
+    def _m_export_session(self, params: dict) -> dict:
+        """The session's checksummed replication payload (fleet handoff)."""
+        session = self._session(params)
+        with session.lock:
+            return {"payload": session.handoff()}
+
+    def _m_import_session(self, params: dict) -> dict:
+        """Rebuild a session from a handoff payload (failover replay).
+
+        The payload is validated (checksum, format, shape) *before* any
+        state is touched -- a truncated or corrupt handoff raises
+        ``CheckpointError`` (wire code 500) and leaves this shard's
+        sessions, including any live one under the same id, untouched.
+        """
+        payload = _param(params, "payload", dict)
+        body = decode_handoff(payload)
+        session = self.sessions.restore(body)
+        info = session.info()
+        info["protocol"] = PROTOCOL_VERSION
+        info["restored_edits"] = len(body["edits"])
+        return info
 
     def _m_close_session(self, params: dict) -> dict:
         return self.sessions.close(_param(params, "session", str))
@@ -326,6 +354,11 @@ class TimingServer:
         loop = self._loop
         if loop is not None:
             loop.call_soon_threadsafe(self._stop.set)
+
+    def request_stop(self) -> None:
+        """Begin the drain-then-close shutdown (loop-thread callers:
+        signal handlers, supervisors).  Idempotent."""
+        self._stop.set()
 
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
@@ -438,12 +471,19 @@ class TimingServer:
                 raise ServiceError(
                     ERR_BAD_REQUEST, "'deadline' must be a positive number of seconds"
                 )
-            result = await self.service.executor.submit(
-                lambda: self.service.traced_dispatch(method, params, rid),
-                method=method,
-                deadline=deadline,
-                info=info,
-            )
+            if method == "ping" and deadline is None:
+                # Liveness fast path: answered on the event loop itself,
+                # bypassing executor admission -- a shard saturated with
+                # long solves still proves its loop is alive, so fleet
+                # health checks never kill a merely-busy shard.
+                result = self.service.dispatch(method, params)
+            else:
+                result = await self.service.executor.submit(
+                    lambda: self.service.traced_dispatch(method, params, rid),
+                    method=method,
+                    deadline=deadline,
+                    info=info,
+                )
             payload = encode_response(request_id, result)
         except Exception as exc:  # answered, never disconnects
             payload = encode_error(request_id, exc)
@@ -526,6 +566,21 @@ class TimingServer:
             await writer.drain()
 
 
+def install_signal_handlers(server: TimingServer) -> None:
+    """Route SIGTERM/SIGINT into the drain-then-close shutdown path.
+
+    A signalled server finishes its in-flight requests and exits 0 --
+    the same path a clean ``shutdown`` RPC takes -- instead of dying
+    mid-solve with a traceback.  Must be called from the event loop's
+    (main) thread; on platforms without loop signal handlers this is a
+    silent no-op and the default KeyboardInterrupt path applies.
+    """
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(signum, server.request_stop)
+
+
 async def serve(
     service: TimingService,
     host: str = "127.0.0.1",
@@ -534,6 +589,7 @@ async def serve(
     ready: Callable[[TimingServer], None] | None = None,
     access_log: str | None = None,
     trace_dir: str | None = None,
+    handle_signals: bool = True,
 ) -> None:
     """Start a server, report readiness, run until shutdown."""
     server = TimingServer(
@@ -545,6 +601,8 @@ async def serve(
         trace_dir=trace_dir,
     )
     await server.start()
+    if handle_signals:
+        install_signal_handlers(server)
     if ready is not None:
         ready(server)
     await server.serve_until_shutdown()

@@ -39,6 +39,7 @@ from repro.errors import InputError
 from repro.flow import prepare_design
 from repro.flow.design import Design
 from repro.obs import Observability
+from repro.service.handoff import encode_handoff
 from repro.service.protocol import ERR_UNKNOWN_SESSION, ServiceError
 from repro.service.whatif import apply_edit
 from repro.waveform.pwl import FALLING, RISING
@@ -161,6 +162,9 @@ class Session:
         config: StaConfig,
         obs: Observability,
         checkpoint_path: str | None = None,
+        scale: float = 0.05,
+        overrides: dict | None = None,
+        committed_edits: list[dict] | None = None,
     ):
         self.session_id = session_id
         self.spec = spec
@@ -170,6 +174,11 @@ class Session:
         if checkpoint_path is not None:
             config = replace(config, checkpoint=checkpoint_path)
         self.config = config
+        # Replication descriptor: everything a replacement shard needs to
+        # rebuild this session bit-identically (see repro.service.handoff).
+        self.scale = float(scale)
+        self.overrides = dict(overrides) if overrides else None
+        self.committed_edits: list[dict] = list(committed_edits or [])
         self.sta = CrosstalkSTA(design, config, obs=obs, keep_propagators=True)
         self.lock = threading.Lock()
         self.results: dict[AnalysisMode, StaResult] = {}
@@ -321,6 +330,7 @@ class Session:
             self.config = config
             self.results = {resolved: after}
             self._exposures = {}
+            self.committed_edits.append(dict(normalized))
             self._drop_checkpoint()
         delta = after.longest_delay - baseline.longest_delay
         return {
@@ -348,6 +358,17 @@ class Session:
                 pass
             self.checkpoint_path = None
 
+    def handoff(self) -> dict:
+        """The checksummed replication payload for this session (what the
+        fleet router replays onto a replacement shard on failover)."""
+        return encode_handoff(
+            self.session_id,
+            self.spec,
+            self.scale,
+            self.overrides,
+            self.committed_edits,
+        )
+
     def info(self) -> dict:
         circuit = self.design.circuit
         coupling_pairs = (
@@ -368,6 +389,7 @@ class Session:
             "analyzed_modes": sorted(m.value for m in self.results),
             "queries": self.queries,
             "whatifs": self.whatifs,
+            "committed_edits": len(self.committed_edits),
         }
 
     def stats(self) -> dict:
@@ -430,9 +452,57 @@ class SessionManager:
             checkpoint_path=self._checkpoint_path(
                 netlist, scale, design, session_config_
             ),
+            scale=scale,
+            overrides=config,
         )
+        self._register(session)
+        return session
+
+    def restore(self, body: dict) -> Session:
+        """Rebuild a session from a decoded handoff body (failover replay).
+
+        Everything -- circuit, physical design, committed-edit replay,
+        the session object itself -- is built *aside* before anything is
+        registered, so a failure at any point (bad spec, inapplicable
+        edit) leaves the manager, including any live session under the
+        same id, exactly as it was: a handoff can reject, never
+        half-restore.  The restored session keeps the handoff's session
+        id, and an unedited iterative session re-attaches to the shared
+        checkpoint file the dead owner wrote (same spec/config/digest
+        key), so its first analyze resumes from the last completed pass.
+        """
+        session_config_ = session_config(self.config, body["config"])
+        circuit = resolve_circuit(body["spec"], body["scale"])
+        design = prepare_design(circuit)
+        for edit in body["edits"]:
+            design, _ = apply_edit(design, edit)
+        # A committed edit invalidated the original checkpoint (the
+        # session dropped it on commit); only pristine sessions resume.
+        checkpoint_path = (
+            self._checkpoint_path(body["spec"], body["scale"], design, session_config_)
+            if not body["edits"]
+            else None
+        )
+        session = Session(
+            session_id=body["session"],
+            spec=body["spec"],
+            design=design,
+            config=session_config_,
+            obs=self.obs,
+            checkpoint_path=checkpoint_path,
+            scale=body["scale"],
+            overrides=body["config"],
+            committed_edits=body["edits"],
+        )
+        self._register(session)
+        return session
+
+    def _register(self, session: Session) -> None:
+        """Insert (or atomically replace, on same-id restore) a fully
+        built session, applying the LRU bound."""
         evicted: list[Session] = []
         with self._lock:
+            self._sessions.pop(session.session_id, None)
             self._sessions[session.session_id] = session
             while len(self._sessions) > self.max_sessions:
                 _, lru = self._sessions.popitem(last=False)
@@ -441,7 +511,6 @@ class SessionManager:
         self._c_opened.inc()
         if evicted:
             self._c_evicted.inc(len(evicted))
-        return session
 
     def get(self, session_id: str) -> Session:
         with self._lock:

@@ -1,0 +1,137 @@
+"""Shard supervision: liveness probes and capped-backoff restarts.
+
+The supervisor sweeps the fleet on a fixed interval.  A shard counts as
+healthy when its process is alive *and* it answers a liveness ``ping``
+on a fresh connection within the probe deadline -- the server answers
+deadline-free pings on its event loop, bypassing executor admission, so
+a shard saturated with long solves still proves it is alive and is
+never killed for being busy.  A SIGSTOP'd (hung) shard, by contrast,
+cannot answer and is treated exactly like a dead one.
+
+Death handling: after ``failure_threshold`` consecutive failed probes
+(one suffices when the process itself is gone) the shard is declared
+down -- the router stops routing to it and fails its sessions over on
+first touch -- then killed outright (a hung process would otherwise
+keep its port) and restarted after a capped exponential backoff.  The
+backoff attempt counter resets once a restarted shard passes a probe,
+so an occasionally-crashing shard recovers fast while a crash-looping
+one backs off to the cap instead of burning CPU on restart churn.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import time
+
+from repro.service.fleet import Fleet, ShardHandle
+from repro.service.protocol import encode_request
+from repro.service.router import FleetRouter
+
+
+class ShardSupervisor:
+    """Health-checks shards, declares deaths, restarts with backoff."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        router: FleetRouter,
+        interval: float = 0.5,
+        probe_timeout: float = 2.0,
+        failure_threshold: int = 2,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 10.0,
+    ):
+        self.fleet = fleet
+        self.router = router
+        self.interval = interval
+        self.probe_timeout = probe_timeout
+        self.failure_threshold = failure_threshold
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._failures: dict[int, int] = {}
+        self._attempts: dict[int, int] = {}
+        self._restart_at: dict[int, float] = {}
+        self.restarts = 0
+
+    async def run(self, stop: asyncio.Event) -> None:
+        """Sweep until ``stop`` is set (the runtime's shutdown event)."""
+        while not stop.is_set():
+            await self._sweep()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(stop.wait(), self.interval)
+
+    async def _sweep(self) -> None:
+        for index in sorted(self.fleet.shards):
+            handle = self.fleet.shards[index]
+            if index in self.router.alive:
+                await self._check(index, handle)
+            elif time.monotonic() >= self._restart_at.get(index, 0.0):
+                await self._restart(index)
+
+    async def _check(self, index: int, handle: ShardHandle) -> None:
+        process_alive = handle.process.is_alive()
+        if process_alive and await self._probe(index):
+            self._failures[index] = 0
+            self._attempts[index] = 0
+            return
+        self._failures[index] = self._failures.get(index, 0) + 1
+        # A vanished process needs no second opinion; an unresponsive one
+        # gets failure_threshold probes before the kill (transient stalls
+        # -- GC, a loaded host -- should not trigger failover).
+        threshold = 1 if not process_alive else self.failure_threshold
+        if self._failures[index] >= threshold:
+            await self._declare_dead(index, handle, process_alive)
+
+    async def _probe(self, index: int) -> bool:
+        """Liveness ping on a fresh connection (a shared link could be
+        poisoned by the very failure we are probing for)."""
+        host, _, port = self.fleet.address(index).rpartition(":")
+        writer = None
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, int(port)), self.probe_timeout
+            )
+            writer.write(encode_request("probe", "ping", {}))
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), self.probe_timeout)
+            if not line:
+                return False
+            return "result" in json.loads(line)
+        except (OSError, asyncio.TimeoutError, ValueError):
+            return False
+        finally:
+            if writer is not None:
+                with contextlib.suppress(Exception):
+                    writer.close()
+                    await writer.wait_closed()
+
+    async def _declare_dead(
+        self, index: int, handle: ShardHandle, process_alive: bool
+    ) -> None:
+        reason = "probe failures" if process_alive else "process death"
+        await self.router.mark_down(index, reason=reason)
+        if process_alive:
+            # Hung (e.g. SIGSTOP'd) processes hold their port; reclaim it.
+            handle.process.kill()
+        await asyncio.to_thread(handle.process.join, 5.0)
+        attempts = self._attempts.get(index, 0)
+        delay = min(self.backoff_cap, self.backoff_base * (2.0 ** attempts))
+        self._attempts[index] = attempts + 1
+        self._restart_at[index] = time.monotonic() + delay
+        self._failures[index] = 0
+
+    async def _restart(self, index: int) -> None:
+        try:
+            await asyncio.to_thread(self.fleet.spawn, index)
+        except Exception:
+            # Spawn itself failed (fork pressure, port exhaustion): back
+            # off further and try again next sweep cycle.
+            attempts = self._attempts.get(index, 1)
+            delay = min(self.backoff_cap, self.backoff_base * (2.0 ** attempts))
+            self._attempts[index] = attempts + 1
+            self._restart_at[index] = time.monotonic() + delay
+            return
+        self.restarts += 1
+        await self.router.mark_up(index)

@@ -2,14 +2,22 @@
 
 from repro.testing.faults import (
     corrupt_file,
+    corrupt_handoff,
+    drop_links,
+    hang_shard,
     interrupt_after_pass,
+    kill_shard,
     newton_failures,
     worker_faults,
 )
 
 __all__ = [
     "corrupt_file",
+    "corrupt_handoff",
+    "drop_links",
+    "hang_shard",
     "interrupt_after_pass",
+    "kill_shard",
     "newton_failures",
     "worker_faults",
 ]

@@ -111,6 +111,66 @@ def corrupt_file(path: str, mode: str = "truncate", seed: int = 0) -> None:
         handle.write(bytes(blob))
 
 
+# -- fleet fault specs (see repro.service.fleet / .router) ------------------
+
+
+def kill_shard(fleet, index: int) -> None:
+    """SIGKILL one shard process: what an OOM kill or segfault looks
+    like.  The supervisor detects the death, the router fails the
+    shard's sessions over on first touch."""
+    fleet.kill(index)
+
+
+@contextmanager
+def hang_shard(fleet, index: int):
+    """SIGSTOP one shard for the duration of the block: the process
+    stays alive to the OS but answers nothing, which must trip the
+    probe-deadline path (not the process-death path).  Resumed on exit
+    so a later supervisor kill, if one happened, finds a stoppable
+    process either way."""
+    fleet.pause(index)
+    try:
+        yield
+    finally:
+        fleet.resume(index)
+
+
+@contextmanager
+def drop_links(router, indices: Iterable[int]):
+    """Simulate a router<->shard network partition: calls on the named
+    shards' links raise ``ShardLinkDown`` without touching the socket,
+    so the shard itself stays healthy (and its warm state survives for
+    the post-partition 404-replay path to find missing)."""
+    indices = list(indices)
+    dropped = []
+    for index in indices:
+        link = router.links.get(index)
+        if link is not None:
+            link.dropped = True
+            dropped.append(link)
+    try:
+        yield
+    finally:
+        for link in dropped:
+            link.dropped = False
+
+
+@contextmanager
+def corrupt_handoff(router, mode: str = "bitflip", times: int = 1):
+    """Arm mid-handoff corruption on the router: the next ``times``
+    encoded failover payloads are damaged in flight (``bitflip`` breaks
+    the checksum, ``truncate`` drops the edit log), forcing the
+    receiving shard's CheckpointError rejection and the router's
+    re-encode retry."""
+    if mode not in ("bitflip", "truncate"):
+        raise ValueError(f"unknown handoff corruption mode {mode!r}")
+    router.handoff_fault = {"mode": mode, "times": times}
+    try:
+        yield
+    finally:
+        router.handoff_fault = None
+
+
 def interrupt_after_pass(passes: int) -> Callable[[int, PassResult], None]:
     """An ``after_pass`` hook that raises :class:`AnalysisInterrupted`
     once ``passes`` passes have completed (and been checkpointed)."""
