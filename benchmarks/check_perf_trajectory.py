@@ -49,14 +49,14 @@ def _pass2_reuse(engine_row: dict) -> float | None:
     return p2["reused_arcs"] / total
 
 
-def _fresh_measurement(scale: float, mode: str, engine: str) -> dict:
+def _fresh_measurement(scale: float, mode: str, engine: str, core: str) -> dict:
     from repro.circuit import s35932_like
     from repro.core.analyzer import CrosstalkSTA
-    from repro.core.modes import AnalysisMode, Engine, StaConfig
+    from repro.core.modes import AnalysisMode, Core, Engine, StaConfig
     from repro.flow import prepare_design
 
     design = prepare_design(s35932_like(scale=scale))
-    config = StaConfig(mode=AnalysisMode(mode), engine=Engine(engine))
+    config = StaConfig(mode=AnalysisMode(mode), engine=Engine(engine), core=Core(core))
     sta = CrosstalkSTA(design, config)
     t0 = time.perf_counter()
     result = sta.run()
@@ -82,6 +82,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--mode", default="iterative")
     parser.add_argument("--engine", default="scalar")
+    parser.add_argument(
+        "--core",
+        default=None,
+        help="propagation core for the fresh run (default: the "
+        "baseline's recorded core, falling back to columnar)",
+    )
     parser.add_argument(
         "--aps-floor",
         type=float,
@@ -113,11 +119,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     scale = baseline.get("scale", 0.05)
+    core = args.core or baseline.get("core", "columnar")
     print(
         f"fresh run: {baseline.get('circuit', 's35932_like')} at scale "
-        f"{scale}, mode={args.mode}, engine={args.engine} ..."
+        f"{scale}, mode={args.mode}, engine={args.engine}, core={core} ..."
     )
-    fresh = _fresh_measurement(scale, args.mode, args.engine)
+    fresh = _fresh_measurement(scale, args.mode, args.engine, core)
 
     committed_aps = committed["arcs_per_second"]
     fresh_aps = fresh["arcs_per_second"]

@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.checkpoint import CheckpointManager
 from repro.core.graph import TimingState
 from repro.core.iterative import IterationRecord, esperance_recalc_cells, run_iterative
-from repro.core.modes import AnalysisMode, SolverTier, StaConfig
+from repro.core.modes import AnalysisMode, Core, SolverTier, StaConfig
 from repro.core.paths import CriticalPath, extract_critical_path
-from repro.core.propagation import PassResult, Propagator
+from repro.core.propagation import ColumnarPropagator, PassResult, Propagator
 from repro.core.provenance import ProvenanceLedger
 from repro.errors import DegradationBudgetError
 from repro.flow.design import Design
@@ -54,6 +54,10 @@ class StaResult:
     # passes of this run; row ids in final_pass.state.arc_prov index into
     # it).  None when config.provenance is off.
     ledger: ProvenanceLedger | None = None
+    # Seconds spent compiling the design into the columnar id arrays,
+    # amortized once per analyzer (0.0 under the object core or when the
+    # compiled design was already cached).
+    compile_seconds: float = 0.0
 
     @property
     def longest_delay_ns(self) -> float:
@@ -103,6 +107,8 @@ class CrosstalkSTA:
         self.keep_propagators = keep_propagators
         self._propagators: dict[StaConfig, Propagator] = {}
         self._warm_sources: dict[StaConfig, Propagator] = {}
+        self._compiled = None
+        self._compile_seconds = 0.0
         if obs is not None:
             self.obs = obs
         else:
@@ -149,13 +155,48 @@ class CrosstalkSTA:
         propagator = self._propagators.get(config)
         if propagator is not None:
             return propagator
-        propagator = Propagator(self.design, config, self.calculator, obs=self.obs)
+        if config.core is Core.COLUMNAR:
+            propagator = ColumnarPropagator(
+                self.design,
+                config,
+                self.calculator,
+                obs=self.obs,
+                compiled=self._compiled_design(),
+            )
+        else:
+            propagator = Propagator(
+                self.design, config, self.calculator, obs=self.obs
+            )
         source = self._warm_sources.get(config)
+        if source is None:
+            # The memo is core-agnostic (export_memo is the exchange
+            # format), so a retained propagator warm-starts an analysis
+            # that differs only in its core layout.
+            for alt in Core:
+                if alt is not config.core:
+                    source = self._warm_sources.get(replace(config, core=alt))
+                    if source is not None:
+                        break
         if source is not None:
             propagator.warm_start_from(source)
         if self.keep_propagators:
             self._propagators[config] = propagator
         return propagator
+
+    def _compiled_design(self):
+        """The design's columnar compilation, built once per analyzer and
+        shared by every columnar propagator (all modes, all configs)."""
+        compiled = self._compiled
+        if compiled is None:
+            from repro.core.columnar import compile_design
+
+            with self.obs.tracer.span(
+                "sta.compile_design", design=self.design.name
+            ):
+                compiled = compile_design(self.design)
+            self._compiled = compiled
+            self._compile_seconds += compiled.compile_seconds
+        return compiled
 
     def _cell_types(self):
         return {cell.ctype.name: cell.ctype for cell in self.design.circuit.cells.values()}.values()
@@ -367,6 +408,7 @@ class CrosstalkSTA:
             telemetry=telemetry,
             degraded_arcs=degraded,
             ledger=propagator.ledger if config.provenance else None,
+            compile_seconds=self._compile_seconds,
         )
         if config.max_degraded is not None and len(degraded) > config.max_degraded:
             raise DegradationBudgetError(

@@ -92,6 +92,23 @@ class SolverTier(Enum):
     SCREENED = "screened"
 
 
+class Core(Enum):
+    """Propagation-core data layout.
+
+    ``OBJECT``: the reference implementation -- per-net/per-arc Python
+    objects gathered each pass.  ``COLUMNAR``: the structure-of-arrays
+    core -- the design is compiled once into dense id arrays
+    (:class:`repro.core.columnar.CompiledDesign`) and each pass reads
+    and writes numpy columns by id.  Both cores share every decision and
+    every float operation, so the exact tier is ``float.hex()``-identical
+    between them in all five modes; ``COLUMNAR`` is strictly a
+    performance feature.
+    """
+
+    OBJECT = "object"
+    COLUMNAR = "columnar"
+
+
 class ClockAggressorModel(Enum):
     """How clock-tree nets behave as aggressors.
 
@@ -217,6 +234,11 @@ class StaConfig:
         are bit-identical with the ledger on or off; disabling merely
         drops the bookkeeping (and with it ``repro explain``'s
         per-stage provenance).
+    core:
+        Propagation-core data layout (see :class:`Core`).  ``COLUMNAR``
+        compiles the design into dense id arrays once per analyzer and
+        runs each pass over numpy columns; ``OBJECT`` keeps the
+        reference per-object core.  Results are bit-identical.
     """
 
     mode: AnalysisMode = AnalysisMode.ITERATIVE
@@ -243,6 +265,7 @@ class StaConfig:
     screen_tolerance: float = 100e-12
     screen_slack_margin: float = 0.15
     provenance: bool = True
+    core: Core = Core.COLUMNAR
 
     def __post_init__(self) -> None:
         if self.window_check is None:
@@ -251,6 +274,8 @@ class StaConfig:
             object.__setattr__(self, "engine", Engine(self.engine))
         if isinstance(self.solver_tier, str):
             object.__setattr__(self, "solver_tier", SolverTier(self.solver_tier))
+        if isinstance(self.core, str):
+            object.__setattr__(self, "core", Core(self.core))
         if self.screen_tolerance <= 0:
             raise InputError("screen_tolerance must be positive")
         if self.screen_slack_margin < 0:

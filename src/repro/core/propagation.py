@@ -50,11 +50,15 @@ agree to floating-point noise.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.circuit.netlist import Cell, Circuit, Pin
 from repro.core.graph import Provenance, TimingState, evaluation_levels
+from repro.core.columnar import DIRECTIONS, DIR_INDEX, compile_design
 from repro.core.modes import (
     AnalysisMode,
     ClockAggressorModel,
@@ -320,6 +324,17 @@ class Propagator:
 
     # -- session reuse -------------------------------------------------------
 
+    def export_memo(self) -> dict[tuple[str, str, str], _ArcMemo]:
+        """The delta-driven pass memo keyed by arc identity -- the
+        exchange format of :meth:`warm_start_from`, shared by both cores
+        (the columnar core materialises it from its memo columns)."""
+        return self._memo
+
+    @property
+    def memo_arcs(self) -> int:
+        """Number of arcs with a live delta-driven memo entry."""
+        return len(self._memo)
+
     def warm_start_from(self, source: "Propagator") -> None:
         """Adopt another propagator's delta-driven pass memo (the what-if
         path of a persistent design session).
@@ -344,7 +359,7 @@ class Propagator:
         loads = self.design.loads
         old_loads = source.design.loads
         adopted: dict[tuple[str, str, str], _ArcMemo] = {}
-        for key, memo in source._memo.items():
+        for key, memo in source.export_memo().items():
             cell = cells.get(key[0])
             old_cell = old_cells.get(key[0])
             if cell is None or old_cell is None:
@@ -1038,7 +1053,7 @@ class Propagator:
             if ledger_row is not None:
                 state.arc_prov[(out_net_name, direction)] = ledger_row
 
-    def _collect_arrivals(self, state: TimingState, result: PassResult) -> None:
+    def _collect_arrivals(self, state, result: PassResult) -> None:
         for endpoint in self.design.circuit.timing_endpoints():
             net = endpoint.net
             if net is None:
@@ -1056,3 +1071,828 @@ class Propagator:
                     result.longest_delay = arrival.t_cross
                     result.critical_endpoint = terminal
                     result.critical_direction = direction
+
+
+class ColumnarPropagator(Propagator):
+    """Column-backed propagation core (see :mod:`repro.core.columnar`).
+
+    Runs the identical pass algorithm over the compiled design's dense
+    id arrays: arrivals are gathered by one fancy-index per level slab,
+    the delta-driven memo fingerprint compare is one vectorized exact
+    equality over the slab, and the per-arc solves resolve pre-quantized
+    canonical keys (:meth:`GateDelayCalculator.resolve_key`) computed by
+    a bulk ceil instead of per-arc :class:`ArcRequest` objects.  Every
+    decision, counter and float operation mirrors :class:`Propagator`
+    line by line, so the exact tier is ``float.hex()``-identical to the
+    object core in all five modes; only the bookkeeping around the
+    numbers changed representation.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        config: StaConfig,
+        calculator: GateDelayCalculator | None = None,
+        obs: Observability | None = None,
+        compiled=None,
+    ):
+        from repro.core.columnar import compile_design
+
+        super().__init__(design, config, calculator, obs)
+        self.compiled = compiled if compiled is not None else compile_design(design)
+        # Both sides derive from evaluation_levels(), so the compiled arc
+        # table's level slabs line up with self.levels by construction.
+        self.levels = self.compiled.levels
+        self.order = self.compiled.cells
+        self._init_columns()
+
+    # -- static columns ------------------------------------------------------
+
+    def _init_columns(self) -> None:
+        cp = self.compiled
+        config = self.config
+        n = cp.n_arcs
+        mode = config.mode
+        wb = mode.is_window_based
+        cf = cp.net_c_fixed[cp.arc_out_net]
+        cc = cp.net_cc_total[cp.arc_out_net]
+        # The plain (decision-free) load of each arc: the grounded load of
+        # the window-based modes' no-neighbour arcs, or the mode's fixed
+        # treatment (_fixed_load) otherwise.
+        if wb or mode is AnalysisMode.BEST_CASE:
+            plain_cg, plain_ca = cf + cc, np.zeros(n)
+        elif mode is AnalysisMode.STATIC_DOUBLED:
+            plain_cg, plain_ca = cf + 2.0 * cc, np.zeros(n)
+        elif mode is AnalysisMode.WORST_CASE:
+            plain_cg, plain_ca = cf.copy(), cc.copy()
+        else:  # pragma: no cover - AnalysisMode is closed
+            raise EngineError(f"mode {mode} has no fixed coupling treatment")
+        self._s_windowed = wb & (cp.arc_n_coup > 0)
+        self._s_plain_cg = plain_cg
+        self._s_plain_ca = plain_ca
+        self._s_plain_coupled = (plain_ca > 0.0).tolist()
+        # Pre-quantized cache-key loads (python floats: the keys are
+        # JSON-serialized by the persistent cache).  The vectorized ceil
+        # is bit-identical to the scalar math.ceil path: the quotients
+        # are small enough that the ceiling integer is exact in float64.
+        grid = self.calculator.cap_grid
+
+        def qcap(values: np.ndarray) -> list[float]:
+            return (np.ceil(np.maximum(values, 0.0) / grid) * grid).tolist()
+
+        self._qp_plain_p = qcap(plain_cg)
+        self._qp_plain_a = qcap(plain_ca)
+        self._qp_best_p = qcap(cf + cc)
+        self._qp_worst_p = qcap(cf)
+        self._qp_worst_a = qcap(cc)
+
+        # Per-arc object/str columns the hot loops index by id.
+        self._s_cell = [cp.cells[i] for i in cp.arc_cell.tolist()]
+        self._s_pin = cp.arc_pin
+        self._s_dir = [DIRECTIONS[i] for i in cp.arc_in_dir.tolist()]
+        self._s_indir = cp.arc_in_dir.tolist()
+        self._s_outd = (1 - cp.arc_in_dir).tolist()
+        self._s_out = cp.arc_out_net.tolist()
+        self._s_outname = [cp.net_names[i] for i in self._s_out]
+        self._s_windowed_l = self._s_windowed.tolist()
+        self._tokens: list[str | None] = [None] * n
+        self._s_cfix = cp.net_c_fixed.tolist()
+        self._coup_indptr = cp.coup_indptr.tolist()
+        self._coup_net = cp.coup_net.tolist()
+        self._coup_cap = cp.coup_cap.tolist()
+        self._net_is_clock = cp.net_is_clock.tolist()
+
+        # Ledger annotation columns.  Unwindowed arcs keep their static
+        # values; the decision phase rewrites windowed entries each pass.
+        plain_kind = _FIXED_COUPLING_KIND.get(mode, "none")
+        self._a_kind = [plain_kind] * n
+        self._s_aggt = cp.arc_n_coup.tolist()
+        self._a_agga = (
+            list(self._s_aggt)
+            if mode is AnalysisMode.WORST_CASE
+            else [0] * n
+        )
+
+        # Memo columns (the _ArcMemo dict of the object core).  Loads are
+        # (c_ground, c_couple_active, c_couple_passive) triples; NaN
+        # encodes "no load" (the windowed quiet short-circuit), which
+        # correctly never compares equal to a real load.
+        self._m_valid = np.zeros(n, dtype=bool)
+        self._m_tt = np.zeros(n, dtype=np.float64)
+        self._m_exact = np.zeros(n, dtype=bool)
+        self._m_coupled = np.zeros(n, dtype=bool)
+        self._m_has_best = np.zeros(n, dtype=bool)
+        self._m_has_worst = np.zeros(n, dtype=bool)
+        self._m_cg = np.full(n, np.nan)
+        self._m_ca = np.full(n, np.nan)
+        self._m_cp = np.full(n, np.nan)
+        self._m_best: list[ArcResult | None] = [None] * n
+        self._m_worst: list[ArcResult | None] = [None] * n
+        self._m_final: list[ArcResult | None] = [None] * n
+        self._m_prov: list[dict | None] = [None] * n
+
+        # Per-level cell records: (cell, out net id, arc slab range, is_ff).
+        self._lvl_cells: list[list[tuple[Cell, int, int, int, bool]]] = []
+        for level in self.levels:
+            records = []
+            for cell in level:
+                ci = cp.cell_id[cell.name]
+                oi = int(cp.cell_out_net[ci])
+                if oi < 0:
+                    continue
+                records.append(
+                    (
+                        cell,
+                        oi,
+                        int(cp.cell_arc_begin[ci]),
+                        int(cp.cell_arc_end[ci]),
+                        bool(cp.cell_is_ff[ci]),
+                    )
+                )
+            self._lvl_cells.append(records)
+
+    def _token(self, a: int) -> str:
+        """The arc's interned stage-signature token, resolved lazily on
+        first use so signature/alias metrics track actual demand exactly
+        like the object core's per-request interning."""
+        token = self._tokens[a]
+        if token is None:
+            token = self.calculator.signature(self._s_cell[a].ctype, self._s_pin[a])
+            self._tokens[a] = token
+        return token
+
+    # -- session reuse -------------------------------------------------------
+
+    @property
+    def memo_arcs(self) -> int:
+        return int(self._m_valid.sum())
+
+    def export_memo(self) -> dict[tuple[str, str, str], _ArcMemo]:
+        out: dict[tuple[str, str, str], _ArcMemo] = {}
+        for a in np.nonzero(self._m_valid)[0].tolist():
+            cg = float(self._m_cg[a])
+            final_load = (
+                None
+                if math.isnan(cg)
+                else CouplingLoad(cg, float(self._m_ca[a]), float(self._m_cp[a]))
+            )
+            out[(self._s_cell[a].name, self._s_pin[a], self._s_dir[a])] = _ArcMemo(
+                arrival_fp=(self._s_dir[a], float(self._m_tt[a])),
+                best=self._m_best[a],
+                worst=self._m_worst[a],
+                final_load=final_load,
+                final=self._m_final[a],
+                coupled=bool(self._m_coupled[a]),
+                exact=bool(self._m_exact[a]),
+                prov=self._m_prov[a],
+            )
+        return out
+
+    def warm_start_from(self, source: "Propagator") -> None:
+        """Adopt another propagator's memo into the memo columns, under
+        the same electrical-identity checks as the object core."""
+        if not self.config.incremental:
+            return
+        cells = self.design.circuit.cells
+        old_cells = source.design.circuit.cells
+        loads = self.design.loads
+        old_loads = source.design.loads
+        index = self.compiled.arc_key_index
+        for key, memo in source.export_memo().items():
+            cell = cells.get(key[0])
+            old_cell = old_cells.get(key[0])
+            if cell is None or old_cell is None:
+                continue
+            if cell.ctype.name != old_cell.ctype.name:
+                continue
+            out_net = cell.output_pin.net
+            old_net = old_cell.output_pin.net
+            if out_net is None or old_net is None:
+                continue
+            if loads.get(out_net.name) != old_loads.get(old_net.name):
+                continue
+            a = index.get(key)
+            if a is None:
+                continue
+            self._m_valid[a] = True
+            self._m_tt[a] = memo.arrival_fp[1]
+            self._m_exact[a] = memo.exact
+            self._m_coupled[a] = memo.coupled
+            self._m_best[a] = memo.best
+            self._m_has_best[a] = memo.best is not None
+            self._m_worst[a] = memo.worst
+            self._m_has_worst[a] = memo.worst is not None
+            self._m_final[a] = memo.final
+            self._m_prov[a] = memo.prov
+            if memo.final_load is None:
+                self._m_cg[a] = self._m_ca[a] = self._m_cp[a] = np.nan
+            else:
+                self._m_cg[a] = memo.final_load.c_ground
+                self._m_ca[a] = memo.final_load.c_couple_active
+                self._m_cp[a] = memo.final_load.c_couple_passive
+
+    # -- pass driver ---------------------------------------------------------
+
+    def run_pass(
+        self,
+        prev_windows=None,
+        recalc_cells: set[str] | None = None,
+        prev_state=None,
+    ) -> PassResult:
+        from repro.core.columnar import (
+            ColumnTimingState,
+            DIR_INDEX,
+            WindowSnapshotView,
+        )
+
+        cp = self.compiled
+        calc = self.calculator
+        config = self.config
+        n = cp.n_arcs
+        state = ColumnTimingState(cp)
+        result = PassResult(state=state)
+        eval_before = calc.evaluations
+        hits_before = calc.cache_hits
+        dedup_before = calc.dedup_hits
+        persisted_before = calc.persisted_hits
+        ledger_before = len(self.ledger)
+        self._pass_count += 1
+        timers = {phase: 0.0 for phase in PASS_PHASES}
+        tracer = self.obs.tracer
+
+        overlap = config.window_check is WindowCheck.OVERLAP
+        incremental = config.incremental
+        prov_on = self._provenance
+        batch = config.engine is Engine.BATCH
+        screened_tier = self._screened
+        mode = config.mode
+        guard = config.guard
+        clock_always = config.clock_model is ClockAggressorModel.ALWAYS
+        k_slew = config.slew_degradation_factor
+        tgrid = calc.transition_grid
+
+        # Previous-state fast paths (same compiled design -> direct id
+        # indexing; anything else falls back to the mapping protocol).
+        col_prev = (
+            prev_state
+            if isinstance(prev_state, ColumnTimingState)
+            and prev_state.compiled is cp
+            else None
+        )
+        win_prev = (
+            prev_windows.state
+            if isinstance(prev_windows, WindowSnapshotView)
+            and prev_windows.state.compiled is cp
+            else None
+        )
+
+        # Slack refinement: arcs whose driver cell is forced exact.
+        in_exact = np.zeros(n, dtype=bool)
+        if self.exact_cells:
+            for name in self.exact_cells:
+                ci = cp.cell_id.get(name)
+                if ci is not None:
+                    in_exact[cp.cell_arc_begin[ci] : cp.cell_arc_end[ci]] = True
+        fx_l = (in_exact if screened_tier else np.zeros(n, dtype=bool)).tolist()
+
+        # Per-pass arc columns.
+        a_live = np.zeros(n, dtype=bool)
+        a_tt = np.zeros(n, dtype=np.float64)
+        a_ts = np.zeros(n, dtype=np.float64)
+        a_prov_dir = cp.arc_in_dir.astype(np.int8)
+        a_eval = np.zeros(n, dtype=bool)
+        a_screened = np.zeros(n, dtype=bool)
+        a_coupled = np.zeros(n, dtype=bool)
+        a_attach = np.zeros(n, dtype=bool)
+        a_flhas = np.zeros(n, dtype=bool)
+        a_flcg = np.zeros(n, dtype=np.float64)
+        a_flca = np.zeros(n, dtype=np.float64)
+        a_flcp = np.zeros(n, dtype=np.float64)
+        a_best: list[ArcResult | None] = [None] * n
+        a_worst: list[ArcResult | None] = [None] * n
+        a_final: list[ArcResult | None] = [None] * n
+        a_prov: list[dict | None] = [None] * n
+        a_key: dict[int, tuple] = {}
+        a_bkey: dict[int, tuple] = {}
+        a_wkey: dict[int, tuple] = {}
+        qtt_l: list[float] = [0.0] * n
+        ts_l: list[float] = [0.0] * n
+
+        with tracer.span(
+            "sta.pass",
+            mode=mode.value,
+            engine=config.engine.value,
+            incremental=recalc_cells is not None,
+        ) as pass_span:
+            self._init_sources(state)
+            for level_index, level in enumerate(self.levels):
+                with tracer.span(
+                    "sta.level", index=level_index, cells=len(level)
+                ) as level_span:
+                    t0 = time.perf_counter()
+                    records = self._lvl_cells[level_index]
+                    lo = int(cp.level_indptr[level_index])
+                    hi = int(cp.level_indptr[level_index + 1])
+                    active_records = []
+                    gate_any = False
+                    for record in records:
+                        cell, oi, b, e, is_ff = record
+                        if (
+                            recalc_cells is not None
+                            and cell.name not in recalc_cells
+                            and prev_state is not None
+                            and (
+                                bool(col_prev.processed_mask[oi])
+                                if col_prev is not None
+                                else self._s_outname[b] in prev_state.processed
+                                if b < e
+                                else cp.net_names[oi] in prev_state.processed
+                            )
+                        ):
+                            state.copy_net_from(prev_state, oi)
+                            continue
+                        state.present[oi] = True
+                        active_records.append(record)
+                        if is_ff:
+                            self._gather_flip_flop(record, state, a_live, a_tt, a_ts, a_prov_dir, ts_l)
+                        elif b < e:
+                            a_live[b:e] = True  # candidate; pruned below
+                            gate_any = True
+                    if gate_any:
+                        idx = np.nonzero(a_live[lo:hi] & ~cp.arc_is_ff[lo:hi])[0] + lo
+                        innet = cp.arc_in_net[idx]
+                        indir = cp.arc_in_dir[idx]
+                        ok = state.valid[indir, innet]
+                        a_live[idx[~ok]] = False
+                        live_idx = idx[ok]
+                        innet = innet[ok]
+                        indir = indir[ok]
+                        tc = state.ev_tc[indir, innet]
+                        tr = state.ev_tr[indir, innet]
+                        el = cp.arc_elmore[live_idx]
+                        shift = el > 0.0
+                        tc = np.where(shift, tc + el, tc)
+                        tr = np.where(shift, tr + k_slew * el, tr)
+                        a_tt[live_idx] = tr
+                        ts = tc - 0.5 * tr
+                        a_ts[live_idx] = ts
+                        for a, value in zip(live_idx.tolist(), ts.tolist()):
+                            ts_l[a] = value
+                    computed_cells: list[Cell] = []
+                    tasks_of_ranges: dict[str, tuple[int, int]] = {}
+                    for cell, oi, b, e, is_ff in active_records:
+                        if is_ff or bool(a_live[b:e].any()):
+                            computed_cells.append(cell)
+                            tasks_of_ranges[cell.name] = (b, e)
+                        else:
+                            # No launch events reach this cell: its output
+                            # stays quiet this pass.
+                            state.processed_mask[oi] = True
+                    timers["gather"] += time.perf_counter() - t0
+
+                    live_slab = a_live[lo:hi]
+                    n_live = int(live_slab.sum())
+                    if n_live == 0:
+                        continue
+
+                    t0 = time.perf_counter()
+                    with tracer.span("phase.base_waveforms", tasks=n_live):
+                        result.arcs_processed += n_live
+                        sl = slice(lo, hi)
+                        qtt = (
+                            np.ceil(np.maximum(a_tt[sl], 1e-13) / tgrid) * tgrid
+                        )
+                        qtt_l[lo:hi] = qtt.tolist()
+                        if incremental:
+                            attach = (
+                                live_slab
+                                & self._m_valid[sl]
+                                & (self._m_tt[sl] == a_tt[sl])
+                                & (self._m_exact[sl] | ~in_exact[sl])
+                            )
+                            a_attach[sl] = attach
+                        else:
+                            attach = np.zeros(hi - lo, dtype=bool)
+                        windowed = self._s_windowed[sl]
+                        uw = live_slab & ~windowed
+                        reuse_uw = (
+                            attach
+                            & uw
+                            & (self._m_cg[sl] == self._s_plain_cg[sl])
+                            & (self._m_ca[sl] == self._s_plain_ca[sl])
+                            & (self._m_cp[sl] == 0.0)
+                        )
+                        idx = np.nonzero(reuse_uw)[0] + lo
+                        a_coupled[idx] = self._m_coupled[idx]
+                        a_screened[idx] |= ~self._m_exact[idx]
+                        for a in idx.tolist():
+                            a_final[a] = self._m_final[a]
+                            if prov_on:
+                                a_prov[a] = _memo_dict_prov(self._m_prov[a])
+                        w = live_slab & windowed
+                        reuse_w = attach & w & self._m_has_best[sl]
+                        if overlap:
+                            reuse_w &= self._m_has_worst[sl]
+                        idx = np.nonzero(reuse_w)[0] + lo
+                        a_screened[idx] |= ~self._m_exact[idx]
+                        for a in idx.tolist():
+                            a_best[a] = self._m_best[a]
+                            a_worst[a] = self._m_worst[a]
+                            if prov_on:
+                                # Tentative: overwritten if the coupling
+                                # decision forces a fresh final solve.
+                                a_prov[a] = _memo_dict_prov(self._m_prov[a])
+                        miss = np.nonzero(
+                            (uw & ~reuse_uw) | (w & ~reuse_w)
+                        )[0] + lo
+                        miss_l = miss.tolist()
+                        if miss_l:
+                            entries = []
+                            for a in miss_l:
+                                token = self._token(a)
+                                fxa = fx_l[a]
+                                if self._s_windowed_l[a]:
+                                    key = (
+                                        token,
+                                        self._s_dir[a],
+                                        qtt_l[a],
+                                        self._qp_best_p[a],
+                                        0.0,
+                                        False,
+                                    )
+                                    a_bkey[a] = key
+                                    entries.append((key, fxa))
+                                    if overlap:
+                                        key = (
+                                            token,
+                                            self._s_dir[a],
+                                            qtt_l[a],
+                                            self._qp_worst_p[a],
+                                            self._qp_worst_a[a],
+                                            False,
+                                        )
+                                        a_wkey[a] = key
+                                        entries.append((key, fxa))
+                                else:
+                                    key = (
+                                        token,
+                                        self._s_dir[a],
+                                        qtt_l[a],
+                                        self._qp_plain_p[a],
+                                        self._qp_plain_a[a],
+                                        False,
+                                    )
+                                    a_key[a] = key
+                                    entries.append((key, fxa))
+                            if batch:
+                                calc.prime_keys(entries)
+                            for a in miss_l:
+                                fxa = fx_l[a]
+                                if self._s_windowed_l[a]:
+                                    result.waveform_evaluations += 1
+                                    a_eval[a] = True
+                                    rel = calc.resolve_key(a_bkey[a], fxa)
+                                    if screened_tier and calc.last_tier != "newton":
+                                        a_screened[a] = True
+                                    a_best[a] = rel
+                                    if prov_on:
+                                        a_prov[a] = self._last_prov()
+                                    if overlap:
+                                        result.waveform_evaluations += 1
+                                        rel = calc.resolve_key(a_wkey[a], fxa)
+                                        if (
+                                            screened_tier
+                                            and calc.last_tier != "newton"
+                                        ):
+                                            a_screened[a] = True
+                                        a_worst[a] = rel
+                                else:
+                                    result.waveform_evaluations += 1
+                                    a_eval[a] = True
+                                    rel = calc.resolve_key(a_key[a], fxa)
+                                    if screened_tier and calc.last_tier != "newton":
+                                        a_screened[a] = True
+                                    a_final[a] = rel
+                                    a_coupled[a] = self._s_plain_coupled[a]
+                                    if prov_on:
+                                        a_prov[a] = self._last_prov()
+                    timers["base_waveforms"] += time.perf_counter() - t0
+
+                    waves = self._coupling_waves(computed_cells)
+                    self._c_waves.inc(len(waves))
+                    self._h_waves.observe(len(waves))
+                    level_span.set(tasks=n_live, waves=len(waves))
+                    for wave_index, wave in enumerate(waves):
+                        wave_arcs = [
+                            a
+                            for cell in wave
+                            for a in range(*tasks_of_ranges[cell.name])
+                            if a_live[a]
+                        ]
+                        t0 = time.perf_counter()
+                        with tracer.span(
+                            "phase.coupling_decisions",
+                            wave=wave_index,
+                            tasks=len(wave_arcs),
+                        ):
+                            for a in wave_arcs:
+                                if not self._s_windowed_l[a]:
+                                    continue
+                                best = a_best[a]
+                                ts = ts_l[a]
+                                tb_g = (ts + best.t_early) - guard
+                                worst = a_worst[a]
+                                tvl_g = (
+                                    (ts + worst.t_late) + guard
+                                    if worst is not None
+                                    else float("inf")
+                                )
+                                agg_d = self._s_indir[a]
+                                out = self._s_out[a]
+                                c_lo = self._coup_indptr[out]
+                                c_hi = self._coup_indptr[out + 1]
+                                active_sum = 0.0
+                                passive_sum = 0.0
+                                n_active = 0
+                                for j in range(c_lo, c_hi):
+                                    other = self._coup_net[j]
+                                    cap = self._coup_cap[j]
+                                    if other >= 0 and (
+                                        clock_always and self._net_is_clock[other]
+                                    ):
+                                        te, tq = float("-inf"), float("inf")
+                                    elif other >= 0 and state.processed_mask[other]:
+                                        if state.valid[agg_d, other]:
+                                            te = state.ev_te[agg_d, other]
+                                            tq = state.ev_tl[agg_d, other]
+                                        else:
+                                            te, tq = float("inf"), float("-inf")
+                                    elif win_prev is not None:
+                                        if (
+                                            other >= 0
+                                            and win_prev.present[other]
+                                            and win_prev.valid[agg_d, other]
+                                        ):
+                                            te = win_prev.ev_te[agg_d, other]
+                                            tq = win_prev.ev_tl[agg_d, other]
+                                        else:
+                                            te, tq = float("inf"), float("-inf")
+                                    elif prev_windows is not None:
+                                        te, tq = prev_windows.get(
+                                            (
+                                                cp.coup_name[j],
+                                                DIRECTIONS[agg_d],
+                                            ),
+                                            (float("inf"), float("-inf")),
+                                        )
+                                    else:
+                                        te, tq = float("-inf"), float("inf")
+                                    may_couple = tq > tb_g
+                                    if may_couple and te >= tvl_g:
+                                        may_couple = False
+                                    if may_couple:
+                                        active_sum += cap
+                                        n_active += 1
+                                    else:
+                                        passive_sum += cap
+                                self._a_kind[a] = "overlap" if n_active else "quiet"
+                                self._a_agga[a] = n_active
+                                if n_active:
+                                    a_flhas[a] = True
+                                    a_flcg[a] = self._s_cfix[out]
+                                    a_flca[a] = active_sum
+                                    a_flcp[a] = passive_sum
+                                else:
+                                    a_final[a] = best
+                                    a_coupled[a] = False
+                        timers["coupling_decisions"] += time.perf_counter() - t0
+
+                        t0 = time.perf_counter()
+                        with tracer.span("phase.final_waveforms", wave=wave_index):
+                            pending: list[int] = []
+                            for a in wave_arcs:
+                                if not a_flhas[a]:
+                                    continue
+                                result.coupled_arcs += 1
+                                if (
+                                    a_attach[a]
+                                    and self._m_cg[a] == a_flcg[a]
+                                    and self._m_ca[a] == a_flca[a]
+                                    and self._m_cp[a] == a_flcp[a]
+                                ):
+                                    a_final[a] = self._m_final[a]
+                                    a_coupled[a] = True
+                                    if not self._m_exact[a]:
+                                        a_screened[a] = True
+                                    if prov_on:
+                                        a_prov[a] = _memo_dict_prov(self._m_prov[a])
+                                    continue
+                                pending.append(a)
+                            if pending:
+                                entries = []
+                                for a in pending:
+                                    key = (
+                                        self._token(a),
+                                        self._s_dir[a],
+                                        qtt_l[a],
+                                        calc._q_cap(a_flcg[a] + a_flcp[a]),
+                                        calc._q_cap(a_flca[a]),
+                                        False,
+                                    )
+                                    a_key[a] = key
+                                    entries.append((key, fx_l[a]))
+                                if batch:
+                                    calc.prime_keys(entries)
+                                for a in pending:
+                                    result.waveform_evaluations += 1
+                                    a_eval[a] = True
+                                    rel = calc.resolve_key(a_key[a], fx_l[a])
+                                    if screened_tier and calc.last_tier != "newton":
+                                        a_screened[a] = True
+                                    a_final[a] = rel
+                                    a_coupled[a] = True
+                                    if prov_on:
+                                        a_prov[a] = self._last_prov()
+                        timers["final_waveforms"] += time.perf_counter() - t0
+
+                        t0 = time.perf_counter()
+                        for a in wave_arcs:
+                            rel = a_final[a]
+                            if prov_on:
+                                prov = a_prov[a] or {}
+                                if self._s_windowed_l[a]:
+                                    if (
+                                        a_coupled[a]
+                                        and a_best[a] is not None
+                                        and rel is not None
+                                    ):
+                                        delta = rel.t_cross - a_best[a].t_cross
+                                    else:
+                                        delta = 0.0
+                                elif mode is AnalysisMode.BEST_CASE:
+                                    delta = 0.0
+                                else:
+                                    delta = None
+                                row = self.ledger.append(
+                                    tier=prov.get("tier", "newton"),
+                                    origin=prov.get("origin", "fresh"),
+                                    escalation=prov.get("escalation"),
+                                    signature=prov.get("signature", ""),
+                                    coupling=self._a_kind[a],
+                                    aggressors_total=self._s_aggt[a],
+                                    aggressors_active=self._a_agga[a],
+                                    pass_index=self._pass_count,
+                                    coupling_delta=delta,
+                                )
+                            else:
+                                row = None
+                            ts = ts_l[a]
+                            tc = ts + rel.t_cross
+                            tr = rel.transition
+                            te = ts + rel.t_early
+                            tl = ts + rel.t_late
+                            d = self._s_outd[a]
+                            out = self._s_out[a]
+                            if state.valid[d, out]:
+                                cur_tc = state.ev_tc[d, out]
+                                winner = tc > cur_tc
+                                # Pointwise-worst merge (merge_worst):
+                                # each component keeps the current value
+                                # on ties, like python max/min.
+                                if not cur_tc >= tc:
+                                    state.ev_tc[d, out] = tc
+                                if not state.ev_tr[d, out] >= tr:
+                                    state.ev_tr[d, out] = tr
+                                if not state.ev_te[d, out] <= te:
+                                    state.ev_te[d, out] = te
+                                if not state.ev_tl[d, out] >= tl:
+                                    state.ev_tl[d, out] = tl
+                                state._ev_cache.pop((d, out), None)
+                            else:
+                                state.valid[d, out] = True
+                                state.ev_tc[d, out] = tc
+                                state.ev_tr[d, out] = tr
+                                state.ev_te[d, out] = te
+                                state.ev_tl[d, out] = tl
+                                winner = True
+                            if winner:
+                                state.win_arc[d, out] = a
+                                state.win_coupled[d, out] = a_coupled[a]
+                                state.win_prov_dir[d, out] = a_prov_dir[a]
+                                if row is not None:
+                                    state.aprov_row[d, out] = row
+                                if state.prov_overrides:
+                                    state.prov_overrides.pop(
+                                        (self._s_outname[a], DIRECTIONS[d]), None
+                                    )
+                            if a_eval[a]:
+                                result.dirty_arcs += 1
+                            else:
+                                result.reused_arcs += 1
+                            if incremental:
+                                self._m_valid[a] = True
+                                self._m_tt[a] = a_tt[a]
+                                self._m_exact[a] = not a_screened[a]
+                                self._m_coupled[a] = a_coupled[a]
+                                best = a_best[a]
+                                self._m_best[a] = best
+                                self._m_has_best[a] = best is not None
+                                worst = a_worst[a]
+                                self._m_worst[a] = worst
+                                self._m_has_worst[a] = worst is not None
+                                self._m_final[a] = rel
+                                self._m_prov[a] = a_prov[a]
+                                if a_flhas[a]:
+                                    self._m_cg[a] = a_flcg[a]
+                                    self._m_ca[a] = a_flca[a]
+                                    self._m_cp[a] = a_flcp[a]
+                                elif not self._s_windowed_l[a]:
+                                    self._m_cg[a] = self._s_plain_cg[a]
+                                    self._m_ca[a] = self._s_plain_ca[a]
+                                    self._m_cp[a] = 0.0
+                                else:
+                                    self._m_cg[a] = np.nan
+                                    self._m_ca[a] = np.nan
+                                    self._m_cp[a] = np.nan
+                        # Wave barrier: these events now count as calculated
+                        # for the later waves' and levels' decisions.
+                        for cell in wave:
+                            state.processed_mask[
+                                cp.net_id[cell.output_pin.net.name]
+                            ] = True
+                        timers["merge"] += time.perf_counter() - t0
+
+            self._collect_arrivals(state, result)
+            pass_span.set(
+                arcs=result.arcs_processed,
+                evaluations=result.waveform_evaluations,
+                coupled_arcs=result.coupled_arcs,
+                longest_delay_ns=result.longest_delay * 1e9,
+            )
+
+        result.cache_evaluations = calc.evaluations - eval_before
+        result.cache_hits = calc.cache_hits - hits_before
+        result.cache_dedup_hits = calc.dedup_hits - dedup_before
+        result.cache_persisted_hits = calc.persisted_hits - persisted_before
+        result.provenance_rows = len(self.ledger) - ledger_before
+        result.phase_seconds = timers
+        self._c_passes.inc()
+        self._c_arcs.inc(result.arcs_processed)
+        self._c_evals.inc(result.waveform_evaluations)
+        self._c_coupled.inc(result.coupled_arcs)
+        self._c_dirty.inc(result.dirty_arcs)
+        self._c_reused.inc(result.reused_arcs)
+        for phase, seconds in timers.items():
+            self._c_phase[phase].inc(seconds)
+        return result
+
+    def _gather_flip_flop(
+        self, record, state, a_live, a_tt, a_ts, a_prov_dir, ts_l
+    ) -> None:
+        """Launch both Q transitions off the clock arrival (the columnar
+        equivalent of :meth:`_flip_flop_tasks`)."""
+        from repro.core.columnar import DIR_INDEX
+
+        cell, oi, b, e, _ = record
+        cp = self.compiled
+        process = self.design.process
+        ci = cp.cell_id[cell.name]
+        clk_net_id = int(cp.cell_clk_net[ci])
+        clk_event = None
+        if clk_net_id >= 0:
+            clk_name = cp.net_names[clk_net_id]
+            clk_event = state.event(clk_name, RISING) or state.event(
+                clk_name, FALLING
+            )
+        if clk_event is not None and clk_net_id >= 0:
+            clk_arrival = self._arrival_at_pin(
+                clk_event, clk_name, cp.cell_clk_terminal[ci]
+            )
+        else:
+            clk_arrival = ideal_ramp_event(
+                RISING,
+                0.0,
+                self.config.input_transition,
+                process.vdd,
+                process.v_th_model,
+            )
+        launch_cross = clk_arrival.t_cross + cell.ctype.clk_to_q
+        tt = clk_arrival.transition
+        # The internal arrival is an ideal ramp starting at
+        # launch_cross - tt/2; its t_start round-trips through t_cross
+        # exactly as the object core's _ArcTask.t_start does.
+        ts = ((launch_cross - 0.5 * tt) + 0.5 * tt) - 0.5 * tt
+        a_live[b:e] = True
+        a_tt[b:e] = tt
+        a_ts[b:e] = ts
+        a_prov_dir[b:e] = DIR_INDEX[clk_arrival.direction]
+        for a in range(b, e):
+            ts_l[a] = ts
+
+
+def _memo_dict_prov(prov: dict | None) -> dict | None:
+    """Columnar counterpart of :func:`_memo_prov` (raw prov dict in,
+    memo-origin prov dict out)."""
+    if prov is None:
+        return None
+    return {**prov, "origin": "memo"}

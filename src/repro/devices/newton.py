@@ -153,34 +153,49 @@ def solve_newton_many(
     max_step = 0.5 * (hi - lo) if bounded else None
 
     f, df = func(x)
+    # Scratch buffers reused across iterations: lanes outside ``active``
+    # may hold stale values, but every read below is masked by ``active``
+    # (or a subset of it), so stale lanes never reach a result.
+    step = np.zeros_like(x)
+    x_new = np.empty_like(x)
+    active = np.empty(n, dtype=bool)
+    flat = np.empty(n, dtype=bool)
+    conv_now = np.empty(n, dtype=bool)
+    advance = np.empty(n, dtype=bool)
     for iteration in range(1, max_iter + 1):
-        active = ~(converged | needs_fallback)
+        np.logical_or(converged, needs_fallback, out=active)
+        np.logical_not(active, out=active)
         if not active.any():
             break
-        flat = active & (df == 0.0)
+        np.equal(df, 0.0, out=flat)
+        flat &= active
         if flat.any():
             needs_fallback |= flat
             active &= ~flat
             if not active.any():
                 break
-        step = np.zeros_like(x)
         np.divide(f, df, out=step, where=active)
         if max_step is not None:
-            np.clip(step, -max_step, max_step, out=step)
-        x_new = x - step
+            np.maximum(step, -max_step, out=step)
+            np.minimum(step, max_step, out=step)
+        np.subtract(x, step, out=x_new)
         if lo is not None:
             np.maximum(x_new, lo, out=x_new)
         if hi is not None:
             np.minimum(x_new, hi, out=x_new)
-        conv_now = active & (np.abs(x_new - x) <= tol)
+        np.subtract(x_new, x, out=step)
+        np.abs(step, out=step)
+        np.less_equal(step, tol, out=conv_now)
+        conv_now &= active
         if conv_now.any():
             roots[conv_now] = x_new[conv_now]
             iterations[conv_now] = iteration
             converged |= conv_now
-        advance = active & ~conv_now
+        np.logical_not(conv_now, out=advance)
+        advance &= active
         if not advance.any():
             continue
-        x = np.where(advance, x_new, x)
+        np.copyto(x, x_new, where=advance)
         f, df = func(x)
 
     pending = ~converged

@@ -42,8 +42,15 @@ def _cell_locate(f, n: int):
     reference solver.
     """
     if isinstance(f, np.ndarray):
-        i = np.clip(f.astype(int), 0, n - 2)
-        t = np.clip(f - i, 0.0, 1.0)
+        # Explicit maximum/minimum rather than np.clip: same arithmetic
+        # (clip is minimum(maximum(f, lo), hi)), none of the wrapper
+        # overhead -- this sits under every batched Newton iteration.
+        i = f.astype(int)
+        np.maximum(i, 0, out=i)
+        np.minimum(i, n - 2, out=i)
+        t = f - i
+        np.maximum(t, 0.0, out=t)
+        np.minimum(t, 1.0, out=t)
         return i, t
     i = int(f)
     if i < 0:
@@ -188,6 +195,7 @@ class GridBank:
         self._nx = base._nx
         self._ny = base._ny
         self.values = np.stack([grid.values for grid in grids])
+        self._flat = self.values.reshape(-1)
 
     def __len__(self) -> int:
         return self.values.shape[0]
@@ -197,12 +205,13 @@ class GridBank:
         ``k[i]`` at ``(x[i], y[i])``."""
         ix, tx = _cell_locate((np.asarray(x, float) - self._x0) / self._dx, self._nx)
         iy, ty = _cell_locate((np.asarray(y, float) - self._y0) / self._dy, self._ny)
-        v = self.values
+        base = (k * self._nx + ix) * self._ny + iy
+        flat = self.values.reshape(-1)
         return (
-            v[k, ix, iy] * (1.0 - tx) * (1.0 - ty)
-            + v[k, ix + 1, iy] * tx * (1.0 - ty)
-            + v[k, ix, iy + 1] * (1.0 - tx) * ty
-            + v[k, ix + 1, iy + 1] * tx * ty
+            flat[base] * (1.0 - tx) * (1.0 - ty)
+            + flat[base + self._ny] * tx * (1.0 - ty)
+            + flat[base + 1] * (1.0 - tx) * ty
+            + flat[base + self._ny + 1] * tx * ty
         )
 
     def gradient_many(
@@ -210,18 +219,52 @@ class GridBank:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-element value and d/dy, matching
         :meth:`_BilinearGrid.lookup_with_dy` arithmetic exactly."""
+        return self.gradient_many_prepared(*self.prepare_x(k, x), y)
+
+    def prepare_x(
+        self, k: np.ndarray, x: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Precompute the x-side of :meth:`gradient_many` for a fixed
+        ``(k, x)`` batch: the flattened row offset plus the x-cell
+        fraction and its complement.  Within one Newton solve only ``y``
+        changes, so the stage solver hoists this out of the residual and
+        pays the x-side locate once per time step instead of once per
+        function evaluation."""
         ix, tx = _cell_locate((np.asarray(x, float) - self._x0) / self._dx, self._nx)
+        row = (k * self._nx + ix) * self._ny
+        return row, tx, 1.0 - tx
+
+    def gradient_many_prepared(
+        self,
+        row: np.ndarray,
+        tx: np.ndarray,
+        one_m_tx: np.ndarray,
+        y: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`gradient_many` with the x-side prepared by
+        :meth:`prepare_x`.  Every float operation keeps the reference
+        evaluation order (``v00*(1-tx) + v10*tx`` etc.), so the results
+        are bit-identical; the in-place updates only touch the freshly
+        gathered corner arrays."""
         iy, ty = _cell_locate((np.asarray(y, float) - self._y0) / self._dy, self._ny)
-        v = self.values
-        v00 = v[k, ix, iy]
-        v10 = v[k, ix + 1, iy]
-        v01 = v[k, ix, iy + 1]
-        v11 = v[k, ix + 1, iy + 1]
-        lo = v00 * (1.0 - tx) + v10 * tx
-        hi = v01 * (1.0 - tx) + v11 * tx
-        value = lo * (1.0 - ty) + hi * ty
-        dvalue_dy = (hi - lo) / self._dy
-        return value, dvalue_dy
+        # One flat gather per corner instead of four multi-axis fancy
+        # indexes; the elements read are identical.
+        base = row + iy
+        flat = self._flat
+        v00 = flat[base]
+        v10 = flat[base + self._ny]
+        v01 = flat[base + 1]
+        v11 = flat[base + self._ny + 1]
+        np.multiply(v00, one_m_tx, out=v00)
+        v00 += np.multiply(v10, tx, out=v10)  # lo = v00*(1-tx) + v10*tx
+        np.multiply(v01, one_m_tx, out=v01)
+        v01 += np.multiply(v11, tx, out=v11)  # hi = v01*(1-tx) + v11*tx
+        dvalue_dy = np.subtract(v01, v00)
+        dvalue_dy /= self._dy  # (hi - lo) / dy
+        one_m_ty = 1.0 - ty
+        np.multiply(v00, one_m_ty, out=v00)
+        v00 += np.multiply(v01, ty, out=v01)  # value = lo*(1-ty) + hi*ty
+        return v00, dvalue_dy
 
 
 class DeviceTable:

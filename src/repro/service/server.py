@@ -282,7 +282,7 @@ class TimingService:
                 ledger_rows: dict[str, int] = {}
                 for cfg, propagator in session.sta._propagators.items():
                     mode = cfg.mode.value
-                    memo[mode] = memo.get(mode, 0) + len(propagator._memo)
+                    memo[mode] = memo.get(mode, 0) + propagator.memo_arcs
                     ledger_rows[mode] = ledger_rows.get(mode, 0) + len(
                         propagator.ledger
                     )

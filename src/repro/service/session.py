@@ -33,7 +33,7 @@ from repro.circuit import resolve_circuit
 from repro.core.analyzer import CrosstalkSTA, StaResult
 from repro.core.explain import explain_result, validate_explain
 from repro.core.export import path_to_dict
-from repro.core.modes import AnalysisMode, Engine, SolverTier, StaConfig, WindowCheck
+from repro.core.modes import AnalysisMode, Core, Engine, SolverTier, StaConfig, WindowCheck
 from repro.core.netreport import exposure_to_dict, rank_crosstalk_nets
 from repro.errors import InputError
 from repro.flow import prepare_design
@@ -49,6 +49,7 @@ _CONFIG_OVERRIDES = {
     "mode": lambda v: AnalysisMode(v),
     "window_check": lambda v: WindowCheck(v),
     "engine": lambda v: Engine(v),
+    "core": lambda v: Core(v),
     "workers": int,
     "esperance": bool,
     "esperance_slack": float,

@@ -29,7 +29,7 @@ from repro.devices.params import ProcessParams, default_process
 from repro.devices.tables import GridBank, StageTable
 from repro.obs.metrics import NEWTON_ITER_BUCKETS, MetricsRegistry
 from repro.waveform.coupling import CouplingLoad
-from repro.waveform.pwl import RISING, Waveform, opposite
+from repro.waveform.pwl import FALLING, RISING, Waveform, opposite
 from repro.waveform import stage as stage_defaults
 from repro.waveform.stage import (
     StageResult,
@@ -37,6 +37,65 @@ from repro.waveform.stage import (
     _monotone_clean,
     measure_stage_waveform,
 )
+
+
+@dataclass
+class CompactStageResults:
+    """Marker-only results of a batched solve (no waveform objects).
+
+    Column ``i`` holds the same measurements ``solve_many``'s
+    :class:`StageResult` ``i`` would carry; the waveform itself is never
+    materialised, which is what makes the columnar analysis core's solve
+    path cheap.  ``directions`` uses the shared RISING/FALLING strings.
+    """
+
+    directions: list[str]
+    t_cross: np.ndarray
+    transition: np.ndarray
+    t_early: np.ndarray
+    t_late: np.ndarray
+    coupled: np.ndarray
+    t_drop: np.ndarray
+    newton_iterations: np.ndarray
+    newton_bisections: np.ndarray
+
+    def __len__(self) -> int:
+        return self.t_cross.size
+
+
+@dataclass
+class _BatchSetup:
+    """Per-element integration inputs (the columns the lockstep loop reads)."""
+
+    k: np.ndarray
+    in_rising: np.ndarray
+    out_rising: np.ndarray
+    t_start: np.ndarray
+    tt: np.ndarray
+    c_total: np.ndarray
+    v_from: np.ndarray
+    v_to: np.ndarray
+    dt: np.ndarray
+    trigger: np.ndarray
+    restart: np.ndarray
+    has_trigger: np.ndarray
+    out_directions: list[str]
+
+
+@dataclass
+class _BatchTrace:
+    """Everything the lockstep integration recorded, pre-measurement."""
+
+    times_mat: np.ndarray
+    values_mat: np.ndarray
+    mask_mat: np.ndarray
+    reset_snap: np.ndarray
+    start_t: np.ndarray
+    start_v: np.ndarray
+    fired: np.ndarray
+    t_drop: np.ndarray
+    newton_total: np.ndarray
+    bisect_total: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -89,25 +148,72 @@ class BatchStageSolver:
         else:
             self._h_newton = None
             self._c_bisect = None
+        self._drive_cache: dict[tuple[int, str], float] = {}
+        self._drive_keepalive: list[StageTable] = []
 
     # -- drive-strength estimate (same formula as the scalar solver) -------
 
     def _drive_current(self, table: StageTable, out_direction: str) -> float:
-        vdd = self.process.vdd
-        if out_direction == RISING:
-            current = table.current(0.0, 0.5 * vdd)
-        else:
-            current = -table.current(vdd, 0.5 * vdd)
-        return max(abs(current), 1e-9)
+        # Pure in (table, direction): memoized, the scalar table lookups
+        # otherwise dominate batch setup.
+        key = (id(table), out_direction)
+        cached = self._drive_cache.get(key)
+        if cached is None:
+            vdd = self.process.vdd
+            if out_direction == RISING:
+                current = table.current(0.0, 0.5 * vdd)
+            else:
+                current = -table.current(vdd, 0.5 * vdd)
+            cached = max(abs(current), 1e-9)
+            self._drive_cache[key] = cached
+            # Keep the table alive so its id() cannot be recycled.
+            self._drive_keepalive.append(table)
+        return cached
 
     def solve_many(self, specs: list[BatchArcSpec]) -> list[StageResult]:
         """Solve all specs and return per-spec :class:`StageResult`."""
         if not specs:
             return []
+        setup = self._setup(specs)
+        trace = self._integrate(setup)
+        results = self._measure_objects(setup, trace)
+        self._observe(trace)
+        return results
+
+    def solve_many_compact(self, specs: list[BatchArcSpec]) -> CompactStageResults:
+        """Solve all specs and return marker columns only.
+
+        Integration is shared line for line with :meth:`solve_many`; the
+        measurement runs vectorized over the recorded sample matrices and
+        is bit-identical to :func:`measure_stage_waveform` applied per
+        element (the equivalence tests pin this).  Elements whose
+        waveform never reaches a threshold fall back to the per-element
+        path so they raise the identical error.
+        """
+        if not specs:
+            empty_f = np.empty(0)
+            empty_i = np.empty(0, dtype=int)
+            return CompactStageResults(
+                [], empty_f, empty_f.copy(), empty_f.copy(), empty_f.copy(),
+                np.empty(0, dtype=bool), empty_f.copy(), empty_i, empty_i.copy(),
+            )
+        setup = self._setup(specs)
+        trace = self._integrate(setup)
+        results = self._measure_compact(setup, trace)
+        self._observe(trace)
+        return results
+
+    def _observe(self, trace: _BatchTrace) -> None:
+        if self._h_newton is not None:
+            self._h_newton.observe_many(trace.newton_total.tolist())
+            fallbacks = int(trace.bisect_total.sum())
+            if fallbacks:
+                self._c_bisect.inc(fallbacks)
+
+    def _setup(self, specs: list[BatchArcSpec]) -> _BatchSetup:
         process = self.process
         vdd = process.vdd
         settle_band = self.settle_fraction * vdd
-        max_steps = 2 * self.steps_per_phase
         n = len(specs)
 
         # -- per-element setup (cheap python loop) -------------------------
@@ -168,6 +274,41 @@ class BatchStageSolver:
             else:
                 restart[i] = load.restart_voltage(out_direction, process)
 
+        return _BatchSetup(
+            k=k,
+            in_rising=in_rising,
+            out_rising=out_rising,
+            t_start=t_start,
+            tt=tt,
+            c_total=c_total,
+            v_from=v_from,
+            v_to=v_to,
+            dt=dt,
+            trigger=trigger,
+            restart=restart,
+            has_trigger=has_trigger,
+            out_directions=out_directions,
+        )
+
+    def _integrate(self, setup: _BatchSetup) -> _BatchTrace:
+        process = self.process
+        vdd = process.vdd
+        settle_band = self.settle_fraction * vdd
+        max_steps = 2 * self.steps_per_phase
+        n = setup.k.size
+        k = setup.k
+        in_rising = setup.in_rising
+        out_rising = setup.out_rising
+        t_start = setup.t_start
+        tt = setup.tt
+        c_total = setup.c_total
+        v_from = setup.v_from
+        v_to = setup.v_to
+        dt = setup.dt.copy()
+        trigger = setup.trigger
+        restart = setup.restart
+        has_trigger = setup.has_trigger
+
         # -- lockstep state ------------------------------------------------
         t = t_start.copy()
         v = v_from.copy()
@@ -190,6 +331,13 @@ class BatchStageSolver:
         rec_m: list[np.ndarray] = []
 
         lo, hi = -0.4, vdd + 0.4
+        # Per-step gather cache: the fancy-index pulls of the static
+        # per-element columns (dt, tt, t_start, ...) are only recomputed
+        # when the integrating set changes (an element settles, fires, or
+        # enters an extension).  Membership equality is the sole
+        # invalidation test: ``dt`` only mutates for ``over`` lanes, and
+        # those are excluded from ``integ`` on the same iteration.
+        cache_mask: np.ndarray | None = None
         while not done.all():
             active = ~done
             step[active] += 1
@@ -213,24 +361,46 @@ class BatchStageSolver:
             integ = active & ~over
             advanced = np.zeros(n, dtype=bool)
             if integ.any():
-                idx = np.nonzero(integ)[0]
-                dt_i = dt[idx]
+                if cache_mask is None or not np.array_equal(integ, cache_mask):
+                    cache_mask = integ.copy()
+                    idx = np.nonzero(integ)[0]
+                    dt_i = dt[idx]
+                    tt_i = tt[idx]
+                    t_start_i = t_start[idx]
+                    tt_pos = tt_i > 0.0
+                    tt_safe = np.where(tt_pos, tt_i, 1.0)
+                    in_rising_i = in_rising[idx]
+                    coeff = dt_i / c_total[idx]
+                    k_i = k[idx]
+                    trig_i = trigger[idx]
+                    has_trigger_i = has_trigger[idx]
+                    any_trigger = bool(has_trigger_i.any())
+                    rising_i = out_rising[idx]
+                    v_to_i = v_to[idx]
+                    t_input_end_i = t_input_end[idx]
                 t_next = t[idx] + dt_i
                 # Input ramp voltage at t_next (saturated rail-to-rail).
-                tt_i = tt[idx]
                 frac = np.where(
-                    tt_i > 0.0,
-                    np.clip((t_next - t_start[idx]) / np.where(tt_i > 0.0, tt_i, 1.0), 0.0, 1.0),
-                    (t_next >= t_start[idx]).astype(float),
+                    tt_pos,
+                    np.minimum(np.maximum((t_next - t_start_i) / tt_safe, 0.0), 1.0),
+                    (t_next >= t_start_i).astype(float),
                 )
-                vin_next = np.where(in_rising[idx], vdd * frac, vdd * (1.0 - frac))
-                coeff = dt_i / c_total[idx]
+                vin_next = np.where(in_rising_i, vdd * frac, vdd * (1.0 - frac))
                 v_prev = v[idx]
-                k_i = k[idx]
+                # vin is fixed across the Newton iterations of this step,
+                # so the x-side table locate happens once per step.
+                row_g, tx_g, one_m_tx_g = self.bank.prepare_x(k_i, vin_next)
 
                 def residual(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-                    current, dcurrent = self.bank.gradient_many(k_i, vin_next, x)
-                    return x - v_prev - coeff * current, 1.0 - coeff * dcurrent
+                    current, dcurrent = self.bank.gradient_many_prepared(
+                        row_g, tx_g, one_m_tx_g, x
+                    )
+                    np.multiply(current, coeff, out=current)
+                    f = x - v_prev
+                    f -= current
+                    np.multiply(dcurrent, coeff, out=dcurrent)
+                    np.subtract(1.0, dcurrent, out=dcurrent)
+                    return f, dcurrent
 
                 solved = solve_newton_many(
                     residual, x0=v_prev, tol=1e-7, lo=lo, hi=hi
@@ -241,15 +411,16 @@ class BatchStageSolver:
 
                 # Coupling drop event: detect the trigger crossing inside
                 # this step, fire, and restart the reported waveform.
-                trig_i = trigger[idx]
-                may_fire = has_trigger[idx] & ~fired[idx]
-                rising_i = out_rising[idx]
-                crossed = may_fire & np.where(
-                    rising_i,
-                    (v_prev < trig_i) & (trig_i <= v_next),
-                    (v_prev > trig_i) & (trig_i >= v_next),
-                )
-                if crossed.any():
+                fire = False
+                if any_trigger:
+                    may_fire = has_trigger_i & ~fired[idx]
+                    crossed = may_fire & np.where(
+                        rising_i,
+                        (v_prev < trig_i) & (trig_i <= v_next),
+                        (v_prev > trig_i) & (trig_i >= v_next),
+                    )
+                    fire = bool(crossed.any())
+                if fire:
                     cidx = idx[crossed]
                     dv = v_next[crossed] - v_prev[crossed]
                     frac_c = np.where(
@@ -266,48 +437,177 @@ class BatchStageSolver:
                     start_v[cidx] = restart[cidx]
                     reset_snap[cidx] = len(rec_t)
 
-                adv = ~crossed
-                aidx = idx[adv]
-                t[aidx] = t_next[adv]
-                v[aidx] = v_next[adv]
-                advanced[aidx] = True
+                    adv = ~crossed
+                    aidx = idx[adv]
+                    t[aidx] = t_next[adv]
+                    v[aidx] = v_next[adv]
+                    advanced[aidx] = True
 
-                done_voltage = np.abs(v[aidx] - v_to[aidx]) <= settle_band
-                input_done = t[aidx] >= t_input_end[aidx]
-                done[aidx[done_voltage & input_done]] = True
+                    done_voltage = np.abs(v[aidx] - v_to[aidx]) <= settle_band
+                    input_done = t[aidx] >= t_input_end[aidx]
+                    done[aidx[done_voltage & input_done]] = True
+                else:
+                    t[idx] = t_next
+                    v[idx] = v_next
+                    advanced[idx] = True
+
+                    done_voltage = np.abs(v_next - v_to_i) <= settle_band
+                    input_done = t_next >= t_input_end_i
+                    done[idx[done_voltage & input_done]] = True
 
             rec_t.append(t.copy())
             rec_v.append(v.copy())
             rec_m.append(advanced)
 
+        return _BatchTrace(
+            times_mat=np.array(rec_t),
+            values_mat=np.array(rec_v),
+            mask_mat=np.array(rec_m),
+            reset_snap=reset_snap,
+            start_t=start_t,
+            start_v=start_v,
+            fired=fired,
+            t_drop=t_drop,
+            newton_total=newton_total,
+            bisect_total=bisect_total,
+        )
+
+    # -- measurement: per-element reference path ---------------------------
+
+    def _element_waveform(self, setup: _BatchSetup, trace: _BatchTrace, i: int) -> Waveform:
+        """Reconstruct and clean element ``i``'s reported waveform."""
+        sel = trace.mask_mat[trace.reset_snap[i]:, i]
+        times = np.concatenate(
+            ([trace.start_t[i]], trace.times_mat[trace.reset_snap[i]:, i][sel])
+        )
+        values = np.concatenate(
+            ([trace.start_v[i]], trace.values_mat[trace.reset_snap[i]:, i][sel])
+        )
+        return _monotone_clean(Waveform(times, values, setup.out_directions[i]))
+
+    def _measure_element(self, setup: _BatchSetup, trace: _BatchTrace, i: int) -> StageResult:
+        return measure_stage_waveform(
+            self.process,
+            self._element_waveform(setup, trace, i),
+            setup.out_directions[i],
+            bool(trace.fired[i]),
+            float(trace.t_drop[i]) if trace.fired[i] else None,
+            int(trace.newton_total[i]),
+            int(trace.bisect_total[i]),
+        )
+
+    def _measure_objects(self, setup: _BatchSetup, trace: _BatchTrace) -> list[StageResult]:
         # -- reconstruct, clean and measure per element --------------------
-        times_mat = np.array(rec_t)
-        values_mat = np.array(rec_v)
-        mask_mat = np.array(rec_m)
-        results: list[StageResult] = []
-        for i in range(n):
-            sel = mask_mat[reset_snap[i]:, i]
-            times = np.concatenate(
-                ([start_t[i]], times_mat[reset_snap[i]:, i][sel])
+        return [
+            self._measure_element(setup, trace, i) for i in range(setup.k.size)
+        ]
+
+    # -- measurement: vectorized compact path ------------------------------
+
+    def _measure_compact(self, setup: _BatchSetup, trace: _BatchTrace) -> CompactStageResults:
+        """Vectorized marker extraction over the recorded sample matrices.
+
+        Reproduces, element for element, exactly what
+        ``_monotone_clean`` + :func:`measure_stage_waveform` compute on
+        the reconstructed waveform:
+
+        * the reported waveform of element ``i`` is its start point
+          followed by the *advanced* samples at or after its drop-reset
+          snapshot -- modelled here by an ``included`` mask over the
+          (start row + iteration rows) matrix;
+        * the monotone clean is a running max (rising) / min (falling)
+          over included samples, computed by forward-filling excluded
+          rows with the previous included value and accumulating (the
+          running extremum picks one operand exactly, so no rounding);
+        * a threshold crossing interpolates between the first included
+          sample at or past the threshold and its included predecessor
+          with the identical expression the scalar path uses.
+
+        Elements that never reach a threshold (the scalar path raises)
+        fall back to :func:`measure_stage_waveform` per element.
+        """
+        vdd = self.process.vdd
+        v_th = self.process.v_th_model
+        n = setup.k.size
+        cols = np.arange(n)
+        out_rising = setup.out_rising
+        sign = np.where(out_rising, 1.0, -1.0)
+
+        steps = trace.times_mat.shape[0]
+        rows = np.arange(steps)[:, None]
+        included = np.empty((steps + 1, n), dtype=bool)
+        included[0] = True
+        included[1:] = trace.mask_mat & (rows >= trace.reset_snap[None, :])
+
+        times = np.empty((steps + 1, n))
+        times[0] = trace.start_t
+        times[1:] = trace.times_mat
+        values = np.empty((steps + 1, n))
+        values[0] = trace.start_v
+        values[1:] = trace.values_mat
+
+        # Forward-fill indices of the most recent included row.
+        ff = np.where(included, np.arange(steps + 1)[:, None], 0)
+        np.maximum.accumulate(ff, axis=0, out=ff)
+        values_filled = np.take_along_axis(values, ff, axis=0)
+        times_filled = np.take_along_axis(times, ff, axis=0)
+        del ff
+        # Signed running extremum: rising columns accumulate their max,
+        # falling columns their min (negation is exact for floats).
+        signed_clean = np.maximum.accumulate(values_filled * sign[None, :], axis=0)
+        del values_filled
+
+        def crossing(threshold: float) -> tuple[np.ndarray, np.ndarray]:
+            """Per-element first-crossing time of a shared threshold,
+            plus the mask of elements that do cross."""
+            match = (signed_clean >= (sign * threshold)[None, :]) & included
+            has = match.any(axis=0)
+            first = np.argmax(match, axis=0)
+            v1 = sign * signed_clean[first, cols]
+            t1 = times[first, cols]
+            prev = first - 1  # row -1 only read where first == 0, then discarded
+            v0 = sign * signed_clean[prev, cols]
+            t0 = times_filled[prev, cols]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                interp = t0 + (threshold - v0) * (t1 - t0) / (v1 - v0)
+            out = np.where(
+                first == 0, times[0], np.where(v1 == v0, t1, interp)
             )
-            values = np.concatenate(
-                ([start_v[i]], values_mat[reset_snap[i]:, i][sel])
-            )
-            waveform = _monotone_clean(Waveform(times, values, out_directions[i]))
-            results.append(
-                measure_stage_waveform(
-                    self.process,
-                    waveform,
-                    out_directions[i],
-                    bool(fired[i]),
-                    float(t_drop[i]) if fired[i] else None,
-                    int(newton_total[i]),
-                    int(bisect_total[i]),
-                )
-            )
-        if self._h_newton is not None:
-            self._h_newton.observe_many(newton_total.tolist())
-            fallbacks = int(bisect_total.sum())
-            if fallbacks:
-                self._c_bisect.inc(fallbacks)
-        return results
+            return out, has
+
+        t_half, ok_half = crossing(0.5 * vdd)
+        t_lo, ok_lo = crossing(0.1 * vdd)
+        t_hi, ok_hi = crossing(0.9 * vdd)
+        t_near, ok_near = crossing(v_th)
+        t_far, ok_far = crossing(vdd - v_th)
+        ok = ok_half & ok_lo & ok_hi & ok_near & ok_far
+
+        transition = np.where(
+            out_rising, (t_hi - t_lo) / 0.8, (t_lo - t_hi) / 0.8
+        )
+        np.maximum(transition, 0.0, out=transition)
+        t_early = np.where(out_rising, t_near, t_far)
+        t_late = np.where(out_rising, t_far, t_near)
+
+        result = CompactStageResults(
+            directions=setup.out_directions,
+            t_cross=t_half,
+            transition=transition,
+            t_early=t_early,
+            t_late=t_late,
+            coupled=trace.fired.copy(),
+            t_drop=trace.t_drop.copy(),
+            newton_iterations=trace.newton_total.copy(),
+            newton_bisections=trace.bisect_total.copy(),
+        )
+        if not ok.all():
+            # Rare: delegate to the scalar measurement, which either
+            # produces the value (shouldn't happen if ``ok`` is honest)
+            # or raises the identical diagnostic.
+            for i in np.nonzero(~ok)[0]:
+                measured = self._measure_element(setup, trace, int(i))
+                result.t_cross[i] = measured.t_cross
+                result.transition[i] = measured.transition
+                result.t_early[i] = measured.t_early
+                result.t_late[i] = measured.t_late
+        return result

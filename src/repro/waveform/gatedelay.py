@@ -622,6 +622,34 @@ class GateDelayCalculator:
             ctype, pin, input_direction, input_transition, load, aiding, quantize_down
         )
         key = self._quantized_key(request)
+        if quantize_down:
+            # Down-quantized keys carry min-delay semantics the screen
+            # cannot serve; resolve_key's screen gate only sees the
+            # aiding flag, so bypass it explicitly here.
+            self.last_signature = key[0]
+            cached = self._arc_cache.get(key)
+            if cached is not None:
+                self._record_hit(key)
+                self.last_tier = "newton"
+                self.last_escalation = self._key_escalation.get(key)
+                return cached
+            arc = self._solve_key(key)
+            self._arc_cache[key] = arc
+            self.last_tier = "newton"
+            self.last_origin = "degraded" if key in self._degraded_keys else "fresh"
+            self.last_escalation = None
+            return arc
+        return self.resolve_key(key, force_exact)
+
+    def resolve_key(self, key: tuple, force_exact: bool = False) -> ArcResult:
+        """Resolve one *pre-quantized* canonical key.
+
+        The columnar core computes quantized keys in bulk (vectorized
+        ceil over a level slab) and resolves them here, skipping the
+        per-arc :class:`ArcRequest` construction; the cache-probe /
+        screen / solve logic and every counter are identical to
+        :meth:`compute_arc_relative`.
+        """
         self.last_signature = key[0]
         cached = self._arc_cache.get(key)
         if cached is not None:
@@ -629,7 +657,7 @@ class GateDelayCalculator:
             self.last_tier = "newton"
             self.last_escalation = self._key_escalation.get(key)
             return cached
-        if self._screen is not None and not aiding and not quantize_down:
+        if self._screen is not None and not key[5]:
             return self._compute_screened(key, force_exact)
         arc = self._solve_key(key)
         self._arc_cache[key] = arc
@@ -921,9 +949,53 @@ class GateDelayCalculator:
                     self._c_tier_seconds["newton"].inc(time.perf_counter() - t0)
             seen.add(key)
             misses.append(key)
+        return self._solve_misses(misses)
+
+    def prime_keys(self, entries: Sequence[tuple[tuple, bool]]) -> int:
+        """Ensure every *pre-quantized* ``(key, force_exact)`` situation
+        is cached.
+
+        The columnar core's bulk counterpart of :meth:`prime_arcs`:
+        quantization already happened in vectorized form, so this skips
+        request construction and goes straight to the dedup / screen /
+        batch-solve logic, which is kept identical (first-seen dedup
+        order, slack/screen escalation accounting, engine branching).
+        ``quantize_down`` keys must not be primed through this path.
+        """
+        misses: list[tuple] = []
+        seen: set[tuple] = set()
+        screen = self._screen
+        for key, force_exact in entries:
+            if key in self._arc_cache or key in seen:
+                continue
+            if screen is not None and not key[5]:
+                if force_exact:
+                    self._c_escalations["slack"].inc()
+                    self._key_escalation[key] = "slack"
+                elif key in self._screen_cache:
+                    continue
+                else:
+                    t0 = time.perf_counter()
+                    outcome = screen.estimate(key)
+                    if outcome.tier is not None:
+                        arc = self._screen_arc(key, outcome.fields)
+                        self._screen_cache[key] = (arc, outcome.tier)
+                        self._c_tier[outcome.tier].inc()
+                        self._c_tier_seconds[outcome.tier].inc(
+                            time.perf_counter() - t0
+                        )
+                        continue
+                    self._c_escalations[outcome.reason].inc()
+                    self._key_escalation[key] = outcome.reason
+                    self._c_tier_seconds["newton"].inc(time.perf_counter() - t0)
+            seen.add(key)
+            misses.append(key)
+        return self._solve_misses(misses)
+
+    def _solve_misses(self, misses: list[tuple]) -> int:
+        """Solve the deduplicated cache misses (shared prime tail)."""
         if not misses:
             return 0
-
         t0 = time.perf_counter()
         if self.engine != "batch" or len(misses) < MIN_BATCH:
             for key in misses:
@@ -933,7 +1005,7 @@ class GateDelayCalculator:
         else:
             self._solve_keys_batched(misses)
         self._fresh_keys.update(misses)
-        if screen is not None:
+        if self._screen is not None:
             self._c_tier["newton"].inc(len(misses))
             self._c_tier_seconds["newton"].inc(time.perf_counter() - t0)
         return len(misses)
@@ -956,7 +1028,7 @@ class GateDelayCalculator:
             for (token, direction, tt, c_passive, c_active, aiding) in misses
         ]
         try:
-            results = solver.solve_many(specs)
+            results = solver.solve_many_compact(specs)
         except SolverError as exc:
             if self.strict:
                 raise
@@ -970,10 +1042,24 @@ class GateDelayCalculator:
             for key in misses:
                 self._arc_cache[key] = self._solve_key(key)
             return
-        for key, stage_result in zip(misses, results):
-            arc = self._to_arc(stage_result)
+        directions = results.directions
+        t_cross = results.t_cross
+        transition = results.transition
+        t_early = results.t_early
+        t_late = results.t_late
+        coupled = results.coupled
+        iterations = results.newton_iterations
+        for j, key in enumerate(misses):
+            arc = ArcResult(
+                direction=directions[j],
+                t_cross=float(t_cross[j]),
+                transition=float(transition[j]),
+                t_early=float(t_early[j]),
+                t_late=float(t_late[j]),
+                coupled=bool(coupled[j]),
+            )
             self._arc_cache[key] = arc
-            self._observe_cost(key[0], stage_result.newton_iterations)
+            self._observe_cost(key[0], int(iterations[j]))
             if self._screen is not None:
                 self._screen.observe(key, arc)
         self._c_evaluations.inc(len(misses))

@@ -11,7 +11,7 @@ import pytest
 
 from repro.circuit import s27
 from repro.core.analyzer import CrosstalkSTA
-from repro.core.modes import AnalysisMode, Engine, SolverTier, StaConfig
+from repro.core.modes import AnalysisMode, Core, Engine, SolverTier, StaConfig
 from repro.flow import prepare_design
 from repro.testing import newton_failures
 
@@ -243,3 +243,200 @@ class TestWorkerPool:
         pooled = sta.run(AnalysisMode.ONE_STEP)
         sta.calculator.close()
         assert abs(scalar.longest_delay - pooled.longest_delay) <= StaConfig().guard
+
+
+class TestColumnarCoreEquivalence:
+    """Columnar vs object core: the structure-of-arrays core is strictly
+    a performance feature, so the exact tier must be ``float.hex()``-
+    identical -- every endpoint arrival, every pass, every counter --
+    in all five modes and in every composition (incremental on/off,
+    checkpointed resume, screened tier)."""
+
+    @pytest.fixture(scope="class")
+    def core_pair(self, s27_design):
+        out = {}
+        for core in (Core.OBJECT, Core.COLUMNAR):
+            sta = CrosstalkSTA(s27_design, StaConfig(core=core))
+            out[core] = {mode: sta.run(mode) for mode in AnalysisMode}
+        return out
+
+    @pytest.mark.parametrize("mode", list(AnalysisMode))
+    def test_arrivals_bit_identical(self, core_pair, mode):
+        obj = core_pair[Core.OBJECT][mode].arrival_map()
+        col = core_pair[Core.COLUMNAR][mode].arrival_map()
+        assert set(obj) == set(col)
+        for key in obj:
+            assert obj[key].hex() == col[key].hex(), key
+
+    @pytest.mark.parametrize("mode", list(AnalysisMode))
+    def test_longest_delay_and_accounting_identical(self, core_pair, mode):
+        obj = core_pair[Core.OBJECT][mode]
+        col = core_pair[Core.COLUMNAR][mode]
+        assert obj.longest_delay.hex() == col.longest_delay.hex()
+        assert obj.critical_endpoint == col.critical_endpoint
+        assert obj.critical_direction == col.critical_direction
+        assert obj.arcs_processed == col.arcs_processed
+        assert obj.waveform_evaluations == col.waveform_evaluations
+        assert obj.coupled_arcs == col.coupled_arcs
+        assert obj.passes == col.passes
+
+    @pytest.mark.parametrize("mode", list(AnalysisMode))
+    def test_every_pass_bit_identical(self, core_pair, mode):
+        obj = core_pair[Core.OBJECT][mode]
+        col = core_pair[Core.COLUMNAR][mode]
+        assert len(obj.history) == len(col.history)
+        for ro, rc in zip(obj.history, col.history):
+            assert ro.longest_delay.hex() == rc.longest_delay.hex()
+            assert ro.waveform_evaluations == rc.waveform_evaluations
+            assert ro.dirty_arcs == rc.dirty_arcs
+            assert ro.reused_arcs == rc.reused_arcs
+
+    @pytest.mark.parametrize("mode", list(AnalysisMode))
+    def test_provenance_ledger_identical(self, core_pair, mode):
+        obj = core_pair[Core.OBJECT][mode].ledger
+        col = core_pair[Core.COLUMNAR][mode].ledger
+        assert obj is not None and col is not None
+        assert len(obj) == len(col)
+        assert obj.counts() == col.counts()
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_incremental_composition_identical(self, s27_design, incremental):
+        results = {}
+        for core in (Core.OBJECT, Core.COLUMNAR):
+            sta = CrosstalkSTA(
+                s27_design,
+                StaConfig(
+                    mode=AnalysisMode.ITERATIVE,
+                    core=core,
+                    incremental=incremental,
+                ),
+            )
+            results[core] = sta.run()
+        obj, col = results[Core.OBJECT], results[Core.COLUMNAR]
+        assert obj.longest_delay.hex() == col.longest_delay.hex()
+        for ro, rc in zip(obj.history, col.history):
+            assert ro.waveform_evaluations == rc.waveform_evaluations
+            assert ro.reused_arcs == rc.reused_arcs
+
+    def test_checkpoint_cross_core_resume(self, s27_design, tmp_path):
+        """Checkpoints are core-agnostic: a run interrupted under one
+        core resumes under the other to the bit-identical result."""
+        reference = CrosstalkSTA(
+            s27_design,
+            StaConfig(mode=AnalysisMode.ITERATIVE, core=Core.OBJECT),
+        ).run()
+        for first, second in (
+            (Core.OBJECT, Core.COLUMNAR),
+            (Core.COLUMNAR, Core.OBJECT),
+        ):
+            path = tmp_path / f"{first.value}-{second.value}.ckpt"
+            config_first = StaConfig(
+                mode=AnalysisMode.ITERATIVE, core=first, checkpoint=str(path)
+            )
+            CrosstalkSTA(s27_design, config_first).run()
+            config_second = StaConfig(
+                mode=AnalysisMode.ITERATIVE, core=second, checkpoint=str(path)
+            )
+            resumed = CrosstalkSTA(s27_design, config_second).run()
+            assert resumed.longest_delay.hex() == reference.longest_delay.hex()
+
+    @pytest.mark.parametrize("mode", list(AnalysisMode))
+    def test_screened_composition_identical(self, s27_design, mode):
+        results = {}
+        for core in (Core.OBJECT, Core.COLUMNAR):
+            sta = CrosstalkSTA(
+                s27_design,
+                StaConfig(
+                    mode=mode,
+                    core=core,
+                    solver_tier=SolverTier.SCREENED,
+                ),
+            )
+            results[core] = sta.run()
+        obj, col = results[Core.OBJECT], results[Core.COLUMNAR]
+        assert obj.longest_delay.hex() == col.longest_delay.hex()
+        assert obj.waveform_evaluations == col.waveform_evaluations
+        obj_a, col_a = obj.arrival_map(), col.arrival_map()
+        assert set(obj_a) == set(col_a)
+        for key in obj_a:
+            assert obj_a[key].hex() == col_a[key].hex(), key
+
+    def test_warm_start_cross_core(self, s27_design):
+        """The session what-if path: a columnar analyzer warm-started
+        from an object analyzer's memo (and vice versa) reuses every
+        unchanged arc and reports the bit-identical bound."""
+        cold = {}
+        for core in (Core.OBJECT, Core.COLUMNAR):
+            sta = CrosstalkSTA(
+                s27_design,
+                StaConfig(mode=AnalysisMode.ITERATIVE, core=core),
+                keep_propagators=True,
+            )
+            cold[core] = (sta, sta.run())
+        for source, target in (
+            (Core.OBJECT, Core.COLUMNAR),
+            (Core.COLUMNAR, Core.OBJECT),
+        ):
+            warm_sta = CrosstalkSTA(
+                s27_design, StaConfig(mode=AnalysisMode.ITERATIVE, core=target)
+            )
+            warm_sta.warm_start_from(cold[source][0])
+            warm = warm_sta.run()
+            assert (
+                warm.longest_delay.hex()
+                == cold[target][1].longest_delay.hex()
+            )
+            assert warm.history[0].reused_arcs > 0
+
+
+class TestCompiledDesignInterning:
+    """The id spaces of :class:`CompiledDesign` are deterministic: an
+    identical circuit compiles to identical ids, so cached compiled
+    designs, memo columns and provenance rows can be exchanged."""
+
+    def test_recompile_is_id_stable(self, s27_design):
+        from repro.core.columnar import compile_design
+
+        a = compile_design(s27_design)
+        b = compile_design(prepare_design(s27()))
+        assert a.net_names == b.net_names
+        assert a.net_id == b.net_id
+        assert a.cell_id == b.cell_id
+        assert a.n_arcs == b.n_arcs
+        assert a.arc_key_index == b.arc_key_index
+        for name in (
+            "arc_cell",
+            "arc_out_net",
+            "arc_in_net",
+            "arc_in_dir",
+            "arc_elmore",
+            "arc_is_ff",
+            "level_indptr",
+            "coup_indptr",
+            "coup_net",
+            "coup_cap",
+            "net_c_fixed",
+            "net_cc_total",
+        ):
+            assert (getattr(a, name) == getattr(b, name)).all(), name
+
+    def test_arc_key_index_round_trip(self, s27_design):
+        """Every arc id maps back to the (cell, pin, direction) key that
+        interned it, and lookups of that key return the same id."""
+        from repro.core.columnar import DIRECTIONS, compile_design
+
+        cp = compile_design(s27_design)
+        assert len(cp.arc_key_index) == cp.n_arcs
+        for key, arc in cp.arc_key_index.items():
+            cell_name, pin, direction = key
+            assert cp.cells[cp.arc_cell[arc]].name == cell_name
+            assert cp.arc_pin[arc] == pin
+            assert DIRECTIONS[cp.arc_in_dir[arc]] == direction
+
+    def test_level_slabs_cover_all_arcs_contiguously(self, s27_design):
+        from repro.core.columnar import compile_design
+
+        cp = compile_design(s27_design)
+        assert cp.level_indptr[0] == 0
+        assert cp.level_indptr[-1] == cp.n_arcs
+        assert (cp.level_indptr[1:] >= cp.level_indptr[:-1]).all()

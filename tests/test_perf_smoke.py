@@ -120,3 +120,58 @@ class TestScreenedBudget:
         delta = screened.longest_delay - exact.longest_delay
         assert delta >= -1e-15
         assert delta <= SCREEN_TOLERANCE + 1e-15
+
+
+class TestColumnarBudget:
+    """CI budgets for the columnar core: the one-time design compile
+    must amortize, and the full-scale run recorded in the committed
+    benchmark JSON must fit the CI runner's RAM."""
+
+    # Ubuntu CI runners expose ~7 GB to the job; leave generous headroom.
+    RUNNER_RAM_BUDGET_MB = 4096.0
+    COMPILE_BUDGET_FRACTION = 0.10
+    SMOKE_SCALE = 0.05
+
+    def test_compile_within_budget_of_solve(self):
+        """At the benchmark's default scale the columnar compile costs
+        at most 10% of a single one-step solve."""
+        import time
+
+        from repro.core.modes import Core, Engine
+
+        design = prepare_design(s35932_like(scale=self.SMOKE_SCALE))
+        sta = CrosstalkSTA(
+            design,
+            StaConfig(
+                mode=AnalysisMode.ONE_STEP,
+                engine=Engine.BATCH,
+                core=Core.COLUMNAR,
+            ),
+        )
+        t0 = time.perf_counter()
+        result = sta.run()
+        seconds = time.perf_counter() - t0
+        assert result.compile_seconds > 0.0, "columnar run recorded no compile"
+        assert result.compile_seconds <= self.COMPILE_BUDGET_FRACTION * seconds, (
+            f"compile {result.compile_seconds:.3f}s exceeds "
+            f"{self.COMPILE_BUDGET_FRACTION:.0%} of the {seconds:.3f}s solve"
+        )
+
+    def test_full_scale_memory_within_runner_budget(self):
+        """The committed core-sweep row for scale 1.0 (regenerated by
+        benchmarks/bench_perf_baseline.py) must stay under the CI
+        runner's RAM, so the full-size benchmark remains runnable."""
+        import json
+        from pathlib import Path
+
+        bench = Path(__file__).parent.parent / "BENCH_sta_runtime.json"
+        payload = json.loads(bench.read_text())
+        sweep = payload.get("core_sweep")
+        assert sweep, "BENCH_sta_runtime.json has no core_sweep section"
+        full = [row for row in sweep["scales"] if row["scale"] >= 1.0]
+        assert full, "core sweep has no scale-1.0 row"
+        rss = full[0]["cores"]["columnar"]["peak_rss_mb"]
+        assert rss <= self.RUNNER_RAM_BUDGET_MB, (
+            f"recorded scale-1.0 peak RSS {rss:.0f} MB exceeds the "
+            f"{self.RUNNER_RAM_BUDGET_MB:.0f} MB runner budget"
+        )

@@ -163,6 +163,13 @@ class TestSessionConfig:
         assert config.workers == 2
         assert config.strict
 
+    def test_core_override(self):
+        from repro.core.modes import Core
+
+        config = session_config(ONE_STEP, {"core": "object"})
+        assert config.core is Core.OBJECT
+        assert session_config(ONE_STEP, {"core": "columnar"}).core is Core.COLUMNAR
+
     def test_unknown_key(self):
         with pytest.raises(InputError):
             session_config(ONE_STEP, {"turbo": True})
