@@ -36,7 +36,10 @@ from pathlib import Path
 import pytest
 
 from repro.core.analyzer import CrosstalkSTA
+from repro.core.constraints import minimum_period
 from repro.core.modes import AnalysisMode, SolverTier, StaConfig
+from repro.flow.edits import edit_nets
+from repro.flow.optimizer import validate_repair
 from repro.service import (
     FleetOptions,
     FleetRuntime,
@@ -251,6 +254,90 @@ def whatif_screened(scale, record_result):
         "rows": rows,
         "median_ratio": median_ratio,
     }
+
+
+REPAIR_MAX_EDITS = 4
+REPAIR_BEAM = 3
+
+
+@pytest.fixture(scope="module")
+def repair_run(scale, record_result):
+    """Autonomous repair economics on a warm session.
+
+    A clock just below the design's minimum period leaves a small
+    negative worst slack; the optimizer closes it (or exhausts its
+    budget) through warm what-if evaluations, with exactly one cold
+    analysis -- the final bit-identity verify."""
+    manager = SessionManager(config=StaConfig(mode=MODE))
+    probe = manager.open("gen:s35932", scale=scale)
+    clock_period = 0.99 * minimum_period(probe.analyze(MODE.value))
+    manager.close(probe.session_id)
+
+    session = manager.open(
+        "gen:s35932", scale=scale, config={"clock_period": clock_period}
+    )
+    session.analyze(MODE.value)
+    t0 = time.perf_counter()
+    transcript = session.repair(
+        mode=MODE.value,
+        max_edits=REPAIR_MAX_EDITS,
+        beam=REPAIR_BEAM,
+        cold_verify=True,
+    )
+    repair_seconds = time.perf_counter() - t0
+    validate_repair(transcript)
+
+    committed = [
+        {
+            "action": entry["committed"]["action"],
+            "nets": edit_nets(entry["committed"]),
+            "improvement_ps": (
+                entry["worst_slack_after"] - entry["worst_slack_before"]
+            )
+            * 1e12,
+        }
+        for entry in transcript["rounds"]
+        if entry["committed"] is not None
+    ]
+    section = {
+        "clock_period": clock_period,
+        "baseline_worst_slack": transcript["baseline"]["worst_slack"],
+        "final_worst_slack": transcript["final"]["worst_slack"],
+        "met": transcript["final"]["met"],
+        "stop_reason": transcript["stop_reason"],
+        "seconds": repair_seconds,
+        "edits_committed": transcript["edits_committed"],
+        "evaluations": transcript["evaluations"],
+        "cold_analyses": transcript["cold_analyses"],
+        "warm": transcript["warm"],
+        "cold_verify_identical": transcript["cold_verify"]["identical"],
+        "committed": committed,
+    }
+
+    lines = [
+        f"Autonomous repair (s35932-like at scale {scale}, {MODE.value}, "
+        f"clock {clock_period * 1e9:.3f} ns = 0.99 x minimum period)",
+        "",
+        f"worst slack {section['baseline_worst_slack'] * 1e12:+.1f} -> "
+        f"{section['final_worst_slack'] * 1e12:+.1f} ps "
+        f"({'met' if section['met'] else section['stop_reason']}) "
+        f"in {repair_seconds:.1f} s",
+        f"{section['edits_committed']} edits committed, "
+        f"{section['evaluations']} warm evaluations, "
+        f"{section['cold_analyses']} cold analyses "
+        f"(warm reuse {section['warm']['reuse_ratio']:.1%}), "
+        f"cold verify {'bit-identical' if section['cold_verify_identical'] else 'MISMATCH'}",
+        "",
+        f"{'action':<14} {'nets':<24} {'gain ps':>8}",
+        "-" * 48,
+    ]
+    for row in committed:
+        lines.append(
+            f"{row['action']:<14} {','.join(row['nets']):<24} "
+            f"{row['improvement_ps']:>8.2f}"
+        )
+    record_result("service_repair", "\n".join(lines))
+    return section
 
 
 def _start_server(service):
@@ -564,7 +651,14 @@ def fleet_swarm(record_result):
 
 
 @pytest.fixture(scope="module")
-def persisted(whatif_comparison, whatif_screened, concurrency_sweep, fleet_swarm, scale):
+def persisted(
+    whatif_comparison,
+    whatif_screened,
+    repair_run,
+    concurrency_sweep,
+    fleet_swarm,
+    scale,
+):
     payload = {
         "benchmark": "service",
         "circuit": "s35932_like",
@@ -573,6 +667,7 @@ def persisted(whatif_comparison, whatif_screened, concurrency_sweep, fleet_swarm
         "python": platform.python_version(),
         "whatif": whatif_comparison,
         "whatif_screened": whatif_screened,
+        "repair": repair_run,
         "concurrency": concurrency_sweep,
         "fleet": fleet_swarm,
     }
@@ -612,6 +707,27 @@ def test_screened_whatif_conservative_vs_exact(persisted, benchmark):
     for row in section["rows"]:
         assert row["delta_vs_exact"] >= -1e-15, row
         assert row["delta_vs_exact"] <= section["tolerance"] + 1e-15, row
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_repair_improves_monotonically(persisted, benchmark):
+    """The optimizer never worsens worst slack, and every committed
+    edit bought a strict improvement."""
+    section = persisted["repair"]
+    assert section["final_worst_slack"] >= section["baseline_worst_slack"]
+    for row in section["committed"]:
+        assert row["improvement_ps"] > 0.0, row
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_repair_warm_economics(persisted, benchmark):
+    """Every candidate was evaluated warm: the only cold analysis in a
+    whole repair run is the final bit-identity verify."""
+    section = persisted["repair"]
+    assert section["cold_analyses"] == 1
+    assert section["evaluations"] > section["edits_committed"]
+    assert section["warm"]["reuse_ratio"] > 0.5
+    assert section["cold_verify_identical"]
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

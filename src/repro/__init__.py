@@ -38,18 +38,26 @@ from repro.core import (
     CrosstalkSTA,
     MinAnalysisMode,
     MinPropagator,
+    SlackResult,
     StaConfig,
     StaResult,
     WindowCheck,
     check_hold,
     check_mode_ordering,
     check_setup,
+    compute_slack,
     extract_critical_path,
     format_table,
     minimum_period,
     rank_crosstalk_nets,
 )
-from repro.flow import Design, prepare_design, repair_crosstalk, respace_nets
+from repro.flow import (
+    Design,
+    prepare_design,
+    repair_crosstalk,
+    repair_session,
+    respace_nets,
+)
 
 __version__ = "1.0.0"
 
@@ -61,6 +69,7 @@ __all__ = [
     "Design",
     "MinAnalysisMode",
     "MinPropagator",
+    "SlackResult",
     "StaConfig",
     "StaResult",
     "WindowCheck",
@@ -68,6 +77,7 @@ __all__ = [
     "check_hold",
     "check_mode_ordering",
     "check_setup",
+    "compute_slack",
     "default_library",
     "extract_critical_path",
     "format_table",
@@ -79,6 +89,7 @@ __all__ = [
     "prepare_design",
     "rank_crosstalk_nets",
     "repair_crosstalk",
+    "repair_session",
     "respace_nets",
     "s27",
     "s35932_like",

@@ -73,6 +73,31 @@ def _add_netlist_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_constraint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--clock-period",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="clock period; enables the backward required-time (slack) "
+        "pass and the setup check",
+    )
+    parser.add_argument(
+        "--setup-time",
+        type=float,
+        default=100e-12,
+        metavar="SECONDS",
+        help="flip-flop setup requirement (default 100 ps)",
+    )
+    parser.add_argument(
+        "--hold-time",
+        type=float,
+        default=50e-12,
+        metavar="SECONDS",
+        help="flip-flop hold requirement (default 50 ps)",
+    )
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     circuit = _resolve_circuit(args.netlist, args.scale)
     print(circuit.stats())
@@ -115,6 +140,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         screen_tolerance=args.screen_tolerance,
         screen_slack_margin=args.screen_slack_margin,
         provenance=not args.no_provenance,
+        clock_period=args.clock_period,
+        setup_time=args.setup_time,
+        hold_time=args.hold_time,
     )
     obs = Observability.tracing() if args.trace else Observability.disabled()
     sta = CrosstalkSTA(design, config, obs=obs)
@@ -135,6 +163,31 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         results = None
         reference = sta.run()
         print(f"\n{reference}")
+
+    if reference.slack is not None:
+        # check_setup summary from the backward slack pass (the analyzer
+        # ran it because --clock-period was given).
+        print(f"\nsetup: {reference.slack.summary()}")
+        if not reference.slack.met:
+            exit_code = 1
+
+    if args.check_hold:
+        from repro.core.constraints import check_hold
+        from repro.core.minpath import MinAnalysisMode, MinPropagator
+
+        min_result = MinPropagator(design, config, calculator=sta.calculator).run(
+            MinAnalysisMode.WORST
+        )
+        hold = check_hold(min_result, config.hold_time)
+        worst_hold = hold.worst
+        status = "MET" if hold.met else f"VIOLATED ({len(hold.failing())} endpoints)"
+        print(
+            f"hold: requirement {config.hold_time * 1e12:.0f} ps: {status}; "
+            f"worst slack {worst_hold.slack * 1e12:+.1f} ps at "
+            f"{worst_hold.endpoint} ({worst_hold.direction})"
+        )
+        if not hold.met:
+            exit_code = 1
 
     if reference.degraded_arcs:
         logger.warning(
@@ -245,10 +298,53 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_repair(args: argparse.Namespace) -> int:
-    from repro.flow import repair_crosstalk
+    """Crosstalk repair: slack-driven optimizer or legacy spacing rounds.
 
+    With ``--clock-period`` the autonomous optimizer runs over a warm
+    in-process session: victims ranked by true slack x coupling
+    exposure, candidates evaluated through the incremental what-if path,
+    only strict worst-slack improvements committed.  Without it, the
+    historical fixed-round respace loop runs.
+    """
     circuit = _resolve_circuit(args.netlist, args.scale)
     design = prepare_design(circuit)
+
+    if args.clock_period is not None:
+        from repro.flow.optimizer import format_repair
+        from repro.service.session import Session
+
+        config = StaConfig(
+            mode=AnalysisMode(args.mode),
+            clock_period=args.clock_period,
+            setup_time=args.setup_time,
+            hold_time=args.hold_time,
+        )
+        session = Session(
+            session_id="cli",
+            spec=args.netlist,
+            design=design,
+            config=config,
+            obs=Observability.disabled(),
+            scale=args.scale,
+        )
+        transcript = session.repair(
+            target_slack=args.target_slack,
+            max_edits=args.max_edits,
+            beam=args.beam,
+            guard_tracks=args.guard_tracks,
+            dont_touch=args.dont_touch,
+            cold_verify=not args.no_verify,
+        )
+        if args.json:
+            from repro.core.export import save_json
+
+            save_json(transcript, args.json)
+            logger.info("wrote repair transcript to %s", args.json)
+        print(format_repair(transcript))
+        return 0 if transcript["final"]["met"] else 1
+
+    from repro.flow import repair_crosstalk
+
     current = design
     for round_index in range(1, args.rounds + 1):
         outcome = repair_crosstalk(
@@ -282,6 +378,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         screen_tolerance=args.screen_tolerance,
         screen_slack_margin=args.screen_slack_margin,
         provenance=not args.no_provenance,
+        clock_period=args.clock_period,
+        setup_time=args.setup_time,
+        hold_time=args.hold_time,
     )
     obs = (
         Observability.tracing()
@@ -569,6 +668,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-arc provenance ledger (annotation only: delays "
         "are bit-identical either way; 'repro explain' needs it on)",
     )
+    _add_constraint_args(analyze)
+    analyze.add_argument(
+        "--check-hold",
+        action="store_true",
+        help="also run the min-delay (helping-coupling) analysis and check "
+        "every flip-flop input against --hold-time",
+    )
     analyze.set_defaults(func=cmd_analyze)
 
     explain = sub.add_parser(
@@ -604,11 +710,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain.set_defaults(func=cmd_explain)
 
-    repair = sub.add_parser("repair", help="shield crosstalk-critical nets and re-analyze")
+    repair = sub.add_parser(
+        "repair",
+        help="repair crosstalk: slack-driven optimizer (--clock-period) or "
+        "legacy respace rounds",
+    )
     _add_netlist_args(repair)
-    repair.add_argument("--top", type=int, default=10, help="victims per round")
-    repair.add_argument("--rounds", type=int, default=1)
+    repair.add_argument("--top", type=int, default=10, help="legacy mode: victims per round")
+    repair.add_argument("--rounds", type=int, default=1, help="legacy mode: respace rounds")
     repair.add_argument("--guard-tracks", type=int, default=1)
+    _add_constraint_args(repair)
+    repair.add_argument(
+        "--mode",
+        choices=[m.value for m in AnalysisMode],
+        default=AnalysisMode.ITERATIVE.value,
+    )
+    repair.add_argument(
+        "--target-slack",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="optimizer: stop once worst slack reaches this value",
+    )
+    repair.add_argument(
+        "--max-edits",
+        type=int,
+        default=8,
+        metavar="N",
+        help="optimizer: committed-edit budget",
+    )
+    repair.add_argument(
+        "--beam",
+        type=int,
+        default=3,
+        metavar="N",
+        help="optimizer: victims considered per round",
+    )
+    repair.add_argument(
+        "--dont-touch",
+        action="append",
+        default=None,
+        metavar="NET",
+        help="optimizer: never propose edits touching this net (repeatable)",
+    )
+    repair.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="optimizer: skip the final cold re-analysis bit-identity check",
+    )
+    repair.add_argument(
+        "--json",
+        metavar="FILE",
+        help="optimizer: write the repro.repair/1 transcript as JSON",
+    )
     repair.set_defaults(func=cmd_repair)
 
     generate = sub.add_parser("generate", help="emit a synthetic .bench netlist")
@@ -705,6 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="default new sessions to no provenance ledger (the 'explain' "
         "RPC then needs a per-session override to turn it back on)",
     )
+    _add_constraint_args(serve)
     serve.set_defaults(func=cmd_serve)
 
     fleet = sub.add_parser(

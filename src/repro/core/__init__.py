@@ -53,6 +53,14 @@ from repro.core.propagation import (
     ideal_ramp_event,
 )
 from repro.core.report import check_mode_ordering, format_table, result_rows
+from repro.core.slack import (
+    SLACK_SCHEMA,
+    SlackResult,
+    compute_slack,
+    format_slack,
+    slack_payload,
+    validate_slack,
+)
 
 __all__ = [
     "AnalysisMode",
@@ -75,6 +83,8 @@ __all__ = [
     "PathStep",
     "Propagator",
     "Provenance",
+    "SLACK_SCHEMA",
+    "SlackResult",
     "StaConfig",
     "StaResult",
     "TimingState",
@@ -82,12 +92,14 @@ __all__ = [
     "check_hold",
     "check_mode_ordering",
     "check_setup",
+    "compute_slack",
     "esperance_recalc_cells",
     "evaluation_order",
     "explain_result",
     "extract_critical_path",
     "format_explain",
     "format_net_report",
+    "format_slack",
     "format_table",
     "merge_earliest",
     "report_timing",
@@ -102,5 +114,7 @@ __all__ = [
     "path_to_dict",
     "result_rows",
     "run_iterative",
+    "slack_payload",
     "validate_explain",
+    "validate_slack",
 ]

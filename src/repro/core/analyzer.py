@@ -20,6 +20,7 @@ from repro.core.modes import AnalysisMode, Core, SolverTier, StaConfig
 from repro.core.paths import CriticalPath, extract_critical_path
 from repro.core.propagation import ColumnarPropagator, PassResult, Propagator
 from repro.core.provenance import ProvenanceLedger
+from repro.core.slack import SlackResult, compute_slack
 from repro.errors import DegradationBudgetError
 from repro.flow.design import Design
 from repro.obs.metrics import diff_snapshots
@@ -58,10 +59,18 @@ class StaResult:
     # amortized once per analyzer (0.0 under the object core or when the
     # compiled design was already cached).
     compile_seconds: float = 0.0
+    # Backward required-time pass over the final state: endpoint setup
+    # checks plus per-net/per-arc slack (see repro.core.slack).  None
+    # unless config.clock_period is set.
+    slack: "SlackResult | None" = None
 
     @property
     def longest_delay_ns(self) -> float:
         return self.longest_delay * 1e9
+
+    @property
+    def worst_slack(self) -> float | None:
+        return self.slack.worst_slack if self.slack is not None else None
 
     def arrival(self, endpoint: str, direction: str) -> float:
         """Arrival time at one endpoint (seconds)."""
@@ -369,6 +378,25 @@ class CrosstalkSTA:
                 final = self._refine_screened(propagator, config, final, history)
         runtime = time.perf_counter() - t0
 
+        slack = None
+        if config.clock_period is not None:
+            with self.obs.tracer.span(
+                "sta.slack", mode=config.mode.value, design=self.design.name
+            ):
+                slack = compute_slack(
+                    self.design,
+                    final,
+                    config.clock_period,
+                    config.setup_time,
+                )
+            metrics = self.obs.metrics
+            metrics.counter("slack.runs").inc()
+            metrics.counter("slack.endpoints").inc(len(slack.endpoints.slacks))
+            metrics.counter("slack.violations").inc(slack.violations)
+            metrics.counter("slack.arcs").inc(len(slack.arc_slack))
+            metrics.gauge("slack.worst_ps").set(slack.worst_slack_ps)
+            metrics.gauge("slack.seconds").set(slack.runtime_seconds)
+
         if config.arc_cache:
             with self.obs.tracer.span(
                 "sta.arc_cache_save", path=str(config.arc_cache)
@@ -409,6 +437,7 @@ class CrosstalkSTA:
             degraded_arcs=degraded,
             ledger=propagator.ledger if config.provenance else None,
             compile_seconds=self._compile_seconds,
+            slack=slack,
         )
         if config.max_degraded is not None and len(degraded) > config.max_degraded:
             raise DegradationBudgetError(

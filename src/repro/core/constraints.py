@@ -11,8 +11,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.analyzer import StaResult
+from typing import TYPE_CHECKING
+
 from repro.core.propagation import PassResult
+
+if TYPE_CHECKING:  # import cycle: analyzer -> slack -> constraints
+    from repro.core.analyzer import StaResult
+
+
+def _default_config():
+    """The config the constraint defaults live on (single source of
+    truth for setup/hold times; imported lazily to avoid a cycle)."""
+    from repro.core.modes import StaConfig
+
+    return StaConfig()
 
 
 @dataclass(frozen=True)
@@ -67,18 +79,21 @@ class ConstraintReport:
 
 
 def check_setup(
-    result: StaResult | PassResult,
+    result: "StaResult | PassResult",
     clock_period: float,
-    setup_time: float = 100e-12,
+    setup_time: float | None = None,
 ) -> ConstraintReport:
     """Check every capture point against ``clock_period``.
 
     Flip-flop D inputs must settle a setup time before the next clock
-    edge; primary outputs are required at the period boundary.
+    edge; primary outputs are required at the period boundary.  The
+    default setup time is ``StaConfig.setup_time``.
     """
+    if setup_time is None:
+        setup_time = _default_config().setup_time
     if clock_period <= 0:
         raise ValueError("clock period must be positive")
-    pass_result = result.final_pass if isinstance(result, StaResult) else result
+    pass_result = getattr(result, "final_pass", result)
     assert pass_result is not None
     report = ConstraintReport(clock_period=clock_period, setup_time=setup_time)
     for arrival in pass_result.arrivals:
@@ -96,11 +111,13 @@ def check_setup(
 
 
 def minimum_period(
-    result: StaResult | PassResult,
-    setup_time: float = 100e-12,
+    result: "StaResult | PassResult",
+    setup_time: float | None = None,
 ) -> float:
     """Smallest clock period at which every setup check passes."""
-    pass_result = result.final_pass if isinstance(result, StaResult) else result
+    if setup_time is None:
+        setup_time = _default_config().setup_time
+    pass_result = getattr(result, "final_pass", result)
     assert pass_result is not None
     worst = 0.0
     for arrival in pass_result.arrivals:
@@ -150,18 +167,21 @@ class HoldReport:
         return sorted((s for s in self.slacks if not s.met), key=lambda s: s.slack)
 
 
-def check_hold(min_result, hold_time: float = 50e-12) -> HoldReport:
+def check_hold(min_result, hold_time: float | None = None) -> HoldReport:
     """Check every flip-flop data input against the hold requirement.
 
     ``min_result`` is a :class:`repro.core.minpath.MinStaResult` (or its
     final pass): data launched at the clock edge must not reach a capture
-    flip-flop before ``hold_time`` after that same edge.  Only flip-flop
-    inputs are checked (primary outputs have no hold requirement).
+    flip-flop before ``hold_time`` after that same edge (default:
+    ``StaConfig.hold_time``).  Only flip-flop inputs are checked
+    (primary outputs have no hold requirement).
 
     The check assumes a zero-skew capture clock (all edges at t = 0); the
     launch side does use the earliest clock-tree arrival, so positive
     insertion skew is covered conservatively on that side.
     """
+    if hold_time is None:
+        hold_time = _default_config().hold_time
     pass_result = getattr(min_result, "final_pass", min_result)
     report = HoldReport(hold_time=hold_time)
     for arrival in pass_result.arrivals:

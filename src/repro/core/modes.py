@@ -239,6 +239,19 @@ class StaConfig:
         compiles the design into dense id arrays once per analyzer and
         runs each pass over numpy columns; ``OBJECT`` keeps the
         reference per-object core.  Results are bit-identical.
+    clock_period:
+        Optional clock period (seconds).  When set, every run
+        additionally performs the backward required-time pass
+        (:mod:`repro.core.slack`): endpoint setup checks, per-net and
+        per-arc slack, and the ``slack`` block on the result.  ``None``
+        (the default) skips constraint checking entirely -- arrival
+        times are unchanged either way.
+    setup_time:
+        Setup requirement of flip-flop data inputs (seconds); only
+        consulted when ``clock_period`` is set.
+    hold_time:
+        Hold requirement of flip-flop data inputs (seconds), checked by
+        ``check_hold`` against a min-delay analysis.
     """
 
     mode: AnalysisMode = AnalysisMode.ITERATIVE
@@ -266,6 +279,13 @@ class StaConfig:
     screen_slack_margin: float = 0.15
     provenance: bool = True
     core: Core = Core.COLUMNAR
+    # Timing constraints.  Deliberately NOT part of the checkpoint
+    # fingerprint: they only drive the backward slack pass and the
+    # setup/hold verdicts, never the forward pass sequence, so a
+    # checkpoint stays resumable across constraint changes.
+    clock_period: float | None = None
+    setup_time: float = 100e-12
+    hold_time: float = 50e-12
 
     def __post_init__(self) -> None:
         if self.window_check is None:
@@ -286,6 +306,12 @@ class StaConfig:
             raise InputError("max_degraded must be non-negative")
         if self.worker_retries < 0:
             raise InputError("worker_retries must be non-negative")
+        if self.clock_period is not None and self.clock_period <= 0:
+            raise InputError("clock_period must be positive")
+        if self.setup_time < 0:
+            raise InputError("setup_time must be non-negative")
+        if self.hold_time < 0:
+            raise InputError("hold_time must be non-negative")
 
     def with_mode(self, mode: AnalysisMode) -> "StaConfig":
         from dataclasses import replace

@@ -11,10 +11,14 @@ crosstalk-analysis literature contemporaneous with the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.propagation import PassResult
 from repro.flow.design import Design
 from repro.waveform.pwl import FALLING, RISING
+
+if TYPE_CHECKING:
+    from repro.core.slack import SlackResult
 
 
 @dataclass(frozen=True)
@@ -48,8 +52,17 @@ def rank_crosstalk_nets(
     design: Design,
     pass_result: PassResult,
     top: int | None = 20,
+    slack: "SlackResult | None" = None,
 ) -> list[NetExposure]:
-    """Rank nets by crosstalk exposure after an analysis pass."""
+    """Rank nets by crosstalk exposure after an analysis pass.
+
+    Without ``slack``, timing criticality is approximated as distance to
+    the longest-path horizon (every net treated as if it fed the worst
+    endpoint).  With a backward-pass :class:`~repro.core.slack.SlackResult`
+    the *true* required-time slack of each net is used instead -- nets
+    with genuinely negative slack rank with full weight even when they
+    sit far from the single worst path.
+    """
     horizon = pass_result.longest_delay
     exposures: list[NetExposure] = []
     for net_name, load in design.loads.items():
@@ -67,6 +80,11 @@ def rank_crosstalk_nets(
         if not arrivals:
             continue
         worst = max(arrivals)
+        net_slack = horizon - worst
+        if slack is not None:
+            true_slack = slack.worst_net_slack(net_name)
+            if true_slack is not None:
+                net_slack = true_slack
         c_total = load.c_fixed + load.c_coupling_total
         exposures.append(
             NetExposure(
@@ -74,7 +92,7 @@ def rank_crosstalk_nets(
                 coupling_cap=load.c_coupling_total,
                 aggressor_count=len(load.couplings),
                 worst_arrival=worst,
-                slack=horizon - worst,
+                slack=net_slack,
                 coupled=coupled,
                 divider_fraction=load.c_coupling_total / max(c_total, 1e-21),
             )
@@ -121,6 +139,7 @@ def net_report_payload(
     pass_result: PassResult,
     top: int | None = 20,
     exposures: list[NetExposure] | None = None,
+    slack: "SlackResult | None" = None,
 ) -> dict:
     """The crosstalk ranking as a schema-tagged JSON payload.
 
@@ -130,11 +149,12 @@ def net_report_payload(
     service clients consume one format.
     """
     if exposures is None:
-        exposures = rank_crosstalk_nets(design, pass_result, top=top)
+        exposures = rank_crosstalk_nets(design, pass_result, top=top, slack=slack)
     return {
         "schema": NET_REPORT_SCHEMA,
         "design": design.name,
         "longest_delay": pass_result.longest_delay,
+        "slack_basis": "required" if slack is not None else "horizon",
         "nets": [exposure_to_dict(e) for e in exposures],
     }
 

@@ -95,6 +95,18 @@ def format_timing_report(
     lines: list[str] = []
     for result in ordered:
         lines.append(f"timing report [{result.mode.value}]")
+        if result.slack is not None:
+            slack = result.slack
+            lines.append(
+                f"  slack: {slack.summary()}"
+            )
+            lines.append(
+                f"  slack: TNS {slack.total_negative_slack * 1e12:.1f} ps, "
+                f"{slack.violations} failing / {len(slack.endpoints.slacks)} "
+                f"endpoints, {len(slack.net_slack)} net / "
+                f"{len(slack.arc_slack)} arc slacks "
+                f"({slack.runtime_seconds:.3f} s backward pass)"
+            )
         total = sum(result.phase_seconds.values())
         for phase, seconds in sorted(
             result.phase_seconds.items(), key=lambda kv: kv[1], reverse=True

@@ -211,21 +211,29 @@ def repair_crosstalk(
 
     Picks the ``top`` crosstalk-critical nets of the (possibly supplied)
     analysis, shields them, and re-runs the same analysis on the repaired
-    design.
+    design.  The shielding goes through :func:`repro.flow.edits.apply_edit`
+    -- the same edit-application path the service what-if and the repair
+    optimizer use.
     """
     from repro.core.analyzer import CrosstalkSTA
     from repro.core.modes import AnalysisMode as _Mode
     from repro.core.netreport import rank_crosstalk_nets
+    from repro.flow.edits import apply_edit
 
     if mode is None:
         mode = _Mode.ITERATIVE
     if sta_result is None:
         sta_result = CrosstalkSTA(design).run(mode)
     assert sta_result.final_pass is not None
-    exposures = rank_crosstalk_nets(design, sta_result.final_pass, top=top)
+    exposures = rank_crosstalk_nets(
+        design, sta_result.final_pass, top=top, slack=sta_result.slack
+    )
     victims = [e.net for e in exposures]
 
-    repaired = respace_nets(design, victims, guard_tracks=guard_tracks)
+    repaired, _ = apply_edit(
+        design,
+        {"action": "respace", "nets": victims, "guard_tracks": guard_tracks},
+    )
     after = CrosstalkSTA(repaired).run(mode)  # noqa: F821 (lazy import above)
 
     return RepairOutcome(

@@ -173,6 +173,36 @@ class _CallSurface:
             params["deadline"] = deadline
         return self.call("whatif", params)
 
+    def repair(
+        self,
+        session: str,
+        mode: str | None = None,
+        target_slack: float = 0.0,
+        max_edits: int = 8,
+        beam: int = 3,
+        guard_tracks: int = 1,
+        dont_touch: list[str] | None = None,
+        cold_verify: bool = False,
+        deadline: float | None = None,
+    ) -> dict:
+        """Run the autonomous crosstalk-repair loop on a warm session;
+        returns the ``repro.repair/1`` transcript."""
+        params: dict[str, Any] = {
+            "session": session,
+            "target_slack": target_slack,
+            "max_edits": max_edits,
+            "beam": beam,
+            "guard_tracks": guard_tracks,
+            "cold_verify": cold_verify,
+        }
+        if mode is not None:
+            params["mode"] = mode
+        if dont_touch is not None:
+            params["dont_touch"] = list(dont_touch)
+        if deadline is not None:
+            params["deadline"] = deadline
+        return self.call("repair", params)
+
     def explain(
         self,
         session: str,

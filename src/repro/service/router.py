@@ -199,7 +199,7 @@ class _SessionRecord:
 # Methods forwarded to the session's owning shard (all carry "session").
 _SESSION_METHODS = frozenset({
     "session_info", "analyze", "query_net", "query_path", "net_report",
-    "explain", "whatif", "export_session",
+    "explain", "whatif", "repair", "export_session",
 })
 
 
@@ -405,6 +405,12 @@ class FleetRouter:
                     result = await link.call(method, params)
                 if method == "whatif" and result.get("committed"):
                     record.edits.append(dict(result["edit"]))
+                if method == "repair":
+                    # A repair run commits a whole batch of edits shard-side;
+                    # append them to the replication log in order so a
+                    # failover replays the repaired design bit-identically.
+                    for edit in result.get("committed_edits", []):
+                        record.edits.append(dict(edit))
                 return result
             raise ServiceError(
                 ERR_BUSY,

@@ -107,6 +107,7 @@ class TimingService:
             "net_report": self._m_net_report,
             "explain": self._m_explain,
             "whatif": self._m_whatif,
+            "repair": self._m_repair,
             "export_session": self._m_export_session,
             "import_session": self._m_import_session,
             "close_session": self._m_close_session,
@@ -220,6 +221,37 @@ class TimingService:
         commit = _param(params, "commit", bool, False)
         with session.lock:
             return session.whatif(edit, mode=mode, commit=commit)
+
+    def _m_repair(self, params: dict) -> dict:
+        """Autonomous crosstalk repair over the session's warm state.
+
+        Candidates are evaluated through the transactional what-if path
+        (commit only on strict worst-slack improvement); the response is
+        the ``repro.repair/1`` transcript, whose ``committed_edits``
+        list the fleet router appends to the session's replication log.
+        """
+        session = self._session(params)
+        mode = _param(params, "mode", str, None)
+        target_slack = _param(params, "target_slack", float, 0.0)
+        max_edits = _param(params, "max_edits", int, 8)
+        beam = _param(params, "beam", int, 3)
+        guard_tracks = _param(params, "guard_tracks", int, 1)
+        dont_touch = _param(params, "dont_touch", list, None)
+        cold_verify = _param(params, "cold_verify", bool, False)
+        if dont_touch is not None and not all(
+            isinstance(n, str) for n in dont_touch
+        ):
+            raise InputError("parameter 'dont_touch' must be a list of net names")
+        with session.lock:
+            return session.repair(
+                mode=mode,
+                target_slack=target_slack,
+                max_edits=max_edits,
+                beam=beam,
+                guard_tracks=guard_tracks,
+                dont_touch=dont_touch,
+                cold_verify=cold_verify,
+            )
 
     def _m_explain(self, params: dict) -> dict:
         session = self._session(params)

@@ -64,6 +64,9 @@ _CONFIG_OVERRIDES = {
     "screen_tolerance": float,
     "screen_slack_margin": float,
     "provenance": bool,
+    "clock_period": lambda v: None if v is None else float(v),
+    "setup_time": float,
+    "hold_time": float,
 }
 
 
@@ -135,6 +138,15 @@ def result_summary(result: StaResult) -> dict:
         "degraded_arcs": len(result.degraded_arcs),
         "runtime_seconds": result.runtime_seconds,
     }
+    if result.slack is not None:
+        slack = result.slack
+        summary["worst_slack"] = slack.worst_slack
+        summary["worst_slack_hex"] = float(slack.worst_slack).hex()
+        summary["worst_slack_ps"] = slack.worst_slack_ps
+        summary["worst_slack_endpoint"] = slack.worst_endpoint
+        summary["slack_violations"] = slack.violations
+        summary["total_negative_slack"] = slack.total_negative_slack
+        summary["slack_met"] = slack.met
     stats = result.cache_stats or {}
     if stats.get("solver_tier") == "screened":
         # Tier counters live on the session's shared calculator, so they
@@ -227,7 +239,9 @@ class Session:
         result = self.analyze(resolved.value)
         cached = self._exposures.get(resolved)
         if cached is None:
-            cached = rank_crosstalk_nets(self.design, result.final_pass, top=None)
+            cached = rank_crosstalk_nets(
+                self.design, result.final_pass, top=None, slack=result.slack
+            )
             self._exposures[resolved] = cached
         return cached
 
@@ -347,6 +361,39 @@ class Session:
                 "improvement_ps": -delta * 1e12,
             },
         }
+
+    def repair(
+        self,
+        mode: str | None = None,
+        target_slack: float = 0.0,
+        max_edits: int = 8,
+        beam: int = 3,
+        guard_tracks: int = 1,
+        dont_touch: list[str] | None = None,
+        cold_verify: bool = False,
+    ) -> dict:
+        """Autonomous crosstalk repair over this session's warm state.
+
+        Delegates to :func:`repro.flow.optimizer.repair_session`: every
+        candidate is evaluated through :meth:`whatif` (warm, dirty-cone
+        only) and only strict worst-slack improvements are committed, so
+        the session ends on the best design the loop found and
+        ``committed_edits`` carries the full replayable edit list.
+        """
+        from repro.flow.optimizer import repair_session, validate_repair
+
+        transcript = repair_session(
+            self,
+            mode=mode,
+            target_slack=target_slack,
+            max_edits=max_edits,
+            beam=beam,
+            guard_tracks=guard_tracks,
+            dont_touch=dont_touch,
+            cold_verify=cold_verify,
+        )
+        validate_repair(transcript)
+        return transcript
 
     def _drop_checkpoint(self) -> None:
         """A committed edit changed the design; the stored baseline

@@ -1,85 +1,13 @@
-"""ECO (engineering change order) edits for what-if queries.
+"""ECO edit vocabulary of the what-if path (compatibility shim).
 
-An edit is a small JSON-friendly description of a physical fix the
-designer is considering::
-
-    {"action": "respace",      "nets": ["N89"], "guard_tracks": 1}
-    {"action": "upsize",       "nets": ["N74"], "steps": 1}
-    {"action": "drop_coupling", "net": "N89", "neighbour": "N74"}
-    {"action": "set_coupling",  "net": "N89", "neighbour": "N74", "cap": 1e-15}
-
-``apply_edit`` validates the description and produces the edited
-:class:`~repro.flow.design.Design` *without touching the source design*
--- the session's what-if handler analyzes the copy and only swaps it in
-when the client asked to commit, so a failed edit or analysis rolls back
-by simply dropping the copy.
+The edit-application logic lives in :mod:`repro.flow.edits` so the
+service what-if handler, the repair optimizer and the batch flow helpers
+share one path; this module re-exports it under the historical service
+location.
 """
 
 from __future__ import annotations
 
-from repro.errors import InputError
-from repro.flow.design import Design
-from repro.flow.repair import adjust_coupling, respace_nets, upsize_drivers
+from repro.flow.edits import EDIT_ACTIONS, apply_edit, edit_nets
 
-EDIT_ACTIONS = ("respace", "upsize", "drop_coupling", "set_coupling")
-
-
-def _require_nets(design: Design, edit: dict) -> list[str]:
-    nets = edit.get("nets")
-    if not isinstance(nets, list) or not nets or not all(
-        isinstance(n, str) for n in nets
-    ):
-        raise InputError("edit needs 'nets': a non-empty list of net names")
-    for net in nets:
-        if net not in design.circuit.nets:
-            raise InputError(f"unknown net {net!r}")
-    return nets
-
-
-def _require_pair(edit: dict) -> tuple[str, str]:
-    net, neighbour = edit.get("net"), edit.get("neighbour")
-    if not isinstance(net, str) or not isinstance(neighbour, str):
-        raise InputError("edit needs string 'net' and 'neighbour'")
-    return net, neighbour
-
-
-def apply_edit(design: Design, edit: dict) -> tuple[Design, dict]:
-    """Apply one ECO edit; returns ``(edited_design, normalized_edit)``.
-
-    Raises :class:`InputError` on any malformed or inapplicable edit --
-    before any expensive work, so a rejected what-if costs nothing.
-    """
-    if not isinstance(edit, dict):
-        raise InputError("edit must be an object")
-    action = edit.get("action")
-    if action == "respace":
-        nets = _require_nets(design, edit)
-        guard_tracks = edit.get("guard_tracks", 1)
-        if not isinstance(guard_tracks, int) or guard_tracks < 1:
-            raise InputError("'guard_tracks' must be a positive integer")
-        edited = respace_nets(design, nets, guard_tracks=guard_tracks)
-        return edited, {"action": action, "nets": nets, "guard_tracks": guard_tracks}
-    if action == "upsize":
-        nets = _require_nets(design, edit)
-        steps = edit.get("steps", 1)
-        if not isinstance(steps, int) or steps < 1:
-            raise InputError("'steps' must be a positive integer")
-        edited = upsize_drivers(design, nets, steps=steps)
-        return edited, {"action": action, "nets": nets, "steps": steps}
-    if action == "drop_coupling":
-        net, neighbour = _require_pair(edit)
-        edited = adjust_coupling(design, net, neighbour, cap=0.0)
-        return edited, {"action": action, "net": net, "neighbour": neighbour}
-    if action == "set_coupling":
-        net, neighbour = _require_pair(edit)
-        cap = edit.get("cap")
-        if not isinstance(cap, (int, float)) or isinstance(cap, bool) or cap <= 0:
-            raise InputError("'cap' must be a positive number (farads)")
-        edited = adjust_coupling(design, net, neighbour, cap=float(cap))
-        return edited, {
-            "action": action,
-            "net": net,
-            "neighbour": neighbour,
-            "cap": float(cap),
-        }
-    raise InputError(f"unknown edit action {action!r}; have {EDIT_ACTIONS}")
+__all__ = ["EDIT_ACTIONS", "apply_edit", "edit_nets"]

@@ -452,6 +452,54 @@ class TestFleetFailover:
                 assert failovers[0]["from_shard"] == shard
                 assert failovers[0]["edits_replayed"] == 1
 
+    def test_repair_survives_shard_kill_bit_identical(self, tmp_path):
+        """The repair RPC rides failover like any session method, and its
+        committed edits land in the router's replication log: a *second*
+        kill after the repair replays the repaired design bit-identically."""
+        config = {"mode": "one_step", "clock_period": 0.78e-9}
+        repair_params = {"target_slack": 0.0, "max_edits": 2, "beam": 2}
+        # Reference: the identical repair on one undisturbed server.
+        service = TimingService(workers=2, queue_limit=8)
+        with InProcessClient(service) as reference:
+            ref_sid = reference.open_session("s27", config=config)["session"]
+            ref_transcript = reference.repair(ref_sid, **repair_params)
+            ref_final = reference.analyze(ref_sid)
+        service.close()
+
+        with _fleet(tmp_path, shards=3, supervise=False).start() as runtime:
+            with ServiceClient(runtime.address) as client:
+                opened = client.open_session("s27", config=config)
+                sid, shard = opened["session"], opened["shard"]
+                client.analyze(sid)
+                runtime.fleet.kill(shard)
+                transcript = client.call_with_retry(
+                    "repair", {"session": sid, **repair_params}, max_retries=12
+                )
+                assert runtime.router.failovers == 1
+                assert (
+                    transcript["final"]["worst_slack_hex"]
+                    == ref_transcript["final"]["worst_slack_hex"]
+                )
+                assert transcript["committed_edits"] == (
+                    ref_transcript["committed_edits"]
+                )
+                # The router's replication log now carries the repair's
+                # committed edits: kill the new owner and the replayed
+                # session must still be the repaired design.
+                record = runtime.router.sessions[sid]
+                assert record.edits == transcript["committed_edits"]
+                runtime.fleet.kill(record.shard)
+                after = client.call_with_retry(
+                    "analyze", {"session": sid}, max_retries=12
+                )
+                assert runtime.router.failovers == 2
+                assert (
+                    after["worst_slack_hex"] == ref_final["worst_slack_hex"]
+                )
+                assert (
+                    after["longest_delay_hex"] == ref_final["longest_delay_hex"]
+                )
+
     def test_corrupt_handoff_mid_failover_recovers(self, tmp_path):
         with _fleet(tmp_path, shards=2, supervise=False).start() as runtime:
             with ServiceClient(runtime.address) as client:
